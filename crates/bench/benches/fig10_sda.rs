@@ -1,0 +1,55 @@
+//! Figure 10 bench: the Streaming-Dataflow Application under the three
+//! scenarios (baseline SoC, 2x CPU, 2x GPU).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_bench::{bench_sweep_config, print_block};
+use hilp_core::SolverConfig;
+use hilp_dse::experiments::fig10_sda;
+use hilp_dse::SweepConfig;
+
+fn config() -> SweepConfig {
+    // The SDA instances have 16 tasks; the exhaustive search takes tens of
+    // seconds there, so the bench uses the standard anytime solver (the
+    // integration tests pin the exact optima separately).
+    SweepConfig {
+        solver: SolverConfig::default(),
+        ..bench_sweep_config()
+    }
+}
+
+fn report() {
+    let results = fig10_sda(2, &config()).expect("solvable");
+    let baseline = results[0].makespan_seconds;
+    let mut body = String::new();
+    for r in &results {
+        body.push_str(&format!(
+            "{:?} on {}: makespan {:.0} s ({:.2}x vs baseline), avg WLP {:.2}\n",
+            r.scenario,
+            r.label,
+            r.makespan_seconds,
+            baseline / r.makespan_seconds,
+            r.avg_wlp
+        ));
+    }
+    body.push_str(
+        "(paper: the baseline misses the objective; 2x CPU or 2x GPU meets it)\n",
+    );
+    print_block("Figure 10: the SDA extension (2 pipelined samples)", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let cfg = config();
+    c.bench_function("fig10/three_scenarios_2_samples", |b| {
+        b.iter(|| fig10_sda(black_box(2), &cfg).unwrap().len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Figure 5 bench: the three validation sweeps — Amdahl's law (5a), the
+//! memory wall (5b), and dark silicon (5c) — printed as series and
+//! measured per single-point evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_bench::{bench_sweep_config, print_block};
+use hilp_dse::experiments::{fig5a_amdahl, fig5b_memory_wall, fig5c_dark_silicon};
+use hilp_dse::sweep::evaluate_soc;
+use hilp_dse::ModelKind;
+use hilp_soc::{Constraints, SocSpec};
+use hilp_workloads::{Workload, WorkloadVariant};
+
+fn report() {
+    let config = bench_sweep_config();
+
+    let amdahl = fig5a_amdahl(&config).expect("sweep succeeds");
+    let mut body = String::from("x = CPU cores, y = speedup\n");
+    for s in &amdahl.series {
+        body.push_str(&format!("{s}\n"));
+    }
+    for (sms, limit) in &amdahl.compute_limits {
+        body.push_str(&format!("{sms}-SM compute limit: {limit:.1}x\n"));
+    }
+    print_block("Figure 5a: Amdahl's law (Default, unconstrained)", &body);
+
+    let mut body = String::from("x = bandwidth GB/s, y = speedup\n");
+    for s in fig5b_memory_wall(&config).expect("sweep succeeds") {
+        body.push_str(&format!("{s}\n"));
+    }
+    print_block("Figure 5b: the memory wall (Optimized, 4 CPUs)", &body);
+
+    let mut body = String::from("x = power W, y = speedup\n");
+    for s in fig5c_dark_silicon(&config).expect("sweep succeeds") {
+        body.push_str(&format!("{s}\n"));
+    }
+    print_block("Figure 5c: dark silicon (Optimized, 4 CPUs)", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let config = bench_sweep_config();
+    let default = Workload::rodinia(WorkloadVariant::Default);
+    let optimized = Workload::rodinia(WorkloadVariant::Optimized);
+
+    c.bench_function("fig5a/one_point_c4_g64", |b| {
+        let soc = SocSpec::new(4).with_gpu(64);
+        b.iter(|| {
+            evaluate_soc(
+                black_box(&default),
+                &soc,
+                &Constraints::unconstrained(),
+                ModelKind::Hilp,
+                &config,
+            )
+            .unwrap()
+            .speedup
+        });
+    });
+    c.bench_function("fig5b/one_point_bw100", |b| {
+        let soc = SocSpec::new(4).with_gpu(32);
+        let constraints = Constraints::unconstrained().with_bandwidth(100.0);
+        b.iter(|| {
+            evaluate_soc(
+                black_box(&optimized),
+                &soc,
+                &constraints,
+                ModelKind::Hilp,
+                &config,
+            )
+            .unwrap()
+            .speedup
+        });
+    });
+    c.bench_function("fig5c/one_point_power50", |b| {
+        let soc = SocSpec::new(4).with_gpu(64);
+        let constraints = Constraints::unconstrained().with_power(50.0);
+        b.iter(|| {
+            evaluate_soc(
+                black_box(&optimized),
+                &soc,
+                &constraints,
+                ModelKind::Hilp,
+                &config,
+            )
+            .unwrap()
+            .speedup
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 6 bench: average WLP and speedup for MA, HILP, and Gables on a
+//! 64-SM SoC across CPU counts, for the Rodinia and Optimized workloads.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_bench::{bench_sweep_config, print_block};
+use hilp_dse::experiments::fig6_wlp_comparison;
+use hilp_dse::sweep::evaluate_soc;
+use hilp_dse::ModelKind;
+use hilp_soc::{Constraints, SocSpec};
+use hilp_workloads::{Workload, WorkloadVariant};
+
+fn report() {
+    let config = bench_sweep_config();
+    for variant in [WorkloadVariant::Rodinia, WorkloadVariant::Optimized] {
+        let rows = fig6_wlp_comparison(variant, &config).expect("sweep succeeds");
+        let body: Vec<String> = rows.iter().map(ToString::to_string).collect();
+        print_block(
+            &format!("Figure 6 ({variant:?}): MA vs HILP vs Gables, 64-SM GPU"),
+            &body.join("\n"),
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let config = bench_sweep_config();
+    let workload = Workload::rodinia(WorkloadVariant::Rodinia);
+    let soc = SocSpec::new(4).with_gpu(64);
+    let constraints = Constraints::unconstrained();
+
+    for (name, model) in [
+        ("ma", ModelKind::MultiAmdahl),
+        ("hilp", ModelKind::Hilp),
+        ("gables", ModelKind::Gables),
+    ] {
+        c.bench_function(&format!("fig6/{name}_c4_g64_rodinia"), |b| {
+            b.iter(|| {
+                evaluate_soc(black_box(&workload), &soc, &constraints, model, &config)
+                    .unwrap()
+                    .avg_wlp
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Figure 7 bench: the design-space sweep under all three models.
+//!
+//! Printing uses a deterministic 65-SoC subsample of the 372-SoC space
+//! (plus the paper's three headline SoCs) so the report lands in seconds;
+//! `examples/design_space.rs` runs the full space.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_bench::{bench_sweep_config, print_block};
+use hilp_dse::experiments::fig7_space;
+use hilp_dse::{design_space, ModelKind};
+use hilp_soc::{DsaSpec, SocSpec};
+
+fn mini_space() -> Vec<SocSpec> {
+    let mut socs: Vec<SocSpec> = design_space(4.0).into_iter().step_by(6).collect();
+    socs.push(SocSpec::new(1).with_gpu(64));
+    socs.push(
+        SocSpec::new(4)
+            .with_gpu(4)
+            .with_dsa(DsaSpec::new(4, "LUD"))
+            .with_dsa(DsaSpec::new(4, "HS"))
+            .with_dsa(DsaSpec::new(4, "LMD")),
+    );
+    socs.push(
+        SocSpec::new(4)
+            .with_gpu(16)
+            .with_dsa(DsaSpec::new(16, "LUD"))
+            .with_dsa(DsaSpec::new(16, "HS")),
+    );
+    socs
+}
+
+fn report() {
+    let config = bench_sweep_config();
+    let socs = mini_space();
+    let mut body = format!("{} SoCs (subsample of 372; see examples/design_space)\n", socs.len());
+    for model in [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp] {
+        let result = fig7_space(&socs, model, &config).expect("sweep succeeds");
+        let best = result.best();
+        body.push_str(&format!(
+            "{:<7} best Pareto point: {:<18} {:>6.1}x at {:>6.1} mm^2 (paper: {})\n",
+            result.model.name(),
+            best.label,
+            best.speedup,
+            best.area_mm2,
+            match model {
+                ModelKind::MultiAmdahl => "(c1,g64,d0^0) 18.2x / 432.6 mm^2",
+                ModelKind::Gables => "(c4,g4,d3^4) 62.1x / 170.4 mm^2",
+                ModelKind::Hilp => "(c4,g16,d2^16) 45.6x / 378.4 mm^2",
+            }
+        ));
+        body.push_str(&result.render_front());
+    }
+    print_block("Figure 7: the SoC design space (Default, 600 W)", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let config = bench_sweep_config();
+    // Benchmark one 12-SoC slice per model.
+    let socs: Vec<SocSpec> = design_space(4.0).into_iter().step_by(31).collect();
+    for (name, model) in [
+        ("ma", ModelKind::MultiAmdahl),
+        ("gables", ModelKind::Gables),
+        ("hilp", ModelKind::Hilp),
+    ] {
+        c.bench_function(&format!("fig7/{name}_12soc_slice"), |b| {
+            b.iter(|| fig7_space(black_box(&socs), model, &config).unwrap().front.len());
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Figure 8 bench: power-constrained Pareto fronts (8a) and the DSA
+//! efficiency-advantage sweep (8b), on a design-space subsample.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_bench::{bench_sweep_config, print_block};
+use hilp_dse::experiments::fig8a_power_constrained;
+use hilp_dse::sweep::{evaluate_space, ModelKind};
+use hilp_dse::{design_space, pareto_front};
+use hilp_soc::Constraints;
+use hilp_workloads::{Workload, WorkloadVariant};
+
+fn subsample() -> Vec<hilp_soc::SocSpec> {
+    design_space(4.0).into_iter().step_by(6).collect()
+}
+
+fn report() {
+    let config = bench_sweep_config();
+    let socs = subsample();
+
+    let mut body = String::new();
+    for (power, result) in fig8a_power_constrained(&socs, &config).expect("sweep succeeds") {
+        let best = result.best();
+        body.push_str(&format!(
+            "{power:>5.0} W: best {:<18} {:>6.1}x at {:>6.1} mm^2\n",
+            best.label, best.speedup, best.area_mm2
+        ));
+    }
+    body.push_str(
+        "(paper: (c4,g16,d2^16) tops 50 W and 600 W; (c2,g4,d2^4) tops 20 W)\n",
+    );
+    print_block("Figure 8a: power-constrained Pareto fronts", &body);
+
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let mut body = String::new();
+    for advantage in [2.0, 4.0, 8.0] {
+        let socs: Vec<_> = design_space(advantage).into_iter().step_by(6).collect();
+        let points = evaluate_space(
+            &workload,
+            &socs,
+            &Constraints::paper_default(),
+            ModelKind::Hilp,
+            &config,
+        )
+        .expect("sweep succeeds");
+        let front = pareto_front(&points);
+        let best = &points[*front.last().expect("non-empty front")];
+        body.push_str(&format!(
+            "{advantage:>3.0}x advantage: best {:<18} {:>6.1}x at {:>6.1} mm^2\n",
+            best.label, best.speedup, best.area_mm2
+        ));
+    }
+    body.push_str("(paper: GPU-only optimum at 2x; mixed (c4,g16,d2^16) at 4x and 8x)\n");
+    print_block("Figure 8b: DSA efficiency advantage (600 W)", &body);
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+    let config = bench_sweep_config();
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let socs: Vec<_> = design_space(4.0).into_iter().step_by(31).collect();
+
+    for power in [20.0, 600.0] {
+        c.bench_function(&format!("fig8a/hilp_12soc_{power}W"), |b| {
+            let constraints = Constraints::unconstrained()
+                .with_power(power)
+                .with_bandwidth(800.0);
+            b.iter(|| {
+                evaluate_space(
+                    black_box(&workload),
+                    &socs,
+                    &constraints,
+                    ModelKind::Hilp,
+                    &config,
+                )
+                .unwrap()
+                .len()
+            });
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,121 @@
+//! Solver-substrate benches: the building blocks below the figures —
+//! simplex, MILP branch and bound, SGS heuristics, exact scheduling, and
+//! the ablation the paper's Section III-D discusses (time-step resolution
+//! versus solve cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hilp_core::{encode, Constraints, SocSpec, Workload, WorkloadVariant};
+use hilp_lp::{LinearProgram, Objective, Relation};
+use hilp_sched::{lower_bound, solve_heuristic, SolverConfig};
+
+fn lp_bench(c: &mut Criterion) {
+    // A dense 12-variable, 18-row LP.
+    c.bench_function("solver/lp_simplex_12x18", |b| {
+        b.iter(|| {
+            let mut lp = LinearProgram::new(Objective::Maximize);
+            let vars: Vec<_> = (0..12).map(|i| lp.add_variable(1.0 + f64::from(i) * 0.1)).collect();
+            for r in 0..18u32 {
+                let terms: Vec<_> = vars
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| (v, 1.0 + f64::from((j as u32 + r) % 5)))
+                    .collect();
+                lp.add_constraint(terms, Relation::Le, 40.0 + f64::from(r)).unwrap();
+            }
+            black_box(lp.solve().unwrap().objective_value())
+        });
+    });
+}
+
+fn sched_bench(c: &mut Criterion) {
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let soc = SocSpec::new(4).with_gpu(64);
+
+    // Ablation: time-step resolution versus encode+solve cost (the paper's
+    // Section III-D trade-off).
+    let mut group = c.benchmark_group("solver/resolution_ablation");
+    group.sample_size(10);
+    for &step in &[10.0, 2.0, 0.4] {
+        group.bench_with_input(BenchmarkId::from_parameter(step), &step, |b, &step| {
+            b.iter(|| {
+                let (instance, _) =
+                    encode(&workload, &soc, &Constraints::unconstrained(), step).unwrap();
+                let outcome = solve_heuristic(
+                    &instance,
+                    &SolverConfig {
+                        heuristic_starts: 40,
+                        local_search_passes: 1,
+                        ..SolverConfig::default()
+                    },
+                )
+                .unwrap();
+                black_box(outcome.makespan)
+            });
+        });
+    }
+    group.finish();
+
+    // Ablation: heuristic multi-start budget versus quality is reported in
+    // EXPERIMENTS.md; here we benchmark its cost.
+    let (instance, _) = encode(&workload, &soc, &Constraints::unconstrained(), 2.0).unwrap();
+    let mut group = c.benchmark_group("solver/heuristic_starts_ablation");
+    group.sample_size(10);
+    for &starts in &[30usize, 120, 480] {
+        group.bench_with_input(BenchmarkId::from_parameter(starts), &starts, |b, &starts| {
+            b.iter(|| {
+                solve_heuristic(
+                    &instance,
+                    &SolverConfig {
+                        heuristic_starts: starts,
+                        local_search_passes: 1,
+                        ..SolverConfig::default()
+                    },
+                )
+                .unwrap()
+                .makespan
+            });
+        });
+    }
+    group.finish();
+
+    c.bench_function("solver/lower_bounds_30_tasks", |b| {
+        b.iter(|| lower_bound(black_box(&instance)));
+    });
+
+    // Scaling: solve cost versus workload size (copies of Default).
+    let mut group = c.benchmark_group("solver/workload_scaling");
+    group.sample_size(10);
+    for &copies in &[1usize, 2, 4] {
+        let scaled = workload.with_copies(copies);
+        let (instance, _) =
+            encode(&scaled, &soc, &Constraints::unconstrained(), 2.0).unwrap();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(copies * 30),
+            &instance,
+            |b, instance| {
+                b.iter(|| {
+                    solve_heuristic(
+                        instance,
+                        &SolverConfig {
+                            heuristic_starts: 40,
+                            local_search_passes: 1,
+                            ..SolverConfig::default()
+                        },
+                    )
+                    .unwrap()
+                    .makespan
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = lp_bench, sched_bench
+}
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Tables II and III bench: the measurement-to-model pipeline — synthetic
+//! profiling at the MIG SM counts and least-squares power-law re-fitting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_bench::print_block;
+use hilp_dse::experiments::{table2_rows, table3_rows};
+use hilp_workloads::{profiler, rodinia};
+
+fn report() {
+    print_block("Table II: benchmarks (published vs re-fitted)", &table2_rows().join("\n"));
+    print_block("Table III: GPU power scaling", &table3_rows().join("\n"));
+}
+
+fn bench(c: &mut Criterion) {
+    report();
+
+    c.bench_function("table2/profile_and_refit_all_benchmarks", |b| {
+        b.iter(|| {
+            rodinia::benchmarks()
+                .iter()
+                .map(|bench| {
+                    let samples = profiler::profile_synthetic(black_box(bench), 0.02, 7);
+                    let (t, bw) = profiler::refit(&samples).unwrap();
+                    t.law.b + bw.law.b
+                })
+                .sum::<f64>()
+        });
+    });
+
+    c.bench_function("table3/regenerate_rows", |b| {
+        b.iter(|| table3_rows().len());
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

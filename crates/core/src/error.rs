@@ -1,0 +1,72 @@
+use std::error::Error;
+use std::fmt;
+
+use hilp_sched::SchedError;
+
+/// Errors produced while encoding or evaluating a HILP model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum HilpError {
+    /// A phase has no compatible core cluster on the given SoC (e.g. a
+    /// pinned DSA phase whose DSA the SoC lacks).
+    NoCompatibleCluster {
+        /// Name of the offending phase.
+        phase: String,
+    },
+    /// The time step is not a positive finite number of seconds.
+    InvalidTimeStep {
+        /// The offending value.
+        seconds: f64,
+    },
+    /// The scheduling engine failed.
+    Sched(SchedError),
+}
+
+impl fmt::Display for HilpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HilpError::NoCompatibleCluster { phase } => {
+                write!(f, "phase `{phase}` has no compatible core cluster on this SoC")
+            }
+            HilpError::InvalidTimeStep { seconds } => {
+                write!(f, "invalid time step of {seconds} seconds")
+            }
+            HilpError::Sched(e) => write!(f, "scheduling failed: {e}"),
+        }
+    }
+}
+
+impl Error for HilpError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HilpError::Sched(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchedError> for HilpError {
+    fn from(e: SchedError) -> Self {
+        HilpError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = HilpError::NoCompatibleCluster {
+            phase: "SDA0.DS1".into(),
+        };
+        assert!(e.to_string().contains("SDA0.DS1"));
+        let e = HilpError::InvalidTimeStep { seconds: -1.0 };
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn sched_errors_are_wrapped_with_source() {
+        let e: HilpError = SchedError::HorizonExhausted { horizon: 10 }.into();
+        assert!(e.source().is_some());
+    }
+}

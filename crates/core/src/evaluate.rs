@@ -1,0 +1,335 @@
+//! The HILP evaluator: adaptive time-step refinement around the scheduler.
+
+use hilp_sched::{solve, Instance, Schedule, SolverConfig};
+use hilp_soc::{Constraints, SocSpec};
+use hilp_workloads::Workload;
+
+use crate::encode::{encode, EncodeMaps};
+use crate::error::HilpError;
+use crate::wlp::average_wlp;
+
+/// The paper's adaptive time-step policy (Section III-D): start coarse and
+/// refine by 5x while the workload completes in fewer steps than the
+/// target, so every result has enough temporal resolution without blowing
+/// up the solution space.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimeStepPolicy {
+    /// Initial time-step size in seconds.
+    pub initial_seconds: f64,
+    /// Refine while the makespan is below this many steps.
+    pub target_steps: u32,
+    /// Refinement factor per round (the paper uses 5x).
+    pub refine_factor: f64,
+    /// Maximum number of refinement rounds.
+    pub max_refinements: u32,
+}
+
+impl TimeStepPolicy {
+    /// The validation-experiment policy: 2 s steps refined towards a
+    /// 200-step makespan.
+    #[must_use]
+    pub fn validation() -> Self {
+        TimeStepPolicy {
+            initial_seconds: 2.0,
+            target_steps: 200,
+            refine_factor: 5.0,
+            max_refinements: 5,
+        }
+    }
+
+    /// The design-space-sweep policy: 10 s steps refined towards a 40-step
+    /// makespan (coarser, to keep large sweeps tractable).
+    #[must_use]
+    pub fn sweep() -> Self {
+        TimeStepPolicy {
+            initial_seconds: 10.0,
+            target_steps: 40,
+            refine_factor: 5.0,
+            max_refinements: 4,
+        }
+    }
+
+    /// A fixed time step with no refinement.
+    #[must_use]
+    pub fn fixed(seconds: f64) -> Self {
+        TimeStepPolicy {
+            initial_seconds: seconds,
+            target_steps: 0,
+            refine_factor: 5.0,
+            max_refinements: 0,
+        }
+    }
+}
+
+impl Default for TimeStepPolicy {
+    fn default() -> Self {
+        TimeStepPolicy::validation()
+    }
+}
+
+/// The result of evaluating one SoC on one workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Overall workload execution time in seconds (makespan x time step).
+    pub makespan_seconds: f64,
+    /// Makespan in time steps at the final resolution.
+    pub makespan_steps: u32,
+    /// The final time-step resolution (seconds).
+    pub time_step_seconds: f64,
+    /// Speedup over fully sequential execution on a single CPU core.
+    pub speedup: f64,
+    /// Average Workload-Level Parallelism of the schedule.
+    pub avg_wlp: f64,
+    /// Proven lower bound on the makespan, in seconds.
+    pub lower_bound_seconds: f64,
+    /// Relative optimality gap of the schedule.
+    pub gap: f64,
+    /// Whether the schedule was proven optimal.
+    pub proved_optimal: bool,
+    /// Whether the schedule meets the paper's 10% near-optimality bar.
+    pub near_optimal: bool,
+    /// Number of time-step refinement rounds performed.
+    pub refinements: u32,
+    /// The schedule itself.
+    pub schedule: Schedule,
+    /// The instance the schedule refers to (for rendering/inspection).
+    pub instance: Instance,
+    /// Mapping from workload coordinates to instance task ids.
+    pub maps: EncodeMaps,
+}
+
+impl Evaluation {
+    /// Renders the schedule as a Gantt listing.
+    #[must_use]
+    pub fn render_schedule(&self) -> String {
+        self.schedule.render(&self.instance)
+    }
+}
+
+/// The HILP evaluator: workload + SoC + constraints + solver settings.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone)]
+pub struct Hilp {
+    workload: Workload,
+    soc: SocSpec,
+    constraints: Constraints,
+    solver: SolverConfig,
+    policy: TimeStepPolicy,
+}
+
+impl Hilp {
+    /// Creates an evaluator with no constraints, the default solver
+    /// configuration, and the validation time-step policy.
+    #[must_use]
+    pub fn new(workload: Workload, soc: SocSpec) -> Self {
+        Hilp {
+            workload,
+            soc,
+            constraints: Constraints::unconstrained(),
+            solver: SolverConfig::default(),
+            policy: TimeStepPolicy::validation(),
+        }
+    }
+
+    /// Sets the power/bandwidth constraints, builder style.
+    #[must_use]
+    pub fn with_constraints(mut self, constraints: Constraints) -> Self {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Sets the solver configuration, builder style.
+    #[must_use]
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Sets the time-step policy, builder style.
+    #[must_use]
+    pub fn with_policy(mut self, policy: TimeStepPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// The workload under evaluation.
+    #[must_use]
+    pub fn workload(&self) -> &Workload {
+        &self.workload
+    }
+
+    /// The SoC under evaluation.
+    #[must_use]
+    pub fn soc(&self) -> &SocSpec {
+        &self.soc
+    }
+
+    /// Evaluates the SoC on the workload: encodes, solves, and adaptively
+    /// refines the time step per the policy.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (incompatible phases, invalid time step)
+    /// and scheduling failures.
+    pub fn evaluate(&self) -> Result<Evaluation, HilpError> {
+        let mut time_step = self.policy.initial_seconds;
+        let mut refinements = 0;
+        loop {
+            let (instance, maps) = encode(&self.workload, &self.soc, &self.constraints, time_step)?;
+            let outcome = solve(&instance, &self.solver)?;
+
+            let refine = outcome.makespan > 0
+                && outcome.makespan < self.policy.target_steps
+                && refinements < self.policy.max_refinements;
+            if refine {
+                refinements += 1;
+                time_step /= self.policy.refine_factor;
+                continue;
+            }
+
+            let makespan_seconds = f64::from(outcome.makespan) * time_step;
+            let sequential = self.workload.sequential_cpu_seconds();
+            let speedup = if makespan_seconds > 0.0 {
+                sequential / makespan_seconds
+            } else {
+                1.0
+            };
+            let avg_wlp = average_wlp(&outcome.schedule, &instance);
+            return Ok(Evaluation {
+                makespan_seconds,
+                makespan_steps: outcome.makespan,
+                time_step_seconds: time_step,
+                speedup,
+                avg_wlp,
+                lower_bound_seconds: f64::from(outcome.lower_bound) * time_step,
+                gap: outcome.gap(),
+                proved_optimal: outcome.proved_optimal,
+                near_optimal: outcome.is_near_optimal(),
+                refinements,
+                schedule: outcome.schedule,
+                instance,
+                maps,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilp_soc::DsaSpec;
+    use hilp_workloads::WorkloadVariant;
+
+    fn fast_solver() -> SolverConfig {
+        SolverConfig {
+            heuristic_starts: 60,
+            local_search_passes: 2,
+            exact_node_budget: 0,
+            ..SolverConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_cpu_evaluation_matches_sequential_baseline() {
+        // On a single-CPU SoC everything serializes: speedup ~ 1, WLP = 1.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let eval = Hilp::new(w, SocSpec::new(1))
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::fixed(2.0))
+            .evaluate()
+            .unwrap();
+        assert!(eval.speedup <= 1.05, "speedup {} should be ~1", eval.speedup);
+        assert!(eval.speedup > 0.9);
+        assert!((eval.avg_wlp - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn adaptive_refinement_reaches_target_resolution() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(4).with_gpu(64);
+        let eval = Hilp::new(w, soc)
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy {
+                initial_seconds: 10.0,
+                target_steps: 40,
+                refine_factor: 5.0,
+                max_refinements: 4,
+            })
+            .evaluate()
+            .unwrap();
+        assert!(eval.refinements >= 1, "a fast SoC must trigger refinement");
+        assert!(
+            eval.makespan_steps >= 40 || eval.refinements == 4,
+            "refinement must stop at the target or the cap"
+        );
+        assert!(eval.schedule.verify(&eval.instance).is_empty());
+    }
+
+    #[test]
+    fn accelerators_speed_up_the_default_workload() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let plain = Hilp::new(w.clone(), SocSpec::new(4))
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::sweep())
+            .evaluate()
+            .unwrap();
+        let accelerated = Hilp::new(w, SocSpec::new(4).with_gpu(64))
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::sweep())
+            .evaluate()
+            .unwrap();
+        assert!(accelerated.speedup > 2.0 * plain.speedup);
+    }
+
+    #[test]
+    fn paper_flagship_soc_reaches_reported_speedup_band() {
+        // (c4,g16,d2^16) on Default: the paper reports 45.6x.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(4)
+            .with_gpu(16)
+            .with_dsa(DsaSpec::new(16, "LUD"))
+            .with_dsa(DsaSpec::new(16, "HS"));
+        let eval = Hilp::new(w, soc)
+            .with_constraints(Constraints::paper_default())
+            .with_solver(SolverConfig::default())
+            .with_policy(TimeStepPolicy::sweep())
+            .evaluate()
+            .unwrap();
+        assert!(
+            eval.speedup > 35.0 && eval.speedup < 55.0,
+            "speedup {} outside the paper's band",
+            eval.speedup
+        );
+        assert!(eval.avg_wlp > 1.5, "WLP {} too low", eval.avg_wlp);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16);
+        let run = || {
+            Hilp::new(w.clone(), soc.clone())
+                .with_solver(fast_solver())
+                .with_policy(TimeStepPolicy::sweep())
+                .evaluate()
+                .unwrap()
+                .makespan_steps
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn render_schedule_mentions_machines() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(1).with_gpu(16);
+        let eval = Hilp::new(w, soc)
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::fixed(5.0))
+            .evaluate()
+            .unwrap();
+        let text = eval.render_schedule();
+        assert!(text.contains("gpu16"));
+        assert!(text.contains("cpu0"));
+    }
+}

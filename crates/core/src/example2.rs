@@ -1,0 +1,190 @@
+//! The paper's worked example (Figures 2 and 3): two applications `m` and
+//! `n` on an SoC with one CPU, one GPU, and one matrix-multiply DSA.
+//!
+//! Application `m` is a classic HPC matrix-multiply kernel; `n` is neural
+//! network inference. Both consist of `setup -> compute -> teardown`
+//! chains with 1-second setup/teardown phases on the CPU; the compute
+//! phases take 8/6/5 s (`m`) and 5/3/2 s (`n`) on the CPU/GPU/DSA.
+//!
+//! The module exposes ready-made instances, the known optima, and the
+//! reference schedules used by examples, benches, and tests.
+
+use hilp_sched::{Instance, InstanceBuilder, Mode, ModeId, Schedule, SolverConfig, TaskId};
+
+use crate::error::HilpError;
+
+/// Active power of the example's CPU (W); Figure 2's architecture table.
+pub const CPU_POWER_W: f64 = 1.0;
+/// Active power of the example's GPU (W).
+pub const GPU_POWER_W: f64 = 3.0;
+/// Active power of the example's DSA (W).
+pub const DSA_POWER_W: f64 = 2.0;
+
+/// Naive all-on-CPU execution time (s): the scheduling baseline of
+/// Section II ("naively scheduling all phases ... on the CPU yields an
+/// execution time of 17 seconds").
+pub const NAIVE_CPU_SECONDS: u32 = 17;
+
+/// Optimal makespan without constraints (s); Figure 2's schedule.
+pub const UNCONSTRAINED_OPTIMUM: u32 = 7;
+
+/// Optimal makespan under the 3 W power budget (s); Figure 3's schedule.
+pub const POWER_CONSTRAINED_OPTIMUM: u32 = 9;
+
+/// The 3 W power budget of Figure 3.
+pub const POWER_BUDGET_W: f64 = 3.0;
+
+fn build(power_cap: Option<f64>) -> Instance {
+    let mut b = InstanceBuilder::new();
+    let cpu = b.add_machine("cpu");
+    let gpu = b.add_machine("gpu");
+    let dsa = b.add_machine("dsa");
+    for (name, cpu_t, gpu_t, dsa_t) in [("m", 8, 6, 5), ("n", 5, 3, 2)] {
+        let setup = b.add_task(format!("{name}0"), vec![Mode::on(cpu, 1).power(CPU_POWER_W)]);
+        let compute = b.add_task(
+            format!("{name}1"),
+            vec![
+                Mode::on(cpu, cpu_t).power(CPU_POWER_W),
+                Mode::on(gpu, gpu_t).power(GPU_POWER_W),
+                Mode::on(dsa, dsa_t).power(DSA_POWER_W),
+            ],
+        );
+        let teardown = b.add_task(format!("{name}2"), vec![Mode::on(cpu, 1).power(CPU_POWER_W)]);
+        b.add_precedence(setup, compute);
+        b.add_precedence(compute, teardown);
+    }
+    if let Some(cap) = power_cap {
+        b.set_power_cap(cap);
+    }
+    b.set_horizon(NAIVE_CPU_SECONDS + 5);
+    b.build().expect("the worked example is a valid instance")
+}
+
+/// The unconstrained Figure 2 instance (1-second time steps).
+#[must_use]
+pub fn figure2_instance() -> Instance {
+    build(None)
+}
+
+/// The Figure 3 instance: same SoC and workload under a 3 W power budget.
+#[must_use]
+pub fn figure3_instance() -> Instance {
+    build(Some(POWER_BUDGET_W))
+}
+
+/// The Figure 2 instance together with the paper's optimal schedule:
+/// `m1` on the DSA, `n1` on the GPU, makespan 7 s, average WLP 12/7.
+#[must_use]
+pub fn figure2_optimal() -> (Instance, Schedule) {
+    let instance = figure2_instance();
+    // Task order: m0, m1, m2, n0, n1, n2.
+    // m0 @0 (cpu), m1 @1..6 (dsa), m2 @6 (cpu),
+    // n0 @1 (cpu), n1 @2..5 (gpu), n2 @5 (cpu).
+    let schedule = Schedule {
+        starts: vec![0, 1, 6, 1, 2, 5],
+        modes: vec![
+            ModeId(0),
+            ModeId(2),
+            ModeId(0),
+            ModeId(0),
+            ModeId(1),
+            ModeId(0),
+        ],
+    };
+    debug_assert!(schedule.verify(&instance).is_empty());
+    (instance, schedule)
+}
+
+/// Solves the Figure 2 example to proven optimality.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (none occur for this instance).
+pub fn solve_figure2() -> Result<(Instance, Schedule, u32), HilpError> {
+    let instance = figure2_instance();
+    let outcome = hilp_sched::solve_exact(&instance, &SolverConfig::default())?;
+    Ok((instance, outcome.schedule, outcome.makespan))
+}
+
+/// Solves the Figure 3 (power-constrained) example to proven optimality.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (none occur for this instance).
+pub fn solve_figure3() -> Result<(Instance, Schedule, u32), HilpError> {
+    let instance = figure3_instance();
+    let outcome = hilp_sched::solve_exact(&instance, &SolverConfig::default())?;
+    Ok((instance, outcome.schedule, outcome.makespan))
+}
+
+/// The compute-phase task ids `(m1, n1)` of the example instances.
+#[must_use]
+pub fn compute_tasks() -> (TaskId, TaskId) {
+    (TaskId(1), TaskId(4))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wlp::average_wlp;
+
+    #[test]
+    fn reference_schedule_is_feasible_and_optimal() {
+        let (instance, schedule) = figure2_optimal();
+        assert!(schedule.verify(&instance).is_empty());
+        assert_eq!(schedule.makespan(&instance), UNCONSTRAINED_OPTIMUM);
+    }
+
+    #[test]
+    fn reference_schedule_has_paper_wlp() {
+        let (instance, schedule) = figure2_optimal();
+        // The paper reports an average WLP of 1.7 (12 phase-steps / 7).
+        let wlp = average_wlp(&schedule, &instance);
+        assert!((wlp - 12.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solver_reproduces_the_unconstrained_optimum() {
+        let (instance, schedule, makespan) = solve_figure2().unwrap();
+        assert_eq!(makespan, UNCONSTRAINED_OPTIMUM);
+        assert!(schedule.verify(&instance).is_empty());
+        // The optimal schedule accelerates both compute phases.
+        let (m1, n1) = compute_tasks();
+        let m1_machine = instance.mode(m1, schedule.modes[m1.0]).machine;
+        let n1_machine = instance.mode(n1, schedule.modes[n1.0]).machine;
+        assert_ne!(m1_machine.0, 0, "m1 must not run on the CPU");
+        assert_ne!(n1_machine.0, 0, "n1 must not run on the CPU");
+    }
+
+    #[test]
+    fn solver_reproduces_the_power_constrained_optimum() {
+        let (instance, schedule, makespan) = solve_figure3().unwrap();
+        assert_eq!(makespan, POWER_CONSTRAINED_OPTIMUM);
+        assert!(schedule.verify(&instance).is_empty());
+        // Figure 3: the 3 W budget forbids the 3 W GPU from running beside
+        // anything else; the power profile never exceeds the cap.
+        let profile = schedule.power_profile(&instance);
+        assert!(profile.iter().all(|&p| p <= POWER_BUDGET_W + 1e-9));
+    }
+
+    #[test]
+    fn unconstrained_optimum_violates_the_3w_budget() {
+        // Figure 3b: the unconstrained schedule draws 5 W while the GPU and
+        // DSA overlap.
+        let (instance, schedule) = figure2_optimal();
+        let peak = schedule
+            .power_profile(&instance)
+            .into_iter()
+            .fold(0.0f64, f64::max);
+        assert!(peak > POWER_BUDGET_W);
+        assert!((peak - (GPU_POWER_W + DSA_POWER_W)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_over_naive_cpu_matches_paper() {
+        // "The optimal schedule hence yields a speedup of 2.4x relative to
+        // the naive schedule."
+        let speedup = f64::from(NAIVE_CPU_SECONDS) / f64::from(UNCONSTRAINED_OPTIMUM);
+        assert!((speedup - 2.43).abs() < 0.01);
+    }
+}

@@ -1,0 +1,213 @@
+//! Per-application breakdowns of an evaluation — the level at which an
+//! architect reads a HILP result ("where did each phase run, and which
+//! application finishes last?").
+
+
+use crate::evaluate::Evaluation;
+
+/// The placement of one phase in the evaluated schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhasePlacement {
+    /// Phase name (e.g. `HS.compute`).
+    pub phase: String,
+    /// Label of the core cluster the phase ran on.
+    pub machine: String,
+    /// Start time in seconds.
+    pub start_seconds: f64,
+    /// Finish time in seconds.
+    pub finish_seconds: f64,
+    /// Power drawn while running (W).
+    pub power_w: f64,
+}
+
+/// One application's slice of the schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ApplicationReport {
+    /// Application name.
+    pub application: String,
+    /// Placements of its phases, in phase order.
+    pub phases: Vec<PhasePlacement>,
+    /// Completion time of the application's last phase (s).
+    pub completion_seconds: f64,
+}
+
+impl ApplicationReport {
+    /// Whether this application finishes last (ties count), i.e. sits on
+    /// the schedule's critical path end.
+    #[must_use]
+    pub fn is_last_to_finish(&self, makespan_seconds: f64) -> bool {
+        (self.completion_seconds - makespan_seconds).abs() < 1e-9
+    }
+}
+
+/// Builds per-application reports from an evaluation.
+#[must_use]
+pub fn application_reports(eval: &Evaluation) -> Vec<ApplicationReport> {
+    let step = eval.time_step_seconds;
+    eval.maps
+        .task_of
+        .iter()
+        .enumerate()
+        .map(|(app_idx, tasks)| {
+            let phases: Vec<PhasePlacement> = tasks
+                .iter()
+                .map(|&task| {
+                    let mode = eval.instance.mode(task, eval.schedule.modes[task.0]);
+                    PhasePlacement {
+                        phase: eval.instance.task(task).label.clone(),
+                        machine: eval.instance.machines()[mode.machine.0].clone(),
+                        start_seconds: f64::from(eval.schedule.starts[task.0]) * step,
+                        finish_seconds: f64::from(eval.schedule.finish(&eval.instance, task))
+                            * step,
+                        power_w: mode.power,
+                    }
+                })
+                .collect();
+            let completion_seconds = phases
+                .iter()
+                .map(|p| p.finish_seconds)
+                .fold(0.0f64, f64::max);
+            ApplicationReport {
+                // Derive the app name from the first phase's `App.phase`
+                // label; fall back to an index.
+                application: phases
+                    .first()
+                    .and_then(|p| p.phase.split('.').next())
+                    .map_or_else(|| format!("app{app_idx}"), ToString::to_string),
+                phases,
+                completion_seconds,
+            }
+        })
+        .collect()
+}
+
+/// Formats the reports as a table, slowest application first.
+#[must_use]
+pub fn render_reports(eval: &Evaluation) -> String {
+    let mut reports = application_reports(eval);
+    reports.sort_by(|a, b| {
+        b.completion_seconds
+            .partial_cmp(&a.completion_seconds)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut out = format!(
+        "per-application breakdown (makespan {:.1} s):\n",
+        eval.makespan_seconds
+    );
+    for r in &reports {
+        let marker = if r.is_last_to_finish(eval.makespan_seconds) {
+            " <- finishes last"
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "  {:<6} completes {:>8.1} s{}\n",
+            r.application, r.completion_seconds, marker
+        ));
+        for p in &r.phases {
+            out.push_str(&format!(
+                "    {:<16} [{:>8.1}, {:>8.1})  on {:<12} {:>5.1} W\n",
+                p.phase, p.start_seconds, p.finish_seconds, p.machine, p.power_w
+            ));
+        }
+    }
+    out
+}
+
+/// Per-cluster utilization of the evaluated schedule, labeled.
+#[must_use]
+pub fn cluster_utilization(eval: &Evaluation) -> Vec<(String, f64)> {
+    eval.schedule
+        .machine_utilization(&eval.instance)
+        .into_iter()
+        .enumerate()
+        .map(|(m, util)| (eval.instance.machines()[m].clone(), util))
+        .collect()
+}
+
+/// Sanity check used by tests: every phase of every application appears in
+/// exactly one report.
+#[must_use]
+pub fn total_phases(reports: &[ApplicationReport]) -> usize {
+    reports.iter().map(|r| r.phases.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::{Hilp, TimeStepPolicy};
+    use hilp_sched::SolverConfig;
+    use hilp_soc::{DsaSpec, SocSpec};
+    use hilp_workloads::{Workload, WorkloadVariant};
+
+    fn sample_eval() -> Evaluation {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16).with_dsa(DsaSpec::new(16, "HS"));
+        Hilp::new(w, soc)
+            .with_policy(TimeStepPolicy::fixed(5.0))
+            .with_solver(SolverConfig {
+                heuristic_starts: 40,
+                local_search_passes: 1,
+                exact_node_budget: 0,
+                ..SolverConfig::default()
+            })
+            .evaluate()
+            .unwrap()
+    }
+
+    #[test]
+    fn reports_cover_every_phase() {
+        let eval = sample_eval();
+        let reports = application_reports(&eval);
+        assert_eq!(reports.len(), 10);
+        assert_eq!(total_phases(&reports), 30);
+    }
+
+    #[test]
+    fn completion_times_bound_the_makespan() {
+        let eval = sample_eval();
+        let reports = application_reports(&eval);
+        let slowest = reports
+            .iter()
+            .map(|r| r.completion_seconds)
+            .fold(0.0f64, f64::max);
+        assert!((slowest - eval.makespan_seconds).abs() < 1e-9);
+        assert_eq!(
+            reports
+                .iter()
+                .filter(|r| r.is_last_to_finish(eval.makespan_seconds))
+                .count()
+                .max(1),
+            reports
+                .iter()
+                .filter(|r| r.is_last_to_finish(eval.makespan_seconds))
+                .count()
+        );
+    }
+
+    #[test]
+    fn application_names_match_the_workload() {
+        let eval = sample_eval();
+        let reports = application_reports(&eval);
+        let names: Vec<&str> = reports.iter().map(|r| r.application.as_str()).collect();
+        assert!(names.contains(&"HS"));
+        assert!(names.contains(&"BFS"));
+    }
+
+    #[test]
+    fn render_mentions_the_slowest_app() {
+        let eval = sample_eval();
+        let text = render_reports(&eval);
+        assert!(text.contains("finishes last"));
+        assert!(text.contains("per-application breakdown"));
+    }
+
+    #[test]
+    fn utilization_is_labeled_and_bounded() {
+        let eval = sample_eval();
+        for (label, util) in cluster_utilization(&eval) {
+            assert!(!label.is_empty());
+            assert!((0.0..=1.0 + 1e-9).contains(&util), "{label}: {util}");
+        }
+    }
+}

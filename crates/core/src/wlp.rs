@@ -1,0 +1,101 @@
+//! Workload-Level Parallelism (WLP) metrics.
+//!
+//! The paper defines WLP as the number of independent application phases
+//! executing concurrently on the SoC, and *average WLP* as the arithmetic
+//! mean of per-time-step WLP over the steps in which at least one phase is
+//! active (Section II).
+
+use hilp_sched::{Instance, Schedule};
+
+/// Average WLP of a schedule: mean active-phase count over the time steps
+/// with at least one active phase.
+///
+/// Returns 0.0 for empty schedules.
+///
+/// # Example
+///
+/// The paper's Figure 2 reports an average WLP of 1.7 for HILP's optimal
+/// schedule of the two-application example (12 phase-steps over 7 active
+/// steps).
+///
+/// ```
+/// use hilp_core::{average_wlp, example2};
+///
+/// let (instance, schedule) = example2::figure2_optimal();
+/// let wlp = average_wlp(&schedule, &instance);
+/// assert!((wlp - 12.0 / 7.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn average_wlp(schedule: &Schedule, instance: &Instance) -> f64 {
+    let counts = schedule.active_counts(instance);
+    let active_steps = counts.iter().filter(|&&c| c > 0).count();
+    if active_steps == 0 {
+        return 0.0;
+    }
+    let total: u64 = counts.iter().map(|&c| u64::from(c)).sum();
+    total as f64 / active_steps as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilp_sched::{InstanceBuilder, Mode, ModeId};
+
+    #[test]
+    fn serial_schedule_has_wlp_one() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 2)]);
+        b.add_task("b", vec![Mode::on(cpu, 3)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 2],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        assert_eq!(average_wlp(&sched, &inst), 1.0);
+    }
+
+    #[test]
+    fn overlapping_schedule_raises_wlp() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(cpu, 4)]);
+        b.add_task("b", vec![Mode::on(gpu, 4)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 0],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        assert_eq!(average_wlp(&sched, &inst), 2.0);
+    }
+
+    #[test]
+    fn idle_gaps_are_excluded_from_the_mean() {
+        // Task a in [0,2), task b in [4,6): steps 2 and 3 are idle and must
+        // not dilute the average.
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 2)]);
+        b.add_task("b", vec![Mode::on(cpu, 2)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 4],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        assert_eq!(average_wlp(&sched, &inst), 1.0);
+    }
+
+    #[test]
+    fn empty_schedule_has_zero_wlp() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let sched = Schedule {
+            starts: vec![],
+            modes: vec![],
+        };
+        assert_eq!(average_wlp(&sched, &inst), 0.0);
+    }
+}

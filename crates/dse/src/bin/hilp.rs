@@ -1,0 +1,244 @@
+//! `hilp` — command-line front end to the experiment harness.
+//!
+//! ```text
+//! Usage: hilp <command> [--quick]
+//!
+//! Commands:
+//!   eval <cpus> <gpu_sms> <dsas> <pes>   evaluate one SoC on Default (600 W)
+//!   fig5a | fig5b | fig5c                the validation sweeps
+//!   fig6 <rodinia|default|optimized>     MA vs HILP vs Gables
+//!   fig7                                 the 372-SoC design space
+//!   fig8a | fig8b                        power budgets / DSA advantage
+//!   fig10                                the SDA extension
+//!   tables                               Tables II and III
+//!   spec <file>                          evaluate an SoC described in a spec file
+//!   cost                                 cost/carbon Pareto fronts (extension)
+//!   consolidation                        WLP vs workload copies (extension)
+//!   ablation                             scheduler-quality ablation
+//! ```
+
+use std::process::ExitCode;
+
+use hilp_core::{Hilp, SolverConfig, TimeStepPolicy};
+use hilp_dse::experiments::{
+    consolidation_sweep, cost_pareto, fig10_sda, fig5a_amdahl, fig5b_memory_wall,
+    fig5c_dark_silicon, fig6_wlp_comparison, fig7_space, fig8a_power_constrained,
+    fig8b_dsa_advantage, scheduler_quality_ablation, table2_rows, table3_rows,
+};
+use hilp_dse::{design_space, ModelKind, SweepConfig};
+use hilp_soc::{Constraints, SocSpec};
+use hilp_workloads::{Workload, WorkloadVariant};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: hilp <eval c g d p | spec <file> | fig5a | fig5b | fig5c | fig6 <variant> | \
+         fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation> [--quick]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let positional: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let Some(&command) = positional.first() else {
+        return usage();
+    };
+    let config = SweepConfig::default();
+
+    let result: Result<(), Box<dyn std::error::Error>> = (|| {
+        match command {
+            "eval" => {
+                let parse = |i: usize| -> u32 {
+                    positional
+                        .get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_default()
+                };
+                let (cpus, gpu, dsas, pes) = (parse(1).max(1), parse(2), parse(3), parse(4).max(1));
+                let mut soc = SocSpec::new(cpus).with_gpu(gpu);
+                for dsa in hilp_dse::space::dsa_allocation(dsas as usize, pes, 4.0) {
+                    soc = soc.with_dsa(dsa);
+                }
+                println!("evaluating {} ({:.1} mm^2)...", soc.label(), soc.area_mm2());
+                let eval = Hilp::new(Workload::rodinia(WorkloadVariant::Default), soc)
+                    .with_constraints(Constraints::paper_default())
+                    .with_policy(TimeStepPolicy::sweep())
+                    .with_solver(SolverConfig::default())
+                    .evaluate()?;
+                println!(
+                    "makespan {:.1} s | speedup {:.1}x | avg WLP {:.2} | gap {:.1}%",
+                    eval.makespan_seconds,
+                    eval.speedup,
+                    eval.avg_wlp,
+                    eval.gap * 100.0
+                );
+                println!("{}", eval.schedule.render_gantt(&eval.instance, 100));
+                println!("{}", hilp_core::report::render_reports(&eval));
+            }
+            "fig5a" => {
+                let r = fig5a_amdahl(&config)?;
+                for s in &r.series {
+                    println!("{s}");
+                }
+                for (sms, limit) in &r.compute_limits {
+                    println!("{sms}-SM compute limit: {limit:.1}x");
+                }
+            }
+            "fig5b" => {
+                for s in fig5b_memory_wall(&config)? {
+                    println!("{s}");
+                }
+            }
+            "fig5c" => {
+                for s in fig5c_dark_silicon(&config)? {
+                    println!("{s}");
+                }
+            }
+            "fig6" => {
+                let variant = match positional.get(1).copied() {
+                    Some("rodinia") => WorkloadVariant::Rodinia,
+                    Some("optimized") => WorkloadVariant::Optimized,
+                    _ => WorkloadVariant::Default,
+                };
+                for row in fig6_wlp_comparison(variant, &config)? {
+                    println!("{row}");
+                }
+            }
+            "fig7" => {
+                let mut socs = design_space(4.0);
+                if quick {
+                    socs = socs.into_iter().step_by(6).collect();
+                }
+                for model in [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp] {
+                    let r = fig7_space(&socs, model, &config)?;
+                    let (max_gap, near) = r.gap_stats();
+                    println!("{}", r.render_front());
+                    println!(
+                        "  gap: max {:.1}%, {:.0}% of points near-optimal (<=10%)\n",
+                        max_gap * 100.0,
+                        near * 100.0
+                    );
+                }
+            }
+            "fig8a" => {
+                let mut socs = design_space(4.0);
+                if quick {
+                    socs = socs.into_iter().step_by(6).collect();
+                }
+                for (power, r) in fig8a_power_constrained(&socs, &config)? {
+                    let best = r.best();
+                    println!(
+                        "{power:>5.0} W: best {} at {:.1}x / {:.1} mm^2",
+                        best.label, best.speedup, best.area_mm2
+                    );
+                }
+            }
+            "fig8b" => {
+                for (advantage, r) in fig8b_dsa_advantage(&config)? {
+                    let best = r.best();
+                    println!(
+                        "{advantage:>3.0}x: best {} at {:.1}x / {:.1} mm^2",
+                        best.label, best.speedup, best.area_mm2
+                    );
+                }
+            }
+            "fig10" => {
+                for r in fig10_sda(2, &config)? {
+                    println!(
+                        "{:?} on {}: makespan {:.0} s, avg WLP {:.2}",
+                        r.scenario, r.label, r.makespan_seconds, r.avg_wlp
+                    );
+                }
+            }
+            "spec" => {
+                let path = positional.get(1).ok_or("spec needs a file path")?;
+                let text = std::fs::read_to_string(path)?;
+                let (soc, constraints) = hilp_dse::specfile::parse_soc(&text)?;
+                println!("evaluating {} ({:.1} mm^2)...", soc.label(), soc.area_mm2());
+                let eval = Hilp::new(Workload::rodinia(WorkloadVariant::Default), soc)
+                    .with_constraints(constraints)
+                    .with_policy(TimeStepPolicy::sweep())
+                    .with_solver(SolverConfig::default())
+                    .evaluate()?;
+                println!(
+                    "makespan {:.1} s | speedup {:.1}x | avg WLP {:.2} | gap {:.1}%",
+                    eval.makespan_seconds,
+                    eval.speedup,
+                    eval.avg_wlp,
+                    eval.gap * 100.0
+                );
+                println!("{}", eval.schedule.render_gantt(&eval.instance, 100));
+            }
+            "cost" => {
+                let mut socs = design_space(4.0);
+                if quick {
+                    socs = socs.into_iter().step_by(6).collect();
+                }
+                let node = hilp_soc::cost::ProcessNode::n7();
+                let result = cost_pareto(&socs, &node, &config)?;
+                println!("cost-optimal front ({} wafers):", node.name);
+                for &i in &result.cost_front {
+                    let p = &result.points[i];
+                    println!(
+                        "  ${:>8.0}  {:>7.2} kgCO2e  {:>6.1}x  {}",
+                        p.cost_usd, p.carbon_kg, p.speedup, p.label
+                    );
+                }
+            }
+            "consolidation" => {
+                let soc = SocSpec::new(4).with_gpu(16);
+                let soc = hilp_dse::space::dsa_allocation(2, 16, 4.0)
+                    .into_iter()
+                    .fold(soc, hilp_soc::SocSpec::with_dsa);
+                println!("consolidation on {}:", soc.label());
+                for row in consolidation_sweep(&soc, &[1, 2, 3], &config)? {
+                    println!(
+                        "  {} copies: WLP {:.2}, relative throughput {:.2}, makespan {:.0} s",
+                        row.copies, row.avg_wlp, row.relative_throughput, row.makespan_seconds
+                    );
+                }
+            }
+            "ablation" => {
+                let soc = SocSpec::new(4).with_gpu(16);
+                let soc = hilp_dse::space::dsa_allocation(2, 16, 4.0)
+                    .into_iter()
+                    .fold(soc, hilp_soc::SocSpec::with_dsa);
+                println!("scheduler quality on {}:", soc.label());
+                for row in scheduler_quality_ablation(&soc, &config)? {
+                    println!(
+                        "  {:<38} makespan {:>7.1} s (gap {:.1}%)",
+                        row.scheduler,
+                        row.makespan_seconds,
+                        row.gap * 100.0
+                    );
+                }
+            }
+            "tables" => {
+                for row in table2_rows() {
+                    println!("{row}");
+                }
+                println!();
+                for row in table3_rows() {
+                    println!("{row}");
+                }
+            }
+            _ => {
+                return Err("unknown command".into());
+            }
+        }
+        Ok(())
+    })();
+
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            usage()
+        }
+    }
+}

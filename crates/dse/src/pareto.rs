@@ -1,0 +1,130 @@
+//! Pareto fronts over (cost, benefit) points.
+
+/// A point with a cost to minimize (die area) and a benefit to maximize
+/// (speedup).
+pub trait ParetoPoint {
+    /// The cost coordinate (smaller is better).
+    fn cost(&self) -> f64;
+    /// The benefit coordinate (larger is better).
+    fn benefit(&self) -> f64;
+}
+
+impl ParetoPoint for (f64, f64) {
+    fn cost(&self) -> f64 {
+        self.0
+    }
+    fn benefit(&self) -> f64 {
+        self.1
+    }
+}
+
+/// Indices of the Pareto-optimal points: those not dominated by any other
+/// point (another point with cost <= and benefit >= with at least one
+/// strict). Returned sorted by ascending cost.
+///
+/// Of several mutually equal points, the first (lowest index) is kept.
+///
+/// # Example
+///
+/// ```
+/// use hilp_dse::pareto_front;
+///
+/// let points = vec![(1.0, 1.0), (2.0, 3.0), (3.0, 2.0), (2.5, 3.0)];
+/// // (3.0, 2.0) is dominated by (2.0, 3.0); (2.5, 3.0) too.
+/// assert_eq!(pareto_front(&points), vec![0, 1]);
+/// ```
+#[must_use]
+pub fn pareto_front<P: ParetoPoint>(points: &[P]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    // Sort by cost ascending; ties by benefit descending, then by index so
+    // the first of equal points wins.
+    order.sort_by(|&a, &b| {
+        points[a]
+            .cost()
+            .partial_cmp(&points[b].cost())
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(
+                points[b]
+                    .benefit()
+                    .partial_cmp(&points[a].benefit())
+                    .unwrap_or(std::cmp::Ordering::Equal),
+            )
+            .then(a.cmp(&b))
+    });
+    let mut front = Vec::new();
+    let mut best_benefit = f64::NEG_INFINITY;
+    for &i in &order {
+        if points[i].benefit() > best_benefit {
+            front.push(i);
+            best_benefit = points[i].benefit();
+        }
+    }
+    front.sort_by(|&a, &b| {
+        points[a]
+            .cost()
+            .partial_cmp(&points[b].cost())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_is_its_own_front() {
+        assert_eq!(pareto_front(&[(5.0, 5.0)]), vec![0]);
+    }
+
+    #[test]
+    fn dominated_points_are_excluded() {
+        let pts = vec![(1.0, 10.0), (2.0, 5.0), (3.0, 20.0)];
+        // (2.0, 5.0) is dominated by (1.0, 10.0).
+        assert_eq!(pareto_front(&pts), vec![0, 2]);
+    }
+
+    #[test]
+    fn equal_cost_keeps_higher_benefit() {
+        let pts = vec![(1.0, 5.0), (1.0, 9.0)];
+        assert_eq!(pareto_front(&pts), vec![1]);
+    }
+
+    #[test]
+    fn identical_points_keep_first() {
+        let pts = vec![(1.0, 5.0), (1.0, 5.0)];
+        assert_eq!(pareto_front(&pts), vec![0]);
+    }
+
+    #[test]
+    fn front_is_sorted_by_cost_and_monotone_in_benefit() {
+        let pts: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = f64::from(i);
+                (x.sin().mul_add(3.0, x), (x * 1.3).cos().mul_add(5.0, x))
+            })
+            .collect();
+        let front = pareto_front(&pts);
+        for w in front.windows(2) {
+            assert!(pts[w[0]].0 <= pts[w[1]].0);
+            assert!(pts[w[0]].1 < pts[w[1]].1);
+        }
+        // Nothing on the front is dominated.
+        for &i in &front {
+            for (j, p) in pts.iter().enumerate() {
+                if j != i {
+                    let dominates = p.0 <= pts[i].0
+                        && p.1 >= pts[i].1
+                        && (p.0 < pts[i].0 || p.1 > pts[i].1);
+                    assert!(!dominates, "{j} dominates front member {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_yields_empty_front() {
+        let pts: Vec<(f64, f64)> = vec![];
+        assert!(pareto_front(&pts).is_empty());
+    }
+}

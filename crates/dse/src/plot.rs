@@ -1,0 +1,372 @@
+//! A dependency-free SVG scatter/line plotter for regenerating the paper's
+//! figures as images.
+//!
+//! Deliberately small: linear axes with automatic "nice" ticks, point and
+//! line series, a legend, and nothing else — enough to draw every figure
+//! of the evaluation (speedup-versus-area Pareto clouds, the Figure 5
+//! sweeps, the Figure 6 bars-as-lines).
+
+use std::fmt::Write as _;
+
+/// Marker style of a series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Marker {
+    /// Filled circles.
+    Circle,
+    /// Filled squares.
+    Square,
+    /// A polyline through the points (with small circles).
+    Line,
+}
+
+/// One plotted series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlotSeries {
+    /// Legend label.
+    pub label: String,
+    /// CSS color (e.g. `"#1b9e77"`).
+    pub color: String,
+    /// Marker style.
+    pub marker: Marker,
+    /// The data.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A scatter/line plot under construction.
+#[derive(Debug, Clone)]
+pub struct Plot {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<PlotSeries>,
+    width: f64,
+    height: f64,
+}
+
+/// A qualitative palette (ColorBrewer Dark2) cycled across series.
+pub const PALETTE: [&str; 6] = [
+    "#1b9e77", "#d95f02", "#7570b3", "#e7298a", "#66a61e", "#e6ab02",
+];
+
+impl Plot {
+    /// Creates an empty plot.
+    #[must_use]
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Plot {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            width: 640.0,
+            height: 420.0,
+        }
+    }
+
+    /// Adds a series with an automatic palette color.
+    pub fn add_series(
+        &mut self,
+        label: impl Into<String>,
+        marker: Marker,
+        points: Vec<(f64, f64)>,
+    ) -> &mut Self {
+        let color = PALETTE[self.series.len() % PALETTE.len()].to_string();
+        self.series.push(PlotSeries {
+            label: label.into(),
+            color,
+            marker,
+            points,
+        });
+        self
+    }
+
+    /// Number of series added so far.
+    #[must_use]
+    pub fn num_series(&self) -> usize {
+        self.series.len()
+    }
+
+    /// Renders the plot as an SVG document.
+    #[must_use]
+    pub fn render_svg(&self) -> String {
+        let margin_left = 64.0;
+        let margin_right = 150.0;
+        let margin_top = 36.0;
+        let margin_bottom = 52.0;
+        let plot_w = self.width - margin_left - margin_right;
+        let plot_h = self.height - margin_top - margin_bottom;
+
+        let (x_min, x_max) = range(self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)));
+        let (y_min, y_max) = range(self.series.iter().flat_map(|s| s.points.iter().map(|p| p.1)));
+        let x_ticks = nice_ticks(x_min, x_max);
+        let y_ticks = nice_ticks(y_min, y_max);
+        let (x_lo, x_hi) = tick_span(&x_ticks, x_min, x_max);
+        let (y_lo, y_hi) = tick_span(&y_ticks, y_min, y_max);
+
+        let x_of = |x: f64| margin_left + (x - x_lo) / (x_hi - x_lo).max(1e-12) * plot_w;
+        let y_of = |y: f64| margin_top + plot_h - (y - y_lo) / (y_hi - y_lo).max(1e-12) * plot_h;
+
+        let mut svg = String::new();
+        let _ = write!(
+            svg,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{w}" height="{h}" viewBox="0 0 {w} {h}" font-family="sans-serif" font-size="11">"#,
+            w = self.width,
+            h = self.height
+        );
+        let _ = write!(
+            svg,
+            r#"<rect width="{}" height="{}" fill="white"/>"#,
+            self.width, self.height
+        );
+        // Title and axis labels.
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="20" text-anchor="middle" font-size="14">{}</text>"#,
+            margin_left + plot_w / 2.0,
+            escape(&self.title)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="{}" y="{}" text-anchor="middle">{}</text>"#,
+            margin_left + plot_w / 2.0,
+            self.height - 12.0,
+            escape(&self.x_label)
+        );
+        let _ = write!(
+            svg,
+            r#"<text x="16" y="{}" text-anchor="middle" transform="rotate(-90 16 {y})">{}</text>"#,
+            margin_top + plot_h / 2.0,
+            escape(&self.y_label),
+            y = margin_top + plot_h / 2.0,
+        );
+
+        // Gridlines and ticks.
+        for &t in &x_ticks {
+            let x = x_of(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{x:.1}" y1="{}" x2="{x:.1}" y2="{}" stroke="#ddd"/>"##,
+                margin_top,
+                margin_top + plot_h
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{x:.1}" y="{}" text-anchor="middle">{}</text>"#,
+                margin_top + plot_h + 16.0,
+                fmt_tick(t)
+            );
+        }
+        for &t in &y_ticks {
+            let y = y_of(t);
+            let _ = write!(
+                svg,
+                r##"<line x1="{}" y1="{y:.1}" x2="{}" y2="{y:.1}" stroke="#ddd"/>"##,
+                margin_left,
+                margin_left + plot_w
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{}" y="{:.1}" text-anchor="end">{}</text>"#,
+                margin_left - 6.0,
+                y + 4.0,
+                fmt_tick(t)
+            );
+        }
+        // Axes frame.
+        let _ = write!(
+            svg,
+            r##"<rect x="{}" y="{}" width="{}" height="{}" fill="none" stroke="#333"/>"##,
+            margin_left, margin_top, plot_w, plot_h
+        );
+
+        // Series.
+        for s in &self.series {
+            if s.marker == Marker::Line && s.points.len() > 1 {
+                let path: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| format!("{:.1},{:.1}", x_of(x), y_of(y)))
+                    .collect();
+                let _ = write!(
+                    svg,
+                    r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="1.5"/>"#,
+                    path.join(" "),
+                    s.color
+                );
+            }
+            for &(x, y) in &s.points {
+                match s.marker {
+                    Marker::Square => {
+                        let _ = write!(
+                            svg,
+                            r#"<rect x="{:.1}" y="{:.1}" width="5" height="5" fill="{}"/>"#,
+                            x_of(x) - 2.5,
+                            y_of(y) - 2.5,
+                            s.color
+                        );
+                    }
+                    Marker::Circle | Marker::Line => {
+                        let _ = write!(
+                            svg,
+                            r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{}"/>"#,
+                            x_of(x),
+                            y_of(y),
+                            s.color
+                        );
+                    }
+                }
+            }
+        }
+
+        // Legend.
+        for (i, s) in self.series.iter().enumerate() {
+            let y = margin_top + 10.0 + i as f64 * 16.0;
+            let x = margin_left + plot_w + 10.0;
+            let _ = write!(
+                svg,
+                r#"<circle cx="{:.1}" cy="{:.1}" r="4" fill="{}"/>"#,
+                x,
+                y - 3.0,
+                s.color
+            );
+            let _ = write!(
+                svg,
+                r#"<text x="{:.1}" y="{:.1}">{}</text>"#,
+                x + 8.0,
+                y,
+                escape(&s.label)
+            );
+        }
+
+        svg.push_str("</svg>");
+        svg
+    }
+
+    /// Renders and writes the SVG to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures.
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.render_svg())
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn range(values: impl Iterator<Item = f64>) -> (f64, f64) {
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for v in values {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    if !lo.is_finite() || !hi.is_finite() {
+        (0.0, 1.0)
+    } else if (hi - lo).abs() < 1e-12 {
+        (lo - 0.5, hi + 0.5)
+    } else {
+        (lo, hi)
+    }
+}
+
+/// Round-number ticks covering `[lo, hi]` (about five of them).
+fn nice_ticks(lo: f64, hi: f64) -> Vec<f64> {
+    let span = (hi - lo).max(1e-12);
+    let raw_step = span / 4.0;
+    let magnitude = 10f64.powf(raw_step.log10().floor());
+    let step = [1.0, 2.0, 2.5, 5.0, 10.0]
+        .iter()
+        .map(|m| m * magnitude)
+        .find(|&s| s >= raw_step)
+        .unwrap_or(magnitude * 10.0);
+    let first = (lo / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    while t <= hi + step * 0.51 {
+        ticks.push(t);
+        t += step;
+    }
+    ticks
+}
+
+fn tick_span(ticks: &[f64], lo: f64, hi: f64) -> (f64, f64) {
+    match (ticks.first(), ticks.last()) {
+        (Some(&a), Some(&b)) if b > a => (a.min(lo), b.max(hi)),
+        _ => (lo, hi),
+    }
+}
+
+fn fmt_tick(t: f64) -> String {
+    if t.abs() >= 1000.0 || (t - t.round()).abs() < 1e-9 {
+        format!("{t:.0}")
+    } else {
+        format!("{t:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn svg_contains_every_series_and_labels() {
+        let mut plot = Plot::new("Pareto", "area (mm^2)", "speedup");
+        plot.add_series("HILP", Marker::Circle, vec![(10.0, 1.0), (20.0, 2.0)]);
+        plot.add_series("MA", Marker::Square, vec![(10.0, 0.5)]);
+        plot.add_series("trend", Marker::Line, vec![(10.0, 1.0), (30.0, 3.0)]);
+        let svg = plot.render_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert!(svg.contains("HILP"));
+        assert!(svg.contains("MA"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("Pareto"));
+        assert!(svg.contains("speedup"));
+        assert_eq!(plot.num_series(), 3);
+    }
+
+    #[test]
+    fn nice_ticks_are_round_and_cover_the_range() {
+        let ticks = nice_ticks(3.0, 97.0);
+        assert!(ticks.len() >= 4 && ticks.len() <= 8);
+        assert!(*ticks.first().unwrap() <= 3.0);
+        assert!(*ticks.last().unwrap() >= 97.0 - 25.0 * 0.51);
+        for w in ticks.windows(2) {
+            assert!((w[1] - w[0]) > 0.0);
+        }
+    }
+
+    #[test]
+    fn degenerate_ranges_do_not_panic() {
+        let mut plot = Plot::new("t", "x", "y");
+        plot.add_series("p", Marker::Circle, vec![(5.0, 5.0)]);
+        let svg = plot.render_svg();
+        assert!(svg.contains("circle"));
+        let empty = Plot::new("t", "x", "y").render_svg();
+        assert!(empty.contains("</svg>"));
+    }
+
+    #[test]
+    fn labels_are_escaped() {
+        let plot = Plot::new("a < b & c", "x", "y");
+        let svg = plot.render_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn save_writes_a_file() {
+        let mut plot = Plot::new("t", "x", "y");
+        plot.add_series("p", Marker::Circle, vec![(1.0, 2.0)]);
+        let path = std::env::temp_dir().join("hilp_plot_test.svg");
+        plot.save(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("<svg"));
+        let _ = std::fs::remove_file(path);
+    }
+}

@@ -1,0 +1,108 @@
+//! The paper's 372-SoC design space (Section VI).
+//!
+//! SoCs combine 1, 2, or 4 CPU cores; no GPU or a GPU with 4, 16, or 64
+//! SMs; and 0 to 10 DSAs with 1, 4, or 16 PEs each (all DSAs of an SoC
+//! share one PE count). DSAs are allocated to benchmarks in descending
+//! order of CPU compute time, "effectively prioritizing DSAs for
+//! longer-running compute phases": the 1-DSA SoC accelerates LUD, the
+//! 2-DSA SoC LUD and HS, and so on.
+//!
+//! Count: 3 CPU options x 4 GPU options x (1 + 10 x 3) DSA options = 372.
+
+use hilp_soc::{DsaSpec, SocSpec};
+use hilp_workloads::rodinia;
+
+/// CPU-core options of the design space.
+pub const CPU_OPTIONS: [u32; 3] = [1, 2, 4];
+
+/// GPU SM-count options (0 = no GPU).
+pub const GPU_OPTIONS: [u32; 4] = [0, 4, 16, 64];
+
+/// Per-DSA PE-count options.
+pub const PE_OPTIONS: [u32; 3] = [1, 4, 16];
+
+/// Maximum number of DSAs (one per benchmark in the Default workload).
+pub const MAX_DSAS: usize = 10;
+
+/// The DSAs of a `k`-DSA SoC with `pes` PEs each at the given efficiency
+/// advantage, allocated in the paper's priority order.
+#[must_use]
+pub fn dsa_allocation(k: usize, pes: u32, advantage: f64) -> Vec<DsaSpec> {
+    rodinia::dsa_priority_order()
+        .into_iter()
+        .take(k)
+        .map(|short| DsaSpec::new(pes, short).with_advantage(advantage))
+        .collect()
+}
+
+/// Enumerates the full 372-SoC design space at the given DSA efficiency
+/// advantage (the paper's default is 4x).
+#[must_use]
+pub fn design_space(advantage: f64) -> Vec<SocSpec> {
+    let mut socs = Vec::with_capacity(372);
+    for &cpus in &CPU_OPTIONS {
+        for &gpu in &GPU_OPTIONS {
+            // No DSAs: PE count is irrelevant, one configuration.
+            socs.push(SocSpec::new(cpus).with_gpu(gpu));
+            for k in 1..=MAX_DSAS {
+                for &pes in &PE_OPTIONS {
+                    let mut soc = SocSpec::new(cpus).with_gpu(gpu);
+                    for dsa in dsa_allocation(k, pes, advantage) {
+                        soc = soc.with_dsa(dsa);
+                    }
+                    socs.push(soc);
+                }
+            }
+        }
+    }
+    socs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn space_has_372_points() {
+        assert_eq!(design_space(4.0).len(), 372);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let socs = design_space(4.0);
+        let mut labels: Vec<String> = socs.iter().map(SocSpec::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 372);
+    }
+
+    #[test]
+    fn dsa_allocation_follows_priority_order() {
+        let dsas = dsa_allocation(3, 16, 4.0);
+        let names: Vec<&str> = dsas.iter().map(|d| d.accelerates.as_str()).collect();
+        assert_eq!(names, vec!["LUD", "HS", "LMD"]);
+        assert!(dsas.iter().all(|d| d.pes == 16 && d.advantage == 4.0));
+    }
+
+    #[test]
+    fn every_soc_has_at_least_one_cpu() {
+        assert!(design_space(4.0).iter().all(|s| s.cpu_cores >= 1));
+    }
+
+    #[test]
+    fn dsa_counts_span_zero_to_ten() {
+        let socs = design_space(4.0);
+        let max = socs.iter().map(|s| s.dsas.len()).max().unwrap();
+        let min = socs.iter().map(|s| s.dsas.len()).min().unwrap();
+        assert_eq!((min, max), (0, 10));
+    }
+
+    #[test]
+    fn advantage_propagates_to_every_dsa() {
+        let socs = design_space(8.0);
+        assert!(socs
+            .iter()
+            .flat_map(|s| s.dsas.iter())
+            .all(|d| d.advantage == 8.0));
+    }
+}

@@ -1,0 +1,97 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a linear program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LpError {
+    /// A constraint or objective referenced a variable that does not belong
+    /// to this program.
+    UnknownVariable {
+        /// Index of the offending variable.
+        index: usize,
+        /// Number of variables currently in the program.
+        num_variables: usize,
+    },
+    /// A coefficient, bound, or right-hand side was NaN or infinite.
+    NonFiniteValue {
+        /// Human-readable location of the offending value.
+        context: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+    /// A variable lower bound exceeded its upper bound.
+    InvalidBounds {
+        /// Index of the offending variable.
+        index: usize,
+        /// The lower bound.
+        lower: f64,
+        /// The upper bound.
+        upper: f64,
+    },
+    /// The simplex iteration limit was exhausted before convergence.
+    IterationLimit {
+        /// The limit that was hit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::UnknownVariable {
+                index,
+                num_variables,
+            } => write!(
+                f,
+                "variable index {index} out of range for program with {num_variables} variables"
+            ),
+            LpError::NonFiniteValue { context, value } => {
+                write!(f, "non-finite value {value} in {context}")
+            }
+            LpError::InvalidBounds {
+                index,
+                lower,
+                upper,
+            } => write!(
+                f,
+                "variable {index} has lower bound {lower} greater than upper bound {upper}"
+            ),
+            LpError::IterationLimit { limit } => {
+                write!(f, "simplex iteration limit of {limit} exhausted")
+            }
+        }
+    }
+}
+
+impl Error for LpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = LpError::UnknownVariable {
+            index: 7,
+            num_variables: 3,
+        };
+        assert!(err.to_string().contains('7'));
+        assert!(err.to_string().contains('3'));
+
+        let err = LpError::NonFiniteValue {
+            context: "objective",
+            value: f64::NAN,
+        };
+        assert!(err.to_string().contains("objective"));
+
+        let err = LpError::InvalidBounds {
+            index: 0,
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(err.to_string().contains("lower bound"));
+
+        let err = LpError::IterationLimit { limit: 10 };
+        assert!(err.to_string().contains("10"));
+    }
+}

@@ -1,0 +1,48 @@
+//! A dense, two-phase primal simplex solver for linear programs.
+//!
+//! This crate is one of the solver substrates of the HILP reproduction. The
+//! paper solves its job-shop scheduling formulation with an off-the-shelf ILP
+//! solver (OR-Tools via MiniZinc); since no solver crate is available in this
+//! environment, we implement the stack from scratch. `hilp-lp` provides the
+//! linear-programming relaxation engine used by `hilp-milp`'s
+//! branch-and-bound search.
+//!
+//! The solver targets the small, dense models produced by the disjunctive
+//! job-shop encodings used for cross-validation (tens of variables, tens of
+//! constraints). It deliberately favours clarity and numerical robustness
+//! (Bland's anti-cycling rule, explicit tolerance handling) over large-scale
+//! performance.
+//!
+//! # Example
+//!
+//! Maximize `3x + 2y` subject to `x + y <= 4`, `x + 3y <= 6`, `x, y >= 0`:
+//!
+//! ```
+//! use hilp_lp::{LinearProgram, Objective, Relation, Status};
+//!
+//! # fn main() -> Result<(), hilp_lp::LpError> {
+//! let mut lp = LinearProgram::new(Objective::Maximize);
+//! let x = lp.add_variable(3.0);
+//! let y = lp.add_variable(2.0);
+//! lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0)?;
+//! lp.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 6.0)?;
+//! let solution = lp.solve()?;
+//! assert_eq!(solution.status(), Status::Optimal);
+//! assert!((solution.objective_value() - 12.0).abs() < 1e-9);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod error;
+mod problem;
+mod simplex;
+mod solution;
+
+pub use error::LpError;
+pub use problem::{LinearProgram, Objective, Relation, RowSnapshot, VariableId};
+pub use solution::{Solution, Status};
+
+/// Absolute tolerance used for feasibility and optimality tests.
+pub const TOLERANCE: f64 = 1e-9;

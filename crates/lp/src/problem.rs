@@ -1,0 +1,367 @@
+use crate::error::LpError;
+use crate::simplex;
+use crate::solution::Solution;
+
+/// Optimization direction of a [`LinearProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Minimize the objective function.
+    Minimize,
+    /// Maximize the objective function.
+    Maximize,
+}
+
+/// Relational operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relation {
+    /// Left-hand side must be less than or equal to the right-hand side.
+    Le,
+    /// Left-hand side must be greater than or equal to the right-hand side.
+    Ge,
+    /// Left-hand side must equal the right-hand side.
+    Eq,
+}
+
+/// Opaque handle to a decision variable of a [`LinearProgram`].
+///
+/// Handles are only meaningful for the program that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VariableId(pub(crate) usize);
+
+impl VariableId {
+    /// Returns the dense column index of this variable.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+
+    /// Creates a handle from a dense column index.
+    ///
+    /// The index must have been obtained from [`VariableId::index`] on a
+    /// handle of the same program; using a foreign index yields builder
+    /// errors or panics when the handle is used.
+    #[must_use]
+    pub fn from_index(index: usize) -> VariableId {
+        VariableId(index)
+    }
+}
+
+/// A constraint snapshot: sparse `(column, coefficient)` terms, the
+/// relation, and the right-hand side.
+pub type RowSnapshot = (Vec<(usize, f64)>, Relation, f64);
+
+#[derive(Debug, Clone)]
+pub(crate) struct Row {
+    pub coeffs: Vec<(usize, f64)>,
+    pub relation: Relation,
+    pub rhs: f64,
+}
+
+/// A linear program over continuous variables with finite lower bounds.
+///
+/// Variables default to the bounds `[0, +inf)`. Lower bounds must be finite;
+/// upper bounds may be `+inf`. Constraints are stored sparsely and densified
+/// by the simplex kernel.
+///
+/// # Example
+///
+/// ```
+/// use hilp_lp::{LinearProgram, Objective, Relation};
+///
+/// # fn main() -> Result<(), hilp_lp::LpError> {
+/// let mut lp = LinearProgram::new(Objective::Minimize);
+/// let x = lp.add_variable(1.0);
+/// lp.set_bounds(x, 2.0, 10.0)?;
+/// let solution = lp.solve()?;
+/// assert!((solution.value(x) - 2.0).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct LinearProgram {
+    objective: Objective,
+    costs: Vec<f64>,
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    rows: Vec<Row>,
+    iteration_limit: usize,
+}
+
+impl LinearProgram {
+    /// Creates an empty program with the given optimization direction.
+    #[must_use]
+    pub fn new(objective: Objective) -> Self {
+        LinearProgram {
+            objective,
+            costs: Vec::new(),
+            lower: Vec::new(),
+            upper: Vec::new(),
+            rows: Vec::new(),
+            iteration_limit: 50_000,
+        }
+    }
+
+    /// Returns the optimization direction.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Number of decision variables.
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.costs.len()
+    }
+
+    /// Number of constraints.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Adds a variable with the given objective coefficient and the default
+    /// bounds `[0, +inf)`, returning its handle.
+    pub fn add_variable(&mut self, cost: f64) -> VariableId {
+        self.costs.push(cost);
+        self.lower.push(0.0);
+        self.upper.push(f64::INFINITY);
+        VariableId(self.costs.len() - 1)
+    }
+
+    /// Overrides the bounds of a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::InvalidBounds`] if `lower > upper`,
+    /// [`LpError::NonFiniteValue`] if `lower` is not finite or `upper` is NaN
+    /// or `-inf`, and [`LpError::UnknownVariable`] for foreign handles.
+    pub fn set_bounds(&mut self, var: VariableId, lower: f64, upper: f64) -> Result<(), LpError> {
+        self.check_var(var)?;
+        if !lower.is_finite() {
+            return Err(LpError::NonFiniteValue {
+                context: "variable lower bound",
+                value: lower,
+            });
+        }
+        if upper.is_nan() || upper == f64::NEG_INFINITY {
+            return Err(LpError::NonFiniteValue {
+                context: "variable upper bound",
+                value: upper,
+            });
+        }
+        if lower > upper {
+            return Err(LpError::InvalidBounds {
+                index: var.0,
+                lower,
+                upper,
+            });
+        }
+        self.lower[var.0] = lower;
+        self.upper[var.0] = upper;
+        Ok(())
+    }
+
+    /// Returns the `(lower, upper)` bounds of a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for foreign handles.
+    pub fn bounds(&self, var: VariableId) -> Result<(f64, f64), LpError> {
+        self.check_var(var)?;
+        Ok((self.lower[var.0], self.upper[var.0]))
+    }
+
+    /// Changes the objective coefficient of a variable.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] for foreign handles and
+    /// [`LpError::NonFiniteValue`] for non-finite costs.
+    pub fn set_cost(&mut self, var: VariableId, cost: f64) -> Result<(), LpError> {
+        self.check_var(var)?;
+        if !cost.is_finite() {
+            return Err(LpError::NonFiniteValue {
+                context: "objective coefficient",
+                value: cost,
+            });
+        }
+        self.costs[var.0] = cost;
+        Ok(())
+    }
+
+    /// Adds the constraint `sum(coeff * var) relation rhs`.
+    ///
+    /// Repeated variables in `terms` are summed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::UnknownVariable`] if a term references a foreign
+    /// variable and [`LpError::NonFiniteValue`] for non-finite coefficients
+    /// or right-hand sides.
+    pub fn add_constraint<I>(
+        &mut self,
+        terms: I,
+        relation: Relation,
+        rhs: f64,
+    ) -> Result<(), LpError>
+    where
+        I: IntoIterator<Item = (VariableId, f64)>,
+    {
+        if !rhs.is_finite() {
+            return Err(LpError::NonFiniteValue {
+                context: "constraint right-hand side",
+                value: rhs,
+            });
+        }
+        let mut dense: Vec<f64> = vec![0.0; self.num_variables()];
+        for (var, coeff) in terms {
+            self.check_var(var)?;
+            if !coeff.is_finite() {
+                return Err(LpError::NonFiniteValue {
+                    context: "constraint coefficient",
+                    value: coeff,
+                });
+            }
+            dense[var.0] += coeff;
+        }
+        let coeffs = dense
+            .into_iter()
+            .enumerate()
+            .filter(|(_, c)| *c != 0.0)
+            .collect();
+        self.rows.push(Row {
+            coeffs,
+            relation,
+            rhs,
+        });
+        Ok(())
+    }
+
+    /// Caps the number of simplex pivots (per phase). Defaults to 50,000.
+    pub fn set_iteration_limit(&mut self, limit: usize) {
+        self.iteration_limit = limit;
+    }
+
+    /// Solves the program with the two-phase primal simplex method.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted.
+    /// Infeasibility and unboundedness are reported through the returned
+    /// [`Solution`]'s status, not as errors.
+    pub fn solve(&self) -> Result<Solution, LpError> {
+        simplex::solve(self)
+    }
+
+    pub(crate) fn costs(&self) -> &[f64] {
+        &self.costs
+    }
+
+    pub(crate) fn lower_bounds(&self) -> &[f64] {
+        &self.lower
+    }
+
+    pub(crate) fn upper_bounds(&self) -> &[f64] {
+        &self.upper
+    }
+
+    pub(crate) fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// A snapshot of all constraints as `(terms, relation, rhs)` triples,
+    /// for presolve-style passes that inspect rows while mutating bounds.
+    #[must_use]
+    pub fn rows_snapshot(&self) -> Vec<RowSnapshot> {
+        self.rows
+            .iter()
+            .map(|r| (r.coeffs.clone(), r.relation, r.rhs))
+            .collect()
+    }
+
+    pub(crate) fn iteration_limit(&self) -> usize {
+        self.iteration_limit
+    }
+
+    fn check_var(&self, var: VariableId) -> Result<(), LpError> {
+        if var.0 >= self.num_variables() {
+            Err(LpError::UnknownVariable {
+                index: var.0,
+                num_variables: self.num_variables(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn variables_are_sequentially_indexed() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let a = lp.add_variable(1.0);
+        let b = lp.add_variable(2.0);
+        assert_eq!(a.index(), 0);
+        assert_eq!(b.index(), 1);
+        assert_eq!(lp.num_variables(), 2);
+    }
+
+    #[test]
+    fn default_bounds_are_nonnegative() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(0.0);
+        assert_eq!(lp.bounds(x).unwrap(), (0.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn rejects_inverted_bounds() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(0.0);
+        let err = lp.set_bounds(x, 5.0, 1.0).unwrap_err();
+        assert!(matches!(err, LpError::InvalidBounds { .. }));
+    }
+
+    #[test]
+    fn rejects_infinite_lower_bound() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(0.0);
+        let err = lp.set_bounds(x, f64::NEG_INFINITY, 1.0).unwrap_err();
+        assert!(matches!(err, LpError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn rejects_foreign_variable_in_constraint() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let _ = lp.add_variable(0.0);
+        let mut other = LinearProgram::new(Objective::Minimize);
+        let _a = other.add_variable(0.0);
+        let foreign = VariableId(5);
+        let err = lp
+            .add_constraint(vec![(foreign, 1.0)], Relation::Le, 1.0)
+            .unwrap_err();
+        assert!(matches!(err, LpError::UnknownVariable { .. }));
+    }
+
+    #[test]
+    fn rejects_nan_rhs() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(0.0);
+        let err = lp
+            .add_constraint(vec![(x, 1.0)], Relation::Le, f64::NAN)
+            .unwrap_err();
+        assert!(matches!(err, LpError::NonFiniteValue { .. }));
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0), (x, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,557 @@
+//! Dense two-phase primal simplex kernel.
+//!
+//! The kernel operates on a full tableau. Variables are shifted by their
+//! lower bound so every structural variable is nonnegative; finite upper
+//! bounds become explicit rows. Phase 1 minimizes the sum of artificial
+//! variables; phase 2 optimizes the user objective. Dantzig's rule is used
+//! until a pivot-count threshold, after which Bland's rule guarantees
+//! termination.
+
+use crate::error::LpError;
+use crate::problem::{LinearProgram, Objective, Relation};
+use crate::solution::{Solution, Status};
+use crate::TOLERANCE;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColumnKind {
+    Structural,
+    Slack,
+    Artificial,
+}
+
+struct Tableau {
+    /// Row-major matrix of `rows x (cols + 1)`; the final column is the RHS.
+    data: Vec<f64>,
+    rows: usize,
+    cols: usize,
+    basis: Vec<usize>,
+    kind: Vec<ColumnKind>,
+}
+
+impl Tableau {
+    fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * (self.cols + 1) + c]
+    }
+
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f64 {
+        &mut self.data[r * (self.cols + 1) + c]
+    }
+
+    fn rhs(&self, r: usize) -> f64 {
+        self.at(r, self.cols)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize) {
+        let width = self.cols + 1;
+        let pivot_value = self.at(row, col);
+        debug_assert!(pivot_value.abs() > TOLERANCE);
+        let inv = 1.0 / pivot_value;
+        for c in 0..width {
+            self.data[row * width + c] *= inv;
+        }
+        // Re-normalize the pivot element exactly.
+        self.data[row * width + col] = 1.0;
+        for r in 0..self.rows {
+            if r == row {
+                continue;
+            }
+            let factor = self.at(r, col);
+            if factor.abs() <= TOLERANCE {
+                self.data[r * width + col] = 0.0;
+                continue;
+            }
+            for c in 0..width {
+                let delta = factor * self.data[row * width + c];
+                self.data[r * width + c] -= delta;
+            }
+            self.data[r * width + col] = 0.0;
+        }
+        self.basis[row] = col;
+    }
+}
+
+/// Outcome of one phase of simplex iterations on an objective vector.
+enum PhaseOutcome {
+    Optimal,
+    Unbounded,
+}
+
+/// Runs simplex iterations minimizing `objective` (a dense cost vector over
+/// tableau columns) with the current basis. `blocked` columns never enter.
+#[allow(clippy::needless_range_loop)] // index drives several structures
+fn run_phase(
+    tableau: &mut Tableau,
+    objective: &[f64],
+    blocked: &[bool],
+    iteration_limit: usize,
+) -> Result<PhaseOutcome, LpError> {
+    // Reduced-cost row: z_j = c_j - c_B^T * column_j.
+    let m = tableau.rows;
+    let mut reduced: Vec<f64> = objective.to_vec();
+    let mut obj_rhs = 0.0;
+    for r in 0..m {
+        let cb = objective[tableau.basis[r]];
+        if cb != 0.0 {
+            for c in 0..tableau.cols {
+                reduced[c] -= cb * tableau.at(r, c);
+            }
+            obj_rhs -= cb * tableau.rhs(r);
+        }
+    }
+    let _ = obj_rhs;
+
+    let bland_threshold = iteration_limit / 2;
+    for iteration in 0..iteration_limit {
+        // Entering column.
+        let use_bland = iteration >= bland_threshold;
+        let mut entering: Option<usize> = None;
+        let mut best = -TOLERANCE;
+        for c in 0..tableau.cols {
+            if blocked[c] {
+                continue;
+            }
+            let rc = reduced[c];
+            if rc < best {
+                entering = Some(c);
+                if use_bland {
+                    break;
+                }
+                best = rc;
+            }
+        }
+        let Some(col) = entering else {
+            return Ok(PhaseOutcome::Optimal);
+        };
+
+        // Leaving row: minimum ratio test, ties broken by smallest basis
+        // index (lexicographic tie-break supports Bland's rule).
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for r in 0..m {
+            let a = tableau.at(r, col);
+            if a > TOLERANCE {
+                let ratio = tableau.rhs(r) / a;
+                let better = ratio < best_ratio - TOLERANCE
+                    || (ratio < best_ratio + TOLERANCE
+                        && leaving.is_some_and(|lr| tableau.basis[r] < tableau.basis[lr]));
+                if better {
+                    best_ratio = ratio;
+                    leaving = Some(r);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return Ok(PhaseOutcome::Unbounded);
+        };
+
+        tableau.pivot(row, col);
+        // Update reduced costs by the same elimination.
+        let factor = reduced[col];
+        if factor.abs() > TOLERANCE {
+            for c in 0..tableau.cols {
+                reduced[c] -= factor * tableau.at(row, c);
+            }
+        }
+        reduced[col] = 0.0;
+    }
+    Err(LpError::IterationLimit {
+        limit: iteration_limit,
+    })
+}
+
+pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
+    let n = lp.num_variables();
+    let lower = lp.lower_bounds();
+    let upper = lp.upper_bounds();
+
+    // Shifted rows: structural variable j is represented as y_j = x_j - l_j.
+    // Each row becomes sum(a_ij * y_j) rel (rhs - sum(a_ij * l_j)); finite
+    // upper bounds add rows y_j <= u_j - l_j.
+    struct NormRow {
+        coeffs: Vec<(usize, f64)>,
+        relation: Relation,
+        rhs: f64,
+    }
+    let mut norm_rows: Vec<NormRow> = Vec::with_capacity(lp.num_constraints());
+    for row in lp.rows() {
+        let mut rhs = row.rhs;
+        for &(j, a) in &row.coeffs {
+            rhs -= a * lower[j];
+        }
+        norm_rows.push(NormRow {
+            coeffs: row.coeffs.clone(),
+            relation: row.relation,
+            rhs,
+        });
+    }
+    for j in 0..n {
+        if upper[j].is_finite() {
+            let span = upper[j] - lower[j];
+            norm_rows.push(NormRow {
+                coeffs: vec![(j, 1.0)],
+                relation: Relation::Le,
+                rhs: span,
+            });
+        }
+    }
+
+    // Normalize RHS signs, then allocate slack / artificial columns.
+    for row in &mut norm_rows {
+        if row.rhs < 0.0 {
+            row.rhs = -row.rhs;
+            for coeff in &mut row.coeffs {
+                coeff.1 = -coeff.1;
+            }
+            row.relation = match row.relation {
+                Relation::Le => Relation::Ge,
+                Relation::Ge => Relation::Le,
+                Relation::Eq => Relation::Eq,
+            };
+        }
+    }
+
+    let m = norm_rows.len();
+    let mut kind = vec![ColumnKind::Structural; n];
+    let mut columns_for_row: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(m);
+    for row in &norm_rows {
+        let (slack, artificial) = match row.relation {
+            Relation::Le => {
+                kind.push(ColumnKind::Slack);
+                (Some(kind.len() - 1), None)
+            }
+            Relation::Ge => {
+                kind.push(ColumnKind::Slack);
+                let surplus = kind.len() - 1;
+                kind.push(ColumnKind::Artificial);
+                (Some(surplus), Some(kind.len() - 1))
+            }
+            Relation::Eq => {
+                kind.push(ColumnKind::Artificial);
+                (None, Some(kind.len() - 1))
+            }
+        };
+        columns_for_row.push((slack, artificial));
+    }
+    let total_cols = kind.len();
+
+    let mut tableau = Tableau {
+        data: vec![0.0; m * (total_cols + 1)],
+        rows: m,
+        cols: total_cols,
+        basis: vec![0; m],
+        kind: kind.clone(),
+    };
+    for (r, row) in norm_rows.iter().enumerate() {
+        for &(j, a) in &row.coeffs {
+            *tableau.at_mut(r, j) += a;
+        }
+        *tableau.at_mut(r, total_cols) = row.rhs;
+        let (slack, artificial) = columns_for_row[r];
+        match row.relation {
+            Relation::Le => {
+                let s = slack.expect("Le rows have slacks");
+                *tableau.at_mut(r, s) = 1.0;
+                tableau.basis[r] = s;
+            }
+            Relation::Ge => {
+                let s = slack.expect("Ge rows have surpluses");
+                let a = artificial.expect("Ge rows have artificials");
+                *tableau.at_mut(r, s) = -1.0;
+                *tableau.at_mut(r, a) = 1.0;
+                tableau.basis[r] = a;
+            }
+            Relation::Eq => {
+                let a = artificial.expect("Eq rows have artificials");
+                *tableau.at_mut(r, a) = 1.0;
+                tableau.basis[r] = a;
+            }
+        }
+    }
+
+    let has_artificials = kind.contains(&ColumnKind::Artificial);
+    let no_block = vec![false; total_cols];
+    if has_artificials {
+        let phase1_costs: Vec<f64> = kind
+            .iter()
+            .map(|k| if *k == ColumnKind::Artificial { 1.0 } else { 0.0 })
+            .collect();
+        match run_phase(
+            &mut tableau,
+            &phase1_costs,
+            &no_block,
+            lp.iteration_limit(),
+        )? {
+            PhaseOutcome::Optimal => {}
+            PhaseOutcome::Unbounded => unreachable!("phase-1 objective is bounded below by zero"),
+        }
+        let infeasibility: f64 = (0..m)
+            .filter(|&r| tableau.kind[tableau.basis[r]] == ColumnKind::Artificial)
+            .map(|r| tableau.rhs(r))
+            .sum();
+        if infeasibility > 1e-7 {
+            return Ok(Solution::new(Status::Infeasible, vec![0.0; n], 0.0));
+        }
+        // Drive remaining zero-valued artificials out of the basis where
+        // possible; redundant rows keep them basic at zero.
+        for r in 0..m {
+            if tableau.kind[tableau.basis[r]] == ColumnKind::Artificial {
+                let col = (0..total_cols).find(|&c| {
+                    tableau.kind[c] != ColumnKind::Artificial && tableau.at(r, c).abs() > 1e-7
+                });
+                if let Some(c) = col {
+                    tableau.pivot(r, c);
+                }
+            }
+        }
+    }
+
+    // Phase 2: minimize the user objective (negated for maximization).
+    let sign = match lp.objective() {
+        Objective::Minimize => 1.0,
+        Objective::Maximize => -1.0,
+    };
+    let mut phase2_costs = vec![0.0; total_cols];
+    for (j, &c) in lp.costs().iter().enumerate() {
+        phase2_costs[j] = sign * c;
+    }
+    let blocked: Vec<bool> = kind
+        .iter()
+        .map(|k| *k == ColumnKind::Artificial)
+        .collect();
+    match run_phase(&mut tableau, &phase2_costs, &blocked, lp.iteration_limit())? {
+        PhaseOutcome::Optimal => {}
+        PhaseOutcome::Unbounded => {
+            return Ok(Solution::new(Status::Unbounded, vec![0.0; n], 0.0));
+        }
+    }
+
+    let mut x = lower.to_vec();
+    for r in 0..m {
+        let b = tableau.basis[r];
+        if b < n {
+            x[b] = lower[b] + tableau.rhs(r).max(0.0);
+        }
+    }
+    let objective_value: f64 = lp.costs().iter().zip(&x).map(|(c, v)| c * v).sum();
+    Ok(Solution::new(Status::Optimal, x, objective_value))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{LinearProgram, Objective, Relation, Status};
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn maximization_with_two_constraints() {
+        // max 3x + 2y s.t. x + y <= 4, x + 3y <= 6.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable(3.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 6.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.objective_value(), 12.0);
+        assert_close(sol.value(x), 4.0);
+        assert_close(sol.value(y), 0.0);
+    }
+
+    #[test]
+    fn minimization_with_ge_constraints_uses_phase_one() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(2.0);
+        let y = lp.add_variable(3.0);
+        lp.set_bounds(x, 2.0, f64::INFINITY).unwrap();
+        lp.set_bounds(y, 3.0, f64::INFINITY).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        // Push as much mass as possible onto the cheaper variable.
+        assert_close(sol.value(x), 7.0);
+        assert_close(sol.value(y), 3.0);
+        assert_close(sol.objective_value(), 23.0);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, 3x + 2y = 8  => x = 2, y = 1.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 2.0)], Relation::Eq, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 3.0), (y, 2.0)], Relation::Eq, 8.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.value(x), 2.0);
+        assert_close(sol.value(y), 1.0);
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn detects_unboundedness() {
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(0.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 1.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Unbounded);
+    }
+
+    #[test]
+    fn upper_bounds_are_respected() {
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable(1.0);
+        lp.set_bounds(x, 0.0, 7.5).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.value(x), 7.5);
+    }
+
+    #[test]
+    fn shifted_lower_bounds_are_respected() {
+        // min x + y with x in [2, 5], y in [-3, 10], x + y >= 1.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(1.0);
+        lp.set_bounds(x, 2.0, 5.0).unwrap();
+        lp.set_bounds(y, -3.0, 10.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.objective_value(), 1.0);
+        assert!(sol.value(x) >= 2.0 - 1e-9);
+        assert!(sol.value(y) >= -3.0 - 1e-9);
+    }
+
+    #[test]
+    fn negative_rhs_rows_are_normalized() {
+        // x - y <= -2 with min x means y must carry the slack: y >= x + 2.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(0.0);
+        let y = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, -2.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.value(y), 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // A classic degenerate LP; Bland's fallback must terminate.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x1 = lp.add_variable(10.0);
+        let x2 = lp.add_variable(-57.0);
+        let x3 = lp.add_variable(-9.0);
+        let x4 = lp.add_variable(-24.0);
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -5.5), (x3, -2.5), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -1.5), (x3, -0.5), (x4, 1.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint(vec![(x1, 1.0)], Relation::Le, 1.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.objective_value(), 1.0);
+    }
+
+    #[test]
+    fn redundant_equality_rows_are_handled() {
+        // Duplicate equality rows leave an artificial basic at zero.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Eq, 3.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Eq, 6.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.objective_value(), 3.0);
+    }
+
+    #[test]
+    fn empty_objective_with_feasible_region_is_optimal() {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(0.0);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.objective_value(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use crate::{LinearProgram, LpError, Objective, Relation};
+
+    #[test]
+    fn iteration_limit_is_reported_as_an_error() {
+        // A non-trivial LP with the pivot budget set to zero must fail
+        // loudly instead of returning a wrong answer.
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(2.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 2.0), (y, 1.0)], Relation::Ge, 1.0)
+            .unwrap();
+        lp.set_iteration_limit(0);
+        assert!(matches!(
+            lp.solve(),
+            Err(LpError::IterationLimit { limit: 0 })
+        ));
+    }
+
+    #[test]
+    fn set_cost_changes_the_optimum() {
+        let mut lp = LinearProgram::new(Objective::Maximize);
+        let x = lp.add_variable(1.0);
+        let y = lp.add_variable(1.0);
+        lp.set_bounds(x, 0.0, 3.0).unwrap();
+        lp.set_bounds(y, 0.0, 3.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 3.0)
+            .unwrap();
+        lp.set_cost(y, 5.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(y) - 3.0).abs() < 1e-9, "y now dominates");
+        assert!((sol.objective_value() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equalities_with_negative_rhs_are_normalized() {
+        // -x = -2 must behave like x = 2.
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(1.0);
+        lp.add_constraint(vec![(x, -1.0)], Relation::Eq, -2.0).unwrap();
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-9);
+    }
+}

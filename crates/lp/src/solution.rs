@@ -1,0 +1,88 @@
+use crate::problem::VariableId;
+
+/// Termination status of a linear-programming solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// An optimal basic feasible solution was found.
+    Optimal,
+    /// The constraint set admits no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+}
+
+/// Result of solving a [`crate::LinearProgram`].
+///
+/// Variable values and the objective value are only meaningful when
+/// [`Solution::status`] is [`Status::Optimal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    status: Status,
+    values: Vec<f64>,
+    objective_value: f64,
+}
+
+impl Solution {
+    pub(crate) fn new(status: Status, values: Vec<f64>, objective_value: f64) -> Self {
+        Solution {
+            status,
+            values,
+            objective_value,
+        }
+    }
+
+    /// Termination status of the solve.
+    #[must_use]
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Returns `true` when an optimal solution was found.
+    #[must_use]
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+
+    /// Value of a variable in the optimal solution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved program.
+    #[must_use]
+    pub fn value(&self, var: VariableId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// All variable values, indexed by [`VariableId::index`].
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Objective value of the optimal solution.
+    #[must_use]
+    pub fn objective_value(&self) -> f64 {
+        self.objective_value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_round_trip() {
+        let sol = Solution::new(Status::Optimal, vec![1.0, 2.0], 5.0);
+        assert!(sol.is_optimal());
+        assert_eq!(sol.values(), &[1.0, 2.0]);
+        assert_eq!(sol.objective_value(), 5.0);
+        assert_eq!(sol.value(VariableId(1)), 2.0);
+    }
+
+    #[test]
+    fn non_optimal_statuses_are_reported() {
+        let sol = Solution::new(Status::Infeasible, vec![], 0.0);
+        assert!(!sol.is_optimal());
+        assert_eq!(sol.status(), Status::Infeasible);
+    }
+}

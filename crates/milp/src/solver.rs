@@ -1,0 +1,399 @@
+//! Depth-first LP-relaxation branch and bound.
+
+use std::time::Instant;
+
+use hilp_lp::{LinearProgram, Objective, Status, VariableId};
+
+use crate::{MilpError, MilpSolution, MilpStatus, SolveLimits, INTEGRALITY_TOLERANCE};
+
+/// A branch-and-bound node: bound overrides relative to the root program
+/// plus the parent's relaxation value (a valid bound for the subtree).
+#[derive(Debug, Clone)]
+struct Node {
+    overrides: Vec<(usize, f64, f64)>,
+    parent_bound: f64,
+}
+
+/// Converts an objective value to "minimization sense" so comparisons are
+/// uniform: smaller is always better.
+fn to_min(sense: Objective, value: f64) -> f64 {
+    match sense {
+        Objective::Minimize => value,
+        Objective::Maximize => -value,
+    }
+}
+
+fn from_min(sense: Objective, value: f64) -> f64 {
+    match sense {
+        Objective::Minimize => value,
+        Objective::Maximize => -value,
+    }
+}
+
+fn most_fractional(values: &[f64], integer: &[bool]) -> Option<(usize, f64)> {
+    let mut best: Option<(usize, f64)> = None;
+    let mut best_dist = INTEGRALITY_TOLERANCE;
+    for (j, (&v, &is_int)) in values.iter().zip(integer).enumerate() {
+        if !is_int {
+            continue;
+        }
+        let frac = v - v.floor();
+        let dist = frac.min(1.0 - frac);
+        if dist > best_dist {
+            best_dist = dist;
+            best = Some((j, v));
+        }
+    }
+    best
+}
+
+pub(crate) fn branch_and_bound(
+    root: &LinearProgram,
+    integer: &[bool],
+    limits: &SolveLimits,
+) -> Result<MilpSolution, MilpError> {
+    let sense = root.objective();
+    let start = Instant::now();
+
+    let mut incumbent: Option<(Vec<f64>, f64)> = None; // values, min-sense objective
+    let mut nodes_explored = 0usize;
+    // Minimum (min-sense) relaxation bound over pruned-by-limit subtrees.
+    // While every subtree is either fully explored or recorded here, the
+    // global proven bound is min(incumbent, open subtree bounds).
+    let mut abandoned_bound = f64::INFINITY;
+
+    let mut stack: Vec<Node> = vec![Node {
+        overrides: Vec::new(),
+        parent_bound: f64::NEG_INFINITY,
+    }];
+
+    let mut limit_hit = false;
+    while let Some(node) = stack.pop() {
+        let over_limit = nodes_explored >= limits.max_nodes
+            || limits
+                .time_limit
+                .is_some_and(|t| start.elapsed() >= t);
+        let gap_reached = match &incumbent {
+            Some((_, inc)) => {
+                let bound = node.parent_bound.min(abandoned_bound);
+                let denom = inc.abs().max(1e-9);
+                bound > f64::NEG_INFINITY && (inc - bound) / denom <= limits.gap_target
+            }
+            None => false,
+        };
+        if over_limit || gap_reached {
+            if over_limit {
+                limit_hit = true;
+            }
+            abandoned_bound = abandoned_bound.min(node.parent_bound);
+            if over_limit {
+                // Drain the rest of the stack into the abandoned bound.
+                for rest in stack.drain(..) {
+                    abandoned_bound = abandoned_bound.min(rest.parent_bound);
+                }
+                break;
+            }
+            continue;
+        }
+
+        // Prune by bound before paying for an LP solve.
+        if let Some((_, inc)) = &incumbent {
+            if node.parent_bound >= *inc - 1e-9 {
+                continue;
+            }
+        }
+
+        nodes_explored += 1;
+        let mut lp = root.clone();
+        let mut infeasible_overrides = false;
+        for &(j, lo, hi) in &node.overrides {
+            if lo > hi {
+                infeasible_overrides = true;
+                break;
+            }
+            lp.set_bounds(VariableId::from_index(j), lo, hi)?;
+        }
+        if infeasible_overrides {
+            continue;
+        }
+        let relax = lp.solve()?;
+        match relax.status() {
+            Status::Infeasible => continue,
+            Status::Unbounded => {
+                if node.overrides.is_empty() {
+                    return Err(MilpError::UnboundedRelaxation);
+                }
+                // An unbounded node of a bounded root cannot be pruned by
+                // bound; treat conservatively as an abandoned subtree.
+                abandoned_bound = f64::NEG_INFINITY;
+                continue;
+            }
+            Status::Optimal => {}
+        }
+        let relax_obj = to_min(sense, relax.objective_value());
+        if let Some((_, inc)) = &incumbent {
+            if relax_obj >= *inc - 1e-9 {
+                continue; // Pruned: subtree cannot improve the incumbent.
+            }
+        }
+
+        match most_fractional(relax.values(), integer) {
+            None => {
+                // Integral solution: candidate incumbent.
+                let better = incumbent
+                    .as_ref()
+                    .is_none_or(|(_, inc)| relax_obj < *inc - 1e-9);
+                if better {
+                    incumbent = Some((relax.values().to_vec(), relax_obj));
+                }
+            }
+            Some((j, v)) => {
+                let (root_lo, root_hi) = effective_bounds(root, &node.overrides, j);
+                let floor = v.floor();
+                // Explore the side closer to the fractional value first by
+                // pushing it last (stack is LIFO).
+                let down = child(&node, j, root_lo, floor, relax_obj);
+                let up = child(&node, j, floor + 1.0, root_hi, relax_obj);
+                if v - floor <= 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    let (status, values, objective, bound) = match incumbent {
+        Some((values, inc_min)) => {
+            let proven = inc_min.min(abandoned_bound);
+            let denom = inc_min.abs().max(1e-9);
+            let gap = (inc_min - proven) / denom;
+            // Optimal when either the tree was exhausted within the gap
+            // target or the proven bound closes the gap numerically.
+            let exhausted =
+                !limit_hit && gap <= limits.gap_target + 1e-12 && abandoned_bound >= inc_min;
+            let status = if exhausted || gap <= 1e-9 {
+                MilpStatus::Optimal
+            } else {
+                MilpStatus::Feasible
+            };
+            (
+                status,
+                values,
+                from_min(sense, inc_min),
+                from_min(sense, proven),
+            )
+        }
+        None => {
+            let status = if limit_hit {
+                MilpStatus::Unknown
+            } else {
+                MilpStatus::Infeasible
+            };
+            (status, Vec::new(), 0.0, 0.0)
+        }
+    };
+    Ok(MilpSolution::new(
+        status,
+        values,
+        objective,
+        bound,
+        nodes_explored,
+    ))
+}
+
+fn child(node: &Node, j: usize, lo: f64, hi: f64, bound: f64) -> Node {
+    let mut overrides = node.overrides.clone();
+    overrides.push((j, lo, hi));
+    Node {
+        overrides,
+        parent_bound: bound,
+    }
+}
+
+/// Effective bounds of variable `j` under the node's overrides (later
+/// overrides win since `set_bounds` replaces earlier values).
+fn effective_bounds(root: &LinearProgram, overrides: &[(usize, f64, f64)], j: usize) -> (f64, f64) {
+    let mut bounds = root
+        .bounds(VariableId::from_index(j))
+        .expect("variable belongs to root");
+    for &(k, lo, hi) in overrides {
+        if k == j {
+            bounds = (lo, hi);
+        }
+    }
+    bounds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MilpProblem, SolveLimits};
+    use hilp_lp::Relation;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn knapsack_is_solved_to_optimality() {
+        // max 5a + 4b + 3c, 2a + 3b + c <= 5, binary.
+        // LP relaxation is fractional (b = 2/3); the integer optimum packs
+        // a and b for value 9.
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let a = milp.add_binary(5.0);
+        let b = milp.add_binary(4.0);
+        let c = milp.add_binary(3.0);
+        milp.add_constraint(vec![(a, 2.0), (b, 3.0), (c, 1.0)], Relation::Le, 5.0)
+            .unwrap();
+        let sol = milp.solve(&SolveLimits::default()).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        assert_close(sol.objective_value(), 9.0);
+        assert_close(sol.value(a), 1.0);
+        assert_close(sol.value(b), 1.0);
+        assert_close(sol.value(c), 0.0);
+        assert_eq!(sol.gap(), 0.0);
+    }
+
+    #[test]
+    fn general_integers_are_branched() {
+        // max x + y, 2x + y <= 7, x + 3y <= 9; LP opt fractional.
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let x = milp.add_integer(1.0);
+        let y = milp.add_integer(1.0);
+        milp.add_constraint(vec![(x, 2.0), (y, 1.0)], Relation::Le, 7.0)
+            .unwrap();
+        milp.add_constraint(vec![(x, 1.0), (y, 3.0)], Relation::Le, 9.0)
+            .unwrap();
+        let sol = milp.solve(&SolveLimits::default()).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        assert_close(sol.objective_value(), 4.0);
+        let xv = sol.value(x);
+        let yv = sol.value(y);
+        assert!((xv - xv.round()).abs() < 1e-6);
+        assert!((yv - yv.round()).abs() < 1e-6);
+        assert!(2.0 * xv + yv <= 7.0 + 1e-6);
+        assert!(xv + 3.0 * yv <= 9.0 + 1e-6);
+    }
+
+    #[test]
+    fn infeasible_integer_program_is_detected() {
+        // 0.4 <= x <= 0.6 with x integer has no solution.
+        let mut milp = MilpProblem::new(Objective::Minimize);
+        let x = milp.add_integer(1.0);
+        milp.set_bounds(x, 0.4, 0.6).unwrap();
+        let sol = milp.solve(&SolveLimits::default()).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_root_is_an_error() {
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let _x = milp.add_integer(1.0);
+        let err = milp.solve(&SolveLimits::default()).unwrap_err();
+        assert_eq!(err, MilpError::UnboundedRelaxation);
+    }
+
+    #[test]
+    fn node_limit_yields_feasible_with_gap() {
+        // A problem needing some branching; with max_nodes = 1 only the root
+        // relaxation is solved, so no incumbent can exist unless the root is
+        // integral.
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let x = milp.add_integer(1.0);
+        let y = milp.add_integer(1.0);
+        milp.add_constraint(vec![(x, 2.0), (y, 2.0)], Relation::Le, 5.0)
+            .unwrap();
+        let limits = SolveLimits {
+            max_nodes: 1,
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Unknown);
+        assert!(sol.gap().is_infinite());
+    }
+
+    #[test]
+    fn gap_target_stops_early_but_keeps_bound_valid() {
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let vars: Vec<_> = (0..8).map(|i| milp.add_binary(1.0 + (i as f64) * 0.1)).collect();
+        let terms: Vec<_> = vars.iter().map(|&v| (v, 1.5)).collect();
+        milp.add_constraint(terms, Relation::Le, 6.2).unwrap();
+        let limits = SolveLimits {
+            gap_target: 0.5,
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert!(matches!(sol.status(), MilpStatus::Optimal | MilpStatus::Feasible));
+        // The bound must never be beaten by the true optimum (here <= 5.8).
+        assert!(sol.bound() >= sol.objective_value() - 1e-9);
+        assert!(sol.gap() <= 0.5 + 1e-9);
+    }
+
+    #[test]
+    fn mixed_continuous_and_integer() {
+        // max 3x + 2y with x integer, y continuous, x + y <= 4.5, x <= 3.2.
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let x = milp.add_integer(3.0);
+        let y = milp.add_continuous(2.0);
+        milp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.5)
+            .unwrap();
+        milp.add_constraint(vec![(x, 1.0)], Relation::Le, 3.2).unwrap();
+        let sol = milp.solve(&SolveLimits::default()).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        assert_close(sol.value(x), 3.0);
+        assert_close(sol.value(y), 1.5);
+        assert_close(sol.objective_value(), 12.0);
+    }
+}
+
+#[cfg(test)]
+mod limit_tests {
+    use crate::{MilpProblem, MilpStatus, SolveLimits};
+    use hilp_lp::{Objective, Relation};
+    use std::time::Duration;
+
+    /// A knapsack big enough to need some branching.
+    fn chunky_knapsack() -> MilpProblem {
+        let mut milp = MilpProblem::new(Objective::Maximize);
+        let vars: Vec<_> = (0..14)
+            .map(|i| milp.add_binary(1.0 + f64::from(i % 5) * 0.37))
+            .collect();
+        let terms: Vec<_> = vars
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (v, 1.0 + f64::from(i as u32 % 3) * 0.9))
+            .collect();
+        milp.add_constraint(terms, Relation::Le, 11.3).unwrap();
+        milp
+    }
+
+    #[test]
+    fn zero_time_limit_stops_immediately_but_soundly() {
+        let milp = chunky_knapsack();
+        let limits = SolveLimits {
+            time_limit: Some(Duration::ZERO),
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        // No nodes explored: no incumbent can exist.
+        assert_eq!(sol.status(), MilpStatus::Unknown);
+        assert_eq!(sol.nodes_explored(), 0);
+    }
+
+    #[test]
+    fn generous_time_limit_still_proves_optimality() {
+        let milp = chunky_knapsack();
+        let limits = SolveLimits {
+            time_limit: Some(Duration::from_secs(30)),
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        // Cross-check against the unlimited solve.
+        let unlimited = milp.solve(&SolveLimits::default()).unwrap();
+        assert!((sol.objective_value() - unlimited.objective_value()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,340 @@
+//! Linear expressions with operator overloading.
+
+use std::collections::BTreeMap;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// Opaque handle to a model variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Dense index of this variable within its model.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A linear expression: a sum of `coefficient * variable` terms plus a
+/// constant.
+///
+/// Expressions are built with ordinary arithmetic:
+///
+/// ```
+/// use hilp_model::Model;
+///
+/// let mut model = Model::minimize();
+/// let x = model.continuous("x", 0.0, 1.0);
+/// let y = model.continuous("y", 0.0, 1.0);
+/// let expr = 2.0 * x - y + 3.0;
+/// assert_eq!(expr.constant(), 3.0);
+/// assert_eq!(expr.coefficient(x), 2.0);
+/// assert_eq!(expr.coefficient(y), -1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    pub(crate) terms: BTreeMap<usize, f64>,
+    pub(crate) constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    #[must_use]
+    pub fn zero() -> Self {
+        LinExpr::default()
+    }
+
+    /// A constant expression.
+    #[must_use]
+    pub fn constant_expr(value: f64) -> Self {
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// The constant part of the expression.
+    #[must_use]
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// The coefficient of a variable (zero when absent).
+    #[must_use]
+    pub fn coefficient(&self, var: Var) -> f64 {
+        self.terms.get(&var.0).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over the `(variable, coefficient)` terms.
+    pub fn terms(&self) -> impl Iterator<Item = (Var, f64)> + '_ {
+        self.terms.iter().map(|(&i, &c)| (Var(i), c))
+    }
+
+    /// Number of variables with a nonzero coefficient.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` when the expression has no variable terms.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    pub(crate) fn add_term(&mut self, var: Var, coeff: f64) {
+        let entry = self.terms.entry(var.0).or_insert(0.0);
+        *entry += coeff;
+        if *entry == 0.0 {
+            self.terms.remove(&var.0);
+        }
+    }
+
+    /// Sums an iterator of expressions.
+    #[must_use]
+    pub fn sum<I>(exprs: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<LinExpr>,
+    {
+        let mut acc = LinExpr::zero();
+        for e in exprs {
+            acc = acc + e.into();
+        }
+        acc
+    }
+}
+
+impl From<Var> for LinExpr {
+    fn from(var: Var) -> Self {
+        let mut e = LinExpr::zero();
+        e.add_term(var, 1.0);
+        e
+    }
+}
+
+impl From<f64> for LinExpr {
+    fn from(value: f64) -> Self {
+        LinExpr::constant_expr(value)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        for (&i, &c) in &rhs.terms {
+            self.add_term(Var(i), c);
+        }
+        self.constant += rhs.constant;
+        self
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        self + (-rhs)
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        for c in self.terms.values_mut() {
+            *c = -*c;
+        }
+        self.constant = -self.constant;
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        if rhs == 0.0 {
+            return LinExpr::zero();
+        }
+        for c in self.terms.values_mut() {
+            *c *= rhs;
+        }
+        self.constant *= rhs;
+        self
+    }
+}
+
+impl Mul<LinExpr> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: LinExpr) -> LinExpr {
+        rhs * self
+    }
+}
+
+// Var-based sugar: every combination lowers to LinExpr arithmetic.
+
+impl Add<Var> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        self + LinExpr::from(rhs)
+    }
+}
+
+impl Sub<Var> for LinExpr {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        self - LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: f64) -> LinExpr {
+        self.constant += rhs;
+        self
+    }
+}
+
+impl Sub<f64> for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: f64) -> LinExpr {
+        self.constant -= rhs;
+        self
+    }
+}
+
+impl Add<LinExpr> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Sub<LinExpr> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: LinExpr) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Add for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) + LinExpr::from(rhs)
+    }
+}
+
+impl Sub for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        LinExpr::from(self) - LinExpr::from(rhs)
+    }
+}
+
+impl Add<f64> for Var {
+    type Output = LinExpr;
+    fn add(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) + rhs
+    }
+}
+
+impl Sub<f64> for Var {
+    type Output = LinExpr;
+    fn sub(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) - rhs
+    }
+}
+
+impl Mul<f64> for Var {
+    type Output = LinExpr;
+    fn mul(self, rhs: f64) -> LinExpr {
+        LinExpr::from(self) * rhs
+    }
+}
+
+impl Mul<Var> for f64 {
+    type Output = LinExpr;
+    fn mul(self, rhs: Var) -> LinExpr {
+        LinExpr::from(rhs) * self
+    }
+}
+
+impl Neg for Var {
+    type Output = LinExpr;
+    fn neg(self) -> LinExpr {
+        -LinExpr::from(self)
+    }
+}
+
+impl Add<Var> for f64 {
+    type Output = LinExpr;
+    fn add(self, rhs: Var) -> LinExpr {
+        LinExpr::from(rhs) + self
+    }
+}
+
+impl Sub<Var> for f64 {
+    type Output = LinExpr;
+    fn sub(self, rhs: Var) -> LinExpr {
+        -LinExpr::from(rhs) + self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_combines_terms() {
+        let x = Var(0);
+        let y = Var(1);
+        let e = 2.0 * x + 3.0 * y - x + 1.5;
+        assert_eq!(e.coefficient(x), 1.0);
+        assert_eq!(e.coefficient(y), 3.0);
+        assert_eq!(e.constant(), 1.5);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn cancelling_terms_are_removed() {
+        let x = Var(0);
+        let e = 2.0 * x - 2.0 * x;
+        assert!(e.is_empty());
+        assert_eq!(e.coefficient(x), 0.0);
+    }
+
+    #[test]
+    fn negation_flips_everything() {
+        let x = Var(0);
+        let e = -(2.0 * x + 1.0);
+        assert_eq!(e.coefficient(x), -2.0);
+        assert_eq!(e.constant(), -1.0);
+    }
+
+    #[test]
+    fn scaling_by_zero_clears_expression() {
+        let x = Var(0);
+        let e = (2.0 * x + 1.0) * 0.0;
+        assert!(e.is_empty());
+        assert_eq!(e.constant(), 0.0);
+    }
+
+    #[test]
+    fn sum_folds_mixed_items() {
+        let x = Var(0);
+        let y = Var(1);
+        let total = LinExpr::sum(vec![LinExpr::from(x), 2.0 * y, LinExpr::constant_expr(4.0)]);
+        assert_eq!(total.coefficient(x), 1.0);
+        assert_eq!(total.coefficient(y), 2.0);
+        assert_eq!(total.constant(), 4.0);
+    }
+
+    #[test]
+    fn scalar_on_either_side() {
+        let x = Var(0);
+        let left = 1.0 + x;
+        let right = x + 1.0;
+        assert_eq!(left, right);
+        let diff = 5.0 - x;
+        assert_eq!(diff.coefficient(x), -1.0);
+        assert_eq!(diff.constant(), 5.0);
+    }
+}

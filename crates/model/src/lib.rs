@@ -1,0 +1,37 @@
+//! A small declarative modelling layer over `hilp-milp`.
+//!
+//! The paper implements HILP's job-shop formulation in MiniZinc, a
+//! constraint modelling language, precisely because it "clearly separates
+//! the formulation of the model from solving it" (Section VII). This crate
+//! plays the same role in the reproduction: it provides named variables,
+//! linear expressions with operator overloading, and the big-M lowering of
+//! the logical constructs the HILP formulation needs — implications and
+//! either-or disjunctions (the non-interference constraint, Equation 3) —
+//! and lowers everything to a [`hilp_milp::MilpProblem`].
+//!
+//! # Example
+//!
+//! ```
+//! use hilp_model::{Model, SolveLimits};
+//!
+//! # fn main() -> Result<(), hilp_model::ModelError> {
+//! let mut model = Model::maximize();
+//! let x = model.integer("x", 0.0, 10.0);
+//! let y = model.integer("y", 0.0, 10.0);
+//! model.set_objective(x + y);
+//! model.le(2.0 * x + y, 7.0);
+//! model.le(x + 3.0 * y, 9.0);
+//! let solution = model.solve(&SolveLimits::default())?;
+//! assert!((solution.objective_value() - 4.0).abs() < 1e-6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod expr;
+mod model;
+
+pub use expr::{LinExpr, Var};
+pub use hilp_milp::{MilpStatus, SolveLimits};
+pub use model::{Model, ModelError, ModelSolution, Sense};

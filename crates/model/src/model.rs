@@ -1,0 +1,502 @@
+//! The model container and its lowering to `hilp-milp`.
+
+use std::error::Error;
+use std::fmt;
+
+use hilp_lp::{Objective, Relation};
+use hilp_milp::{MilpError, MilpProblem, MilpStatus, SolveLimits};
+
+use crate::expr::{LinExpr, Var};
+
+/// Optimization direction of a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Minimize the objective expression.
+    Minimize,
+    /// Maximize the objective expression.
+    Maximize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum VarKind {
+    Continuous,
+    Integer,
+    Binary,
+}
+
+#[derive(Debug, Clone)]
+struct VarDef {
+    name: String,
+    kind: VarKind,
+    lower: f64,
+    upper: f64,
+}
+
+#[derive(Debug, Clone)]
+struct ConstraintDef {
+    expr: LinExpr,
+    relation: Relation,
+}
+
+/// Errors produced while solving a [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// The underlying MILP machinery failed.
+    Milp(MilpError),
+    /// The model is infeasible.
+    Infeasible,
+    /// The search stopped before finding any feasible assignment.
+    NoSolution,
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Milp(e) => write!(f, "milp error: {e}"),
+            ModelError::Infeasible => write!(f, "model is infeasible"),
+            ModelError::NoSolution => write!(f, "no feasible assignment found within limits"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Milp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MilpError> for ModelError {
+    fn from(e: MilpError) -> Self {
+        ModelError::Milp(e)
+    }
+}
+
+/// Result of solving a [`Model`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelSolution {
+    values: Vec<f64>,
+    objective_value: f64,
+    bound: f64,
+    gap: f64,
+    proved_optimal: bool,
+    nodes_explored: usize,
+}
+
+impl ModelSolution {
+    /// Value of a variable in the incumbent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    #[must_use]
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Value of a variable rounded to the nearest integer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to the solved model.
+    #[must_use]
+    pub fn int_value(&self, var: Var) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// Evaluates a linear expression under the incumbent.
+    #[must_use]
+    pub fn eval(&self, expr: &LinExpr) -> f64 {
+        expr.constant()
+            + expr
+                .terms()
+                .map(|(v, c)| c * self.values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Objective value of the incumbent.
+    #[must_use]
+    pub fn objective_value(&self) -> f64 {
+        self.objective_value
+    }
+
+    /// Best proven objective bound (see [`hilp_milp::MilpSolution::bound`]).
+    #[must_use]
+    pub fn bound(&self) -> f64 {
+        self.bound
+    }
+
+    /// Relative optimality gap between incumbent and proven bound.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        self.gap
+    }
+
+    /// Whether the incumbent was proven optimal.
+    #[must_use]
+    pub fn proved_optimal(&self) -> bool {
+        self.proved_optimal
+    }
+
+    /// Number of branch-and-bound nodes explored.
+    #[must_use]
+    pub fn nodes_explored(&self) -> usize {
+        self.nodes_explored
+    }
+}
+
+/// A mixed-integer linear model with named variables and logical sugar.
+///
+/// See the [crate-level documentation](crate) for an example.
+#[derive(Debug, Clone)]
+pub struct Model {
+    sense: Sense,
+    vars: Vec<VarDef>,
+    constraints: Vec<ConstraintDef>,
+    objective: LinExpr,
+}
+
+impl Model {
+    /// Creates an empty minimization model.
+    #[must_use]
+    pub fn minimize() -> Self {
+        Model::new(Sense::Minimize)
+    }
+
+    /// Creates an empty maximization model.
+    #[must_use]
+    pub fn maximize() -> Self {
+        Model::new(Sense::Maximize)
+    }
+
+    /// Creates an empty model with the given sense.
+    #[must_use]
+    pub fn new(sense: Sense) -> Self {
+        Model {
+            sense,
+            vars: Vec::new(),
+            constraints: Vec::new(),
+            objective: LinExpr::zero(),
+        }
+    }
+
+    /// Optimization direction.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_variables(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of lowered constraints added so far.
+    #[must_use]
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    #[must_use]
+    pub fn name(&self, var: Var) -> &str {
+        &self.vars[var.index()].name
+    }
+
+    /// Adds a continuous variable with the given bounds.
+    pub fn continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.push_var(name.into(), VarKind::Continuous, lower, upper)
+    }
+
+    /// Adds an integer variable with the given bounds.
+    pub fn integer(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.push_var(name.into(), VarKind::Integer, lower, upper)
+    }
+
+    /// Adds a binary (0/1) variable.
+    pub fn binary(&mut self, name: impl Into<String>) -> Var {
+        self.push_var(name.into(), VarKind::Binary, 0.0, 1.0)
+    }
+
+    fn push_var(&mut self, name: String, kind: VarKind, lower: f64, upper: f64) -> Var {
+        self.vars.push(VarDef {
+            name,
+            kind,
+            lower,
+            upper,
+        });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Sets the objective expression.
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>) {
+        self.objective = expr.into();
+    }
+
+    /// Adds the constraint `lhs <= rhs`.
+    pub fn le(&mut self, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+        self.push_constraint(lhs.into() - rhs.into(), Relation::Le);
+    }
+
+    /// Adds the constraint `lhs >= rhs`.
+    pub fn ge(&mut self, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+        self.push_constraint(lhs.into() - rhs.into(), Relation::Ge);
+    }
+
+    /// Adds the constraint `lhs == rhs`.
+    pub fn eq(&mut self, lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) {
+        self.push_constraint(lhs.into() - rhs.into(), Relation::Eq);
+    }
+
+    fn push_constraint(&mut self, expr: LinExpr, relation: Relation) {
+        self.constraints.push(ConstraintDef { expr, relation });
+    }
+
+    /// Adds the implication `guard = 1  =>  lhs <= rhs` via big-M lowering:
+    /// `lhs - rhs <= M * (1 - guard)`.
+    ///
+    /// `big_m` must be an upper bound on `lhs - rhs` over the feasible box.
+    pub fn implies_le(
+        &mut self,
+        guard: Var,
+        lhs: impl Into<LinExpr>,
+        rhs: impl Into<LinExpr>,
+        big_m: f64,
+    ) {
+        let expr = lhs.into() - rhs.into() + big_m * guard;
+        self.push_constraint(expr - big_m, Relation::Le);
+    }
+
+    /// Adds the disjunction `lhs1 <= rhs1  OR  lhs2 <= rhs2` by introducing
+    /// a fresh binary selector and two big-M implications. Returns the
+    /// selector (1 selects the first disjunct).
+    ///
+    /// This is exactly the classic lowering of the job-shop
+    /// *non-interference* constraint (paper Equation 3): two phases mapped
+    /// to the same core cluster must not overlap, i.e. one finishes before
+    /// the other starts or vice versa.
+    pub fn either_or(
+        &mut self,
+        lhs1: impl Into<LinExpr>,
+        rhs1: impl Into<LinExpr>,
+        lhs2: impl Into<LinExpr>,
+        rhs2: impl Into<LinExpr>,
+        big_m: f64,
+    ) -> Var {
+        let selector = self.binary(format!("or_{}", self.vars.len()));
+        // selector = 1 -> first disjunct must hold; selector = 0 -> second:
+        //   lhs1 - rhs1 <= M * (1 - selector)
+        //   lhs2 - rhs2 <= M * selector
+        self.implies_le(selector, lhs1, rhs1, big_m);
+        let expr = lhs2.into() - rhs2.into() - big_m * selector;
+        self.push_constraint(expr, Relation::Le);
+        selector
+    }
+
+    /// Lowers the model and solves it with branch and bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::Infeasible`] when the model has no feasible
+    /// assignment, [`ModelError::NoSolution`] when limits stopped the search
+    /// before an incumbent was found, and propagates solver failures.
+    pub fn solve(&self, limits: &SolveLimits) -> Result<ModelSolution, ModelError> {
+        let objective = match self.sense {
+            Sense::Minimize => Objective::Minimize,
+            Sense::Maximize => Objective::Maximize,
+        };
+        let mut milp = MilpProblem::new(objective);
+        let mut handles = Vec::with_capacity(self.vars.len());
+        for (i, def) in self.vars.iter().enumerate() {
+            let cost = self.objective.coefficient(Var(i));
+            let handle = match def.kind {
+                VarKind::Continuous => milp.add_continuous(cost),
+                VarKind::Integer => milp.add_integer(cost),
+                VarKind::Binary => milp.add_binary(cost),
+            };
+            if def.kind != VarKind::Binary {
+                milp.set_bounds(handle, def.lower, def.upper)?;
+            }
+            handles.push(handle);
+        }
+        for c in &self.constraints {
+            let terms: Vec<_> = c
+                .expr
+                .terms()
+                .map(|(v, coeff)| (handles[v.index()], coeff))
+                .collect();
+            milp.add_constraint(terms, c.relation, -c.expr.constant())?;
+        }
+
+        let sol = milp.solve(limits)?;
+        match sol.status() {
+            MilpStatus::Infeasible => Err(ModelError::Infeasible),
+            MilpStatus::Unknown => Err(ModelError::NoSolution),
+            MilpStatus::Optimal | MilpStatus::Feasible => {
+                let constant = self.objective.constant();
+                Ok(ModelSolution {
+                    values: sol.values().to_vec(),
+                    objective_value: sol.objective_value() + constant,
+                    bound: sol.bound() + constant,
+                    gap: sol.gap(),
+                    proved_optimal: sol.status() == MilpStatus::Optimal,
+                    nodes_explored: sol.nodes_explored(),
+                })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_integer_model() {
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0.0, 10.0);
+        let y = m.integer("y", 0.0, 10.0);
+        m.set_objective(x + y);
+        m.le(2.0 * x + y, 7.0);
+        m.le(x + 3.0 * y, 9.0);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!((sol.objective_value() - 4.0).abs() < 1e-6);
+        assert!(sol.proved_optimal());
+        assert_eq!(sol.gap(), 0.0);
+    }
+
+    #[test]
+    fn objective_constant_is_preserved() {
+        let mut m = Model::minimize();
+        let x = m.integer("x", 2.0, 5.0);
+        m.set_objective(x + 10.0);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!((sol.objective_value() - 12.0).abs() < 1e-6);
+        assert!((sol.bound() - 12.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_model_is_reported() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 1.0);
+        m.ge(x, 2.0);
+        let err = m.solve(&SolveLimits::default()).unwrap_err();
+        assert_eq!(err, ModelError::Infeasible);
+    }
+
+    #[test]
+    fn implies_le_binds_only_when_guard_is_set() {
+        // min x subject to (g=1 => x >= 5), maximize-free check via both
+        // guard polarities.
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 100.0);
+        let g = m.binary("g");
+        m.eq(g, 1.0);
+        // g=1 => 5 <= x, i.e. 5 - x <= 0.
+        m.implies_le(g, 5.0 - x, 0.0, 200.0);
+        m.set_objective(x);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!((sol.value(x) - 5.0).abs() < 1e-6);
+
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 100.0);
+        let g = m.binary("g");
+        m.eq(g, 0.0);
+        m.implies_le(g, 5.0 - x, 0.0, 200.0);
+        m.set_objective(x);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!(sol.value(x).abs() < 1e-6);
+    }
+
+    #[test]
+    fn either_or_models_disjunctive_scheduling() {
+        // Two unit tasks on one machine: s1 + 1 <= s2 OR s2 + 1 <= s1.
+        // Minimizing the makespan proxy s1 + s2 forces starts {0, 1}.
+        let mut m = Model::minimize();
+        let s1 = m.integer("s1", 0.0, 10.0);
+        let s2 = m.integer("s2", 0.0, 10.0);
+        m.either_or(s1 + 1.0, s2, s2 + 1.0, s1, 100.0);
+        m.set_objective(s1 + s2);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        let a = sol.int_value(s1);
+        let b = sol.int_value(s2);
+        assert!((a - b).abs() >= 1, "tasks must not overlap: {a}, {b}");
+        assert_eq!(a + b, 1);
+    }
+
+    #[test]
+    fn eval_matches_solution_values() {
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0.0, 3.0);
+        m.set_objective(2.0 * x);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        let expr = 2.0 * x + 1.0;
+        assert!((sol.eval(&expr) - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn names_round_trip() {
+        let mut m = Model::minimize();
+        let x = m.continuous("start_a0", 0.0, 1.0);
+        assert_eq!(m.name(x), "start_a0");
+    }
+}
+
+#[cfg(test)]
+mod more_tests {
+    use super::*;
+    use crate::expr::LinExpr;
+
+    #[test]
+    fn sense_and_counters_are_exposed() {
+        let mut m = Model::maximize();
+        assert_eq!(m.sense(), Sense::Maximize);
+        let x = m.continuous("x", 0.0, 1.0);
+        let y = m.binary("y");
+        m.le(x + y, 1.0);
+        m.ge(x, 0.2);
+        assert_eq!(m.num_variables(), 2);
+        assert_eq!(m.num_constraints(), 2);
+    }
+
+    #[test]
+    fn ge_constraints_bind() {
+        let mut m = Model::minimize();
+        let x = m.continuous("x", 0.0, 100.0);
+        m.ge(x, 42.0);
+        m.set_objective(x);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!((sol.value(x) - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nodes_explored_is_reported() {
+        let mut m = Model::maximize();
+        let x = m.integer("x", 0.0, 9.0);
+        let y = m.integer("y", 0.0, 9.0);
+        m.le(2.0 * x + 2.0 * y, 9.0);
+        m.set_objective(x + y);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!(sol.nodes_explored() >= 1);
+        assert!((sol.objective_value() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bound_never_beaten_by_objective() {
+        let mut m = Model::maximize();
+        let vars: Vec<_> = (0..6).map(|i| m.binary(format!("b{i}"))).collect();
+        let total = LinExpr::sum(vars.iter().map(|&v| LinExpr::from(v)));
+        m.le(total.clone(), 3.5);
+        m.set_objective(total);
+        let sol = m.solve(&SolveLimits::default()).unwrap();
+        assert!(sol.bound() >= sol.objective_value() - 1e-9);
+        assert!((sol.objective_value() - 3.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,318 @@
+//! Combinatorial lower bounds on the optimal makespan.
+//!
+//! These bounds play the role of the ILP solver's optimality bound in the
+//! paper: HILP calls a schedule near-optimal when its makespan is provably
+//! within 10% of the best value that could still exist. Each bound here is
+//! a valid lower bound on any feasible schedule's makespan, so their
+//! maximum is too.
+
+use crate::instance::{EdgeKind, Instance, ResourceId, TaskId};
+
+/// Longest chain of minimum durations through the precedence DAG.
+///
+/// Any schedule must execute each precedence chain sequentially, so the
+/// longest chain using each task's fastest mode bounds the makespan.
+#[must_use]
+pub(crate) fn critical_path_bound(instance: &Instance) -> u32 {
+    let heads = heads(instance);
+    tails(instance)
+        .iter()
+        .enumerate()
+        .map(|(t, &tail)| heads[t] + tail)
+        .max()
+        .unwrap_or(0)
+}
+
+/// For every task: a lower bound on the time from the task's *start* to
+/// workload completion, following min-duration chains and edge lags.
+/// `tails[t] >= min_duration(t)`.
+#[must_use]
+pub(crate) fn tails(instance: &Instance) -> Vec<u32> {
+    let n = instance.num_tasks();
+    let mut tails = vec![0u32; n];
+    for &task in instance.topological_order().iter().rev() {
+        let own = instance.min_duration(task);
+        let mut tail = own;
+        for e in instance.outgoing(task) {
+            let via = match e.kind {
+                EdgeKind::FinishToStart => own + e.lag + tails[e.after.0],
+                EdgeKind::StartToStart => e.lag + tails[e.after.0],
+            };
+            tail = tail.max(via);
+        }
+        tails[task.0] = tail;
+    }
+    tails
+}
+
+/// For every task: a lower bound on its earliest possible start, following
+/// min-duration chains and edge lags from the sources.
+#[must_use]
+pub(crate) fn heads(instance: &Instance) -> Vec<u32> {
+    let n = instance.num_tasks();
+    let mut heads = vec![0u32; n];
+    for &task in instance.topological_order() {
+        let mut head = 0;
+        for e in instance.incoming(task) {
+            let via = match e.kind {
+                EdgeKind::FinishToStart => {
+                    heads[e.before.0] + instance.min_duration(e.before) + e.lag
+                }
+                EdgeKind::StartToStart => heads[e.before.0] + e.lag,
+            };
+            head = head.max(via);
+        }
+        heads[task.0] = head;
+    }
+    heads
+}
+
+/// Load bound per machine: tasks all of whose modes live on one machine
+/// must serialize there.
+#[must_use]
+pub(crate) fn machine_load_bound(instance: &Instance) -> u32 {
+    let mut load = vec![0u64; instance.num_machines()];
+    for t in 0..instance.num_tasks() {
+        let task = TaskId(t);
+        let modes = &instance.task(task).modes;
+        let first_machine = modes[0].machine;
+        if modes.iter().all(|m| m.machine == first_machine) {
+            load[first_machine.0] += u64::from(instance.min_duration(task));
+        }
+    }
+    load
+        .into_iter()
+        .max()
+        .map_or(0, |l| u32::try_from(l).unwrap_or(u32::MAX))
+}
+
+/// Resource-volume bound: total minimum resource-time volume divided by
+/// the per-step capacity, rounded up.
+fn volume_bound(total_volume: f64, cap: f64) -> u32 {
+    if cap <= 0.0 {
+        return 0;
+    }
+    let steps = (total_volume / cap).ceil();
+    if steps >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        steps as u32
+    }
+}
+
+/// Energy bound: every schedule must deliver each task's minimum energy
+/// within the power budget.
+#[must_use]
+pub(crate) fn energy_bound(instance: &Instance) -> u32 {
+    let Some(cap) = instance.power_cap() else {
+        return 0;
+    };
+    let total: f64 = (0..instance.num_tasks())
+        .map(|t| {
+            instance
+                .task(TaskId(t))
+                .modes
+                .iter()
+                .map(|m| m.energy())
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    volume_bound(total, cap)
+}
+
+/// Bandwidth-volume bound, analogous to [`energy_bound`].
+#[must_use]
+pub(crate) fn bandwidth_bound(instance: &Instance) -> u32 {
+    let Some(cap) = instance.bandwidth_cap() else {
+        return 0;
+    };
+    let total: f64 = (0..instance.num_tasks())
+        .map(|t| {
+            instance
+                .task(TaskId(t))
+                .modes
+                .iter()
+                .map(|m| m.bandwidth * f64::from(m.duration))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    volume_bound(total, cap)
+}
+
+/// Core-volume bound, analogous to [`energy_bound`].
+#[must_use]
+pub(crate) fn core_bound(instance: &Instance) -> u32 {
+    let Some(cap) = instance.core_cap() else {
+        return 0;
+    };
+    if cap == 0 {
+        return 0;
+    }
+    let total: u64 = (0..instance.num_tasks())
+        .map(|t| {
+            instance
+                .task(TaskId(t))
+                .modes
+                .iter()
+                .map(|m| u64::from(m.cores) * u64::from(m.duration))
+                .min()
+                .unwrap_or(0)
+        })
+        .sum();
+    u32::try_from(total.div_ceil(u64::from(cap))).unwrap_or(u32::MAX)
+}
+
+/// Volume bound for one user-defined resource.
+#[must_use]
+pub(crate) fn resource_bound(instance: &Instance, resource: ResourceId) -> u32 {
+    let cap = instance.resources()[resource.0].1;
+    let total: f64 = (0..instance.num_tasks())
+        .map(|t| {
+            instance
+                .task(TaskId(t))
+                .modes
+                .iter()
+                .map(|m| m.usage_of(resource) * f64::from(m.duration))
+                .fold(f64::INFINITY, f64::min)
+        })
+        .sum();
+    volume_bound(total, cap)
+}
+
+/// The strongest available lower bound on the optimal makespan: the maximum
+/// of the critical-path, machine-load, energy, bandwidth, core, and
+/// user-defined resource bounds.
+///
+/// # Example
+///
+/// ```
+/// use hilp_sched::{InstanceBuilder, Mode};
+///
+/// # fn main() -> Result<(), hilp_sched::SchedError> {
+/// let mut builder = InstanceBuilder::new();
+/// let cpu = builder.add_machine("cpu");
+/// let a = builder.add_task("a", vec![Mode::on(cpu, 3)]);
+/// let b = builder.add_task("b", vec![Mode::on(cpu, 4)]);
+/// builder.add_precedence(a, b);
+/// let instance = builder.build()?;
+/// assert_eq!(hilp_sched::lower_bound(&instance), 7);
+/// # Ok(())
+/// # }
+/// ```
+#[must_use]
+pub fn lower_bound(instance: &Instance) -> u32 {
+    let mut bound = critical_path_bound(instance)
+        .max(machine_load_bound(instance))
+        .max(energy_bound(instance))
+        .max(bandwidth_bound(instance))
+        .max(core_bound(instance));
+    for r in 0..instance.resources().len() {
+        bound = bound.max(resource_bound(instance, ResourceId(r)));
+    }
+    bound
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    #[test]
+    fn critical_path_follows_the_longest_chain() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let t0 = b.add_task("a0", vec![Mode::on(cpu, 1)]);
+        let t1 = b.add_task("a1", vec![Mode::on(cpu, 8), Mode::on(gpu, 5)]);
+        let t2 = b.add_task("a2", vec![Mode::on(cpu, 1)]);
+        b.add_precedence(t0, t1);
+        b.add_precedence(t1, t2);
+        let inst = b.build().unwrap();
+        assert_eq!(critical_path_bound(&inst), 7); // 1 + min(8,5) + 1
+    }
+
+    #[test]
+    fn heads_and_tails_are_consistent() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let t0 = b.add_task("a", vec![Mode::on(cpu, 2)]);
+        let t1 = b.add_task("b", vec![Mode::on(cpu, 3)]);
+        let t2 = b.add_task("c", vec![Mode::on(cpu, 4)]);
+        b.add_precedence(t0, t1);
+        b.add_precedence(t1, t2);
+        let inst = b.build().unwrap();
+        assert_eq!(heads(&inst), vec![0, 2, 5]);
+        assert_eq!(tails(&inst), vec![9, 7, 4]);
+        let _ = (t0, t1, t2);
+    }
+
+    #[test]
+    fn machine_load_counts_pinned_tasks_only() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("pinned1", vec![Mode::on(cpu, 5)]);
+        b.add_task("pinned2", vec![Mode::on(cpu, 6)]);
+        b.add_task("flexible", vec![Mode::on(cpu, 9), Mode::on(gpu, 9)]);
+        let inst = b.build().unwrap();
+        assert_eq!(machine_load_bound(&inst), 11);
+    }
+
+    #[test]
+    fn energy_bound_uses_minimum_energy_modes() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        // Min energies: 10 (gpu) and 12 (cpu); cap 4 W -> ceil(22/4) = 6.
+        b.add_task(
+            "a",
+            vec![Mode::on(cpu, 10).power(2.0), Mode::on(gpu, 5).power(2.0)],
+        );
+        b.add_task("b", vec![Mode::on(cpu, 3).power(4.0)]);
+        b.set_power_cap(4.0);
+        let inst = b.build().unwrap();
+        assert_eq!(energy_bound(&inst), 6);
+    }
+
+    #[test]
+    fn bandwidth_bound_mirrors_energy_bound() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 4).bandwidth(50.0)]);
+        b.set_bandwidth_cap(100.0);
+        let inst = b.build().unwrap();
+        assert_eq!(bandwidth_bound(&inst), 2);
+    }
+
+    #[test]
+    fn core_bound_rounds_up() {
+        let mut b = InstanceBuilder::new();
+        let c0 = b.add_machine("cpu0");
+        let c1 = b.add_machine("cpu1");
+        b.add_task("a", vec![Mode::on(c0, 3).cores(2)]);
+        b.add_task("b", vec![Mode::on(c1, 2).cores(1)]);
+        b.set_core_cap(2);
+        let inst = b.build().unwrap();
+        // Volume 3*2 + 2*1 = 8, cap 2 -> 4 steps.
+        assert_eq!(core_bound(&inst), 4);
+    }
+
+    #[test]
+    fn lower_bound_is_the_max_of_components() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 2).power(10.0)]);
+        b.add_task("b", vec![Mode::on(cpu, 2).power(10.0)]);
+        b.set_power_cap(10.0);
+        let inst = b.build().unwrap();
+        // Critical path = 2, machine load = 4, energy = 40/10 = 4.
+        assert_eq!(lower_bound(&inst), 4);
+    }
+
+    #[test]
+    fn bounds_are_zero_for_empty_instances() {
+        let b = InstanceBuilder::new();
+        let inst = b.build().unwrap();
+        assert_eq!(lower_bound(&inst), 0);
+    }
+}

@@ -1,0 +1,108 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or solving a scheduling instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SchedError {
+    /// A task has no execution mode at all.
+    NoModes {
+        /// Label of the offending task.
+        task: String,
+    },
+    /// A task has no mode that fits within the instance's resource caps, so
+    /// no feasible schedule can exist.
+    NoFeasibleMode {
+        /// Label of the offending task.
+        task: String,
+    },
+    /// A mode references a machine that does not exist.
+    UnknownMachine {
+        /// Label of the offending task.
+        task: String,
+        /// The invalid machine index.
+        machine: usize,
+    },
+    /// A mode has a zero duration; durations must be at least one time step.
+    ZeroDuration {
+        /// Label of the offending task.
+        task: String,
+    },
+    /// A precedence edge references an unknown task.
+    UnknownTask {
+        /// The invalid task index.
+        index: usize,
+    },
+    /// The precedence relation contains a cycle.
+    CyclicPrecedence,
+    /// A mode references a user-defined resource that does not exist.
+    UnknownResource {
+        /// Label of the offending task.
+        task: String,
+        /// The invalid resource index.
+        resource: usize,
+    },
+    /// A resource value (power, bandwidth) was NaN, infinite, or negative.
+    InvalidResource {
+        /// Label of the offending task.
+        task: String,
+        /// Name of the offending resource.
+        resource: &'static str,
+    },
+    /// No feasible schedule fits within the instance horizon.
+    HorizonExhausted {
+        /// The horizon that proved too small.
+        horizon: u32,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::NoModes { task } => write!(f, "task `{task}` has no execution modes"),
+            SchedError::NoFeasibleMode { task } => write!(
+                f,
+                "task `{task}` has no mode that fits the instance resource caps"
+            ),
+            SchedError::UnknownMachine { task, machine } => {
+                write!(f, "task `{task}` references unknown machine {machine}")
+            }
+            SchedError::ZeroDuration { task } => {
+                write!(f, "task `{task}` has a zero-duration mode")
+            }
+            SchedError::UnknownTask { index } => {
+                write!(f, "precedence edge references unknown task {index}")
+            }
+            SchedError::CyclicPrecedence => write!(f, "precedence relation contains a cycle"),
+            SchedError::UnknownResource { task, resource } => {
+                write!(f, "task `{task}` references unknown resource {resource}")
+            }
+            SchedError::InvalidResource { task, resource } => {
+                write!(f, "task `{task}` has an invalid {resource} value")
+            }
+            SchedError::HorizonExhausted { horizon } => {
+                write!(f, "no feasible schedule within horizon of {horizon} steps")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_task() {
+        let e = SchedError::NoFeasibleMode {
+            task: "hs.compute".into(),
+        };
+        assert!(e.to_string().contains("hs.compute"));
+    }
+
+    #[test]
+    fn horizon_message_mentions_size() {
+        let e = SchedError::HorizonExhausted { horizon: 200 };
+        assert!(e.to_string().contains("200"));
+    }
+}

@@ -1,0 +1,209 @@
+//! Randomized multi-start heuristic with mode-reassignment local search.
+//!
+//! This is the primal side of the anytime solver: it produces strong
+//! incumbent schedules quickly, which the bounds in [`crate::bounds`] (and
+//! optionally the exact search in [`crate::bnb`]) then certify.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::bounds::tails;
+use crate::instance::{Instance, ModeId};
+use crate::schedule::Schedule;
+use crate::sgs::{serial_sgs, ModeRule};
+
+/// Runs `starts` randomized SGS passes plus local search and returns the
+/// best feasible schedule found, or `None` when no pass fits the horizon.
+pub(crate) fn multi_start(
+    instance: &Instance,
+    starts: usize,
+    local_search_passes: usize,
+    seed: u64,
+) -> Option<Schedule> {
+    let n = instance.num_tasks();
+    if n == 0 {
+        return Some(Schedule {
+            starts: Vec::new(),
+            modes: Vec::new(),
+        });
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let base: Vec<f64> = tails(instance).iter().map(|&t| f64::from(t)).collect();
+
+    let mut best: Option<(u32, Schedule)> = None;
+    let consider = |schedule: Schedule, best: &mut Option<(u32, Schedule)>| {
+        let makespan = schedule.makespan(instance);
+        if best.as_ref().is_none_or(|(m, _)| makespan < *m) {
+            *best = Some((makespan, schedule));
+        }
+    };
+
+    for iteration in 0..starts.max(1) {
+        let priority: Vec<f64> = if iteration == 0 {
+            // Deterministic first pass: longest-tail-first.
+            base.clone()
+        } else {
+            base.iter()
+                .map(|&p| p * rng.gen_range(0.25..1.75) + rng.gen_range(0.0..1.0))
+                .collect()
+        };
+        if let Some(schedule) = serial_sgs(instance, &priority, &ModeRule::GreedyFinish) {
+            consider(schedule, &mut best);
+        }
+    }
+
+    // Ruin and recreate: keep most of the incumbent's mode assignment,
+    // release a random subset of tasks back to greedy choice, and replay
+    // with perturbed priorities. Escapes local optima that single-mode
+    // moves cannot.
+    if let Some((_, incumbent)) = best.clone() {
+        let rounds = (starts / 4).min(60);
+        for _ in 0..rounds {
+            let order_priority: Vec<f64> = incumbent
+                .starts
+                .iter()
+                .map(|&s| -f64::from(s) + rng.gen_range(-0.4..0.4))
+                .collect();
+            let forced: Vec<Option<ModeId>> = incumbent
+                .modes
+                .iter()
+                .map(|&mid| {
+                    if rng.gen::<f64>() < 0.25 {
+                        None // ruined: re-chosen greedily
+                    } else {
+                        Some(mid)
+                    }
+                })
+                .collect();
+            if let Some(candidate) = serial_sgs(instance, &order_priority, &ModeRule::Forced(&forced))
+            {
+                consider(candidate, &mut best);
+            }
+        }
+    }
+
+    // Local search: force each task onto each alternative mode in turn and
+    // re-run the SGS with priorities that reproduce the incumbent's order.
+    for _ in 0..local_search_passes {
+        let Some((incumbent_makespan, incumbent)) = best.clone() else {
+            break;
+        };
+        let order_priority: Vec<f64> = incumbent
+            .starts
+            .iter()
+            .map(|&s| -f64::from(s))
+            .collect();
+        let mut improved = false;
+        for t in 0..n {
+            let num_modes = instance.tasks()[t].modes.len();
+            if num_modes <= 1 {
+                continue;
+            }
+            for m in 0..num_modes {
+                if ModeId(m) == incumbent.modes[t] {
+                    continue;
+                }
+                let mut forced: Vec<Option<ModeId>> =
+                    incumbent.modes.iter().map(|&mid| Some(mid)).collect();
+                forced[t] = Some(ModeId(m));
+                if let Some(candidate) = serial_sgs(instance, &order_priority, &ModeRule::Forced(&forced))
+                {
+                    let makespan = candidate.makespan(instance);
+                    if makespan < incumbent_makespan {
+                        consider(candidate, &mut best);
+                        improved = true;
+                    }
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    best.map(|(_, s)| s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    /// The worked example of the paper's Figure 2: applications m and n,
+    /// each setup -> compute -> teardown, on a CPU + GPU + DSA SoC.
+    fn figure2_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let dsa = b.add_machine("dsa");
+        let m0 = b.add_task("m0", vec![Mode::on(cpu, 1)]);
+        let m1 = b.add_task(
+            "m1",
+            vec![Mode::on(cpu, 8), Mode::on(gpu, 6), Mode::on(dsa, 5)],
+        );
+        let m2 = b.add_task("m2", vec![Mode::on(cpu, 1)]);
+        let n0 = b.add_task("n0", vec![Mode::on(cpu, 1)]);
+        let n1 = b.add_task(
+            "n1",
+            vec![Mode::on(cpu, 5), Mode::on(gpu, 3), Mode::on(dsa, 2)],
+        );
+        let n2 = b.add_task("n2", vec![Mode::on(cpu, 1)]);
+        b.add_precedence(m0, m1);
+        b.add_precedence(m1, m2);
+        b.add_precedence(n0, n1);
+        b.add_precedence(n1, n2);
+        b.set_horizon(30);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn heuristic_finds_the_figure2_optimum() {
+        let inst = figure2_instance();
+        let sched = multi_start(&inst, 200, 2, 42).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        // The paper's optimal schedule completes in 7 seconds.
+        assert_eq!(sched.makespan(&inst), 7);
+    }
+
+    #[test]
+    fn heuristic_is_deterministic_for_a_seed() {
+        let inst = figure2_instance();
+        let a = multi_start(&inst, 50, 1, 7).unwrap();
+        let b = multi_start(&inst, 50, 1, 7).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn heuristic_handles_empty_instances() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let sched = multi_start(&inst, 10, 1, 0).unwrap();
+        assert_eq!(sched.makespan(&inst), 0);
+    }
+
+    #[test]
+    fn heuristic_returns_none_when_horizon_is_impossible() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 5)]);
+        b.add_task("b", vec![Mode::on(cpu, 5)]);
+        b.set_horizon(8);
+        let inst = b.build().unwrap();
+        assert!(multi_start(&inst, 20, 1, 0).is_none());
+    }
+
+    #[test]
+    fn local_search_escapes_greedy_mode_traps() {
+        // Greedy placement puts both tasks on the fast machine; moving one
+        // to the slow machine is strictly better. Local search must find it.
+        let mut b = InstanceBuilder::new();
+        let fast = b.add_machine("fast");
+        let slow = b.add_machine("slow");
+        b.add_task("a", vec![Mode::on(fast, 4), Mode::on(slow, 5)]);
+        b.add_task("b", vec![Mode::on(fast, 4), Mode::on(slow, 5)]);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        // Even a single deterministic start plus local search suffices.
+        let sched = multi_start(&inst, 1, 2, 0).unwrap();
+        assert_eq!(sched.makespan(&inst), 5);
+    }
+}

@@ -1,0 +1,649 @@
+//! Schedules and full feasibility verification.
+
+use crate::instance::{EdgeKind, Instance, ModeId, ResourceId, TaskId};
+
+/// A complete assignment of start times and modes to every task.
+///
+/// The decision variables of the paper's formulation map directly onto this
+/// type: `starts` is `S_ap` and the machine of the selected mode is `C_ap`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// Start time step of each task, indexed by [`TaskId`].
+    pub starts: Vec<u32>,
+    /// Selected mode of each task, indexed by [`TaskId`].
+    pub modes: Vec<ModeId>,
+}
+
+/// A specific feasibility violation found by [`Schedule::verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// A predecessor finishes after its successor starts.
+    Precedence {
+        /// The predecessor task.
+        before: TaskId,
+        /// The successor task.
+        after: TaskId,
+    },
+    /// Two tasks overlap on the same machine.
+    MachineOverlap {
+        /// First involved task.
+        first: TaskId,
+        /// Second involved task.
+        second: TaskId,
+    },
+    /// The power cap is exceeded in some time step.
+    PowerCap {
+        /// The violating time step.
+        step: u32,
+        /// Total power drawn in that step.
+        total: f64,
+    },
+    /// The bandwidth cap is exceeded in some time step.
+    BandwidthCap {
+        /// The violating time step.
+        step: u32,
+        /// Total bandwidth consumed in that step.
+        total: f64,
+    },
+    /// The CPU-core cap is exceeded in some time step.
+    CoreCap {
+        /// The violating time step.
+        step: u32,
+        /// Total cores in use in that step.
+        total: u32,
+    },
+    /// A task finishes beyond the horizon.
+    Horizon {
+        /// The offending task.
+        task: TaskId,
+    },
+    /// A user-defined cumulative resource cap is exceeded in some time
+    /// step.
+    ResourceCap {
+        /// The violated resource.
+        resource: ResourceId,
+        /// The violating time step.
+        step: u32,
+        /// Total usage in that step.
+        total: f64,
+    },
+}
+
+impl Schedule {
+    /// Finish time of a task.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` does not belong to the instance this schedule was
+    /// built for.
+    #[must_use]
+    pub fn finish(&self, instance: &Instance, task: TaskId) -> u32 {
+        self.starts[task.0] + instance.mode(task, self.modes[task.0]).duration
+    }
+
+    /// The makespan: completion time of the last-finishing task
+    /// (Equation 1's objective).
+    #[must_use]
+    pub fn makespan(&self, instance: &Instance) -> u32 {
+        (0..instance.num_tasks())
+            .map(|t| self.finish(instance, TaskId(t)))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-time-step count of running tasks over `[0, makespan)`.
+    ///
+    /// This is the series from which HILP's Workload-Level Parallelism
+    /// metric is computed.
+    #[must_use]
+    pub fn active_counts(&self, instance: &Instance) -> Vec<u32> {
+        let makespan = self.makespan(instance) as usize;
+        let mut counts = vec![0u32; makespan];
+        for t in 0..instance.num_tasks() {
+            let task = TaskId(t);
+            let start = self.starts[t] as usize;
+            let finish = self.finish(instance, task) as usize;
+            for step in counts.iter_mut().take(finish).skip(start) {
+                *step += 1;
+            }
+        }
+        counts
+    }
+
+    /// Per-time-step power draw over `[0, makespan)`.
+    #[must_use]
+    pub fn power_profile(&self, instance: &Instance) -> Vec<f64> {
+        self.profile(instance, |inst, t, m| inst.mode(t, m).power)
+    }
+
+    /// Per-time-step bandwidth consumption over `[0, makespan)`.
+    #[must_use]
+    pub fn bandwidth_profile(&self, instance: &Instance) -> Vec<f64> {
+        self.profile(instance, |inst, t, m| inst.mode(t, m).bandwidth)
+    }
+
+    fn profile<F>(&self, instance: &Instance, value: F) -> Vec<f64>
+    where
+        F: Fn(&Instance, TaskId, ModeId) -> f64,
+    {
+        let makespan = self.makespan(instance) as usize;
+        let mut profile = vec![0.0; makespan];
+        for t in 0..instance.num_tasks() {
+            let task = TaskId(t);
+            let v = value(instance, task, self.modes[t]);
+            let start = self.starts[t] as usize;
+            let finish = self.finish(instance, task) as usize;
+            for step in profile.iter_mut().take(finish).skip(start) {
+                *step += v;
+            }
+        }
+        profile
+    }
+
+    /// Exhaustively verifies every constraint of the instance, returning
+    /// all violations found (empty means the schedule is feasible).
+    ///
+    /// This is an independent re-check used by tests and property tests; the
+    /// solver never relies on it for construction.
+    #[must_use]
+    pub fn verify(&self, instance: &Instance) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let n = instance.num_tasks();
+
+        for t in 0..n {
+            if self.finish(instance, TaskId(t)) > instance.horizon() {
+                violations.push(Violation::Horizon { task: TaskId(t) });
+            }
+        }
+
+        for after in 0..n {
+            for edge in instance.incoming(TaskId(after)) {
+                let earliest = match edge.kind {
+                    EdgeKind::FinishToStart => self.finish(instance, edge.before) + edge.lag,
+                    EdgeKind::StartToStart => self.starts[edge.before.0] + edge.lag,
+                };
+                if earliest > self.starts[after] {
+                    violations.push(Violation::Precedence {
+                        before: edge.before,
+                        after: TaskId(after),
+                    });
+                }
+            }
+        }
+
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let (ta, tb) = (TaskId(a), TaskId(b));
+                let ma = instance.mode(ta, self.modes[a]).machine;
+                let mb = instance.mode(tb, self.modes[b]).machine;
+                if ma == mb {
+                    let overlap = self.starts[a] < self.finish(instance, tb)
+                        && self.starts[b] < self.finish(instance, ta);
+                    if overlap {
+                        violations.push(Violation::MachineOverlap {
+                            first: ta,
+                            second: tb,
+                        });
+                    }
+                }
+            }
+        }
+
+        if let Some(cap) = instance.power_cap() {
+            for (step, &total) in self.power_profile(instance).iter().enumerate() {
+                if total > cap + 1e-6 {
+                    violations.push(Violation::PowerCap {
+                        step: step as u32,
+                        total,
+                    });
+                }
+            }
+        }
+        if let Some(cap) = instance.bandwidth_cap() {
+            for (step, &total) in self.bandwidth_profile(instance).iter().enumerate() {
+                if total > cap + 1e-6 {
+                    violations.push(Violation::BandwidthCap {
+                        step: step as u32,
+                        total,
+                    });
+                }
+            }
+        }
+        for (r, &(_, cap)) in instance.resources().iter().enumerate() {
+            let resource = ResourceId(r);
+            let makespan = self.makespan(instance) as usize;
+            let mut usage = vec![0.0f64; makespan];
+            for t in 0..n {
+                let task = TaskId(t);
+                let amount = instance.mode(task, self.modes[t]).usage_of(resource);
+                if amount == 0.0 {
+                    continue;
+                }
+                let start = self.starts[t] as usize;
+                let finish = self.finish(instance, task) as usize;
+                for step in usage.iter_mut().take(finish).skip(start) {
+                    *step += amount;
+                }
+            }
+            for (step, &total) in usage.iter().enumerate() {
+                if total > cap + 1e-6 {
+                    violations.push(Violation::ResourceCap {
+                        resource,
+                        step: step as u32,
+                        total,
+                    });
+                }
+            }
+        }
+
+        if let Some(cap) = instance.core_cap() {
+            let makespan = self.makespan(instance) as usize;
+            let mut cores = vec![0u32; makespan];
+            for t in 0..n {
+                let task = TaskId(t);
+                let c = instance.mode(task, self.modes[t]).cores;
+                let start = self.starts[t] as usize;
+                let finish = self.finish(instance, task) as usize;
+                for step in cores.iter_mut().take(finish).skip(start) {
+                    *step += c;
+                }
+            }
+            for (step, &total) in cores.iter().enumerate() {
+                if total > cap {
+                    violations.push(Violation::CoreCap {
+                        step: step as u32,
+                        total,
+                    });
+                }
+            }
+        }
+
+        violations
+    }
+
+    /// Renders the schedule as a per-machine Gantt listing, one line per
+    /// task, sorted by start time.
+    #[must_use]
+    pub fn render(&self, instance: &Instance) -> String {
+        let mut lines: Vec<(u32, String)> = Vec::new();
+        for t in 0..instance.num_tasks() {
+            let task = TaskId(t);
+            let mode = instance.mode(task, self.modes[t]);
+            let machine = &instance.machines()[mode.machine.0];
+            lines.push((
+                self.starts[t],
+                format!(
+                    "  [{:>4}, {:>4})  {:<12}  on {}",
+                    self.starts[t],
+                    self.finish(instance, task),
+                    instance.task(task).label,
+                    machine
+                ),
+            ));
+        }
+        lines.sort();
+        let body: Vec<String> = lines.into_iter().map(|(_, l)| l).collect();
+        format!(
+            "schedule (makespan {} steps):\n{}",
+            self.makespan(instance),
+            body.join("\n")
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    fn two_task_instance() -> (Instance, TaskId, TaskId) {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let a = b.add_task("a", vec![Mode::on(cpu, 2).power(5.0).bandwidth(10.0)]);
+        let c = b.add_task(
+            "c",
+            vec![
+                Mode::on(cpu, 4).power(5.0).bandwidth(10.0).cores(1),
+                Mode::on(gpu, 1).power(20.0).bandwidth(50.0),
+            ],
+        );
+        b.add_precedence(a, c);
+        b.set_horizon(100);
+        (b.build().unwrap(), a, c)
+    }
+
+    #[test]
+    fn makespan_and_finish() {
+        let (inst, _, _) = two_task_instance();
+        let sched = Schedule {
+            starts: vec![0, 2],
+            modes: vec![ModeId(0), ModeId(1)],
+        };
+        assert_eq!(sched.finish(&inst, TaskId(0)), 2);
+        assert_eq!(sched.finish(&inst, TaskId(1)), 3);
+        assert_eq!(sched.makespan(&inst), 3);
+        assert!(sched.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn precedence_violation_is_detected() {
+        let (inst, _, _) = two_task_instance();
+        let sched = Schedule {
+            starts: vec![0, 1],
+            modes: vec![ModeId(0), ModeId(1)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Precedence { .. })));
+    }
+
+    #[test]
+    fn machine_overlap_is_detected() {
+        let (inst, _, _) = two_task_instance();
+        // Both tasks on the CPU, overlapping.
+        let sched = Schedule {
+            starts: vec![0, 1],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::MachineOverlap { .. })));
+    }
+
+    #[test]
+    fn power_cap_violation_is_detected() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(cpu, 3).power(5.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 3).power(5.0)]);
+        b.set_power_cap(8.0);
+        b.set_horizon(100);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 0],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PowerCap { total, .. } if (*total - 10.0).abs() < 1e-9)));
+    }
+
+    #[test]
+    fn bandwidth_cap_violation_is_detected() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(cpu, 2).bandwidth(60.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 2).bandwidth(60.0)]);
+        b.set_bandwidth_cap(100.0);
+        b.set_horizon(100);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 1],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::BandwidthCap { step: 1, .. })));
+    }
+
+    #[test]
+    fn core_cap_violation_is_detected() {
+        let mut b = InstanceBuilder::new();
+        let c0 = b.add_machine("cpu0");
+        let c1 = b.add_machine("cpu1");
+        b.add_task("a", vec![Mode::on(c0, 2).cores(2)]);
+        b.add_task("b", vec![Mode::on(c1, 2).cores(2)]);
+        b.set_core_cap(3);
+        b.set_horizon(100);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 0],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::CoreCap { total: 4, .. })));
+    }
+
+    #[test]
+    fn horizon_violation_is_detected() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 5)]);
+        b.set_horizon(4);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0],
+            modes: vec![ModeId(0)],
+        };
+        assert!(sched
+            .verify(&inst)
+            .iter()
+            .any(|v| matches!(v, Violation::Horizon { .. })));
+    }
+
+    #[test]
+    fn active_counts_track_concurrency() {
+        let (inst, _, _) = two_task_instance();
+        let sched = Schedule {
+            starts: vec![0, 2],
+            modes: vec![ModeId(0), ModeId(1)],
+        };
+        assert_eq!(sched.active_counts(&inst), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn profiles_sum_overlapping_tasks() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(cpu, 2).power(5.0).bandwidth(1.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 1).power(7.0).bandwidth(2.0)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 1],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        assert_eq!(sched.power_profile(&inst), vec![5.0, 12.0]);
+        assert_eq!(sched.bandwidth_profile(&inst), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    fn render_lists_all_tasks() {
+        let (inst, _, _) = two_task_instance();
+        let sched = Schedule {
+            starts: vec![0, 2],
+            modes: vec![ModeId(0), ModeId(1)],
+        };
+        let text = sched.render(&inst);
+        assert!(text.contains("makespan 3"));
+        assert!(text.contains('a'));
+        assert!(text.contains("gpu"));
+    }
+}
+
+impl Schedule {
+    /// Renders an ASCII Gantt chart: one row per machine, one column per
+    /// time step (capped at `max_width` columns; longer schedules are
+    /// downsampled). Tasks are lettered in start order.
+    ///
+    /// ```text
+    /// cpu  |ab....cd |
+    /// gpu  |..eee....|
+    /// dsa  |.fffff...|
+    /// ```
+    #[must_use]
+    pub fn render_gantt(&self, instance: &Instance, max_width: usize) -> String {
+        let makespan = self.makespan(instance) as usize;
+        if makespan == 0 {
+            return String::from("(empty schedule)");
+        }
+        let width = makespan.min(max_width.max(1));
+        // scale: time steps per column (ceiling).
+        let scale = makespan.div_ceil(width);
+        let columns = makespan.div_ceil(scale);
+
+        let label_width = instance
+            .machines()
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(0);
+        let mut rows: Vec<Vec<char>> = vec![vec!['.'; columns]; instance.num_machines()];
+
+        // Letter tasks in start order: a-z then A-Z then '#'.
+        let mut order: Vec<usize> = (0..instance.num_tasks()).collect();
+        order.sort_by_key(|&t| (self.starts[t], t));
+        let glyph = |rank: usize| -> char {
+            if rank < 26 {
+                (b'a' + rank as u8) as char
+            } else if rank < 52 {
+                (b'A' + (rank - 26) as u8) as char
+            } else {
+                '#'
+            }
+        };
+        let mut legend = Vec::new();
+        for (rank, &t) in order.iter().enumerate() {
+            let task = TaskId(t);
+            let mode = instance.mode(task, self.modes[t]);
+            let g = glyph(rank);
+            legend.push(format!("{g}={}", instance.task(task).label));
+            let start = self.starts[t] as usize / scale;
+            let end = (self.finish(instance, task) as usize).div_ceil(scale);
+            for column in rows[mode.machine.0]
+                .iter_mut()
+                .take(end.min(columns))
+                .skip(start)
+            {
+                *column = g;
+            }
+        }
+
+        let mut out = String::new();
+        for (m, row) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "{:<label_width$} |{}|\n",
+                instance.machines()[m],
+                row.iter().collect::<String>()
+            ));
+        }
+        out.push_str(&format!(
+            "({} steps, {} per column)  {}\n",
+            makespan,
+            scale,
+            legend.join(" ")
+        ));
+        out
+    }
+
+    /// Total energy of the schedule: the sum of each task's mode energy
+    /// (W x steps).
+    #[must_use]
+    pub fn total_energy(&self, instance: &Instance) -> f64 {
+        (0..instance.num_tasks())
+            .map(|t| instance.mode(TaskId(t), self.modes[t]).energy())
+            .sum()
+    }
+
+    /// Per-machine busy fraction over `[0, makespan)`.
+    #[must_use]
+    pub fn machine_utilization(&self, instance: &Instance) -> Vec<f64> {
+        let makespan = self.makespan(instance);
+        let mut busy = vec![0u64; instance.num_machines()];
+        for t in 0..instance.num_tasks() {
+            let mode = instance.mode(TaskId(t), self.modes[t]);
+            busy[mode.machine.0] += u64::from(mode.duration);
+        }
+        busy
+            .into_iter()
+            .map(|b| {
+                if makespan == 0 {
+                    0.0
+                } else {
+                    b as f64 / f64::from(makespan)
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    fn tiny() -> (Instance, Schedule) {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(cpu, 2).power(3.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 3).power(5.0)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 1],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        (inst, sched)
+    }
+
+    #[test]
+    fn gantt_rows_cover_all_machines() {
+        let (inst, sched) = tiny();
+        let text = sched.render_gantt(&inst, 80);
+        assert!(text.contains("cpu |aa..|"));
+        assert!(text.contains("gpu |.bbb|"));
+        assert!(text.contains("a=a"));
+    }
+
+    #[test]
+    fn gantt_downsamples_long_schedules() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("long", vec![Mode::on(cpu, 100)]);
+        b.set_horizon(200);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0],
+            modes: vec![ModeId(0)],
+        };
+        let text = sched.render_gantt(&inst, 20);
+        assert!(text.contains("5 per column"));
+        let row = text.lines().next().unwrap();
+        assert!(row.len() < 40);
+    }
+
+    #[test]
+    fn empty_schedule_renders_placeholder() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let sched = Schedule {
+            starts: vec![],
+            modes: vec![],
+        };
+        assert_eq!(sched.render_gantt(&inst, 10), "(empty schedule)");
+    }
+
+    #[test]
+    fn energy_sums_mode_energies() {
+        let (inst, sched) = tiny();
+        assert!((sched.total_energy(&inst) - (2.0 * 3.0 + 3.0 * 5.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_is_busy_fraction() {
+        let (inst, sched) = tiny();
+        let util = sched.machine_utilization(&inst);
+        assert!((util[0] - 0.5).abs() < 1e-9);
+        assert!((util[1] - 0.75).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,363 @@
+//! Timetabling and the serial schedule-generation scheme (SGS).
+//!
+//! The serial SGS places tasks one at a time, each at the earliest start
+//! that respects precedence, machine exclusivity, and the cumulative
+//! resource caps. Enumerating all precedence-feasible insertion orders (and
+//! mode choices) generates the class of *active* schedules, which is known
+//! to contain an optimum for makespan minimization; this is the foundation
+//! of both the randomized heuristic and the exact branch-and-bound search.
+
+use crate::instance::{EdgeKind, Instance, Mode, ModeId, TaskId};
+use crate::schedule::Schedule;
+
+/// Dense per-time-step occupancy and resource usage over the horizon.
+pub(crate) struct Timetable<'a> {
+    instance: &'a Instance,
+    machine_busy: Vec<Vec<bool>>,
+    power: Vec<f64>,
+    bandwidth: Vec<f64>,
+    cores: Vec<u32>,
+    /// One profile per user-defined resource.
+    extra: Vec<Vec<f64>>,
+}
+
+impl<'a> Timetable<'a> {
+    pub(crate) fn new(instance: &'a Instance) -> Self {
+        let horizon = instance.horizon() as usize;
+        Timetable {
+            instance,
+            machine_busy: vec![vec![false; horizon]; instance.num_machines()],
+            power: vec![0.0; horizon],
+            bandwidth: vec![0.0; horizon],
+            cores: vec![0; horizon],
+            extra: vec![vec![0.0; horizon]; instance.resources().len()],
+        }
+    }
+
+    /// Whether `mode` can run during `[start, start + duration)`.
+    #[allow(clippy::needless_range_loop)] // the step index probes several profiles
+    fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
+        let begin = start as usize;
+        let end = begin + mode.duration as usize;
+        let busy = &self.machine_busy[mode.machine.0];
+        let power_cap = self.instance.power_cap();
+        let bw_cap = self.instance.bandwidth_cap();
+        let core_cap = self.instance.core_cap();
+        for u in begin..end {
+            let conflict = busy[u]
+                || power_cap.is_some_and(|cap| self.power[u] + mode.power > cap + 1e-9)
+                || bw_cap.is_some_and(|cap| self.bandwidth[u] + mode.bandwidth > cap + 1e-9)
+                || core_cap.is_some_and(|cap| self.cores[u] + mode.cores > cap)
+                || mode.resource_usage.iter().any(|&(r, amount)| {
+                    self.extra[r.0][u] + amount > self.instance.resources()[r.0].1 + 1e-9
+                });
+            if conflict {
+                return Err(u as u32);
+            }
+        }
+        Ok(())
+    }
+
+    /// Earliest start `>= est` at which `mode` fits, or `None` if it does
+    /// not fit anywhere before the horizon.
+    pub(crate) fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
+        let mut t = est;
+        loop {
+            if u64::from(t) + u64::from(mode.duration) > u64::from(self.instance.horizon()) {
+                return None;
+            }
+            match self.fits_at(mode, t) {
+                Ok(()) => return Some(t),
+                Err(failed_at) => t = failed_at + 1,
+            }
+        }
+    }
+
+    /// Marks `mode` as running during `[start, start + duration)`.
+    pub(crate) fn place(&mut self, mode: &Mode, start: u32) {
+        let begin = start as usize;
+        let end = begin + mode.duration as usize;
+        for u in begin..end {
+            debug_assert!(!self.machine_busy[mode.machine.0][u]);
+            self.machine_busy[mode.machine.0][u] = true;
+            self.power[u] += mode.power;
+            self.bandwidth[u] += mode.bandwidth;
+            self.cores[u] += mode.cores;
+            for &(r, amount) in &mode.resource_usage {
+                self.extra[r.0][u] += amount;
+            }
+        }
+    }
+
+    /// Reverts a previous [`Timetable::place`] call.
+    pub(crate) fn unplace(&mut self, mode: &Mode, start: u32) {
+        let begin = start as usize;
+        let end = begin + mode.duration as usize;
+        for u in begin..end {
+            self.machine_busy[mode.machine.0][u] = false;
+            self.power[u] -= mode.power;
+            self.bandwidth[u] -= mode.bandwidth;
+            self.cores[u] -= mode.cores;
+            for &(r, amount) in &mode.resource_usage {
+                self.extra[r.0][u] -= amount;
+            }
+        }
+    }
+}
+
+/// How the SGS selects a mode for the task being placed.
+pub(crate) enum ModeRule<'f> {
+    /// Try every mode and keep the one with the earliest finish, breaking
+    /// ties towards lower energy.
+    GreedyFinish,
+    /// Force specific modes for some tasks (used by local search); others
+    /// fall back to greedy.
+    Forced(&'f [Option<ModeId>]),
+}
+
+/// Runs the serial SGS over a ready list ordered by `priority` (highest
+/// first). Returns `None` when some task cannot be placed within the
+/// horizon.
+pub(crate) fn serial_sgs(
+    instance: &Instance,
+    priority: &[f64],
+    mode_rule: &ModeRule<'_>,
+) -> Option<Schedule> {
+    let n = instance.num_tasks();
+    let mut timetable = Timetable::new(instance);
+    let mut starts = vec![0u32; n];
+    let mut modes = vec![ModeId(0); n];
+    let mut finish: Vec<Option<u32>> = vec![None; n];
+    let mut remaining_preds: Vec<usize> = (0..n)
+        .map(|t| instance.predecessors(TaskId(t)).len())
+        .collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&t| remaining_preds[t] == 0).collect();
+
+    for _ in 0..n {
+        // Highest-priority ready task; ties broken by index for determinism.
+        let (pos, &t) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                priority[a]
+                    .partial_cmp(&priority[b])
+                    .unwrap_or(std::cmp::Ordering::Equal)
+                    .then(b.cmp(&a))
+            })?;
+        ready.swap_remove(pos);
+        let task = TaskId(t);
+        let est = instance
+            .incoming(task)
+            .iter()
+            .map(|e| match e.kind {
+                EdgeKind::FinishToStart => {
+                    finish[e.before.0].expect("ready tasks have scheduled predecessors") + e.lag
+                }
+                EdgeKind::StartToStart => starts[e.before.0] + e.lag,
+            })
+            .max()
+            .unwrap_or(0);
+
+        let chosen = match mode_rule {
+            ModeRule::Forced(forced) if forced[t].is_some() => {
+                let mode_id = forced[t].expect("checked is_some");
+                let mode = instance.mode(task, mode_id);
+                timetable
+                    .earliest_start(mode, est)
+                    .map(|s| (mode_id, s, mode))
+            }
+            _ => {
+                let mut best: Option<(ModeId, u32, &Mode)> = None;
+                for (i, mode) in instance.task(task).modes.iter().enumerate() {
+                    // Skip modes that cannot beat the current best finish.
+                    if let Some((_, s, m)) = best {
+                        if est + mode.duration >= s + m.duration && mode.energy() >= m.energy() {
+                            continue;
+                        }
+                    }
+                    if let Some(s) = timetable.earliest_start(mode, est) {
+                        let better = match best {
+                            None => true,
+                            Some((_, bs, bm)) => {
+                                let fin = s + mode.duration;
+                                let bfin = bs + bm.duration;
+                                fin < bfin || (fin == bfin && mode.energy() < bm.energy())
+                            }
+                        };
+                        if better {
+                            best = Some((ModeId(i), s, mode));
+                        }
+                    }
+                }
+                best
+            }
+        };
+
+        let (mode_id, start, mode) = chosen?;
+        timetable.place(mode, start);
+        starts[t] = start;
+        modes[t] = mode_id;
+        finish[t] = Some(start + mode.duration);
+        for &s in instance.successors(task) {
+            remaining_preds[s.0] -= 1;
+            if remaining_preds[s.0] == 0 {
+                ready.push(s.0);
+            }
+        }
+    }
+
+    Some(Schedule { starts, modes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    #[test]
+    fn earliest_start_skips_busy_windows() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 3)]);
+        b.add_task("b", vec![Mode::on(cpu, 2)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let mut tt = Timetable::new(&inst);
+        let mode = Mode::on(cpu, 3);
+        tt.place(&mode, 2); // busy [2, 5)
+        let probe = Mode::on(cpu, 2);
+        assert_eq!(tt.earliest_start(&probe, 0), Some(0));
+        assert_eq!(tt.earliest_start(&probe, 1), Some(5));
+        assert_eq!(tt.earliest_start(&probe, 4), Some(5));
+    }
+
+    #[test]
+    fn earliest_start_respects_horizon() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 3)]);
+        b.set_horizon(5);
+        let inst = b.build().unwrap();
+        let tt = Timetable::new(&inst);
+        let probe = Mode::on(cpu, 3);
+        assert_eq!(tt.earliest_start(&probe, 2), Some(2));
+        assert_eq!(tt.earliest_start(&probe, 3), None);
+    }
+
+    #[test]
+    fn earliest_start_respects_power_headroom() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(cpu, 4).power(6.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 2).power(5.0)]);
+        b.set_power_cap(10.0);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let mut tt = Timetable::new(&inst);
+        tt.place(&Mode::on(cpu, 4).power(6.0), 0);
+        let probe = Mode::on(gpu, 2).power(5.0);
+        // 6 + 5 > 10 during [0,4): must wait until step 4.
+        assert_eq!(tt.earliest_start(&probe, 0), Some(4));
+    }
+
+    #[test]
+    fn unplace_restores_headroom() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 2)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let mut tt = Timetable::new(&inst);
+        let mode = Mode::on(cpu, 2).power(3.0).bandwidth(1.0).cores(1);
+        tt.place(&mode, 0);
+        assert_eq!(tt.earliest_start(&Mode::on(cpu, 1), 0), Some(2));
+        tt.unplace(&mode, 0);
+        assert_eq!(tt.earliest_start(&Mode::on(cpu, 1), 0), Some(0));
+        assert_eq!(tt.power[0], 0.0);
+        assert_eq!(tt.cores[0], 0);
+    }
+
+    #[test]
+    fn sgs_respects_precedence_chains() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let setup = b.add_task("setup", vec![Mode::on(cpu, 1)]);
+        let compute = b.add_task("compute", vec![Mode::on(gpu, 3)]);
+        let teardown = b.add_task("teardown", vec![Mode::on(cpu, 1)]);
+        b.add_precedence(setup, compute);
+        b.add_precedence(compute, teardown);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = serial_sgs(&inst, &[0.0, 0.0, 0.0], &ModeRule::GreedyFinish).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.makespan(&inst), 5);
+    }
+
+    #[test]
+    fn sgs_prefers_faster_mode() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let t = b.add_task("t", vec![Mode::on(cpu, 8), Mode::on(gpu, 3)]);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = serial_sgs(&inst, &[0.0], &ModeRule::GreedyFinish).unwrap();
+        assert_eq!(inst.mode(t, sched.modes[0]).machine, gpu);
+    }
+
+    #[test]
+    fn sgs_breaks_finish_ties_towards_lower_energy() {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("hungry");
+        let m1 = b.add_machine("frugal");
+        let t = b.add_task(
+            "t",
+            vec![Mode::on(m0, 3).power(50.0), Mode::on(m1, 3).power(5.0)],
+        );
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = serial_sgs(&inst, &[0.0], &ModeRule::GreedyFinish).unwrap();
+        assert_eq!(inst.mode(t, sched.modes[0]).machine, m1);
+    }
+
+    #[test]
+    fn forced_modes_are_honored() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let t = b.add_task("t", vec![Mode::on(cpu, 8), Mode::on(gpu, 3)]);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let forced = vec![Some(ModeId(0))];
+        let sched = serial_sgs(&inst, &[0.0], &ModeRule::Forced(&forced)).unwrap();
+        assert_eq!(inst.mode(t, sched.modes[0]).machine, cpu);
+    }
+
+    #[test]
+    fn sgs_returns_none_when_horizon_is_too_small() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 4)]);
+        b.add_task("b", vec![Mode::on(cpu, 4)]);
+        b.set_horizon(6);
+        let inst = b.build().unwrap();
+        assert!(serial_sgs(&inst, &[0.0, 0.0], &ModeRule::GreedyFinish).is_none());
+    }
+
+    #[test]
+    fn priorities_steer_the_ready_list() {
+        // Two independent tasks on one machine: the higher-priority one
+        // goes first.
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let a = b.add_task("a", vec![Mode::on(cpu, 2)]);
+        let c = b.add_task("b", vec![Mode::on(cpu, 2)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = serial_sgs(&inst, &[0.0, 1.0], &ModeRule::GreedyFinish).unwrap();
+        assert_eq!(sched.starts[c.0], 0);
+        assert_eq!(sched.starts[a.0], 2);
+    }
+}

@@ -1,0 +1,506 @@
+//! The anytime solver facade: heuristic + bounds + exact refinement.
+
+use crate::bnb;
+use crate::bounds;
+use crate::error::SchedError;
+use crate::heuristic;
+use crate::instance::Instance;
+use crate::schedule::Schedule;
+
+/// Tuning knobs for [`solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverConfig {
+    /// Number of randomized SGS multi-start passes.
+    pub heuristic_starts: usize,
+    /// Number of mode-reassignment local-search sweeps.
+    pub local_search_passes: usize,
+    /// Node budget for the exact branch-and-bound refinement; `0` disables
+    /// the exact phase entirely.
+    pub exact_node_budget: u64,
+    /// Only run the exact phase when the instance has at most this many
+    /// tasks (the search is factorial in the task count).
+    pub exact_task_threshold: usize,
+    /// Seed for the randomized heuristic, making solves reproducible.
+    pub seed: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        SolverConfig {
+            heuristic_starts: 300,
+            local_search_passes: 3,
+            exact_node_budget: 2_000_000,
+            exact_task_threshold: 12,
+            seed: 0x4a53_5350, // "JSSP"
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A fast configuration for large design-space sweeps: fewer starts and
+    /// no exact phase.
+    #[must_use]
+    pub fn sweep() -> Self {
+        SolverConfig {
+            heuristic_starts: 120,
+            local_search_passes: 2,
+            exact_node_budget: 0,
+            ..SolverConfig::default()
+        }
+    }
+
+    /// An exhaustive configuration for small validation instances.
+    #[must_use]
+    pub fn exact() -> Self {
+        SolverConfig {
+            heuristic_starts: 400,
+            local_search_passes: 3,
+            exact_node_budget: 50_000_000,
+            exact_task_threshold: 16,
+            ..SolverConfig::default()
+        }
+    }
+}
+
+/// Search statistics of a [`solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Heuristic multi-start passes executed.
+    pub heuristic_starts: usize,
+    /// Branch-and-bound nodes explored (0 when the exact phase was skipped).
+    pub bnb_nodes: u64,
+    /// Whether the exact phase ran at all.
+    pub exact_phase_ran: bool,
+}
+
+/// The result of a scheduling solve: the paper's triple of best schedule,
+/// optimality bound, and the gap between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOutcome {
+    /// Best schedule found.
+    pub schedule: Schedule,
+    /// Its makespan in time steps.
+    pub makespan: u32,
+    /// Proven lower bound on the optimal makespan.
+    pub lower_bound: u32,
+    /// Whether the schedule is proven optimal.
+    pub proved_optimal: bool,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+impl SolveOutcome {
+    /// Relative optimality gap `(makespan - bound) / makespan`.
+    ///
+    /// The paper considers a schedule *near-optimal* when this is at most
+    /// 0.10.
+    #[must_use]
+    pub fn gap(&self) -> f64 {
+        if self.makespan == 0 {
+            return 0.0;
+        }
+        f64::from(self.makespan - self.lower_bound) / f64::from(self.makespan)
+    }
+
+    /// The paper's near-optimality criterion: gap within 10%.
+    #[must_use]
+    pub fn is_near_optimal(&self) -> bool {
+        self.gap() <= 0.10 + 1e-12
+    }
+}
+
+/// Solves the instance: heuristic multi-start, combinatorial lower bounds,
+/// and (for small instances) exact branch and bound.
+///
+/// # Errors
+///
+/// Returns [`SchedError::HorizonExhausted`] when no feasible schedule fits
+/// within the instance horizon.
+///
+/// # Example
+///
+/// See the [crate-level documentation](crate).
+pub fn solve(instance: &Instance, config: &SolverConfig) -> Result<SolveOutcome, SchedError> {
+    let combinatorial_bound = bounds::lower_bound(instance);
+
+    let heuristic_best = heuristic::multi_start(
+        instance,
+        config.heuristic_starts,
+        config.local_search_passes,
+        config.seed,
+    );
+
+    let run_exact = config.exact_node_budget > 0
+        && instance.num_tasks() <= config.exact_task_threshold
+        // Skip the exact phase when the heuristic already matches the bound.
+        && heuristic_best
+            .as_ref()
+            .is_none_or(|s| s.makespan(instance) > combinatorial_bound);
+
+    let mut stats = SolveStats {
+        heuristic_starts: config.heuristic_starts,
+        bnb_nodes: 0,
+        exact_phase_ran: run_exact,
+    };
+
+    let (schedule, lower_bound, proved) = if run_exact {
+        let result = bnb::branch_and_bound(
+            instance,
+            heuristic_best,
+            combinatorial_bound,
+            config.exact_node_budget,
+        );
+        stats.bnb_nodes = result.nodes;
+        let Some(best) = result.best else {
+            return Err(SchedError::HorizonExhausted {
+                horizon: instance.horizon(),
+            });
+        };
+        let bound = result.lower_bound.max(combinatorial_bound);
+        (best, bound, result.complete)
+    } else {
+        let Some(best) = heuristic_best else {
+            return Err(SchedError::HorizonExhausted {
+                horizon: instance.horizon(),
+            });
+        };
+        let makespan = best.makespan(instance);
+        let proved = makespan <= combinatorial_bound;
+        (best, combinatorial_bound.min(makespan).max(combinatorial_bound), proved)
+    };
+
+    let makespan = schedule.makespan(instance);
+    Ok(SolveOutcome {
+        schedule,
+        makespan,
+        lower_bound: lower_bound.min(makespan),
+        proved_optimal: proved || lower_bound >= makespan,
+        stats,
+    })
+}
+
+/// Convenience wrapper: heuristic-only solve (no exact phase).
+///
+/// # Errors
+///
+/// Returns [`SchedError::HorizonExhausted`] when no feasible schedule fits
+/// within the instance horizon.
+pub fn solve_heuristic(
+    instance: &Instance,
+    config: &SolverConfig,
+) -> Result<SolveOutcome, SchedError> {
+    let config = SolverConfig {
+        exact_node_budget: 0,
+        ..config.clone()
+    };
+    solve(instance, &config)
+}
+
+/// Convenience wrapper: solve with a large exact budget regardless of task
+/// count. Only suitable for small instances.
+///
+/// # Errors
+///
+/// Returns [`SchedError::HorizonExhausted`] when no feasible schedule fits
+/// within the instance horizon.
+pub fn solve_exact(instance: &Instance, config: &SolverConfig) -> Result<SolveOutcome, SchedError> {
+    let config = SolverConfig {
+        exact_node_budget: config.exact_node_budget.max(50_000_000),
+        exact_task_threshold: usize::MAX,
+        ..config.clone()
+    };
+    solve(instance, &config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    fn figure2_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let dsa = b.add_machine("dsa");
+        for (name, cpu_t, gpu_t, dsa_t) in [("m", 8, 6, 5), ("n", 5, 3, 2)] {
+            let s = b.add_task(format!("{name}0"), vec![Mode::on(cpu, 1)]);
+            let c = b.add_task(
+                format!("{name}1"),
+                vec![
+                    Mode::on(cpu, cpu_t),
+                    Mode::on(gpu, gpu_t),
+                    Mode::on(dsa, dsa_t),
+                ],
+            );
+            let t = b.add_task(format!("{name}2"), vec![Mode::on(cpu, 1)]);
+            b.add_precedence(s, c);
+            b.add_precedence(c, t);
+        }
+        b.set_horizon(30);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn solve_proves_figure2_optimum() {
+        let inst = figure2_instance();
+        let outcome = solve(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.makespan, 7);
+        assert!(outcome.proved_optimal);
+        assert_eq!(outcome.gap(), 0.0);
+        assert!(outcome.is_near_optimal());
+        assert!(outcome.schedule.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn heuristic_only_still_reports_valid_bound() {
+        let inst = figure2_instance();
+        let outcome = solve_heuristic(&inst, &SolverConfig::default()).unwrap();
+        assert!(outcome.lower_bound <= outcome.makespan);
+        assert!(outcome.makespan >= 7);
+        assert!(!outcome.stats.exact_phase_ran);
+    }
+
+    #[test]
+    fn infeasible_horizon_is_an_error() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 5)]);
+        b.add_task("b", vec![Mode::on(cpu, 5)]);
+        b.set_horizon(7);
+        let inst = b.build().unwrap();
+        let err = solve(&inst, &SolverConfig::default()).unwrap_err();
+        assert!(matches!(err, SchedError::HorizonExhausted { horizon: 7 }));
+    }
+
+    #[test]
+    fn empty_instance_solves_to_zero() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let outcome = solve(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.makespan, 0);
+        assert!(outcome.proved_optimal);
+        assert_eq!(outcome.gap(), 0.0);
+    }
+
+    #[test]
+    fn exact_phase_skipped_when_heuristic_matches_bound() {
+        // A single chain: the critical path bound equals the optimum, so
+        // the heuristic provably finds it and B&B must be skipped.
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let t0 = b.add_task("a", vec![Mode::on(cpu, 3)]);
+        let t1 = b.add_task("b", vec![Mode::on(cpu, 4)]);
+        b.add_precedence(t0, t1);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let outcome = solve(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(outcome.makespan, 7);
+        assert!(outcome.proved_optimal);
+        assert!(!outcome.stats.exact_phase_ran);
+    }
+
+    #[test]
+    fn sweep_and_exact_configs_agree_on_small_instances() {
+        let inst = figure2_instance();
+        let sweep = solve(&inst, &SolverConfig::sweep()).unwrap();
+        let exact = solve(&inst, &SolverConfig::exact()).unwrap();
+        assert_eq!(exact.makespan, 7);
+        assert!(sweep.makespan >= exact.makespan);
+        assert!(sweep.makespan <= 8, "sweep heuristic should be near-optimal");
+    }
+
+    #[test]
+    fn gap_handles_zero_makespan() {
+        let outcome = SolveOutcome {
+            schedule: Schedule {
+                starts: vec![],
+                modes: vec![],
+            },
+            makespan: 0,
+            lower_bound: 0,
+            proved_optimal: true,
+            stats: SolveStats::default(),
+        };
+        assert_eq!(outcome.gap(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod lag_tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    #[test]
+    fn finish_to_start_lag_delays_the_successor() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let t0 = b.add_task("a", vec![Mode::on(cpu, 2)]);
+        let t1 = b.add_task("b", vec![Mode::on(gpu, 3)]);
+        b.add_precedence_lagged(t0, t1, 4);
+        b.set_horizon(30);
+        let inst = b.build().unwrap();
+        let out = solve_exact(&inst, &SolverConfig::default()).unwrap();
+        // 2 (a) + 4 (lag) + 3 (b) = 9.
+        assert_eq!(out.makespan, 9);
+        assert!(out.proved_optimal);
+        assert!(out.schedule.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn initiation_interval_allows_pipelined_overlap() {
+        // A 10-step producer; the consumer may start 2 steps after the
+        // producer STARTS (streaming), not after it finishes.
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let producer = b.add_task("producer", vec![Mode::on(cpu, 10)]);
+        let consumer = b.add_task("consumer", vec![Mode::on(gpu, 10)]);
+        b.add_initiation_interval(producer, consumer, 2);
+        b.set_horizon(40);
+        let inst = b.build().unwrap();
+        let out = solve_exact(&inst, &SolverConfig::default()).unwrap();
+        // Overlapped: consumer runs [2, 12) while producer runs [0, 10).
+        assert_eq!(out.makespan, 12);
+        assert_eq!(out.schedule.starts[consumer.0], 2);
+        assert!(out.schedule.verify(&inst).is_empty());
+        let _ = producer;
+    }
+
+    #[test]
+    fn initiation_interval_chain_pipelines_three_stages() {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("s0");
+        let m1 = b.add_machine("s1");
+        let m2 = b.add_machine("s2");
+        let a = b.add_task("a", vec![Mode::on(m0, 6)]);
+        let c = b.add_task("b", vec![Mode::on(m1, 6)]);
+        let d = b.add_task("c", vec![Mode::on(m2, 6)]);
+        b.add_initiation_interval(a, c, 1);
+        b.add_initiation_interval(c, d, 1);
+        b.set_horizon(40);
+        let inst = b.build().unwrap();
+        let out = solve_exact(&inst, &SolverConfig::default()).unwrap();
+        // Fully pipelined: stages start at 0, 1, 2 -> makespan 8, versus 18
+        // under finish-to-start edges.
+        assert_eq!(out.makespan, 8);
+    }
+
+    #[test]
+    fn lag_bounds_are_sound() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let t0 = b.add_task("a", vec![Mode::on(cpu, 2)]);
+        let t1 = b.add_task("b", vec![Mode::on(cpu, 2)]);
+        b.add_precedence_lagged(t0, t1, 5);
+        b.set_horizon(30);
+        let inst = b.build().unwrap();
+        assert_eq!(crate::bounds::lower_bound(&inst), 9);
+        let out = solve_exact(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(out.makespan, 9);
+    }
+}
+
+#[cfg(test)]
+mod resource_tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode, ResourceId};
+    use crate::schedule::Violation;
+
+    /// Two accelerators share an LLC with limited bandwidth: the paper's
+    /// Section VII memory-hierarchy extension.
+    fn llc_instance(llc_cap: f64) -> (crate::instance::Instance, ResourceId) {
+        let mut b = InstanceBuilder::new();
+        let gpu = b.add_machine("gpu");
+        let dsa = b.add_machine("dsa");
+        let llc = b.add_resource("llc-bandwidth", llc_cap);
+        b.add_task("a", vec![Mode::on(gpu, 4).uses(llc, 60.0)]);
+        b.add_task("b", vec![Mode::on(dsa, 4).uses(llc, 60.0)]);
+        b.set_horizon(20);
+        (b.build().unwrap(), llc)
+    }
+
+    #[test]
+    fn ample_llc_bandwidth_allows_full_overlap() {
+        let (inst, _) = llc_instance(200.0);
+        let out = solve_exact(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(out.makespan, 4);
+    }
+
+    #[test]
+    fn scarce_llc_bandwidth_serializes_the_accelerators() {
+        let (inst, _) = llc_instance(100.0);
+        let out = solve_exact(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(out.makespan, 8);
+        assert!(out.schedule.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn resource_violations_are_detected_by_verify() {
+        let (inst, llc) = llc_instance(100.0);
+        let bad = Schedule {
+            starts: vec![0, 0],
+            modes: vec![crate::instance::ModeId(0), crate::instance::ModeId(0)],
+        };
+        let violations = bad.verify(&inst);
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::ResourceCap { resource, total, .. }
+                if *resource == llc && (*total - 120.0).abs() < 1e-9)
+        ));
+    }
+
+    #[test]
+    fn resource_volume_bound_is_applied() {
+        let (inst, _) = llc_instance(100.0);
+        // Volume 2 * 4 * 60 = 480 over cap 100 -> at least 5 steps... but
+        // serialization forces 8; the volume bound alone gives ceil(480/100)=5.
+        assert!(crate::bounds::lower_bound(&inst) >= 5);
+    }
+
+    #[test]
+    fn mode_exceeding_resource_cap_alone_is_dropped() {
+        let mut b = InstanceBuilder::new();
+        let gpu = b.add_machine("gpu");
+        let cpu = b.add_machine("cpu");
+        let llc = b.add_resource("llc", 50.0);
+        let t = b.add_task(
+            "a",
+            vec![
+                Mode::on(gpu, 1).uses(llc, 80.0), // infeasible alone
+                Mode::on(cpu, 5).uses(llc, 10.0),
+            ],
+        );
+        let inst = b.build().unwrap();
+        assert_eq!(inst.task(t).modes.len(), 1);
+        assert_eq!(inst.task(t).modes[0].machine, cpu);
+    }
+
+    #[test]
+    fn unknown_resource_is_rejected() {
+        let mut b = InstanceBuilder::new();
+        let gpu = b.add_machine("gpu");
+        b.add_task("a", vec![Mode::on(gpu, 1).uses(ResourceId(3), 1.0)]);
+        assert!(matches!(
+            b.build(),
+            Err(crate::SchedError::UnknownResource { resource: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn dominance_respects_resource_usage() {
+        let mut b = InstanceBuilder::new();
+        let gpu = b.add_machine("gpu");
+        let llc = b.add_resource("llc", 100.0);
+        // Same duration/power, but different LLC usage: neither dominates
+        // ... the lighter one does dominate (same speed, less usage).
+        let t = b.add_task(
+            "a",
+            vec![
+                Mode::on(gpu, 4).uses(llc, 60.0),
+                Mode::on(gpu, 4).uses(llc, 30.0),
+            ],
+        );
+        let inst = b.build().unwrap();
+        assert_eq!(inst.task(t).modes.len(), 1);
+        assert!((inst.task(t).modes[0].usage_of(llc) - 30.0).abs() < 1e-9);
+    }
+}

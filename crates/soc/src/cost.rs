@@ -1,0 +1,175 @@
+//! Manufacturing cost and embodied carbon as functions of die area.
+//!
+//! The paper motivates area as "a key driver of the SoC's manufacturing
+//! cost and embodied carbon footprint" (Section I, citing Brunvand et
+//! al.'s dark-silicon sustainability argument) but evaluates area only.
+//! This module closes that loop with the standard early-stage models so
+//! the DSE can draw Pareto fronts in dollars and kgCO₂e instead of mm²:
+//!
+//! * dies per wafer from die area and wafer diameter (the usual
+//!   circle-packing approximation with an edge-loss correction);
+//! * die yield from defect density via the negative-binomial model
+//!   `Y = (1 + A * D0 / alpha)^-alpha`;
+//! * die cost = wafer cost / (dies per wafer * yield);
+//! * embodied carbon proportional to *wafer* area consumed per good die
+//!   (fabrication emissions scale with processed silicon, not with good
+//!   silicon).
+
+/// A manufacturing process node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProcessNode {
+    /// Display name (e.g. `"N7"`).
+    pub name: String,
+    /// Wafer cost in USD.
+    pub wafer_cost_usd: f64,
+    /// Defect density in defects per mm².
+    pub defect_density_per_mm2: f64,
+    /// Negative-binomial clustering parameter (typically 2-4).
+    pub alpha: f64,
+    /// Fabrication carbon per mm² of wafer area (kgCO₂e).
+    pub carbon_kg_per_mm2: f64,
+    /// Wafer diameter in mm.
+    pub wafer_diameter_mm: f64,
+}
+
+impl ProcessNode {
+    /// A 7 nm-class node, matching the paper's Section IV technology
+    /// assumption: ~$9.3k wafers, ~0.09 defects/cm², ~1.8 kgCO₂e/cm²
+    /// fabrication footprint, 300 mm wafers.
+    #[must_use]
+    pub fn n7() -> Self {
+        ProcessNode {
+            name: "N7".to_string(),
+            wafer_cost_usd: 9346.0,
+            defect_density_per_mm2: 0.0009,
+            alpha: 3.0,
+            carbon_kg_per_mm2: 0.018,
+            wafer_diameter_mm: 300.0,
+        }
+    }
+
+    /// Gross dies per wafer for a die of `area_mm2`, using the standard
+    /// approximation `pi*(d/2)^2/A - pi*d/sqrt(2A)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `area_mm2` is not positive.
+    #[must_use]
+    pub fn dies_per_wafer(&self, area_mm2: f64) -> f64 {
+        debug_assert!(area_mm2 > 0.0);
+        let d = self.wafer_diameter_mm;
+        let gross = std::f64::consts::PI * (d / 2.0) * (d / 2.0) / area_mm2
+            - std::f64::consts::PI * d / (2.0 * area_mm2).sqrt();
+        gross.max(0.0)
+    }
+
+    /// Die yield in `(0, 1]` under the negative-binomial defect model.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `area_mm2` is not positive.
+    #[must_use]
+    pub fn yield_fraction(&self, area_mm2: f64) -> f64 {
+        debug_assert!(area_mm2 > 0.0);
+        (1.0 + area_mm2 * self.defect_density_per_mm2 / self.alpha).powf(-self.alpha)
+    }
+
+    /// Cost of one *good* die (USD). Returns infinity for dies too large
+    /// to fit a wafer.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `area_mm2` is not positive.
+    #[must_use]
+    pub fn die_cost_usd(&self, area_mm2: f64) -> f64 {
+        let good_dies = self.dies_per_wafer(area_mm2) * self.yield_fraction(area_mm2);
+        if good_dies <= 0.0 {
+            f64::INFINITY
+        } else {
+            self.wafer_cost_usd / good_dies
+        }
+    }
+
+    /// Embodied fabrication carbon attributed to one good die (kgCO₂e):
+    /// the wafer's full processed area divided among good dies.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `area_mm2` is not positive.
+    #[must_use]
+    pub fn embodied_carbon_kg(&self, area_mm2: f64) -> f64 {
+        let wafer_area = std::f64::consts::PI
+            * (self.wafer_diameter_mm / 2.0)
+            * (self.wafer_diameter_mm / 2.0);
+        let good_dies = self.dies_per_wafer(area_mm2) * self.yield_fraction(area_mm2);
+        if good_dies <= 0.0 {
+            f64::INFINITY
+        } else {
+            wafer_area * self.carbon_kg_per_mm2 / good_dies
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yield_decreases_with_area_and_stays_in_range() {
+        let node = ProcessNode::n7();
+        let mut previous = 1.0;
+        for area in [50.0, 100.0, 200.0, 400.0, 800.0] {
+            let y = node.yield_fraction(area);
+            assert!(y > 0.0 && y <= 1.0);
+            assert!(y < previous, "yield must fall with area");
+            previous = y;
+        }
+    }
+
+    #[test]
+    fn dies_per_wafer_is_sane_for_known_dies() {
+        let node = ProcessNode::n7();
+        // A ~100 mm2 mobile die: several hundred per 300 mm wafer.
+        let dies = node.dies_per_wafer(100.0);
+        assert!(dies > 500.0 && dies < 710.0, "got {dies}");
+        // The GA100 at 826 mm2: tens per wafer.
+        let big = node.dies_per_wafer(826.0);
+        assert!(big > 50.0 && big < 90.0, "got {big}");
+    }
+
+    #[test]
+    fn cost_grows_superlinearly_with_area() {
+        let node = ProcessNode::n7();
+        let small = node.die_cost_usd(100.0);
+        let big = node.die_cost_usd(400.0);
+        assert!(
+            big > 4.0 * small,
+            "yield loss must make 4x area more than 4x cost: {small} -> {big}"
+        );
+    }
+
+    #[test]
+    fn known_die_costs_are_plausible() {
+        let node = ProcessNode::n7();
+        // A 432.6 mm2 die (the MA-pick SoC) should land in the hundreds of
+        // dollars on N7.
+        let cost = node.die_cost_usd(432.6);
+        assert!(cost > 50.0 && cost < 500.0, "got {cost}");
+    }
+
+    #[test]
+    fn carbon_scales_with_area_consumed() {
+        let node = ProcessNode::n7();
+        let small = node.embodied_carbon_kg(100.0);
+        let big = node.embodied_carbon_kg(400.0);
+        assert!(big > 3.5 * small);
+        // Roughly area x carbon-per-mm2, inflated by yield and edge loss.
+        assert!(small > 100.0 * node.carbon_kg_per_mm2);
+    }
+
+    #[test]
+    fn oversized_dies_cost_infinity() {
+        let node = ProcessNode::n7();
+        assert!(node.die_cost_usd(80_000.0).is_infinite());
+    }
+}

@@ -1,0 +1,45 @@
+//! The SoC architecture template of the HILP reproduction.
+//!
+//! HILP models SoCs as a set of *core clusters* (Figure 4 of the paper):
+//! CPU cores (one cluster per core), an optional GPU with a configurable
+//! number of Streaming Multiprocessors (SMs), and Domain-Specific
+//! Accelerators (DSAs) with a configurable number of Processing Elements
+//! (PEs), all sharing memory bandwidth under a power budget. This crate
+//! provides:
+//!
+//! * [`SocSpec`] — the architecture description used across the workspace,
+//!   with the paper's area model (Section IV: 16.6 mm² per Zen 3 CPU core
+//!   including uncore, 6.5 mm² per Ampere SM) and labels in the paper's
+//!   `(c_i, g_j, d_k^l)` notation.
+//! * [`OperatingPoint`] / [`gpu_operating_points`] — the A100 DVFS table
+//!   (Table III) and the per-SM power model derived from it.
+//! * [`powerlaw`] — least-squares power-law fitting (`y = a * x^b`), the
+//!   tool the paper uses to interpolate GPU performance, bandwidth, and
+//!   power between the SM counts MIG can instantiate.
+//!
+//! # Example
+//!
+//! ```
+//! use hilp_soc::{DsaSpec, SocSpec};
+//!
+//! let soc = SocSpec::new(4)
+//!     .with_gpu(16)
+//!     .with_dsa(DsaSpec::new(16, "HS"))
+//!     .with_dsa(DsaSpec::new(16, "LUD"));
+//! assert_eq!(soc.label(), "(c4,g16,d2^16)");
+//! assert!((soc.area_mm2() - 378.4).abs() < 0.1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod powerlaw;
+
+mod power;
+mod spec;
+
+pub use power::{
+    cpu_core_power_w, gpu_operating_points, per_sm_power_w, OperatingPoint, CPU_CORE_POWER_W,
+    GPU_IDLE_POWER_W, GPU_POWER_DIVISOR_SMS, REFERENCE_SMS,
+};
+pub use spec::{Constraints, DsaSpec, SocSpec, CPU_CORE_AREA_MM2, GPU_SM_AREA_MM2};

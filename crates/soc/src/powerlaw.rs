@@ -1,0 +1,172 @@
+//! Least-squares power-law fitting, `y = a * x^b`.
+//!
+//! The paper profiles GPUs only at the SM counts Nvidia MIG can instantiate
+//! (14, 28, 42, 56, 98) and fills the gaps by fitting a power law with
+//! least-squares regression in log space, reporting the coefficient of
+//! determination R² for every fit (Tables II and III). This module
+//! reimplements that pipeline.
+
+/// A fitted power law `y = a * x^b`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerLaw {
+    /// Multiplicative coefficient.
+    pub a: f64,
+    /// Exponent.
+    pub b: f64,
+}
+
+impl PowerLaw {
+    /// Creates a power law from its coefficients.
+    #[must_use]
+    pub fn new(a: f64, b: f64) -> Self {
+        PowerLaw { a, b }
+    }
+
+    /// Evaluates `a * x^b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `x` is not positive (power laws are only
+    /// defined on the positive axis).
+    #[must_use]
+    pub fn eval(&self, x: f64) -> f64 {
+        debug_assert!(x > 0.0, "power laws are defined for x > 0");
+        self.a * x.powf(self.b)
+    }
+
+    /// Relative scaling factor from `x0` to `x`: `(x / x0)^b`.
+    ///
+    /// This is how the reproduction applies the paper's fits: a quantity
+    /// measured at a reference SM count `x0` is scaled to `x` SMs without
+    /// depending on the fit's absolute normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when either argument is not positive.
+    #[must_use]
+    pub fn scale(&self, x0: f64, x: f64) -> f64 {
+        debug_assert!(x0 > 0.0 && x > 0.0);
+        (x / x0).powf(self.b)
+    }
+}
+
+/// A power-law fit with its goodness of fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// The fitted law.
+    pub law: PowerLaw,
+    /// Coefficient of determination of the regression in log space.
+    pub r_squared: f64,
+}
+
+/// Fits `y = a * x^b` to the points by linear least squares on
+/// `ln y = ln a + b * ln x`.
+///
+/// Returns `None` when fewer than two points are given or any coordinate is
+/// non-positive (the log transform is undefined there).
+///
+/// # Example
+///
+/// ```
+/// use hilp_soc::powerlaw::fit_power_law;
+///
+/// // Perfect inverse-linear scaling: y = 10 / x.
+/// let points = [(1.0, 10.0), (2.0, 5.0), (4.0, 2.5), (8.0, 1.25)];
+/// let fit = fit_power_law(&points).unwrap();
+/// assert!((fit.law.a - 10.0).abs() < 1e-9);
+/// assert!((fit.law.b + 1.0).abs() < 1e-9);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-9);
+/// ```
+#[must_use]
+pub fn fit_power_law(points: &[(f64, f64)]) -> Option<FitResult> {
+    if points.len() < 2 {
+        return None;
+    }
+    if points.iter().any(|&(x, y)| x <= 0.0 || y <= 0.0) {
+        return None;
+    }
+    let n = points.len() as f64;
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let sum_x: f64 = logs.iter().map(|p| p.0).sum();
+    let sum_y: f64 = logs.iter().map(|p| p.1).sum();
+    let mean_x = sum_x / n;
+    let mean_y = sum_y / n;
+    let sxx: f64 = logs.iter().map(|p| (p.0 - mean_x).powi(2)).sum();
+    let sxy: f64 = logs.iter().map(|p| (p.0 - mean_x) * (p.1 - mean_y)).sum();
+
+    let b = if sxx.abs() < 1e-15 { 0.0 } else { sxy / sxx };
+    let ln_a = mean_y - b * mean_x;
+    let law = PowerLaw::new(ln_a.exp(), b);
+
+    let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 = logs
+        .iter()
+        .map(|p| (p.1 - (ln_a + b * p.0)).powi(2))
+        .sum();
+    let r_squared = if ss_tot.abs() < 1e-15 {
+        // All y identical: a constant law fits exactly.
+        1.0
+    } else {
+        (1.0 - ss_res / ss_tot).clamp(0.0, 1.0)
+    };
+
+    Some(FitResult { law, r_squared })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_law_is_recovered() {
+        let law = PowerLaw::new(3.5, -0.77);
+        let points: Vec<(f64, f64)> = [14.0, 28.0, 42.0, 56.0, 98.0]
+            .iter()
+            .map(|&x| (x, law.eval(x)))
+            .collect();
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.law.a - 3.5).abs() < 1e-9);
+        assert!((fit.law.b + 0.77).abs() < 1e-9);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_data_yields_r_squared_below_one() {
+        let points = [(1.0, 10.0), (2.0, 5.5), (4.0, 2.2), (8.0, 1.4)];
+        let fit = fit_power_law(&points).unwrap();
+        assert!(fit.r_squared < 1.0);
+        assert!(fit.r_squared > 0.9, "still a strong trend");
+        assert!(fit.law.b < 0.0);
+    }
+
+    #[test]
+    fn constant_data_fits_a_flat_law() {
+        let points = [(1.0, 4.0), (2.0, 4.0), (8.0, 4.0)];
+        let fit = fit_power_law(&points).unwrap();
+        assert!((fit.law.b).abs() < 1e-12);
+        assert!((fit.law.a - 4.0).abs() < 1e-9);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn too_few_or_invalid_points_are_rejected() {
+        assert!(fit_power_law(&[(1.0, 2.0)]).is_none());
+        assert!(fit_power_law(&[(0.0, 2.0), (1.0, 3.0)]).is_none());
+        assert!(fit_power_law(&[(1.0, -2.0), (2.0, 3.0)]).is_none());
+        assert!(fit_power_law(&[]).is_none());
+    }
+
+    #[test]
+    fn scale_is_normalization_independent() {
+        let law = PowerLaw::new(123.0, -0.9);
+        let direct = law.eval(64.0) / law.eval(14.0);
+        assert!((law.scale(14.0, 64.0) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_x_values_degenerate_to_flat() {
+        let points = [(2.0, 3.0), (2.0, 5.0)];
+        let fit = fit_power_law(&points).unwrap();
+        assert_eq!(fit.law.b, 0.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Workloads for the HILP reproduction.
+//!
+//! The paper evaluates HILP on ten scalable Rodinia 3.1 benchmarks profiled
+//! on an AMD EPYC 7543 CPU and an Nvidia A100 GPU (Section IV, Table II).
+//! We do not have that hardware; instead, this crate embeds the published
+//! measurements — per-phase execution times, GPU bandwidth, and the
+//! power-law scaling fits — as the model inputs they are, and provides:
+//!
+//! * [`rodinia`] — the Table II data and accessors.
+//! * [`Workload`] / [`Application`] / [`Phase`] — the workload model
+//!   consumed by `hilp-core`: multi-phase applications with per-phase
+//!   compatibility and scaling profiles.
+//! * [`WorkloadVariant`] — the paper's three workloads: *Rodinia* (as
+//!   measured), *Default* (setup/teardown reduced 5x), and *Optimized*
+//!   (reduced 20x).
+//! * [`profiler`] — a synthetic stand-in for the paper's profiling runs:
+//!   it regenerates noisy per-SM-count samples from the published power
+//!   laws and re-fits them with [`hilp_soc::powerlaw`], exercising the full
+//!   measurement-to-model pipeline.
+//! * [`sda`] — the Section VII Streaming-Dataflow Application with its
+//!   fork-join dependency graph.
+//!
+//! # Example
+//!
+//! ```
+//! use hilp_workloads::{Workload, WorkloadVariant};
+//!
+//! let default = Workload::rodinia(WorkloadVariant::Default);
+//! assert_eq!(default.applications().len(), 10);
+//! // The sequential single-core baseline of the Default workload is about
+//! // 1,632 seconds.
+//! assert!((default.sequential_cpu_seconds() - 1632.0).abs() < 5.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod mobile;
+pub mod profiler;
+pub mod rodinia;
+pub mod sda;
+
+mod workload;
+
+pub use workload::{
+    Application, GpuProfile, Phase, PhaseKind, Workload, WorkloadVariant, CPU_SCALING_EXPONENT,
+    SETUP_TEARDOWN_BANDWIDTH_GBPS,
+};

@@ -1,0 +1,236 @@
+//! A synthetic mobile-SoC workload.
+//!
+//! The paper motivates HILP with mobile SoCs ("leading mobile SoCs combine
+//! many tens of DSAs with conventional CPU cores and GPUs") but evaluates
+//! on Rodinia because it offers CPU *and* GPU implementations to profile.
+//! This module provides a second, fully synthetic workload family shaped
+//! like a phone's steady-state mix — camera ISP, neural inference, video
+//! encode, audio, UI composition, and telemetry — to demonstrate that
+//! nothing in the pipeline is Rodinia-specific.
+//!
+//! The numbers are *not* measurements; they are plausible per-frame-batch
+//! figures chosen so the workload exercises the interesting regimes: two
+//! accelerator-hungry applications (ISP, NN), one bandwidth-heavy stream
+//! (video), and several CPU-bound utilities. All values are documented
+//! here and nowhere else, so treat them as a modeling example.
+
+use crate::workload::{Application, GpuProfile, Phase, PhaseKind, Workload};
+
+/// One synthetic mobile application blueprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobileApp {
+    /// Application name (doubles as the DSA key for its compute phase).
+    pub name: &'static str,
+    /// Setup time on one CPU core (s).
+    pub setup_s: f64,
+    /// Compute time on one CPU core (s).
+    pub compute_cpu_s: f64,
+    /// Compute time on the 14-SM GPU slice (s); `None` for CPU-only apps.
+    pub compute_gpu_s: Option<f64>,
+    /// GPU-time scaling exponent versus SM count.
+    pub time_exponent: f64,
+    /// Compute bandwidth at 14 SMs (GB/s).
+    pub bandwidth_gbps: f64,
+    /// Bandwidth scaling exponent versus SM count.
+    pub bandwidth_exponent: f64,
+    /// Teardown time on one CPU core (s).
+    pub teardown_s: f64,
+}
+
+/// The blueprint set: six applications covering accelerator-hungry,
+/// bandwidth-heavy, and CPU-bound behaviour.
+#[must_use]
+pub fn blueprints() -> &'static [MobileApp] {
+    const APPS: [MobileApp; 6] = [
+        MobileApp {
+            name: "ISP",
+            setup_s: 0.4,
+            compute_cpu_s: 95.0,
+            compute_gpu_s: Some(3.0),
+            time_exponent: -0.95,
+            bandwidth_gbps: 120.0,
+            bandwidth_exponent: 0.9,
+            teardown_s: 0.3,
+        },
+        MobileApp {
+            name: "NN",
+            setup_s: 1.2,
+            compute_cpu_s: 140.0,
+            compute_gpu_s: Some(4.5),
+            time_exponent: -0.9,
+            bandwidth_gbps: 90.0,
+            bandwidth_exponent: 0.85,
+            teardown_s: 0.2,
+        },
+        MobileApp {
+            name: "VID",
+            setup_s: 0.8,
+            compute_cpu_s: 60.0,
+            compute_gpu_s: Some(6.0),
+            time_exponent: -0.5,
+            bandwidth_gbps: 180.0,
+            bandwidth_exponent: 0.95,
+            teardown_s: 0.6,
+        },
+        MobileApp {
+            name: "AUD",
+            setup_s: 0.1,
+            compute_cpu_s: 12.0,
+            compute_gpu_s: Some(2.0),
+            time_exponent: -0.2,
+            bandwidth_gbps: 4.0,
+            bandwidth_exponent: 0.3,
+            teardown_s: 0.1,
+        },
+        MobileApp {
+            name: "UI",
+            setup_s: 0.3,
+            compute_cpu_s: 25.0,
+            compute_gpu_s: Some(1.5),
+            time_exponent: -0.6,
+            bandwidth_gbps: 40.0,
+            bandwidth_exponent: 0.7,
+            teardown_s: 0.2,
+        },
+        MobileApp {
+            name: "TEL",
+            setup_s: 0.2,
+            compute_cpu_s: 8.0,
+            compute_gpu_s: None,
+            time_exponent: 0.0,
+            bandwidth_gbps: 1.0,
+            bandwidth_exponent: 0.0,
+            teardown_s: 0.2,
+        },
+    ];
+    &APPS
+}
+
+/// DSA allocation order for the mobile workload (descending CPU compute
+/// time, mirroring the paper's rule): NN, ISP, VID, UI, AUD.
+#[must_use]
+pub fn dsa_priority_order() -> Vec<&'static str> {
+    let mut order: Vec<&MobileApp> = blueprints()
+        .iter()
+        .filter(|a| a.compute_gpu_s.is_some())
+        .collect();
+    order.sort_by(|x, y| {
+        y.compute_cpu_s
+            .partial_cmp(&x.compute_cpu_s)
+            .expect("finite blueprint data")
+    });
+    order.into_iter().map(|a| a.name).collect()
+}
+
+/// Builds the mobile workload: one instance of each blueprint.
+#[must_use]
+pub fn mobile_workload() -> Workload {
+    let applications = blueprints()
+        .iter()
+        .map(|b| {
+            let accel = b.compute_gpu_s.map(|gpu_s| GpuProfile {
+                seconds_at_14sm: gpu_s,
+                time_exponent: b.time_exponent,
+                bandwidth_at_14sm_gbps: b.bandwidth_gbps,
+                bandwidth_exponent: b.bandwidth_exponent,
+            });
+            let compute_volume = b.compute_gpu_s.map_or(0.0, |g| g * b.bandwidth_gbps);
+            let compute_cpu_bw = if b.compute_cpu_s > 0.0 {
+                compute_volume / b.compute_cpu_s
+            } else {
+                0.0
+            };
+            let phases = vec![
+                Phase {
+                    name: format!("{}.setup", b.name),
+                    kind: PhaseKind::Setup,
+                    cpu_seconds: Some(b.setup_s),
+                    cpu_parallel: false,
+                    accel: None,
+                    gpu_eligible: false,
+                    dsa_key: None,
+                    cpu_bandwidth_gbps: 1.0,
+                },
+                Phase {
+                    name: format!("{}.compute", b.name),
+                    kind: PhaseKind::Compute,
+                    cpu_seconds: Some(b.compute_cpu_s),
+                    cpu_parallel: true,
+                    gpu_eligible: accel.is_some(),
+                    dsa_key: accel.as_ref().map(|_| b.name.to_string()),
+                    accel,
+                    cpu_bandwidth_gbps: compute_cpu_bw.max(0.5),
+                },
+                Phase {
+                    name: format!("{}.teardown", b.name),
+                    kind: PhaseKind::Teardown,
+                    cpu_seconds: Some(b.teardown_s),
+                    cpu_parallel: false,
+                    accel: None,
+                    gpu_eligible: false,
+                    dsa_key: None,
+                    cpu_bandwidth_gbps: 1.0,
+                },
+            ];
+            Application {
+                name: b.name.to_string(),
+                phases,
+                dependencies: vec![(0, 1), (1, 2)],
+                start_dependencies: Vec::new(),
+            }
+        })
+        .collect();
+    Workload::new("Mobile", applications)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_has_six_three_phase_apps() {
+        let w = mobile_workload();
+        assert_eq!(w.applications().len(), 6);
+        assert_eq!(w.num_phases(), 18);
+    }
+
+    #[test]
+    fn telemetry_is_cpu_only() {
+        let w = mobile_workload();
+        let tel = w
+            .applications()
+            .iter()
+            .find(|a| a.name == "TEL")
+            .expect("TEL exists");
+        assert!(tel.phases[1].accel.is_none());
+        assert!(!tel.phases[1].gpu_eligible);
+        assert!(tel.phases[1].dsa_key.is_none());
+    }
+
+    #[test]
+    fn dsa_order_prioritizes_heavy_compute() {
+        let order = dsa_priority_order();
+        assert_eq!(&order[..2], &["NN", "ISP"]);
+        assert!(!order.contains(&"TEL"), "CPU-only apps get no DSA");
+    }
+
+    #[test]
+    fn sequential_baseline_sums_blueprint_times() {
+        let expected: f64 = blueprints()
+            .iter()
+            .map(|b| b.setup_s + b.compute_cpu_s + b.teardown_s)
+            .sum();
+        assert!((mobile_workload().sequential_cpu_seconds() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compute_bandwidth_conserves_volume() {
+        let w = mobile_workload();
+        let isp = &w.applications()[0];
+        let phase = &isp.phases[1];
+        let volume_cpu = phase.cpu_bandwidth_gbps * phase.cpu_seconds.unwrap();
+        let b = &blueprints()[0];
+        let volume_gpu = b.bandwidth_gbps * b.compute_gpu_s.unwrap();
+        assert!((volume_cpu - volume_gpu).abs() < 1e-6);
+    }
+}

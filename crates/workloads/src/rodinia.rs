@@ -1,0 +1,315 @@
+//! The Rodinia 3.1 measurement data of the paper's Table II.
+//!
+//! Ten benchmarks with scalable inputs, each profiled into setup, compute,
+//! and teardown phases. CPU compute times are single-core; GPU compute
+//! times and bandwidths are measured on the smallest (14-SM) MIG slice of
+//! an A100 at the 765 MHz baseline clock, with power-law fits (`y = a*x^b`,
+//! `x` in SMs, `y` normalized to 14 SMs) describing how they scale to other
+//! SM counts.
+
+use hilp_soc::powerlaw::PowerLaw;
+
+/// A power-law fit together with the goodness of fit the paper reports.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReportedFit {
+    /// Fit coefficient `a`.
+    pub a: f64,
+    /// Fit exponent `b`.
+    pub b: f64,
+    /// Coefficient of determination reported in Table II.
+    pub r_squared: f64,
+}
+
+impl ReportedFit {
+    /// The fitted power law.
+    #[must_use]
+    pub fn law(&self) -> PowerLaw {
+        PowerLaw::new(self.a, self.b)
+    }
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkProfile {
+    /// Full benchmark name.
+    pub name: &'static str,
+    /// Paper abbreviation (BFS, HW, ...).
+    pub short: &'static str,
+    /// Setup-phase execution time on one CPU core (s).
+    pub setup_seconds: f64,
+    /// Compute-phase execution time on one CPU core (s).
+    pub compute_cpu_seconds: f64,
+    /// Compute-phase execution time on the 14-SM GPU slice (s).
+    pub compute_gpu_seconds: f64,
+    /// Teardown-phase execution time on one CPU core (s).
+    pub teardown_seconds: f64,
+    /// Compute-phase memory bandwidth on the 14-SM GPU slice (GB/s).
+    pub gpu_bandwidth_gbps: f64,
+    /// Power-law fit of GPU execution time versus SM count.
+    pub gpu_time_fit: ReportedFit,
+    /// Power-law fit of GPU bandwidth versus SM count.
+    pub gpu_bandwidth_fit: ReportedFit,
+    /// The scaled input configuration used for profiling.
+    pub scaled_configuration: &'static str,
+}
+
+impl BenchmarkProfile {
+    /// GPU compute time (s) on `sms` SMs at the baseline 765 MHz clock,
+    /// scaled with the Table II power law normalized at 14 SMs.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `sms` is not positive.
+    #[must_use]
+    pub fn gpu_seconds_at(&self, sms: f64) -> f64 {
+        self.compute_gpu_seconds * self.gpu_time_fit.law().scale(14.0, sms)
+    }
+
+    /// GPU compute bandwidth (GB/s) on `sms` SMs at the baseline clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `sms` is not positive.
+    #[must_use]
+    pub fn gpu_bandwidth_at(&self, sms: f64) -> f64 {
+        self.gpu_bandwidth_gbps * self.gpu_bandwidth_fit.law().scale(14.0, sms)
+    }
+
+    /// Total single-core CPU time of all three phases (s) — the unit of the
+    /// paper's fully-sequential speedup baseline.
+    #[must_use]
+    pub fn sequential_cpu_seconds(&self) -> f64 {
+        self.setup_seconds + self.compute_cpu_seconds + self.teardown_seconds
+    }
+}
+
+/// Table II, in the paper's row order.
+const TABLE2: [BenchmarkProfile; 10] = [
+    BenchmarkProfile {
+        name: "Breadth-First Search",
+        short: "BFS",
+        setup_seconds: 95.3,
+        compute_cpu_seconds: 17.0,
+        compute_gpu_seconds: 1.0,
+        teardown_seconds: 11.9,
+        gpu_bandwidth_gbps: 86.5,
+        gpu_time_fit: ReportedFit { a: 7.83, b: -0.77, r_squared: 0.95 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 0.92, r_squared: 0.98 },
+        scaled_configuration: "128M elements",
+    },
+    BenchmarkProfile {
+        name: "Heartwall",
+        short: "HW",
+        setup_seconds: 8.0e-4,
+        compute_cpu_seconds: 78.3,
+        compute_gpu_seconds: 1.2,
+        teardown_seconds: 0.2,
+        gpu_bandwidth_gbps: 7.3,
+        gpu_time_fit: ReportedFit { a: 3.77, b: -0.52, r_squared: 0.92 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.84, b: 0.24, r_squared: 0.30 },
+        scaled_configuration: "104 frames",
+    },
+    BenchmarkProfile {
+        name: "Hotspot3D",
+        short: "HS3D",
+        setup_seconds: 0.7,
+        compute_cpu_seconds: 49.2,
+        compute_gpu_seconds: 0.1,
+        teardown_seconds: 51.2,
+        gpu_bandwidth_gbps: 36.4,
+        gpu_time_fit: ReportedFit { a: 10.33, b: -0.86, r_squared: 1.00 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.14, b: 0.75, r_squared: 1.00 },
+        scaled_configuration: "512x512x8, 200 iterations",
+    },
+    BenchmarkProfile {
+        name: "Hotspot",
+        short: "HS",
+        setup_seconds: 80.8,
+        compute_cpu_seconds: 395.9,
+        compute_gpu_seconds: 20.5,
+        teardown_seconds: 71.3,
+        gpu_bandwidth_gbps: 40.4,
+        gpu_time_fit: ReportedFit { a: 13.93, b: -1.00, r_squared: 1.00 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 1.00, r_squared: 1.00 },
+        scaled_configuration: "16Kx16K, 512 iterations",
+    },
+    BenchmarkProfile {
+        name: "LavaMD",
+        short: "LMD",
+        setup_seconds: 0.3,
+        compute_cpu_seconds: 163.4,
+        compute_gpu_seconds: 2.5,
+        teardown_seconds: 0.3,
+        gpu_bandwidth_gbps: 0.6,
+        gpu_time_fit: ReportedFit { a: 13.98, b: -0.99, r_squared: 1.00 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.10, b: 0.90, r_squared: 1.00 },
+        scaled_configuration: "42 1D boxes",
+    },
+    BenchmarkProfile {
+        name: "LU Decomposition",
+        short: "LUD",
+        setup_seconds: 0.1,
+        compute_cpu_seconds: 444.2,
+        compute_gpu_seconds: 12.0,
+        teardown_seconds: 0.6,
+        gpu_bandwidth_gbps: 61.6,
+        gpu_time_fit: ReportedFit { a: 10.26, b: -0.88, r_squared: 1.00 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.10, b: 0.87, r_squared: 1.00 },
+        scaled_configuration: "matrix size 16K",
+    },
+    BenchmarkProfile {
+        name: "Myocyte",
+        short: "MC",
+        setup_seconds: 0.1,
+        compute_cpu_seconds: 77.6,
+        compute_gpu_seconds: 8.3e-2,
+        teardown_seconds: 0.6,
+        gpu_bandwidth_gbps: 0.1,
+        gpu_time_fit: ReportedFit { a: 1.01, b: 8.98e-06, r_squared: 0.00 },
+        gpu_bandwidth_fit: ReportedFit { a: 2.60, b: -0.28, r_squared: 0.15 },
+        scaled_configuration: "100K span, 12 w., 0 m.",
+    },
+    BenchmarkProfile {
+        name: "Nearest Neighbor",
+        short: "NN",
+        setup_seconds: 1.6e-3,
+        compute_cpu_seconds: 159.4,
+        compute_gpu_seconds: 3.8e-3,
+        teardown_seconds: 0.3,
+        gpu_bandwidth_gbps: 187.6,
+        gpu_time_fit: ReportedFit { a: 8.97, b: -0.82, r_squared: 0.98 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 0.95, r_squared: 0.99 },
+        scaled_configuration: "64K size, 2K neighbors",
+    },
+    BenchmarkProfile {
+        name: "Pathfinder",
+        short: "PF",
+        setup_seconds: 72.1,
+        compute_cpu_seconds: 14.0,
+        compute_gpu_seconds: 0.2,
+        teardown_seconds: 0.3,
+        gpu_bandwidth_gbps: 95.2,
+        gpu_time_fit: ReportedFit { a: 7.27, b: -0.76, r_squared: 0.99 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.27, b: 0.58, r_squared: 0.95 },
+        scaled_configuration: "400K rows, 5K col., 1 pyr.",
+    },
+    BenchmarkProfile {
+        name: "Stream Cluster",
+        short: "SC",
+        setup_seconds: 1.0e-4,
+        compute_cpu_seconds: 156.0,
+        compute_gpu_seconds: 2.1,
+        teardown_seconds: 0.3,
+        gpu_bandwidth_gbps: 216.1,
+        gpu_time_fit: ReportedFit { a: 5.41, b: -0.62, r_squared: 0.87 },
+        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 0.88, r_squared: 0.96 },
+        scaled_configuration: "30-40 centers, 128K points",
+    },
+];
+
+/// All ten benchmarks in Table II order.
+#[must_use]
+pub fn benchmarks() -> &'static [BenchmarkProfile] {
+    &TABLE2
+}
+
+/// Looks a benchmark up by its paper abbreviation (case-insensitive).
+#[must_use]
+pub fn benchmark(short: &str) -> Option<&'static BenchmarkProfile> {
+    TABLE2.iter().find(|b| b.short.eq_ignore_ascii_case(short))
+}
+
+/// Benchmark abbreviations sorted by descending CPU compute time: the
+/// order in which the paper allocates DSAs (Section VI), prioritizing the
+/// longest-running compute phases.
+#[must_use]
+pub fn dsa_priority_order() -> Vec<&'static str> {
+    let mut order: Vec<&BenchmarkProfile> = TABLE2.iter().collect();
+    order.sort_by(|x, y| {
+        y.compute_cpu_seconds
+            .partial_cmp(&x.compute_cpu_seconds)
+            .expect("table data is finite")
+    });
+    order.into_iter().map(|b| b.short).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_ten_benchmarks_are_present() {
+        assert_eq!(benchmarks().len(), 10);
+        for b in benchmarks() {
+            assert!(b.setup_seconds >= 0.0);
+            assert!(b.compute_cpu_seconds > 0.0);
+            assert!(b.compute_gpu_seconds > 0.0);
+            assert!(b.teardown_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert_eq!(benchmark("lud").unwrap().short, "LUD");
+        assert_eq!(benchmark("LUD").unwrap().short, "LUD");
+        assert!(benchmark("NOPE").is_none());
+    }
+
+    #[test]
+    fn dsa_priority_order_matches_paper() {
+        // "The DSA in a 1-DSA SoC hence accelerates LUD, the DSAs in a
+        // 2-DSA SoC accelerate LUD and HS, and so on."
+        let order = dsa_priority_order();
+        assert_eq!(&order[..2], &["LUD", "HS"]);
+        assert_eq!(order.len(), 10);
+        assert_eq!(order.last(), Some(&"PF"));
+    }
+
+    #[test]
+    fn fits_are_normalized_near_14_sms() {
+        // y = a * x^b is normalized to the 14-SM slice, so a * 14^b must be
+        // close to 1 for every fit the paper calls good (R^2 >= 0.9).
+        for b in benchmarks() {
+            if b.gpu_time_fit.r_squared >= 0.9 {
+                let at14 = b.gpu_time_fit.law().eval(14.0);
+                assert!(
+                    (at14 - 1.0).abs() < 0.12,
+                    "{}: time fit evaluates to {at14} at 14 SMs",
+                    b.short
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_scaling_reproduces_paper_speedup_arithmetic() {
+        // HS on a 64-SM-equivalent DSA: 20.5 * (64/14)^-1 = 4.48 s. This is
+        // the critical-chain term behind HILP's reported 45.6x speedup for
+        // the (c4,g16,d2^16) SoC.
+        let hs = benchmark("HS").unwrap();
+        assert!((hs.gpu_seconds_at(64.0) - 4.48).abs() < 0.05);
+        // LUD: 12.0 * (64/14)^-0.88 = 3.15 s.
+        let lud = benchmark("LUD").unwrap();
+        assert!((lud.gpu_seconds_at(64.0) - 3.15).abs() < 0.05);
+    }
+
+    #[test]
+    fn flat_fits_stay_flat() {
+        // MC is insensitive to SM count: its scaling factor is ~1 anywhere.
+        let mc = benchmark("MC").unwrap();
+        assert!((mc.gpu_seconds_at(98.0) - mc.compute_gpu_seconds).abs() < 1e-3);
+    }
+
+    #[test]
+    fn bandwidth_scales_up_with_sms() {
+        let sc = benchmark("SC").unwrap();
+        assert!(sc.gpu_bandwidth_at(64.0) > sc.gpu_bandwidth_gbps);
+        assert!(sc.gpu_bandwidth_at(7.0) < sc.gpu_bandwidth_gbps);
+    }
+
+    #[test]
+    fn sequential_time_sums_phases() {
+        let bfs = benchmark("BFS").unwrap();
+        assert!((bfs.sequential_cpu_seconds() - 124.2).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,354 @@
+//! The Streaming-Dataflow Application (SDA) of Section VII.
+//!
+//! Each SDA sample flows through a fork-join DAG (Figure 9):
+//!
+//! ```text
+//!   DS1 ─┐
+//!   DS2 ─┼─> DF ─┬─> C1 ─┐
+//!   DS3 ─┘       ├─> C2 ─┼─> PP
+//!                └─> C3 ─┘
+//! ```
+//!
+//! The three data-source phases (DS1–DS3) are pinned to dedicated DSAs;
+//! Data Fusion (DF) must run on a CPU; the compute phases (C1–C3) and Post
+//! Processing (PP) may run on a CPU or the GPU. The design objectives are
+//! to (i) run DS1–DS3 in parallel and (ii) overlap the processing of
+//! consecutive samples.
+//!
+//! The paper gives the per-phase execution-time estimates only graphically
+//! (Figure 9); this module uses synthetic estimates chosen to reproduce the
+//! qualitative result of Figure 10: the baseline `(c1,g8,d3^1)` SoC misses
+//! its throughput objective, while either doubling CPU speed or doubling
+//! GPU SMs meets it.
+
+use crate::workload::{Application, GpuProfile, Phase, PhaseKind, Workload};
+
+/// Per-phase execution-time estimates (seconds) on the baseline SoC.
+///
+/// `ds` is the data-source time on its dedicated 1-PE DSA; `df_cpu` the
+/// fusion time on the baseline CPU; `c_cpu`/`c_gpu` the compute time on the
+/// baseline CPU / the 8-SM GPU; `pp_cpu`/`pp_gpu` the post-processing time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdaTimings {
+    /// Data-source phase time on its dedicated DSA (s).
+    pub ds: f64,
+    /// Data-fusion time on the baseline CPU (s).
+    pub df_cpu: f64,
+    /// Compute-phase time on the baseline CPU (s).
+    pub c_cpu: f64,
+    /// Compute-phase time on the baseline 8-SM GPU (s).
+    pub c_gpu: f64,
+    /// Post-processing time on the baseline CPU (s).
+    pub pp_cpu: f64,
+    /// Post-processing time on the baseline 8-SM GPU (s).
+    pub pp_gpu: f64,
+}
+
+impl Default for SdaTimings {
+    fn default() -> Self {
+        SdaTimings {
+            ds: 2.0,
+            df_cpu: 1.0,
+            c_cpu: 4.0,
+            c_gpu: 2.0,
+            pp_cpu: 2.0,
+            pp_gpu: 1.0,
+        }
+    }
+}
+
+/// CPU speed multiplier for the "2x faster CPU" scenario of Figure 10b;
+/// expressed by dividing CPU phase times.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SdaScenario {
+    /// The baseline `(c1,g8,d3^1)` SoC.
+    Baseline,
+    /// CPU phases run twice as fast (Figure 10b).
+    FasterCpu,
+    /// The GPU doubles its SM count — expressed on the SoC side, so phase
+    /// timings are identical to the baseline (Figure 10c).
+    BiggerGpu,
+}
+
+impl SdaScenario {
+    /// Divisor applied to CPU phase times.
+    #[must_use]
+    pub fn cpu_speedup(self) -> f64 {
+        match self {
+            SdaScenario::FasterCpu => 2.0,
+            SdaScenario::Baseline | SdaScenario::BiggerGpu => 1.0,
+        }
+    }
+
+    /// GPU SM count of the scenario's SoC.
+    #[must_use]
+    pub fn gpu_sms(self) -> u32 {
+        match self {
+            SdaScenario::BiggerGpu => 16,
+            SdaScenario::Baseline | SdaScenario::FasterCpu => 8,
+        }
+    }
+}
+
+/// Keys under which the three data-source DSAs advertise themselves
+/// (`DsaSpec::accelerates`).
+pub const DS_KEYS: [&str; 3] = ["DS1", "DS2", "DS3"];
+
+/// GPU profile equivalent to `seconds` on an 8-SM GPU with linear
+/// (`b = -1`) SM scaling — appropriate for the embarrassingly parallel SDA
+/// kernels.
+fn gpu_profile(seconds_at_8sm: f64) -> GpuProfile {
+    GpuProfile {
+        seconds_at_14sm: seconds_at_8sm * 8.0 / 14.0,
+        time_exponent: -1.0,
+        bandwidth_at_14sm_gbps: 5.0,
+        bandwidth_exponent: 1.0,
+    }
+}
+
+/// Builds one SDA application instance (one sample through the pipeline).
+#[must_use]
+#[allow(clippy::needless_range_loop)] // phase indices mirror the paper's figure
+pub fn sda_application(sample: usize, timings: SdaTimings, cpu_speedup: f64) -> Application {
+    let name = format!("SDA{sample}");
+    let mut phases = Vec::with_capacity(8);
+    // DS1, DS2, DS3: pinned to their DSAs, no CPU or GPU fallback. A 1-PE
+    // DSA at the default 4x advantage acts like a 4-SM GPU slice; choose
+    // the profile so it takes `timings.ds` seconds there.
+    for key in DS_KEYS {
+        phases.push(Phase {
+            name: format!("{name}.{key}"),
+            kind: PhaseKind::Custom,
+            cpu_seconds: None,
+            cpu_parallel: false,
+            accel: Some(GpuProfile {
+                seconds_at_14sm: timings.ds * 4.0 / 14.0,
+                time_exponent: -1.0,
+                bandwidth_at_14sm_gbps: 5.0,
+                bandwidth_exponent: 1.0,
+            }),
+            gpu_eligible: false,
+            dsa_key: Some(key.to_string()),
+            cpu_bandwidth_gbps: 0.0,
+        });
+    }
+    // DF: CPU only.
+    phases.push(Phase {
+        name: format!("{name}.DF"),
+        kind: PhaseKind::Custom,
+        cpu_seconds: Some(timings.df_cpu / cpu_speedup),
+        cpu_parallel: false,
+        accel: None,
+        gpu_eligible: false,
+        dsa_key: None,
+        cpu_bandwidth_gbps: 2.0,
+    });
+    // C1, C2, C3: CPU or GPU.
+    for i in 1..=3 {
+        phases.push(Phase {
+            name: format!("{name}.C{i}"),
+            kind: PhaseKind::Custom,
+            cpu_seconds: Some(timings.c_cpu / cpu_speedup),
+            cpu_parallel: false,
+            accel: Some(gpu_profile(timings.c_gpu)),
+            gpu_eligible: true,
+            dsa_key: None,
+            cpu_bandwidth_gbps: 2.0,
+        });
+    }
+    // PP: CPU or GPU.
+    phases.push(Phase {
+        name: format!("{name}.PP"),
+        kind: PhaseKind::Custom,
+        cpu_seconds: Some(timings.pp_cpu / cpu_speedup),
+        cpu_parallel: false,
+        accel: Some(gpu_profile(timings.pp_gpu)),
+        gpu_eligible: true,
+        dsa_key: None,
+        cpu_bandwidth_gbps: 2.0,
+    });
+
+    // Indices: 0..3 DS, 3 DF, 4..7 C, 7 PP.
+    let dependencies = vec![
+        (0, 3),
+        (1, 3),
+        (2, 3),
+        (3, 4),
+        (3, 5),
+        (3, 6),
+        (4, 7),
+        (5, 7),
+        (6, 7),
+    ];
+    Application {
+        name,
+        phases,
+        dependencies,
+        start_dependencies: Vec::new(),
+    }
+}
+
+/// Builds a *pipelined* SDA application: `samples` copies of the pipeline
+/// DAG fused into one application, with initiation intervals (Section VII
+/// extension) requiring each sample's data sources to start at least
+/// `period_seconds` after the previous sample's — the streaming design
+/// objective "overlap data stream processing for sample i+1 with the
+/// processing of sample i" expressed as an explicit sampling period.
+#[must_use]
+pub fn sda_pipelined_application(
+    samples: usize,
+    timings: SdaTimings,
+    cpu_speedup: f64,
+    period_seconds: f64,
+) -> Application {
+    let prototype = sda_application(0, timings, cpu_speedup);
+    let phases_per_sample = prototype.phases.len();
+    let mut phases = Vec::with_capacity(samples * phases_per_sample);
+    let mut dependencies = Vec::new();
+    let mut start_dependencies = Vec::new();
+    for k in 0..samples {
+        let base = k * phases_per_sample;
+        for (i, phase) in prototype.phases.iter().enumerate() {
+            let mut phase = phase.clone();
+            phase.name = format!("s{k}.{}", phase.name.split('.').nth(1).unwrap_or("phase"));
+            phases.push(phase);
+            let _ = i;
+        }
+        for &(a, b) in &prototype.dependencies {
+            dependencies.push((base + a, base + b));
+        }
+        if k > 0 {
+            let prev = (k - 1) * phases_per_sample;
+            for ds in 0..DS_KEYS.len() {
+                start_dependencies.push((prev + ds, base + ds, period_seconds));
+            }
+        }
+    }
+    Application {
+        name: format!("SDApipe x{samples}"),
+        phases,
+        dependencies,
+        start_dependencies,
+    }
+}
+
+/// Builds an SDA workload of `samples` independent pipeline instances for
+/// the given scenario. Overlapping consecutive samples is exactly the WLP
+/// the scheduler must discover.
+///
+/// # Example
+///
+/// ```
+/// use hilp_workloads::sda::{sda_workload, SdaScenario};
+///
+/// let workload = sda_workload(2, SdaScenario::Baseline);
+/// assert_eq!(workload.applications().len(), 2);
+/// assert_eq!(workload.num_phases(), 16);
+/// ```
+#[must_use]
+pub fn sda_workload(samples: usize, scenario: SdaScenario) -> Workload {
+    let timings = SdaTimings::default();
+    let applications = (0..samples)
+        .map(|i| sda_application(i, timings, scenario.cpu_speedup()))
+        .collect();
+    Workload::new(format!("SDA x{samples}"), applications)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_has_fork_join_shape() {
+        let app = sda_application(0, SdaTimings::default(), 1.0);
+        assert_eq!(app.phases.len(), 8);
+        assert_eq!(app.dependencies.len(), 9);
+        // DF has three predecessors, PP has three predecessors.
+        let preds_of = |i: usize| {
+            app.dependencies
+                .iter()
+                .filter(|(_, b)| *b == i)
+                .count()
+        };
+        assert_eq!(preds_of(3), 3);
+        assert_eq!(preds_of(7), 3);
+    }
+
+    #[test]
+    fn ds_phases_are_pinned() {
+        let app = sda_application(0, SdaTimings::default(), 1.0);
+        for (phase, key) in app.phases.iter().zip(DS_KEYS) {
+            assert!(phase.cpu_seconds.is_none());
+            assert!(!phase.gpu_eligible);
+            assert_eq!(phase.dsa_key.as_deref(), Some(key));
+        }
+    }
+
+    #[test]
+    fn ds_profile_yields_expected_time_on_its_dsa() {
+        // A 1-PE DSA at 4x advantage = a 4-SM slice; the DS profile must
+        // evaluate to the configured time there.
+        let timings = SdaTimings::default();
+        let app = sda_application(0, timings, 1.0);
+        let profile = app.phases[0].accel.as_ref().unwrap();
+        assert!((profile.seconds_at(4.0) - timings.ds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_profile_matches_8sm_baseline() {
+        let timings = SdaTimings::default();
+        let app = sda_application(0, timings, 1.0);
+        let c1 = app.phases[4].accel.as_ref().unwrap();
+        assert!((c1.seconds_at(8.0) - timings.c_gpu).abs() < 1e-9);
+        // Doubling SMs halves the time (linear scaling).
+        assert!((c1.seconds_at(16.0) - timings.c_gpu / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn faster_cpu_scenario_halves_cpu_times() {
+        let base = sda_application(0, SdaTimings::default(), 1.0);
+        let fast = sda_application(0, SdaTimings::default(), 2.0);
+        assert_eq!(
+            fast.phases[3].cpu_seconds.unwrap() * 2.0,
+            base.phases[3].cpu_seconds.unwrap()
+        );
+    }
+
+    #[test]
+    fn workload_scales_with_sample_count() {
+        let w = sda_workload(3, SdaScenario::Baseline);
+        assert_eq!(w.applications().len(), 3);
+        assert_eq!(w.num_phases(), 24);
+        // Names are unique across samples.
+        assert_ne!(w.applications()[0].name, w.applications()[1].name);
+    }
+
+    #[test]
+    fn scenario_knobs_are_consistent() {
+        assert_eq!(SdaScenario::Baseline.gpu_sms(), 8);
+        assert_eq!(SdaScenario::BiggerGpu.gpu_sms(), 16);
+        assert_eq!(SdaScenario::FasterCpu.cpu_speedup(), 2.0);
+    }
+
+    #[test]
+    fn pipelined_application_links_samples_with_intervals() {
+        let app = sda_pipelined_application(3, SdaTimings::default(), 1.0, 2.0);
+        assert_eq!(app.phases.len(), 24);
+        assert_eq!(app.dependencies.len(), 27);
+        // Three DS phases per sample boundary, two boundaries.
+        assert_eq!(app.start_dependencies.len(), 6);
+        for &(a, b, s) in &app.start_dependencies {
+            assert_eq!(b - a, 8, "interval links corresponding DS phases");
+            assert_eq!(s, 2.0);
+        }
+    }
+
+    #[test]
+    fn pipelined_phase_names_are_unique() {
+        let app = sda_pipelined_application(2, SdaTimings::default(), 1.0, 2.0);
+        let mut names: Vec<&str> = app.phases.iter().map(|p| p.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), app.phases.len());
+    }
+}

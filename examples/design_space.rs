@@ -1,0 +1,72 @@
+//! Figure 7: sweep the 372-SoC design space under MA, Gables, and HILP.
+//!
+//! Run with `cargo run --release --example design_space` (takes a few
+//! minutes; pass `--quick` to evaluate a 60-SoC subsample).
+//!
+//! Prints the Pareto front of each model and the paper's headline
+//! comparison: the highest-performing Pareto-optimal SoC per model.
+
+use hilp_dse::experiments::{fig7_space, SpaceResult};
+use hilp_dse::plot::{Marker, Plot};
+use hilp_dse::{design_space, ModelKind, SweepConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let mut socs = design_space(4.0);
+    if quick {
+        // Deterministic subsample: every 6th SoC plus the paper's picks.
+        socs = socs.into_iter().step_by(6).collect();
+        println!("(quick mode: {} of 372 SoCs)\n", socs.len());
+    } else {
+        println!("Evaluating all {} SoCs under three models...\n", socs.len());
+    }
+
+    let config = SweepConfig::default();
+    let mut results: Vec<SpaceResult> = Vec::new();
+    for model in [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp] {
+        let result = fig7_space(&socs, model, &config)?;
+        println!("{}", result.render_front());
+        results.push(result);
+    }
+
+    // Regenerate Figure 7a as an SVG: the three Pareto fronts.
+    let mut plot = Plot::new(
+        "Figure 7a: Pareto fronts (Default, 600 W)",
+        "chip area (mm^2)",
+        "speedup",
+    );
+    for result in &results {
+        let front: Vec<(f64, f64)> = result
+            .front
+            .iter()
+            .map(|&i| (result.points[i].area_mm2, result.points[i].speedup))
+            .collect();
+        plot.add_series(result.model.name(), Marker::Line, front);
+    }
+    std::fs::create_dir_all("results").ok();
+    plot.save("results/fig7a_pareto.svg")?;
+    hilp_dse::sweep::write_csv(
+        &results.last().expect("three models ran").points,
+        "results/fig7_hilp_points.csv",
+    )?;
+    println!("(wrote results/fig7a_pareto.svg and results/fig7_hilp_points.csv)\n");
+
+    println!("== Highest-performing Pareto-optimal SoC per model ==");
+    for result in &results {
+        let best = result.best();
+        println!(
+            "  {:<7} {:<18} speedup {:>6.1}x  area {:>6.1} mm^2  wlp {:>4.2}",
+            result.model.name(),
+            best.label,
+            best.speedup,
+            best.area_mm2,
+            best.avg_wlp
+        );
+    }
+    println!(
+        "\nPaper: MA picks (c1,g64,d0^0) at 18.2x / 432.6 mm^2; Gables picks \
+         (c4,g4,d3^4) at 62.1x / 170.4 mm^2; HILP picks (c4,g16,d2^16) at \
+         45.6x / 378.4 mm^2."
+    );
+    Ok(())
+}

@@ -1,0 +1,105 @@
+//! Figures 5 and 6: the validation experiments.
+//!
+//! Run with `cargo run --release --example validation`.
+//!
+//! Regenerates the series behind the paper's validation section:
+//! Amdahl's law (5a), the memory wall (5b), dark silicon (5c), and the
+//! MA / HILP / Gables comparison (6a/6b), plus Tables II and III.
+
+use hilp_dse::experiments::{
+    fig5a_amdahl, fig5b_memory_wall, fig5c_dark_silicon, fig6_wlp_comparison, table2_rows,
+    table3_rows,
+};
+use hilp_dse::plot::{Marker, Plot};
+use hilp_dse::{experiments::Series, SweepConfig};
+use hilp_workloads::WorkloadVariant;
+
+fn save_series(path: &str, title: &str, x_label: &str, series: &[Series]) {
+    let mut plot = Plot::new(title, x_label, "speedup");
+    for s in series {
+        plot.add_series(&s.label, Marker::Line, s.points.clone());
+    }
+    std::fs::create_dir_all("results").ok();
+    if plot.save(path).is_ok() {
+        println!("(wrote {path})");
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = SweepConfig::default();
+
+    println!("== Table II (published vs re-fitted through the synthetic profiler) ==");
+    for row in table2_rows() {
+        println!("{row}");
+    }
+    println!("\n== Table III (GPU power scaling) ==");
+    for row in table3_rows() {
+        println!("{row}");
+    }
+
+    println!("\n== Figure 5a: Amdahl's law (Default, unconstrained) ==");
+    println!("   x = CPU cores, y = speedup");
+    let amdahl = fig5a_amdahl(&config)?;
+    for series in &amdahl.series {
+        println!("{series}");
+    }
+    for (sms, limit) in &amdahl.compute_limits {
+        println!("  {sms}-SM GPU compute limit: {limit:.1}x");
+    }
+    save_series(
+        "results/fig5a_amdahl.svg",
+        "Figure 5a: Amdahl's law",
+        "CPU cores",
+        &amdahl.series,
+    );
+
+    println!("\n== Figure 5b: the memory wall (Optimized, 4 CPUs) ==");
+    println!("   x = bandwidth budget GB/s, y = speedup");
+    let wall = fig5b_memory_wall(&config)?;
+    for series in &wall {
+        println!("{series}");
+    }
+    save_series(
+        "results/fig5b_memory_wall.svg",
+        "Figure 5b: the memory wall",
+        "bandwidth budget (GB/s)",
+        &wall,
+    );
+
+    println!("\n== Figure 5c: dark silicon (Optimized, 4 CPUs) ==");
+    println!("   x = power budget W, y = speedup");
+    let dark = fig5c_dark_silicon(&config)?;
+    for series in &dark {
+        println!("{series}");
+    }
+    save_series(
+        "results/fig5c_dark_silicon.svg",
+        "Figure 5c: dark silicon",
+        "power budget (W)",
+        &dark,
+    );
+
+    for variant in [WorkloadVariant::Rodinia, WorkloadVariant::Optimized] {
+        println!("\n== Figure 6 ({:?}): MA vs HILP vs Gables on a 64-SM SoC ==", variant);
+        let rows = fig6_wlp_comparison(variant, &config)?;
+        for row in &rows {
+            println!("{row}");
+        }
+        let mut plot = Plot::new(
+            format!("Figure 6 ({variant:?}): average WLP"),
+            "CPU cores",
+            "avg WLP",
+        );
+        let line = |f: fn(&hilp_dse::experiments::Fig6Row) -> f64| {
+            rows.iter().map(|r| (f64::from(r.cpus), f(r))).collect::<Vec<_>>()
+        };
+        plot.add_series("MA", Marker::Line, line(|r| r.ma.0));
+        plot.add_series("HILP", Marker::Line, line(|r| r.hilp.0));
+        plot.add_series("Gables", Marker::Line, line(|r| r.gables.0));
+        let path = format!("results/fig6_wlp_{variant:?}.svg").to_lowercase();
+        if plot.save(&path).is_ok() {
+            println!("(wrote {path})");
+        }
+    }
+    Ok(())
+}
