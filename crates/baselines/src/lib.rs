@@ -51,7 +51,7 @@
 
 #![warn(missing_docs)]
 
-use hilp_core::{encode, average_wlp, Hilp, HilpError, SolverConfig, TimeStepPolicy};
+use hilp_core::{average_wlp, encode, Hilp, HilpError, SolverConfig, TimeStepPolicy};
 use hilp_sched::TaskId;
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::{Application, Workload};
@@ -65,6 +65,10 @@ pub struct BaselineResult {
     pub speedup: f64,
     /// Average WLP of the model's (implied) schedule.
     pub avg_wlp: f64,
+    /// Relative optimality gap of the underlying solve. MultiAmdahl is
+    /// exact given its sequential-order assumption, so its gap is 0;
+    /// parallel-mode Gables surfaces the scheduler's reported gap.
+    pub gap: f64,
 }
 
 /// MultiAmdahl: fully sequential execution, each phase on its fastest
@@ -116,13 +120,15 @@ pub fn multi_amdahl(
         makespan_seconds,
         speedup,
         avg_wlp: 1.0,
+        gap: 0.0,
     })
 }
 
 /// Strips every dependency edge from the workload — Gables' fully parallel
-/// execution model.
+/// execution model. Public so sweep drivers can reconstruct the effective
+/// workload Gables schedules (e.g. to key a memoization cache).
 #[must_use]
-fn without_dependencies(workload: &Workload) -> Workload {
+pub fn without_dependencies(workload: &Workload) -> Workload {
     let apps = workload
         .applications()
         .iter()
@@ -151,12 +157,8 @@ pub fn gables_parallel(
     solver: &SolverConfig,
 ) -> Result<BaselineResult, HilpError> {
     let parallel = without_dependencies(workload);
-    let gables_constraints = Constraints {
-        power_w: None,
-        bandwidth_gbps: constraints.bandwidth_gbps,
-    };
     let eval = Hilp::new(parallel, soc.clone())
-        .with_constraints(gables_constraints)
+        .with_constraints(gables_constraints(constraints))
         .with_policy(*policy)
         .with_solver(solver.clone())
         .evaluate()?;
@@ -173,7 +175,18 @@ pub fn gables_parallel(
         makespan_seconds: eval.makespan_seconds,
         speedup,
         avg_wlp: average_wlp(&eval.schedule, &eval.instance),
+        gap: eval.gap,
     })
+}
+
+/// The constraints parallel-mode Gables actually enforces: the power
+/// budget is dropped (Gables cannot express one), bandwidth is kept.
+#[must_use]
+pub fn gables_constraints(constraints: &Constraints) -> Constraints {
+    Constraints {
+        power_w: None,
+        bandwidth_gbps: constraints.bandwidth_gbps,
+    }
 }
 
 #[cfg(test)]
@@ -199,8 +212,13 @@ mod tests {
             SocSpec::new(8).with_gpu(64),
             SocSpec::new(4).with_dsa(DsaSpec::new(16, "LUD")),
         ] {
-            let r = multi_amdahl(&w, &soc, &Constraints::unconstrained(), &TimeStepPolicy::sweep())
-                .unwrap();
+            let r = multi_amdahl(
+                &w,
+                &soc,
+                &Constraints::unconstrained(),
+                &TimeStepPolicy::sweep(),
+            )
+            .unwrap();
             assert_eq!(r.avg_wlp, 1.0);
         }
     }
@@ -211,8 +229,20 @@ mod tests {
         // because the GPU configuration does not change".
         let w = Workload::rodinia(WorkloadVariant::Rodinia);
         let policy = TimeStepPolicy::sweep();
-        let one = multi_amdahl(&w, &SocSpec::new(1).with_gpu(64), &Constraints::unconstrained(), &policy).unwrap();
-        let eight = multi_amdahl(&w, &SocSpec::new(8).with_gpu(64), &Constraints::unconstrained(), &policy).unwrap();
+        let one = multi_amdahl(
+            &w,
+            &SocSpec::new(1).with_gpu(64),
+            &Constraints::unconstrained(),
+            &policy,
+        )
+        .unwrap();
+        let eight = multi_amdahl(
+            &w,
+            &SocSpec::new(8).with_gpu(64),
+            &Constraints::unconstrained(),
+            &policy,
+        )
+        .unwrap();
         let rel = (one.speedup - eight.speedup).abs() / one.speedup;
         assert!(rel < 0.05, "MA speedup varied {rel} with CPU count");
     }
@@ -228,7 +258,11 @@ mod tests {
             &TimeStepPolicy::validation(),
         )
         .unwrap();
-        assert!(r.speedup > 3.9 && r.speedup < 5.9, "MA speedup {}", r.speedup);
+        assert!(
+            r.speedup > 3.9 && r.speedup < 5.9,
+            "MA speedup {}",
+            r.speedup
+        );
     }
 
     #[test]
@@ -287,8 +321,8 @@ mod tests {
         let soc = SocSpec::new(4).with_gpu(64);
         let policy = TimeStepPolicy::sweep();
         let solver = fast_solver();
-        let free = gables_parallel(&w, &soc, &Constraints::unconstrained(), &policy, &solver)
-            .unwrap();
+        let free =
+            gables_parallel(&w, &soc, &Constraints::unconstrained(), &policy, &solver).unwrap();
         let capped = gables_parallel(
             &w,
             &soc,
@@ -301,10 +335,25 @@ mod tests {
     }
 
     #[test]
+    fn baselines_report_their_optimality_gap() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16);
+        let c = Constraints::unconstrained();
+        let policy = TimeStepPolicy::sweep();
+        let ma = multi_amdahl(&w, &soc, &c, &policy).unwrap();
+        assert_eq!(ma.gap, 0.0, "MA is exact under its own assumption");
+        let g = gables_parallel(&w, &soc, &c, &policy, &fast_solver()).unwrap();
+        assert!(g.gap >= 0.0 && g.gap.is_finite(), "Gables gap {}", g.gap);
+    }
+
+    #[test]
     fn stripping_dependencies_empties_every_dag() {
         let w = Workload::rodinia(WorkloadVariant::Default);
         let stripped = without_dependencies(&w);
-        assert!(stripped.applications().iter().all(|a| a.dependencies.is_empty()));
+        assert!(stripped
+            .applications()
+            .iter()
+            .all(|a| a.dependencies.is_empty()));
         assert_eq!(stripped.num_phases(), w.num_phases());
     }
 }

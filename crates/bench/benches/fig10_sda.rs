@@ -33,9 +33,7 @@ fn report() {
             r.avg_wlp
         ));
     }
-    body.push_str(
-        "(paper: the baseline misses the objective; 2x CPU or 2x GPU meets it)\n",
-    );
+    body.push_str("(paper: the baseline misses the objective; 2x CPU or 2x GPU meets it)\n");
     print_block("Figure 10: the SDA extension (2 pipelined samples)", &body);
 }
 

@@ -34,7 +34,10 @@ fn mini_space() -> Vec<SocSpec> {
 fn report() {
     let config = bench_sweep_config();
     let socs = mini_space();
-    let mut body = format!("{} SoCs (subsample of 372; see examples/design_space)\n", socs.len());
+    let mut body = format!(
+        "{} SoCs (subsample of 372; see examples/design_space)\n",
+        socs.len()
+    );
     for model in [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp] {
         let result = fig7_space(&socs, model, &config).expect("sweep succeeds");
         let best = result.best();
@@ -66,7 +69,12 @@ fn bench(c: &mut Criterion) {
         ("hilp", ModelKind::Hilp),
     ] {
         c.bench_function(&format!("fig7/{name}_12soc_slice"), |b| {
-            b.iter(|| fig7_space(black_box(&socs), model, &config).unwrap().front.len());
+            b.iter(|| {
+                fig7_space(black_box(&socs), model, &config)
+                    .unwrap()
+                    .front
+                    .len()
+            });
         });
     }
 }

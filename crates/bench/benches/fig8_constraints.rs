@@ -27,9 +27,7 @@ fn report() {
             best.label, best.speedup, best.area_mm2
         ));
     }
-    body.push_str(
-        "(paper: (c4,g16,d2^16) tops 50 W and 600 W; (c2,g4,d2^4) tops 20 W)\n",
-    );
+    body.push_str("(paper: (c4,g16,d2^16) tops 50 W and 600 W; (c2,g4,d2^4) tops 20 W)\n");
     print_block("Figure 8a: power-constrained Pareto fronts", &body);
 
     let workload = Workload::rodinia(WorkloadVariant::Default);

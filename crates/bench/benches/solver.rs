@@ -15,14 +15,17 @@ fn lp_bench(c: &mut Criterion) {
     c.bench_function("solver/lp_simplex_12x18", |b| {
         b.iter(|| {
             let mut lp = LinearProgram::new(Objective::Maximize);
-            let vars: Vec<_> = (0..12).map(|i| lp.add_variable(1.0 + f64::from(i) * 0.1)).collect();
+            let vars: Vec<_> = (0..12)
+                .map(|i| lp.add_variable(1.0 + f64::from(i) * 0.1))
+                .collect();
             for r in 0..18u32 {
                 let terms: Vec<_> = vars
                     .iter()
                     .enumerate()
                     .map(|(j, &v)| (v, 1.0 + f64::from((j as u32 + r) % 5)))
                     .collect();
-                lp.add_constraint(terms, Relation::Le, 40.0 + f64::from(r)).unwrap();
+                lp.add_constraint(terms, Relation::Le, 40.0 + f64::from(r))
+                    .unwrap();
             }
             black_box(lp.solve().unwrap().objective_value())
         });
@@ -63,20 +66,24 @@ fn sched_bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("solver/heuristic_starts_ablation");
     group.sample_size(10);
     for &starts in &[30usize, 120, 480] {
-        group.bench_with_input(BenchmarkId::from_parameter(starts), &starts, |b, &starts| {
-            b.iter(|| {
-                solve_heuristic(
-                    &instance,
-                    &SolverConfig {
-                        heuristic_starts: starts,
-                        local_search_passes: 1,
-                        ..SolverConfig::default()
-                    },
-                )
-                .unwrap()
-                .makespan
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(starts),
+            &starts,
+            |b, &starts| {
+                b.iter(|| {
+                    solve_heuristic(
+                        &instance,
+                        &SolverConfig {
+                            heuristic_starts: starts,
+                            local_search_passes: 1,
+                            ..SolverConfig::default()
+                        },
+                    )
+                    .unwrap()
+                    .makespan
+                });
+            },
+        );
     }
     group.finish();
 
@@ -89,8 +96,7 @@ fn sched_bench(c: &mut Criterion) {
     group.sample_size(10);
     for &copies in &[1usize, 2, 4] {
         let scaled = workload.with_copies(copies);
-        let (instance, _) =
-            encode(&scaled, &soc, &Constraints::unconstrained(), 2.0).unwrap();
+        let (instance, _) = encode(&scaled, &soc, &Constraints::unconstrained(), 2.0).unwrap();
         group.bench_with_input(
             BenchmarkId::from_parameter(copies * 30),
             &instance,

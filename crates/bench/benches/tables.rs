@@ -9,7 +9,10 @@ use hilp_dse::experiments::{table2_rows, table3_rows};
 use hilp_workloads::{profiler, rodinia};
 
 fn report() {
-    print_block("Table II: benchmarks (published vs re-fitted)", &table2_rows().join("\n"));
+    print_block(
+        "Table II: benchmarks (published vs re-fitted)",
+        &table2_rows().join("\n"),
+    );
     print_block("Table III: GPU power scaling", &table3_rows().join("\n"));
 }
 

@@ -1,0 +1,227 @@
+//! Wall-clock timing harness for the Figure 7 design-space sweep.
+//!
+//! Runs the sweep (all three models, Default workload, paper constraints)
+//! twice — once in *reference* mode (dense timetable, single-threaded
+//! multi-start, no memoization: the original implementation's hot path)
+//! and once in *optimized* mode (event-driven timetable, parallel
+//! multi-start, instance memoization) — then writes the timings, the
+//! measured speedup, and a per-point correctness check to
+//! `BENCH_sweep.json`.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p hilp-bench --bin sweep_timing -- \
+//!     [--step N] [--out PATH] [--strict]
+//! ```
+//!
+//! `--step N` subsamples the 372-SoC space (every Nth SoC; default 1 =
+//! the full space). `--strict` also fails the process when the measured
+//! speedup is below 2x (by default only a per-point result mismatch is
+//! fatal, since wall-clock ratios depend on the host).
+
+use std::time::Instant;
+
+use hilp_core::SolverConfig;
+use hilp_dse::{design_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepConfig};
+use hilp_sched::TimetableKind;
+use hilp_soc::Constraints;
+use hilp_workloads::{Workload, WorkloadVariant};
+
+const MODELS: [ModelKind; 3] = [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp];
+
+/// The original implementation's configuration: dense per-step timetable,
+/// serial multi-start, every design point solved from scratch.
+fn reference_config() -> SweepConfig {
+    SweepConfig {
+        solver: SolverConfig {
+            timetable: TimetableKind::Dense,
+            heuristic_threads: 1,
+            ..SolverConfig::sweep()
+        },
+        memoize: false,
+        ..SweepConfig::default()
+    }
+}
+
+/// The optimized hot path: event-driven timetable plus instance
+/// memoization. Multi-start stays single-threaded here because the sweep
+/// already saturates every core with one design point per worker; the
+/// per-point parallelism is for interactive single-SoC evaluations.
+fn optimized_config() -> SweepConfig {
+    SweepConfig {
+        solver: SolverConfig {
+            timetable: TimetableKind::Event,
+            heuristic_threads: 1,
+            ..SolverConfig::sweep()
+        },
+        memoize: true,
+        ..SweepConfig::default()
+    }
+}
+
+struct ModelRun {
+    model: ModelKind,
+    reference_seconds: f64,
+    optimized_seconds: f64,
+    cache_hits: usize,
+    solves: usize,
+    max_rel_diff: f64,
+    max_allowed: f64,
+    points: usize,
+}
+
+fn main() {
+    let mut step = 1usize;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--step" => step = args.next().and_then(|v| v.parse().ok()).expect("--step N"),
+            "--out" => out = args.next().expect("--out PATH"),
+            "--strict" => strict = true,
+            other => panic!("unknown argument: {other}"),
+        }
+    }
+
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let constraints = Constraints::paper_default();
+    let socs: Vec<_> = design_space(4.0).into_iter().step_by(step.max(1)).collect();
+    eprintln!(
+        "sweep_timing: {} SoCs x {} models",
+        socs.len(),
+        MODELS.len()
+    );
+
+    let reference = reference_config();
+    let optimized = optimized_config();
+    let mut runs = Vec::new();
+    for model in MODELS {
+        let t0 = Instant::now();
+        let (ref_points, _) =
+            evaluate_space_with_stats(&workload, &socs, &constraints, model, &reference)
+                .expect("reference sweep succeeds");
+        let reference_seconds = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let (opt_points, stats) =
+            evaluate_space_with_stats(&workload, &socs, &constraints, model, &optimized)
+                .expect("optimized sweep succeeds");
+        let optimized_seconds = t1.elapsed().as_secs_f64();
+
+        // Correctness: per-point makespans must agree within the solver's
+        // reported optimality gap (both paths return near-optimal, not
+        // canonical, schedules; the gap bounds how far apart they may be).
+        let (max_rel_diff, max_allowed) = compare(&ref_points, &opt_points);
+        eprintln!(
+            "  {:<7} reference {reference_seconds:8.2}s  optimized {optimized_seconds:8.2}s  \
+             ({:.2}x, {} cache hits, max point diff {max_rel_diff:.2e})",
+            model.name(),
+            reference_seconds / optimized_seconds.max(1e-9),
+            stats.cache_hits,
+        );
+        runs.push(ModelRun {
+            model,
+            reference_seconds,
+            optimized_seconds,
+            cache_hits: stats.cache_hits,
+            solves: stats.solves,
+            max_rel_diff,
+            max_allowed,
+            points: ref_points.len(),
+        });
+    }
+
+    let total_ref: f64 = runs.iter().map(|r| r.reference_seconds).sum();
+    let total_opt: f64 = runs.iter().map(|r| r.optimized_seconds).sum();
+    let speedup = total_ref / total_opt.max(1e-9);
+    let worst = runs
+        .iter()
+        .map(|r| r.max_rel_diff - r.max_allowed)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let points_match = worst <= 1e-9;
+
+    let json = render_json(
+        &runs,
+        &socs.len(),
+        total_ref,
+        total_opt,
+        speedup,
+        points_match,
+    );
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    eprintln!("sweep_timing: total {total_ref:.2}s -> {total_opt:.2}s ({speedup:.2}x) -> {out}");
+
+    assert!(
+        points_match,
+        "per-point makespans diverged beyond the reported optimality gap"
+    );
+    if strict {
+        assert!(speedup >= 2.0, "speedup {speedup:.2}x below the 2x target");
+    } else if speedup < 2.0 {
+        eprintln!("sweep_timing: WARNING speedup {speedup:.2}x below the 2x target");
+    }
+}
+
+/// Maximum relative makespan difference between the two runs, and the
+/// maximum difference the reported gaps allow: if the reference makespan
+/// is within `gap` of optimal and so is the optimized one, they can be at
+/// most a factor `1 + gap` apart (plus one step of discretization slack).
+fn compare(reference: &[DesignPoint], optimized: &[DesignPoint]) -> (f64, f64) {
+    let mut max_rel_diff: f64 = 0.0;
+    let mut max_allowed: f64 = 0.0;
+    for (r, o) in reference.iter().zip(optimized) {
+        let base = r.makespan_seconds.max(1e-12);
+        let rel = (r.makespan_seconds - o.makespan_seconds).abs() / base;
+        let allowed = r.gap.max(o.gap);
+        max_rel_diff = max_rel_diff.max(rel);
+        max_allowed = max_allowed.max(allowed);
+        assert!(
+            rel <= allowed + 1e-9,
+            "{}: reference makespan {} vs optimized {} (rel {rel:.3e} > gap {allowed:.3e})",
+            r.label,
+            r.makespan_seconds,
+            o.makespan_seconds,
+        );
+    }
+    (max_rel_diff, max_allowed)
+}
+
+fn render_json(
+    runs: &[ModelRun],
+    socs: &usize,
+    total_ref: f64,
+    total_opt: f64,
+    speedup: f64,
+    points_match: bool,
+) -> String {
+    let mut per_model = String::new();
+    for (i, r) in runs.iter().enumerate() {
+        if i > 0 {
+            per_model.push_str(",\n");
+        }
+        per_model.push_str(&format!(
+            "    {{\"model\": \"{}\", \"reference_seconds\": {:.4}, \"optimized_seconds\": {:.4}, \
+             \"speedup\": {:.3}, \"cache_hits\": {}, \"solves\": {}, \"points\": {}, \
+             \"max_rel_makespan_diff\": {:.6e}, \"max_allowed_gap\": {:.6e}}}",
+            r.model.name(),
+            r.reference_seconds,
+            r.optimized_seconds,
+            r.reference_seconds / r.optimized_seconds.max(1e-9),
+            r.cache_hits,
+            r.solves,
+            r.points,
+            r.max_rel_diff,
+            r.max_allowed,
+        ));
+    }
+    format!(
+        "{{\n  \"benchmark\": \"fig7_design_space_sweep\",\n  \"workload\": \"Default\",\n  \
+         \"socs\": {socs},\n  \"reference\": \"dense timetable, serial multi-start, no memo\",\n  \
+         \"optimized\": \"event timetable, instance memoization\",\n  \
+         \"reference_seconds\": {total_ref:.4},\n  \"optimized_seconds\": {total_opt:.4},\n  \
+         \"speedup\": {speedup:.3},\n  \"points_match_within_gap\": {points_match},\n  \
+         \"per_model\": [\n{per_model}\n  ]\n}}\n"
+    )
+}

@@ -27,6 +27,7 @@ pub fn bench_sweep_config() -> SweepConfig {
             ..SolverConfig::default()
         },
         threads: 0,
+        memoize: true,
     }
 }
 

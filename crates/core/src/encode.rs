@@ -132,7 +132,9 @@ pub fn encode(
     let cpu_machines: Vec<MachineId> = (0..soc.cpu_cores)
         .map(|i| builder.add_machine(format!("cpu{i}")))
         .collect();
-    let gpu_machine = soc.gpu_sms.map(|sms| builder.add_machine(format!("gpu{sms}")));
+    let gpu_machine = soc
+        .gpu_sms
+        .map(|sms| builder.add_machine(format!("gpu{sms}")));
     let dsa_machines: Vec<MachineId> = soc
         .dsas
         .iter()
@@ -241,7 +243,7 @@ pub fn encode(
             builder.add_precedence(ids[before], ids[after]);
         }
         for &(before, after, seconds) in &app.start_dependencies {
-            let lag = steps(seconds, time_step_seconds).min(u32::MAX);
+            let lag = steps(seconds, time_step_seconds);
             // A zero-second interval still means "not earlier than", i.e.
             // lag 0; `steps` floors at 1, so special-case it.
             let lag = if seconds <= 0.0 { 0 } else { lag };
@@ -300,8 +302,7 @@ mod tests {
             .with_gpu(16)
             .with_dsa(DsaSpec::new(16, "LUD"))
             .with_dsa(DsaSpec::new(16, "HS"));
-        let (inst, maps) =
-            encode(&w, &soc, &Constraints::unconstrained(), 1.0).unwrap();
+        let (inst, maps) = encode(&w, &soc, &Constraints::unconstrained(), 1.0).unwrap();
         // 4 CPUs + GPU + 2 DSAs = 7 machines, 30 tasks.
         assert_eq!(inst.num_machines(), 7);
         assert_eq!(inst.num_tasks(), 30);
@@ -327,11 +328,16 @@ mod tests {
     fn constrained_encoding_offers_dvfs_range() {
         let w = Workload::rodinia(WorkloadVariant::Default);
         let soc = SocSpec::new(1).with_gpu(64);
-        let (inst, maps) = encode(&w, &soc, &Constraints::unconstrained().with_power(50.0), 0.1)
-            .unwrap();
+        let (inst, maps) = encode(
+            &w,
+            &soc,
+            &Constraints::unconstrained().with_power(50.0),
+            0.1,
+        )
+        .unwrap();
         let compute = maps.task_of[3][1]; // HS.compute: long enough that clocks differ
-        // Under a 50 W cap the 64-SM GPU's fast clocks are cap-infeasible
-        // and dropped, but several slow ones must survive.
+                                          // Under a 50 W cap the 64-SM GPU's fast clocks are cap-infeasible
+                                          // and dropped, but several slow ones must survive.
         let gpu_modes = inst
             .task(compute)
             .modes
@@ -344,7 +350,9 @@ mod tests {
     #[test]
     fn setup_phases_only_get_cpu_modes() {
         let w = Workload::rodinia(WorkloadVariant::Default);
-        let soc = SocSpec::new(2).with_gpu(16).with_dsa(DsaSpec::new(4, "BFS"));
+        let soc = SocSpec::new(2)
+            .with_gpu(16)
+            .with_dsa(DsaSpec::new(4, "BFS"));
         let (inst, maps) = encode(&w, &soc, &Constraints::unconstrained(), 1.0).unwrap();
         let setup = maps.task_of[0][0];
         for mode in &inst.task(setup).modes {
@@ -363,7 +371,11 @@ mod tests {
         let hs_compute = maps.task_of[3][1];
         let bfs_compute = maps.task_of[0][1];
         assert!(inst.task(hs_compute).modes.iter().any(|m| m.machine == dsa));
-        assert!(inst.task(bfs_compute).modes.iter().all(|m| m.machine != dsa));
+        assert!(inst
+            .task(bfs_compute)
+            .modes
+            .iter()
+            .all(|m| m.machine != dsa));
     }
 
     #[test]

@@ -25,7 +25,10 @@ impl fmt::Display for HilpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             HilpError::NoCompatibleCluster { phase } => {
-                write!(f, "phase `{phase}` has no compatible core cluster on this SoC")
+                write!(
+                    f,
+                    "phase `{phase}` has no compatible core cluster on this SoC"
+                )
             }
             HilpError::InvalidTimeStep { seconds } => {
                 write!(f, "invalid time step of {seconds} seconds")

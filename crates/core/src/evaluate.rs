@@ -1,6 +1,6 @@
 //! The HILP evaluator: adaptive time-step refinement around the scheduler.
 
-use hilp_sched::{solve, Instance, Schedule, SolverConfig};
+use hilp_sched::{solve_with_warm_start, Instance, Schedule, SolverConfig};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
 
@@ -175,9 +175,16 @@ impl Hilp {
     pub fn evaluate(&self) -> Result<Evaluation, HilpError> {
         let mut time_step = self.policy.initial_seconds;
         let mut refinements = 0;
+        // Warm start across refinement rounds: the incumbent schedule of
+        // the coarser discretization seeds the finer level's multi-start
+        // with its dispatch order (start times scale with the time step,
+        // but their relative order — all the heuristic needs — carries
+        // over). Mode ids do NOT transfer: each discretization drops
+        // cap-infeasible and dominated modes differently.
+        let mut warm_order: Option<Vec<f64>> = None;
         loop {
             let (instance, maps) = encode(&self.workload, &self.soc, &self.constraints, time_step)?;
-            let outcome = solve(&instance, &self.solver)?;
+            let outcome = solve_with_warm_start(&instance, &self.solver, warm_order.as_deref())?;
 
             let refine = outcome.makespan > 0
                 && outcome.makespan < self.policy.target_steps
@@ -185,6 +192,14 @@ impl Hilp {
             if refine {
                 refinements += 1;
                 time_step /= self.policy.refine_factor;
+                warm_order = Some(
+                    outcome
+                        .schedule
+                        .starts
+                        .iter()
+                        .map(|&s| -f64::from(s))
+                        .collect(),
+                );
                 continue;
             }
 
@@ -239,7 +254,11 @@ mod tests {
             .with_policy(TimeStepPolicy::fixed(2.0))
             .evaluate()
             .unwrap();
-        assert!(eval.speedup <= 1.05, "speedup {} should be ~1", eval.speedup);
+        assert!(
+            eval.speedup <= 1.05,
+            "speedup {} should be ~1",
+            eval.speedup
+        );
         assert!(eval.speedup > 0.9);
         assert!((eval.avg_wlp - 1.0).abs() < 0.05);
     }

@@ -40,7 +40,10 @@ fn build(power_cap: Option<f64>) -> Instance {
     let gpu = b.add_machine("gpu");
     let dsa = b.add_machine("dsa");
     for (name, cpu_t, gpu_t, dsa_t) in [("m", 8, 6, 5), ("n", 5, 3, 2)] {
-        let setup = b.add_task(format!("{name}0"), vec![Mode::on(cpu, 1).power(CPU_POWER_W)]);
+        let setup = b.add_task(
+            format!("{name}0"),
+            vec![Mode::on(cpu, 1).power(CPU_POWER_W)],
+        );
         let compute = b.add_task(
             format!("{name}1"),
             vec![
@@ -49,7 +52,10 @@ fn build(power_cap: Option<f64>) -> Instance {
                 Mode::on(dsa, dsa_t).power(DSA_POWER_W),
             ],
         );
-        let teardown = b.add_task(format!("{name}2"), vec![Mode::on(cpu, 1).power(CPU_POWER_W)]);
+        let teardown = b.add_task(
+            format!("{name}2"),
+            vec![Mode::on(cpu, 1).power(CPU_POWER_W)],
+        );
         b.add_precedence(setup, compute);
         b.add_precedence(compute, teardown);
     }

@@ -2,7 +2,6 @@
 //! architect reads a HILP result ("where did each phase run, and which
 //! application finishes last?").
 
-
 use crate::evaluate::Evaluation;
 
 /// The placement of one phase in the evaluated schedule.
@@ -142,7 +141,9 @@ mod tests {
 
     fn sample_eval() -> Evaluation {
         let w = Workload::rodinia(WorkloadVariant::Default);
-        let soc = SocSpec::new(2).with_gpu(16).with_dsa(DsaSpec::new(16, "HS"));
+        let soc = SocSpec::new(2)
+            .with_gpu(16)
+            .with_dsa(DsaSpec::new(16, "HS"));
         Hilp::new(w, soc)
             .with_policy(TimeStepPolicy::fixed(5.0))
             .with_solver(SolverConfig {

@@ -119,25 +119,26 @@ pub fn makespan_via_time_indexed(
 
     // One (mode, start) per task; start-time and completion expressions.
     let start_expr = |t: usize| -> LinExpr {
-        LinExpr::sum(x[t].iter().flat_map(|vars| {
-            vars.iter()
-                .enumerate()
-                .map(|(s, &v)| (s as f64) * v)
-        }))
-    };
-    let completion_expr = |t: usize| -> LinExpr {
         LinExpr::sum(
             x[t].iter()
-                .zip(&instance.task(TaskId(t)).modes)
-                .flat_map(|(vars, mode)| {
+                .flat_map(|vars| vars.iter().enumerate().map(|(s, &v)| (s as f64) * v)),
+        )
+    };
+    let completion_expr =
+        |t: usize| -> LinExpr {
+            LinExpr::sum(x[t].iter().zip(&instance.task(TaskId(t)).modes).flat_map(
+                |(vars, mode)| {
                     vars.iter()
                         .enumerate()
                         .map(move |(s, &v)| (s as f64 + f64::from(mode.duration)) * v)
-                }),
-        )
-    };
+                },
+            ))
+        };
     for t in 0..n {
-        let one = LinExpr::sum(x[t].iter().flat_map(|vars| vars.iter().map(|&v| LinExpr::from(v))));
+        let one = LinExpr::sum(
+            x[t].iter()
+                .flat_map(|vars| vars.iter().map(|&v| LinExpr::from(v))),
+        );
         model.eq(one, 1.0);
         model.le(completion_expr(t), makespan);
     }
@@ -162,8 +163,9 @@ pub fn makespan_via_time_indexed(
     // (Equations 3 and 6-8 over the helper function of Equation 5). A
     // task-mode started at s is active at step u iff s <= u < s + d.
     for u in 0..horizon {
-        let mut per_machine: Vec<LinExpr> =
-            (0..instance.num_machines()).map(|_| LinExpr::zero()).collect();
+        let mut per_machine: Vec<LinExpr> = (0..instance.num_machines())
+            .map(|_| LinExpr::zero())
+            .collect();
         let mut power = LinExpr::zero();
         let mut bandwidth = LinExpr::zero();
         let mut cores = LinExpr::zero();

@@ -239,7 +239,13 @@ pub fn fig6_wlp_comparison(
     let mut rows = Vec::new();
     for &cpus in &FIG56_CPUS {
         let soc = SocSpec::new(cpus).with_gpu(64);
-        let ma = evaluate_soc(&workload, &soc, &constraints, ModelKind::MultiAmdahl, config)?;
+        let ma = evaluate_soc(
+            &workload,
+            &soc,
+            &constraints,
+            ModelKind::MultiAmdahl,
+            config,
+        )?;
         let hilp = evaluate_soc(&workload, &soc, &constraints, ModelKind::Hilp, config)?;
         let gables = evaluate_soc(&workload, &soc, &constraints, ModelKind::Gables, config)?;
         rows.push(Fig6Row {
@@ -287,18 +293,17 @@ impl SpaceResult {
             return (0.0, 1.0);
         }
         let max_gap = self.points.iter().map(|p| p.gap).fold(0.0f64, f64::max);
-        let near = self
-            .points
-            .iter()
-            .filter(|p| p.gap <= 0.10 + 1e-12)
-            .count();
+        let near = self.points.iter().filter(|p| p.gap <= 0.10 + 1e-12).count();
         (max_gap, near as f64 / self.points.len() as f64)
     }
 
     /// Renders the Pareto front as a table.
     #[must_use]
     pub fn render_front(&self) -> String {
-        let mut out = format!("{} Pareto front (area mm^2, speedup, label):\n", self.model.name());
+        let mut out = format!(
+            "{} Pareto front (area mm^2, speedup, label):\n",
+            self.model.name()
+        );
         for &i in &self.front {
             let p = &self.points[i];
             out.push_str(&format!(
@@ -372,8 +377,7 @@ pub fn fig8a_power_constrained(
             let constraints = Constraints::unconstrained()
                 .with_power(power)
                 .with_bandwidth(800.0);
-            let points =
-                evaluate_space(&workload, socs, &constraints, ModelKind::Hilp, config)?;
+            let points = evaluate_space(&workload, socs, &constraints, ModelKind::Hilp, config)?;
             let front = pareto_front(&points);
             Ok((
                 power,
@@ -546,12 +550,7 @@ pub fn table3_rows() -> Vec<String> {
         let fit = hilp_soc::powerlaw::fit_power_law(&samples).expect("linear data fits");
         rows.push(format!(
             "{:>6} {:>10.1} {:>8.2}  ({:.2}, {:.2}, {:.2})",
-            op.freq_mhz,
-            op.total_power_w,
-            per_sm,
-            fit.law.a,
-            fit.law.b,
-            fit.r_squared
+            op.freq_mhz, op.total_power_w, per_sm, fit.law.a, fit.law.b, fit.r_squared
         ));
     }
     rows
@@ -572,6 +571,7 @@ mod tests {
                 ..SolverConfig::default()
             },
             threads: 0,
+            memoize: true,
         }
     }
 
@@ -699,6 +699,7 @@ mod consolidation_tests {
                 ..SolverConfig::default()
             },
             threads: 0,
+            memoize: true,
         };
         let rows = consolidation_sweep(&soc, &[1, 2], &config).unwrap();
         assert_eq!(rows.len(), 2);
@@ -835,7 +836,10 @@ pub fn scheduler_quality_ablation(
         ("online FIFO dispatcher", OnlinePolicy::Fifo),
         ("online LPT dispatcher", OnlinePolicy::LongestFirst),
         ("online SPT dispatcher", OnlinePolicy::ShortestFirst),
-        ("online heterogeneity-aware", OnlinePolicy::HeterogeneityAware),
+        (
+            "online heterogeneity-aware",
+            OnlinePolicy::HeterogeneityAware,
+        ),
     ] {
         if let Some(schedule) = online_greedy(&instance, policy) {
             rows.push(SchedulerQualityRow {
@@ -898,6 +902,7 @@ mod extension_tests {
                 ..SolverConfig::default()
             },
             threads: 0,
+            memoize: true,
         }
     }
 

@@ -31,4 +31,6 @@ pub mod sweep;
 
 pub use pareto::{pareto_front, ParetoPoint};
 pub use space::design_space;
-pub use sweep::{evaluate_space, DesignPoint, ModelKind, SweepConfig};
+pub use sweep::{
+    evaluate_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepConfig, SweepStats,
+};

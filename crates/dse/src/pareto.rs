@@ -113,9 +113,8 @@ mod tests {
         for &i in &front {
             for (j, p) in pts.iter().enumerate() {
                 if j != i {
-                    let dominates = p.0 <= pts[i].0
-                        && p.1 >= pts[i].1
-                        && (p.0 < pts[i].0 || p.1 > pts[i].1);
+                    let dominates =
+                        p.0 <= pts[i].0 && p.1 >= pts[i].1 && (p.0 < pts[i].0 || p.1 > pts[i].1);
                     assert!(!dominates, "{j} dominates front member {i}");
                 }
             }

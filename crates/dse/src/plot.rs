@@ -99,8 +99,16 @@ impl Plot {
         let plot_w = self.width - margin_left - margin_right;
         let plot_h = self.height - margin_top - margin_bottom;
 
-        let (x_min, x_max) = range(self.series.iter().flat_map(|s| s.points.iter().map(|p| p.0)));
-        let (y_min, y_max) = range(self.series.iter().flat_map(|s| s.points.iter().map(|p| p.1)));
+        let (x_min, x_max) = range(
+            self.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.0)),
+        );
+        let (y_min, y_max) = range(
+            self.series
+                .iter()
+                .flat_map(|s| s.points.iter().map(|p| p.1)),
+        );
         let x_ticks = nice_ticks(x_min, x_max);
         let y_ticks = nice_ticks(y_min, y_max);
         let (x_lo, x_hi) = tick_span(&x_ticks, x_min, x_max);
@@ -256,7 +264,9 @@ impl Plot {
 }
 
 fn escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 fn range(values: impl Iterator<Item = f64>) -> (f64, f64) {

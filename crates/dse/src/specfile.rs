@@ -79,7 +79,10 @@ pub fn parse_soc(text: &str) -> Result<(SocSpec, Constraints), ParseError> {
             continue;
         }
         let Some((key, value)) = line.split_once('=') else {
-            return Err(err(line_no, format!("expected `key = value`, got `{line}`")));
+            return Err(err(
+                line_no,
+                format!("expected `key = value`, got `{line}`"),
+            ));
         };
         let key = key.trim();
         let value = value.trim();

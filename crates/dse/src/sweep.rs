@@ -1,10 +1,11 @@
 //! Parallel evaluation of design spaces under the three models.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
-use hilp_baselines::{gables_parallel, multi_amdahl};
-use hilp_core::{Hilp, HilpError, SolverConfig, TimeStepPolicy};
+use hilp_baselines::{gables_constraints, gables_parallel, multi_amdahl, without_dependencies};
+use hilp_core::{encode, Hilp, HilpError, SolverConfig, TimeStepPolicy};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
 
@@ -42,6 +43,14 @@ pub struct SweepConfig {
     pub solver: SolverConfig,
     /// Number of worker threads (`0` = all available cores).
     pub threads: usize,
+    /// Memoize solves across design points whose *effective* scheduling
+    /// instances coincide (e.g. SoCs differing only in components the
+    /// workload cannot exploit at the sweep's discretization). Keys hash
+    /// the encoded instance at every discretization level the adaptive
+    /// policy can visit, so a hit implies the whole refinement trajectory
+    /// — and therefore the result — is identical. Applies to the HILP and
+    /// Gables models (MultiAmdahl is too cheap to be worth caching).
+    pub memoize: bool,
 }
 
 impl Default for SweepConfig {
@@ -62,6 +71,7 @@ impl Default for SweepConfig {
             },
             solver: SolverConfig::sweep(),
             threads: 0,
+            memoize: true,
         }
     }
 }
@@ -120,17 +130,27 @@ pub fn evaluate_soc(
         }
         ModelKind::MultiAmdahl => {
             let r = multi_amdahl(workload, soc, constraints, &config.policy)?;
-            (r.speedup, r.makespan_seconds, r.avg_wlp, 0.0)
+            (r.speedup, r.makespan_seconds, r.avg_wlp, r.gap)
         }
         ModelKind::Gables => {
+            // Gables solves a scheduling problem too; surface its real
+            // optimality gap rather than pretending the prediction is
+            // exact.
             let r = gables_parallel(workload, soc, constraints, &config.policy, &config.solver)?;
-            // Gables solves a scheduling problem too, but its gap is not
-            // surfaced by the baseline API; report 0 for consistency with
-            // the paper, which treats baseline predictions as exact.
-            (r.speedup, r.makespan_seconds, r.avg_wlp, 0.0)
+            (r.speedup, r.makespan_seconds, r.avg_wlp, r.gap)
         }
     };
-    Ok(DesignPoint {
+    Ok(design_point(soc, speedup, makespan_seconds, avg_wlp, gap))
+}
+
+fn design_point(
+    soc: &SocSpec,
+    speedup: f64,
+    makespan_seconds: f64,
+    avg_wlp: f64,
+    gap: f64,
+) -> DesignPoint {
+    DesignPoint {
         soc: soc.clone(),
         label: soc.label(),
         area_mm2: soc.area_mm2(),
@@ -139,7 +159,112 @@ pub fn evaluate_soc(
         avg_wlp,
         gap,
         gpu_area_fraction: soc.gpu_area_fraction(),
-    })
+    }
+}
+
+/// Sweep-wide statistics, mostly about the memoization cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepStats {
+    /// Design points that ran a full evaluation.
+    pub solves: usize,
+    /// Design points answered from the memoization cache.
+    pub cache_hits: usize,
+}
+
+/// The per-sweep solve memo: maps an instance-trajectory fingerprint to
+/// the scalar results of the evaluation. The schedule itself is not
+/// cached — `DesignPoint` only carries scalars, and the SoC-specific
+/// fields (label, area) are recomputed per point.
+struct SolveCache {
+    /// The *effective* workload the model schedules (dependency-stripped
+    /// for Gables).
+    key_workload: Workload,
+    /// The *effective* constraints (power budget dropped for Gables).
+    key_constraints: Constraints,
+    map: Mutex<HashMap<u64, (f64, f64, f64, f64)>>,
+    hits: AtomicUsize,
+}
+
+impl SolveCache {
+    fn for_model(
+        workload: &Workload,
+        constraints: &Constraints,
+        model: ModelKind,
+        config: &SweepConfig,
+    ) -> Option<SolveCache> {
+        if !config.memoize {
+            return None;
+        }
+        let (key_workload, key_constraints) = match model {
+            ModelKind::Hilp => (workload.clone(), *constraints),
+            ModelKind::Gables => (
+                without_dependencies(workload),
+                gables_constraints(constraints),
+            ),
+            // MultiAmdahl evaluations are a closed-form sum over one
+            // encode per level — caching would cost as much as solving.
+            ModelKind::MultiAmdahl => return None,
+        };
+        Some(SolveCache {
+            key_workload,
+            key_constraints,
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+        })
+    }
+
+    /// Fingerprints the instance at *every* discretization level the
+    /// adaptive policy can visit. Equal keys therefore imply the two
+    /// design points present the solver with bit-identical instances along
+    /// the whole refinement trajectory, so (the solver being
+    /// deterministic) their results are identical. Hashing only the
+    /// initial level would be unsound: durations that round together at a
+    /// coarse step can diverge at a finer one.
+    fn key(&self, soc: &SocSpec, config: &SweepConfig) -> Result<u64, HilpError> {
+        let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut step = config.policy.initial_seconds;
+        for _ in 0..=config.policy.max_refinements {
+            let (instance, _) = encode(&self.key_workload, soc, &self.key_constraints, step)?;
+            combined = combined.rotate_left(13) ^ instance.fingerprint();
+            step /= config.policy.refine_factor;
+        }
+        Ok(combined)
+    }
+}
+
+fn evaluate_soc_cached(
+    workload: &Workload,
+    soc: &SocSpec,
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+    cache: Option<&SolveCache>,
+) -> Result<DesignPoint, HilpError> {
+    let key = match cache {
+        Some(c) => Some(c.key(soc, config)?),
+        None => None,
+    };
+    if let (Some(c), Some(k)) = (cache, key) {
+        if let Some(&(speedup, makespan, wlp, gap)) = c.map.lock().expect("cache").get(&k) {
+            c.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(design_point(soc, speedup, makespan, wlp, gap));
+        }
+    }
+    let point = evaluate_soc(workload, soc, constraints, model, config)?;
+    if let (Some(c), Some(k)) = (cache, key) {
+        // Two workers may race on the same key; both solves are
+        // deterministic and identical, so last-write-wins is benign.
+        c.map.lock().expect("cache").insert(
+            k,
+            (
+                point.speedup,
+                point.makespan_seconds,
+                point.avg_wlp,
+                point.gap,
+            ),
+        );
+    }
+    Ok(point)
 }
 
 /// Evaluates a whole design space in parallel, preserving input order.
@@ -158,6 +283,27 @@ pub fn evaluate_space(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<Vec<DesignPoint>, HilpError> {
+    evaluate_space_with_stats(workload, socs, constraints, model, config).map(|(points, _)| points)
+}
+
+/// Like [`evaluate_space`], additionally reporting how much work the
+/// memoization cache saved.
+///
+/// # Errors
+///
+/// Returns the first evaluation error encountered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_space_with_stats(
+    workload: &Workload,
+    socs: &[SocSpec],
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
+    let cache = SolveCache::for_model(workload, constraints, model, config);
     let threads = if config.threads == 0 {
         std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
     } else {
@@ -176,19 +322,33 @@ pub fn evaluate_space(
                 if i >= socs.len() {
                     break;
                 }
-                let point = evaluate_soc(workload, &socs[i], constraints, model, config);
+                let point = evaluate_soc_cached(
+                    workload,
+                    &socs[i],
+                    constraints,
+                    model,
+                    config,
+                    cache.as_ref(),
+                );
                 results.lock().expect("no poisoned workers")[i] = Some(point);
             });
         }
     })
     .expect("worker threads do not panic");
 
-    results
+    let cache_hits = cache.map_or(0, |c| c.hits.load(Ordering::Relaxed));
+    let points: Result<Vec<DesignPoint>, HilpError> = results
         .into_inner()
         .expect("all workers joined")
         .into_iter()
         .map(|r| r.expect("every index was evaluated"))
-        .collect()
+        .collect();
+    let points = points?;
+    let stats = SweepStats {
+        solves: points.len() - cache_hits,
+        cache_hits,
+    };
+    Ok((points, stats))
 }
 
 #[cfg(test)]
@@ -206,6 +366,7 @@ mod tests {
                 ..SolverConfig::default()
             },
             threads: 2,
+            memoize: true,
         }
     }
 
@@ -246,6 +407,46 @@ mod tests {
         assert!(ma.speedup <= hilp.speedup * 1.05);
         assert!(hilp.speedup <= gables.speedup * 1.05);
         assert_eq!(ma.avg_wlp, 1.0);
+    }
+
+    #[test]
+    fn memoization_dedupes_identical_effective_instances() {
+        // The same SoC listed three times must solve once; the cached
+        // points must be indistinguishable from fresh evaluations.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16);
+        let socs = vec![soc.clone(), SocSpec::new(1), soc.clone(), soc];
+        let c = Constraints::unconstrained();
+        for model in [ModelKind::Hilp, ModelKind::Gables] {
+            let mut cfg = tiny_config();
+            cfg.memoize = true;
+            // One worker, so hit counts are deterministic (concurrent
+            // workers may race on a key and legitimately both solve it).
+            cfg.threads = 1;
+            let (memo, stats) = evaluate_space_with_stats(&w, &socs, &c, model, &cfg).unwrap();
+            cfg.memoize = false;
+            let (cold, cold_stats) = evaluate_space_with_stats(&w, &socs, &c, model, &cfg).unwrap();
+            assert_eq!(memo, cold, "memoization changed {model:?} results");
+            assert_eq!(stats.cache_hits, 2, "{model:?} duplicates must hit");
+            assert_eq!(stats.solves, 2);
+            assert_eq!(cold_stats.cache_hits, 0);
+        }
+    }
+
+    #[test]
+    fn multi_amdahl_sweeps_skip_the_cache() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(1), SocSpec::new(1)];
+        let (_, stats) = evaluate_space_with_stats(
+            &w,
+            &socs,
+            &Constraints::unconstrained(),
+            ModelKind::MultiAmdahl,
+            &tiny_config(),
+        )
+        .unwrap();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.solves, 2);
     }
 
     #[test]
@@ -311,7 +512,9 @@ mod csv_tests {
         let w = Workload::rodinia(WorkloadVariant::Default);
         let socs = vec![
             SocSpec::new(1),
-            SocSpec::new(2).with_gpu(16).with_dsa(DsaSpec::new(4, "LUD")),
+            SocSpec::new(2)
+                .with_gpu(16)
+                .with_dsa(DsaSpec::new(4, "LUD")),
         ];
         let config = SweepConfig {
             policy: TimeStepPolicy::fixed(10.0),
@@ -322,6 +525,7 @@ mod csv_tests {
                 ..SolverConfig::default()
             },
             threads: 1,
+            memoize: true,
         };
         let points = evaluate_space(
             &w,

@@ -273,14 +273,15 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     if has_artificials {
         let phase1_costs: Vec<f64> = kind
             .iter()
-            .map(|k| if *k == ColumnKind::Artificial { 1.0 } else { 0.0 })
+            .map(|k| {
+                if *k == ColumnKind::Artificial {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
-        match run_phase(
-            &mut tableau,
-            &phase1_costs,
-            &no_block,
-            lp.iteration_limit(),
-        )? {
+        match run_phase(&mut tableau, &phase1_costs, &no_block, lp.iteration_limit())? {
             PhaseOutcome::Optimal => {}
             PhaseOutcome::Unbounded => unreachable!("phase-1 objective is bounded below by zero"),
         }
@@ -314,10 +315,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     for (j, &c) in lp.costs().iter().enumerate() {
         phase2_costs[j] = sign * c;
     }
-    let blocked: Vec<bool> = kind
-        .iter()
-        .map(|k| *k == ColumnKind::Artificial)
-        .collect();
+    let blocked: Vec<bool> = kind.iter().map(|k| *k == ColumnKind::Artificial).collect();
     match run_phase(&mut tableau, &phase2_costs, &blocked, lp.iteration_limit())? {
         PhaseOutcome::Optimal => {}
         PhaseOutcome::Unbounded => {
@@ -399,8 +397,10 @@ mod tests {
     fn detects_infeasibility() {
         let mut lp = LinearProgram::new(Objective::Minimize);
         let x = lp.add_variable(1.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 1.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 2.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert_eq!(sol.status(), Status::Infeasible);
     }
@@ -476,7 +476,8 @@ mod tests {
             0.0,
         )
         .unwrap();
-        lp.add_constraint(vec![(x1, 1.0)], Relation::Le, 1.0).unwrap();
+        lp.add_constraint(vec![(x1, 1.0)], Relation::Le, 1.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert_eq!(sol.status(), Status::Optimal);
         assert_close(sol.objective_value(), 1.0);
@@ -501,7 +502,8 @@ mod tests {
     fn empty_objective_with_feasible_region_is_optimal() {
         let mut lp = LinearProgram::new(Objective::Minimize);
         let x = lp.add_variable(0.0);
-        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 5.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert_eq!(sol.status(), Status::Optimal);
         assert_close(sol.objective_value(), 0.0);
@@ -550,7 +552,8 @@ mod limit_tests {
         // -x = -2 must behave like x = 2.
         let mut lp = LinearProgram::new(Objective::Minimize);
         let x = lp.add_variable(1.0);
-        lp.add_constraint(vec![(x, -1.0)], Relation::Eq, -2.0).unwrap();
+        lp.add_constraint(vec![(x, -1.0)], Relation::Eq, -2.0)
+            .unwrap();
         let sol = lp.solve().unwrap();
         assert!((sol.value(x) - 2.0).abs() < 1e-9);
     }

@@ -162,7 +162,8 @@ mod tests {
         let mut lp = LinearProgram::new(Objective::Maximize);
         let x = lp.add_variable(1.0);
         lp.set_bounds(x, 0.0, 10.0).unwrap();
-        lp.add_constraint(vec![(x, 2.0)], Relation::Le, 5.0).unwrap();
+        lp.add_constraint(vec![(x, 2.0)], Relation::Le, 5.0)
+            .unwrap();
         let _ = tighten_bounds(&mut lp, &[true], 10);
         assert_eq!(lp.bounds(x).unwrap(), (0.0, 2.0));
     }
@@ -188,8 +189,12 @@ mod tests {
         let mut lp = LinearProgram::new(Objective::Minimize);
         let x = lp.add_variable(1.0);
         lp.set_bounds(x, 0.0, 1.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 3.0).unwrap();
-        assert_eq!(tighten_bounds(&mut lp, &[false], 10), PresolveResult::Infeasible);
+        lp.add_constraint(vec![(x, 1.0)], Relation::Ge, 3.0)
+            .unwrap();
+        assert_eq!(
+            tighten_bounds(&mut lp, &[false], 10),
+            PresolveResult::Infeasible
+        );
     }
 
     #[test]
@@ -200,7 +205,8 @@ mod tests {
         let y = lp.add_variable(1.0);
         lp.set_bounds(x, 0.0, 100.0).unwrap();
         lp.set_bounds(y, 0.0, 100.0).unwrap();
-        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0).unwrap();
+        lp.add_constraint(vec![(x, 1.0)], Relation::Le, 2.0)
+            .unwrap();
         lp.add_constraint(vec![(y, 1.0), (x, -1.0)], Relation::Le, 0.0)
             .unwrap();
         let _ = tighten_bounds(&mut lp, &[false, false], 10);

@@ -70,9 +70,7 @@ pub(crate) fn branch_and_bound(
     let mut limit_hit = false;
     while let Some(node) = stack.pop() {
         let over_limit = nodes_explored >= limits.max_nodes
-            || limits
-                .time_limit
-                .is_some_and(|t| start.elapsed() >= t);
+            || limits.time_limit.is_some_and(|t| start.elapsed() >= t);
         let gap_reached = match &incumbent {
             Some((_, inc)) => {
                 let bound = node.parent_bound.min(abandoned_bound);
@@ -318,7 +316,9 @@ mod tests {
     #[test]
     fn gap_target_stops_early_but_keeps_bound_valid() {
         let mut milp = MilpProblem::new(Objective::Maximize);
-        let vars: Vec<_> = (0..8).map(|i| milp.add_binary(1.0 + (i as f64) * 0.1)).collect();
+        let vars: Vec<_> = (0..8)
+            .map(|i| milp.add_binary(1.0 + (i as f64) * 0.1))
+            .collect();
         let terms: Vec<_> = vars.iter().map(|&v| (v, 1.5)).collect();
         milp.add_constraint(terms, Relation::Le, 6.2).unwrap();
         let limits = SolveLimits {
@@ -326,7 +326,10 @@ mod tests {
             ..SolveLimits::default()
         };
         let sol = milp.solve(&limits).unwrap();
-        assert!(matches!(sol.status(), MilpStatus::Optimal | MilpStatus::Feasible));
+        assert!(matches!(
+            sol.status(),
+            MilpStatus::Optimal | MilpStatus::Feasible
+        ));
         // The bound must never be beaten by the true optimum (here <= 5.8).
         assert!(sol.bound() >= sol.objective_value() - 1e-9);
         assert!(sol.gap() <= 0.5 + 1e-9);
@@ -340,7 +343,8 @@ mod tests {
         let y = milp.add_continuous(2.0);
         milp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Le, 4.5)
             .unwrap();
-        milp.add_constraint(vec![(x, 1.0)], Relation::Le, 3.2).unwrap();
+        milp.add_constraint(vec![(x, 1.0)], Relation::Le, 3.2)
+            .unwrap();
         let sol = milp.solve(&SolveLimits::default()).unwrap();
         assert_eq!(sol.status(), MilpStatus::Optimal);
         assert_close(sol.value(x), 3.0);

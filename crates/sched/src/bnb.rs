@@ -15,7 +15,7 @@
 use crate::bounds::tails;
 use crate::instance::{EdgeKind, Instance, ModeId, TaskId};
 use crate::schedule::Schedule;
-use crate::sgs::Timetable;
+use crate::sgs::{Timetable, TimetableKind};
 
 pub(crate) struct BnbResult {
     pub best: Option<Schedule>,
@@ -138,8 +138,7 @@ impl SearchState<'_> {
                 .iter()
                 .map(|e| match e.kind {
                     EdgeKind::FinishToStart => {
-                        self.finish[e.before.0]
-                            .expect("ready tasks have scheduled predecessors")
+                        self.finish[e.before.0].expect("ready tasks have scheduled predecessors")
                             + e.lag
                     }
                     EdgeKind::StartToStart => self.starts[e.before.0] + e.lag,
@@ -191,6 +190,7 @@ pub(crate) fn branch_and_bound(
     initial_incumbent: Option<Schedule>,
     initial_bound: u32,
     node_budget: u64,
+    timetable: TimetableKind,
 ) -> BnbResult {
     let n = instance.num_tasks();
     let incumbent = initial_incumbent.map(|s| (s.makespan(instance), s));
@@ -209,7 +209,7 @@ pub(crate) fn branch_and_bound(
     let mut state = SearchState {
         instance,
         tails: tails(instance),
-        timetable: Timetable::new(instance),
+        timetable: Timetable::with_kind(instance, timetable),
         starts: vec![0; n],
         modes: vec![ModeId(0); n],
         finish: vec![None; n],
@@ -231,7 +231,7 @@ pub(crate) fn branch_and_bound(
         None => (None, u32::MAX),
     };
     let lower_bound = if complete {
-        best_makespan.min(u32::MAX)
+        best_makespan
     } else {
         // Abandoned subtrees could hide schedules as short as their bound;
         // everything else was either explored or pruned against the final
@@ -252,6 +252,7 @@ pub(crate) fn branch_and_bound(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::heuristic::HeuristicParams;
     use crate::instance::{InstanceBuilder, Mode};
 
     fn figure2_instance() -> Instance {
@@ -282,7 +283,7 @@ mod tests {
     #[test]
     fn proves_the_figure2_optimum() {
         let inst = figure2_instance();
-        let result = branch_and_bound(&inst, None, 0, 10_000_000);
+        let result = branch_and_bound(&inst, None, 0, 10_000_000, TimetableKind::Event);
         assert!(result.complete);
         let best = result.best.unwrap();
         assert!(best.verify(&inst).is_empty());
@@ -299,10 +300,7 @@ mod tests {
         let gpu = b.add_machine("gpu");
         let dsa = b.add_machine("dsa");
         let add_app = |b: &mut InstanceBuilder, name: &str, cpu_t, gpu_t, dsa_t| {
-            let s = b.add_task(
-                format!("{name}0"),
-                vec![Mode::on(cpu, 1).power(1.0)],
-            );
+            let s = b.add_task(format!("{name}0"), vec![Mode::on(cpu, 1).power(1.0)]);
             let c = b.add_task(
                 format!("{name}1"),
                 vec![
@@ -311,10 +309,7 @@ mod tests {
                     Mode::on(dsa, dsa_t).power(2.0),
                 ],
             );
-            let t = b.add_task(
-                format!("{name}2"),
-                vec![Mode::on(cpu, 1).power(1.0)],
-            );
+            let t = b.add_task(format!("{name}2"), vec![Mode::on(cpu, 1).power(1.0)]);
             b.add_precedence(s, c);
             b.add_precedence(c, t);
         };
@@ -323,7 +318,7 @@ mod tests {
         b.set_power_cap(3.0);
         b.set_horizon(30);
         let inst = b.build().unwrap();
-        let result = branch_and_bound(&inst, None, 0, 50_000_000);
+        let result = branch_and_bound(&inst, None, 0, 50_000_000, TimetableKind::Event);
         assert!(result.complete);
         let best = result.best.unwrap();
         assert!(best.verify(&inst).is_empty());
@@ -333,9 +328,20 @@ mod tests {
     #[test]
     fn incumbent_seeds_pruning() {
         let inst = figure2_instance();
-        let heuristic = crate::heuristic::multi_start(&inst, 100, 2, 1).unwrap();
-        let seeded = branch_and_bound(&inst, Some(heuristic), 0, 10_000_000);
-        let unseeded = branch_and_bound(&inst, None, 0, 10_000_000);
+        let heuristic = crate::heuristic::multi_start(
+            &inst,
+            &HeuristicParams {
+                starts: 100,
+                local_search_passes: 2,
+                seed: 1,
+                threads: 1,
+                timetable: TimetableKind::Event,
+                warm_priority: None,
+            },
+        )
+        .unwrap();
+        let seeded = branch_and_bound(&inst, Some(heuristic), 0, 10_000_000, TimetableKind::Event);
+        let unseeded = branch_and_bound(&inst, None, 0, 10_000_000, TimetableKind::Event);
         assert!(seeded.complete && unseeded.complete);
         assert_eq!(
             seeded.best.unwrap().makespan(&inst),
@@ -347,10 +353,21 @@ mod tests {
     #[test]
     fn matching_bound_short_circuits() {
         let inst = figure2_instance();
-        let heuristic = crate::heuristic::multi_start(&inst, 200, 2, 1).unwrap();
+        let heuristic = crate::heuristic::multi_start(
+            &inst,
+            &HeuristicParams {
+                starts: 200,
+                local_search_passes: 2,
+                seed: 1,
+                threads: 1,
+                timetable: TimetableKind::Event,
+                warm_priority: None,
+            },
+        )
+        .unwrap();
         // The heuristic finds 7; telling B&B the bound is 7 must stop it
         // before exploring anything.
-        let result = branch_and_bound(&inst, Some(heuristic), 7, 10_000_000);
+        let result = branch_and_bound(&inst, Some(heuristic), 7, 10_000_000, TimetableKind::Event);
         assert!(result.complete);
         assert_eq!(result.nodes, 0);
         assert_eq!(result.lower_bound, 7);
@@ -359,9 +376,13 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_valid_bound() {
         let inst = figure2_instance();
-        let result = branch_and_bound(&inst, None, 0, 5);
+        let result = branch_and_bound(&inst, None, 0, 5, TimetableKind::Event);
         assert!(!result.complete);
-        assert!(result.lower_bound <= 7, "bound {} must not exceed the optimum", result.lower_bound);
+        assert!(
+            result.lower_bound <= 7,
+            "bound {} must not exceed the optimum",
+            result.lower_bound
+        );
     }
 
     #[test]
@@ -380,7 +401,7 @@ mod tests {
         b.add_initiation_interval(t0, t1, 3);
         b.add_initiation_interval(t1, t2, 3);
         let inst = b.build().unwrap();
-        let result = branch_and_bound(&inst, None, 0, 1_000_000);
+        let result = branch_and_bound(&inst, None, 0, 1_000_000, TimetableKind::Event);
         assert!(result.complete);
         let best = result.best.unwrap();
         assert_eq!(best.makespan(&inst), 8);
@@ -394,7 +415,7 @@ mod tests {
         b.add_task("only", vec![Mode::on(cpu, 4)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        let result = branch_and_bound(&inst, None, 0, 1000);
+        let result = branch_and_bound(&inst, None, 0, 1000, TimetableKind::Event);
         assert!(result.complete);
         assert_eq!(result.best.unwrap().makespan(&inst), 4);
     }

@@ -80,8 +80,7 @@ pub(crate) fn machine_load_bound(instance: &Instance) -> u32 {
             load[first_machine.0] += u64::from(instance.min_duration(task));
         }
     }
-    load
-        .into_iter()
+    load.into_iter()
         .max()
         .map_or(0, |l| u32::try_from(l).unwrap_or(u32::MAX))
 }

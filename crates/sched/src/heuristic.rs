@@ -3,6 +3,15 @@
 //! This is the primal side of the anytime solver: it produces strong
 //! incumbent schedules quickly, which the bounds in [`crate::bounds`] (and
 //! optionally the exact search in [`crate::bnb`]) then certify.
+//!
+//! Every randomized unit of work (a multi-start pass, a ruin-and-recreate
+//! round, a local-search move) draws from its own RNG seeded by mixing the
+//! solver seed with the unit's index, and the best candidate is selected by
+//! `(makespan, unit index)`. Results are therefore identical whether the
+//! units run serially or across any number of worker threads, each of which
+//! reuses one timetable buffer for all its SGS runs.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -10,16 +19,114 @@ use rand::{Rng, SeedableRng};
 use crate::bounds::tails;
 use crate::instance::{Instance, ModeId};
 use crate::schedule::Schedule;
-use crate::sgs::{serial_sgs, ModeRule};
+use crate::sgs::{serial_sgs_into, ModeRule, Timetable, TimetableKind};
 
-/// Runs `starts` randomized SGS passes plus local search and returns the
-/// best feasible schedule found, or `None` when no pass fits the horizon.
-pub(crate) fn multi_start(
+/// Tuning inputs for [`multi_start`].
+#[derive(Clone, Copy)]
+pub(crate) struct HeuristicParams<'w> {
+    /// Number of randomized SGS multi-start passes.
+    pub starts: usize,
+    /// Number of mode-reassignment local-search sweeps.
+    pub local_search_passes: usize,
+    /// Seed for all randomized decisions.
+    pub seed: u64,
+    /// Worker threads: `1` runs inline, `0` uses one per available core.
+    /// The result is the same for every value.
+    pub threads: usize,
+    /// Timetable representation for the SGS scratch buffers.
+    pub timetable: TimetableKind,
+    /// Optional warm-start ordering (higher schedules earlier), typically
+    /// the negated start times of an incumbent from a coarser time
+    /// discretization. Ignored unless it has one entry per task.
+    pub warm_priority: Option<&'w [f64]>,
+}
+
+/// SplitMix64-style finalizer over a `(seed, stream, index)` triple, giving
+/// every randomized unit of work an independent, reproducible RNG seed.
+fn mix_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    let mut z = seed
+        ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ index.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn resolve_threads(threads: usize, jobs: usize) -> usize {
+    let resolved = if threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        threads
+    };
+    resolved.min(jobs.max(1))
+}
+
+/// Evaluates `jobs` independent candidates and returns the best by
+/// `(makespan, job index)`. Work is distributed over `threads` workers via
+/// an atomic counter; each worker reuses one timetable buffer. The
+/// index-based tie-break makes the reduction independent of both the
+/// execution order and the thread count.
+fn best_candidate<F>(
     instance: &Instance,
-    starts: usize,
-    local_search_passes: usize,
-    seed: u64,
-) -> Option<Schedule> {
+    kind: TimetableKind,
+    threads: usize,
+    jobs: usize,
+    eval: F,
+) -> Option<(u32, Schedule)>
+where
+    F: Fn(usize, &mut Timetable<'_>) -> Option<Schedule> + Sync,
+{
+    let mut locals: Vec<Option<(u32, usize, Schedule)>> = Vec::new();
+    let threads = resolve_threads(threads, jobs);
+    let run_worker = |next: &AtomicUsize| {
+        let mut timetable = Timetable::with_kind(instance, kind);
+        let mut best: Option<(u32, usize, Schedule)> = None;
+        loop {
+            let index = next.fetch_add(1, Ordering::Relaxed);
+            if index >= jobs {
+                return best;
+            }
+            if let Some(schedule) = eval(index, &mut timetable) {
+                let makespan = schedule.makespan(instance);
+                if best
+                    .as_ref()
+                    .is_none_or(|&(m, i, _)| (makespan, index) < (m, i))
+                {
+                    best = Some((makespan, index, schedule));
+                }
+            }
+        }
+    };
+    if threads <= 1 {
+        locals.push(run_worker(&AtomicUsize::new(0)));
+    } else {
+        let next = AtomicUsize::new(0);
+        locals = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let next = &next;
+                    let run_worker = &run_worker;
+                    scope.spawn(move |_| run_worker(next))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("heuristic worker panicked"))
+                .collect()
+        })
+        .expect("heuristic thread scope failed");
+    }
+    locals
+        .into_iter()
+        .flatten()
+        .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
+        .map(|(makespan, _, schedule)| (makespan, schedule))
+}
+
+/// Runs `starts` randomized SGS passes plus ruin-and-recreate and local
+/// search, returning the best feasible schedule found, or `None` when no
+/// pass fits the horizon.
+pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> Option<Schedule> {
     let n = instance.num_tasks();
     if n == 0 {
         return Some(Schedule {
@@ -27,97 +134,124 @@ pub(crate) fn multi_start(
             modes: Vec::new(),
         });
     }
-    let mut rng = SmallRng::seed_from_u64(seed);
     let base: Vec<f64> = tails(instance).iter().map(|&t| f64::from(t)).collect();
+    let starts = params.starts.max(1);
+    let warm = params.warm_priority.filter(|w| w.len() == n);
+    let warm_jobs = usize::from(warm.is_some());
 
-    let mut best: Option<(u32, Schedule)> = None;
-    let consider = |schedule: Schedule, best: &mut Option<(u32, Schedule)>| {
-        let makespan = schedule.makespan(instance);
-        if best.as_ref().is_none_or(|(m, _)| makespan < *m) {
-            *best = Some((makespan, schedule));
-        }
-    };
+    // Phase A — multi-start: job 0 is the deterministic longest-tail-first
+    // pass, an optional job replays the warm-start ordering, and the
+    // remaining `starts - 1` jobs perturb the tail priorities.
+    let mut best: Option<(u32, Schedule)> = best_candidate(
+        instance,
+        params.timetable,
+        params.threads,
+        starts + warm_jobs,
+        |index, timetable| {
+            let priority: Vec<f64> = if index == 0 {
+                base.clone()
+            } else if index == 1 && warm_jobs == 1 {
+                warm.expect("warm_jobs == 1").to_vec()
+            } else {
+                let mut rng = SmallRng::seed_from_u64(mix_seed(
+                    params.seed,
+                    1,
+                    (index - 1 - warm_jobs) as u64,
+                ));
+                base.iter()
+                    .map(|&p| p * rng.gen_range(0.25..1.75) + rng.gen_range(0.0..1.0))
+                    .collect()
+            };
+            serial_sgs_into(instance, &priority, &ModeRule::GreedyFinish, timetable)
+        },
+    );
 
-    for iteration in 0..starts.max(1) {
-        let priority: Vec<f64> = if iteration == 0 {
-            // Deterministic first pass: longest-tail-first.
-            base.clone()
-        } else {
-            base.iter()
-                .map(|&p| p * rng.gen_range(0.25..1.75) + rng.gen_range(0.0..1.0))
-                .collect()
-        };
-        if let Some(schedule) = serial_sgs(instance, &priority, &ModeRule::GreedyFinish) {
-            consider(schedule, &mut best);
-        }
-    }
-
-    // Ruin and recreate: keep most of the incumbent's mode assignment,
-    // release a random subset of tasks back to greedy choice, and replay
-    // with perturbed priorities. Escapes local optima that single-mode
-    // moves cannot.
-    if let Some((_, incumbent)) = best.clone() {
+    // Phase B — ruin and recreate: keep most of the incumbent's mode
+    // assignment, release a random subset of tasks back to greedy choice,
+    // and replay with jittered start-order priorities. Escapes local optima
+    // that single-mode moves cannot.
+    if let Some((incumbent_makespan, incumbent)) = best.clone() {
         let rounds = (starts / 4).min(60);
-        for _ in 0..rounds {
-            let order_priority: Vec<f64> = incumbent
-                .starts
-                .iter()
-                .map(|&s| -f64::from(s) + rng.gen_range(-0.4..0.4))
-                .collect();
-            let forced: Vec<Option<ModeId>> = incumbent
-                .modes
-                .iter()
-                .map(|&mid| {
-                    if rng.gen::<f64>() < 0.25 {
-                        None // ruined: re-chosen greedily
-                    } else {
-                        Some(mid)
-                    }
-                })
-                .collect();
-            if let Some(candidate) = serial_sgs(instance, &order_priority, &ModeRule::Forced(&forced))
-            {
-                consider(candidate, &mut best);
+        let candidate = best_candidate(
+            instance,
+            params.timetable,
+            params.threads,
+            rounds,
+            |round, timetable| {
+                let mut rng = SmallRng::seed_from_u64(mix_seed(params.seed, 2, round as u64));
+                let order_priority: Vec<f64> = incumbent
+                    .starts
+                    .iter()
+                    .map(|&s| -f64::from(s) + rng.gen_range(-0.4..0.4))
+                    .collect();
+                let forced: Vec<Option<ModeId>> = incumbent
+                    .modes
+                    .iter()
+                    .map(|&mid| {
+                        if rng.gen::<f64>() < 0.25 {
+                            None // ruined: re-chosen greedily
+                        } else {
+                            Some(mid)
+                        }
+                    })
+                    .collect();
+                serial_sgs_into(
+                    instance,
+                    &order_priority,
+                    &ModeRule::Forced(&forced),
+                    timetable,
+                )
+            },
+        );
+        if let Some((makespan, schedule)) = candidate {
+            if makespan < incumbent_makespan {
+                best = Some((makespan, schedule));
             }
         }
     }
 
-    // Local search: force each task onto each alternative mode in turn and
-    // re-run the SGS with priorities that reproduce the incumbent's order.
-    for _ in 0..local_search_passes {
+    // Phase C — local search: force each task onto each alternative mode in
+    // turn and re-run the SGS with priorities that reproduce the incumbent's
+    // order. Moves are independent, so each pass evaluates them as one
+    // (possibly parallel) batch against the pass's incumbent.
+    for _ in 0..params.local_search_passes {
         let Some((incumbent_makespan, incumbent)) = best.clone() else {
             break;
         };
-        let order_priority: Vec<f64> = incumbent
-            .starts
-            .iter()
-            .map(|&s| -f64::from(s))
+        let order_priority: Vec<f64> = incumbent.starts.iter().map(|&s| -f64::from(s)).collect();
+        let moves: Vec<(usize, ModeId)> = (0..n)
+            .flat_map(|t| {
+                let num_modes = instance.tasks()[t].modes.len();
+                let current = incumbent.modes[t];
+                (0..num_modes)
+                    .map(ModeId)
+                    .filter(move |&m| num_modes > 1 && m != current)
+                    .map(move |m| (t, m))
+            })
             .collect();
-        let mut improved = false;
-        for t in 0..n {
-            let num_modes = instance.tasks()[t].modes.len();
-            if num_modes <= 1 {
-                continue;
-            }
-            for m in 0..num_modes {
-                if ModeId(m) == incumbent.modes[t] {
-                    continue;
-                }
+        let candidate = best_candidate(
+            instance,
+            params.timetable,
+            params.threads,
+            moves.len(),
+            |index, timetable| {
+                let (t, m) = moves[index];
                 let mut forced: Vec<Option<ModeId>> =
                     incumbent.modes.iter().map(|&mid| Some(mid)).collect();
-                forced[t] = Some(ModeId(m));
-                if let Some(candidate) = serial_sgs(instance, &order_priority, &ModeRule::Forced(&forced))
-                {
-                    let makespan = candidate.makespan(instance);
-                    if makespan < incumbent_makespan {
-                        consider(candidate, &mut best);
-                        improved = true;
-                    }
-                }
+                forced[t] = Some(m);
+                serial_sgs_into(
+                    instance,
+                    &order_priority,
+                    &ModeRule::Forced(&forced),
+                    timetable,
+                )
+            },
+        );
+        match candidate {
+            Some((makespan, schedule)) if makespan < incumbent_makespan => {
+                best = Some((makespan, schedule));
             }
-        }
-        if !improved {
-            break;
+            _ => break,
         }
     }
 
@@ -128,6 +262,17 @@ pub(crate) fn multi_start(
 mod tests {
     use super::*;
     use crate::instance::{InstanceBuilder, Mode};
+
+    fn params(starts: usize, local_search_passes: usize, seed: u64) -> HeuristicParams<'static> {
+        HeuristicParams {
+            starts,
+            local_search_passes,
+            seed,
+            threads: 1,
+            timetable: TimetableKind::Event,
+            warm_priority: None,
+        }
+    }
 
     /// The worked example of the paper's Figure 2: applications m and n,
     /// each setup -> compute -> teardown, on a CPU + GPU + DSA SoC.
@@ -159,7 +304,7 @@ mod tests {
     #[test]
     fn heuristic_finds_the_figure2_optimum() {
         let inst = figure2_instance();
-        let sched = multi_start(&inst, 200, 2, 42).unwrap();
+        let sched = multi_start(&inst, &params(200, 2, 42)).unwrap();
         assert!(sched.verify(&inst).is_empty());
         // The paper's optimal schedule completes in 7 seconds.
         assert_eq!(sched.makespan(&inst), 7);
@@ -168,15 +313,50 @@ mod tests {
     #[test]
     fn heuristic_is_deterministic_for_a_seed() {
         let inst = figure2_instance();
-        let a = multi_start(&inst, 50, 1, 7).unwrap();
-        let b = multi_start(&inst, 50, 1, 7).unwrap();
+        let a = multi_start(&inst, &params(50, 1, 7)).unwrap();
+        let b = multi_start(&inst, &params(50, 1, 7)).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_multi_start_matches_serial() {
+        let inst = figure2_instance();
+        let serial = multi_start(&inst, &params(60, 2, 11)).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = multi_start(
+                &inst,
+                &HeuristicParams {
+                    threads,
+                    ..params(60, 2, 11)
+                },
+            )
+            .unwrap();
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed the result"
+            );
+        }
+    }
+
+    #[test]
+    fn event_and_dense_timetables_agree_on_makespan() {
+        let inst = figure2_instance();
+        let event = multi_start(&inst, &params(80, 2, 3)).unwrap();
+        let dense = multi_start(
+            &inst,
+            &HeuristicParams {
+                timetable: TimetableKind::Dense,
+                ..params(80, 2, 3)
+            },
+        )
+        .unwrap();
+        assert_eq!(event, dense);
     }
 
     #[test]
     fn heuristic_handles_empty_instances() {
         let inst = InstanceBuilder::new().build().unwrap();
-        let sched = multi_start(&inst, 10, 1, 0).unwrap();
+        let sched = multi_start(&inst, &params(10, 1, 0)).unwrap();
         assert_eq!(sched.makespan(&inst), 0);
     }
 
@@ -188,7 +368,7 @@ mod tests {
         b.add_task("b", vec![Mode::on(cpu, 5)]);
         b.set_horizon(8);
         let inst = b.build().unwrap();
-        assert!(multi_start(&inst, 20, 1, 0).is_none());
+        assert!(multi_start(&inst, &params(20, 1, 0)).is_none());
     }
 
     #[test]
@@ -203,7 +383,43 @@ mod tests {
         b.set_horizon(20);
         let inst = b.build().unwrap();
         // Even a single deterministic start plus local search suffices.
-        let sched = multi_start(&inst, 1, 2, 0).unwrap();
+        let sched = multi_start(&inst, &params(1, 2, 0)).unwrap();
         assert_eq!(sched.makespan(&inst), 5);
+    }
+
+    #[test]
+    fn warm_start_ordering_seeds_the_incumbent() {
+        // With zero randomized starts beyond the base pass and no local
+        // search, a warm ordering that reproduces a known-good schedule
+        // must be at least as good as the cold base pass.
+        let inst = figure2_instance();
+        let good = multi_start(&inst, &params(200, 2, 42)).unwrap();
+        let warm: Vec<f64> = good.starts.iter().map(|&s| -f64::from(s)).collect();
+        let cold = multi_start(&inst, &params(1, 0, 0)).unwrap();
+        let warmed = multi_start(
+            &inst,
+            &HeuristicParams {
+                warm_priority: Some(&warm),
+                ..params(1, 0, 0)
+            },
+        )
+        .unwrap();
+        assert!(warmed.makespan(&inst) <= cold.makespan(&inst));
+    }
+
+    #[test]
+    fn mismatched_warm_priority_is_ignored() {
+        let inst = figure2_instance();
+        let warm = vec![0.0; 2]; // wrong length: 6 tasks
+        let a = multi_start(&inst, &params(5, 1, 9)).unwrap();
+        let b = multi_start(
+            &inst,
+            &HeuristicParams {
+                warm_priority: Some(&warm),
+                ..params(5, 1, 9)
+            },
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 }

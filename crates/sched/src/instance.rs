@@ -319,6 +319,91 @@ impl Instance {
             })
             .sum()
     }
+
+    /// A structural fingerprint of the instance: a 64-bit FNV-1a hash over
+    /// everything the solver looks at — mode tables (machine, duration,
+    /// power, bandwidth, cores, resource usage), precedence edges with lags
+    /// and kinds, the caps, resource capacities, and the horizon.
+    ///
+    /// Labels are deliberately *excluded*: two instances with different
+    /// machine or task names but identical scheduling structure fingerprint
+    /// identically. That makes the fingerprint a cache key for memoizing
+    /// solves across design points whose *effective* instances coincide
+    /// (e.g. SoCs differing only in components the workload cannot use).
+    ///
+    /// Floats are hashed via [`f64::to_bits`], so the fingerprint is exact
+    /// (no epsilon): instances must be bit-identical to collide on purpose.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        struct Fnv(u64);
+        impl Fnv {
+            fn word(&mut self, w: u64) {
+                for byte in w.to_le_bytes() {
+                    self.0 ^= u64::from(byte);
+                    self.0 = self.0.wrapping_mul(FNV_PRIME);
+                }
+            }
+            fn float(&mut self, f: f64) {
+                self.word(f.to_bits());
+            }
+            fn opt_float(&mut self, f: Option<f64>) {
+                match f {
+                    None => self.word(0),
+                    Some(v) => {
+                        self.word(1);
+                        self.float(v);
+                    }
+                }
+            }
+        }
+        let mut h = Fnv(FNV_OFFSET);
+        h.word(self.tasks.len() as u64);
+        h.word(self.machines.len() as u64);
+        for task in &self.tasks {
+            h.word(task.modes.len() as u64);
+            for mode in &task.modes {
+                h.word(mode.machine.0 as u64);
+                h.word(u64::from(mode.duration));
+                h.float(mode.power);
+                h.float(mode.bandwidth);
+                h.word(u64::from(mode.cores));
+                h.word(mode.resource_usage.len() as u64);
+                for &(ResourceId(r), amount) in &mode.resource_usage {
+                    h.word(r as u64);
+                    h.float(amount);
+                }
+            }
+        }
+        for edges in &self.in_edges {
+            h.word(edges.len() as u64);
+            for edge in edges {
+                h.word(edge.before.0 as u64);
+                h.word(edge.after.0 as u64);
+                h.word(u64::from(edge.lag));
+                h.word(match edge.kind {
+                    EdgeKind::FinishToStart => 0,
+                    EdgeKind::StartToStart => 1,
+                });
+            }
+        }
+        h.opt_float(self.power_cap);
+        h.opt_float(self.bandwidth_cap);
+        match self.core_cap {
+            None => h.word(0),
+            Some(c) => {
+                h.word(1);
+                h.word(u64::from(c));
+            }
+        }
+        h.word(self.resources.len() as u64);
+        for (_, cap) in &self.resources {
+            h.float(*cap);
+        }
+        h.word(u64::from(self.horizon));
+        h.0
+    }
 }
 
 /// Builder for [`Instance`].
@@ -703,7 +788,10 @@ mod tests {
         let m = b.add_machine("cpu");
         let t0 = b.add_task("a", vec![unit_mode(m)]);
         b.add_precedence(t0, TaskId(7));
-        assert!(matches!(b.build(), Err(SchedError::UnknownTask { index: 7 })));
+        assert!(matches!(
+            b.build(),
+            Err(SchedError::UnknownTask { index: 7 })
+        ));
     }
 
     #[test]
@@ -738,7 +826,7 @@ mod tests {
             "a",
             vec![
                 Mode::on(gpu, 5).power(10.0),
-                Mode::on(gpu, 3).power(8.0), // dominates the first
+                Mode::on(gpu, 3).power(8.0),  // dominates the first
                 Mode::on(gpu, 2).power(20.0), // incomparable: faster, hungrier
             ],
         );
@@ -803,6 +891,60 @@ mod tests {
         let t = b.add_task("a", vec![Mode::on(cpu, 10), Mode::on(gpu, 2)]);
         let inst = b.build().unwrap();
         assert_eq!(inst.min_duration(t), 2);
+    }
+
+    fn fingerprint_fixture(label: &str, duration: u32, power_cap: f64) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine(format!("{label}-cpu"));
+        let gpu = b.add_machine(format!("{label}-gpu"));
+        let a = b.add_task(
+            format!("{label}-a"),
+            vec![Mode::on(cpu, duration).power(3.0).cores(1)],
+        );
+        let c = b.add_task(
+            format!("{label}-b"),
+            vec![Mode::on(cpu, 8).power(3.0), Mode::on(gpu, 2).power(9.0)],
+        );
+        b.add_precedence_lagged(a, c, 1);
+        b.set_power_cap(power_cap);
+        b.set_horizon(40);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fingerprint_ignores_labels_but_not_structure() {
+        let base = fingerprint_fixture("x", 4, 50.0);
+        let relabeled = fingerprint_fixture("completely-different", 4, 50.0);
+        assert_eq!(base.fingerprint(), relabeled.fingerprint());
+        assert_eq!(base.fingerprint(), base.clone().fingerprint());
+
+        let longer = fingerprint_fixture("x", 5, 50.0);
+        assert_ne!(base.fingerprint(), longer.fingerprint());
+        // A tighter cap changes the fingerprint even before it prunes any
+        // mode (the solver sees the cap directly).
+        let capped = fingerprint_fixture("x", 4, 20.0);
+        assert_ne!(base.fingerprint(), capped.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_edge_kinds_and_lags() {
+        let build = |kind: EdgeKind, lag: u32| {
+            let mut b = InstanceBuilder::new();
+            let m = b.add_machine("m");
+            let t0 = b.add_task("a", vec![Mode::on(m, 2)]);
+            let t1 = b.add_task("b", vec![Mode::on(m, 2)]);
+            match kind {
+                EdgeKind::FinishToStart => b.add_precedence_lagged(t0, t1, lag),
+                EdgeKind::StartToStart => b.add_initiation_interval(t0, t1, lag),
+            }
+            b.set_horizon(20);
+            b.build().unwrap()
+        };
+        let f2s = build(EdgeKind::FinishToStart, 1);
+        let s2s = build(EdgeKind::StartToStart, 1);
+        let lagged = build(EdgeKind::FinishToStart, 2);
+        assert_ne!(f2s.fingerprint(), s2s.fingerprint());
+        assert_ne!(f2s.fingerprint(), lagged.fingerprint());
     }
 }
 

@@ -58,6 +58,8 @@ mod error;
 mod heuristic;
 mod instance;
 pub mod online;
+#[cfg(test)]
+mod proptests;
 mod schedule;
 mod sgs;
 mod solve;
@@ -68,4 +70,8 @@ pub use instance::{
     Edge, EdgeKind, Instance, InstanceBuilder, MachineId, Mode, ModeId, ResourceId, Task, TaskId,
 };
 pub use schedule::{Schedule, Violation};
-pub use solve::{solve, solve_exact, solve_heuristic, SolveOutcome, SolveStats, SolverConfig};
+pub use sgs::TimetableKind;
+pub use solve::{
+    solve, solve_exact, solve_heuristic, solve_with_warm_start, SolveOutcome, SolveStats,
+    SolverConfig,
+};

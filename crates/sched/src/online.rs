@@ -89,12 +89,7 @@ pub fn online_greedy(instance: &Instance, policy: OnlinePolicy) -> Option<Schedu
                     })
             })
             .collect();
-        ready.sort_by_key(|&t| {
-            (
-                std::cmp::Reverse(policy.priority(instance, TaskId(t))),
-                t,
-            )
-        });
+        ready.sort_by_key(|&t| (std::cmp::Reverse(policy.priority(instance, TaskId(t))), t));
 
         for t in ready {
             // Dispatch only if some mode can start *right now* (and, for
@@ -132,12 +127,7 @@ pub fn online_greedy(instance: &Instance, policy: OnlinePolicy) -> Option<Schedu
         // or the earliest lag expiry of a task whose predecessors are all
         // scheduled (initiation intervals release tasks between
         // completions); fall back to now + 1 when neither exists.
-        let next_completion = finish
-            .iter()
-            .flatten()
-            .copied()
-            .filter(|&f| f > now)
-            .min();
+        let next_completion = finish.iter().flatten().copied().filter(|&f| f > now).min();
         let next_release = (0..n)
             .filter(|&t| !scheduled[t])
             .filter_map(|t| {
@@ -304,7 +294,11 @@ mod tests {
         let inst = b.build().unwrap();
         let fifo = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
         let aware = online_greedy(&inst, OnlinePolicy::HeterogeneityAware).unwrap();
-        assert_eq!(fifo.makespan(&inst), 60, "FIFO strands the kernel on the CPU");
+        assert_eq!(
+            fifo.makespan(&inst),
+            60,
+            "FIFO strands the kernel on the CPU"
+        );
         assert_eq!(aware.makespan(&inst), 6, "aware policy waits for the GPU");
         assert!(aware.verify(&inst).is_empty());
     }

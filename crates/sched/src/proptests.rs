@@ -1,0 +1,161 @@
+//! Property tests for the scheduler hot path: the event-driven timetable
+//! is cross-checked against the retained dense reference on random
+//! placement/undo sequences, and the multi-start heuristic is checked to be
+//! independent of thread count and timetable representation.
+
+use proptest::prelude::*;
+
+use crate::heuristic::{multi_start, HeuristicParams};
+use crate::instance::{Instance, InstanceBuilder, MachineId, Mode, ResourceId};
+use crate::sgs::{Timetable, TimetableKind};
+
+/// One random timetable operation: `((machine, duration, est),
+/// (power, bandwidth, cores, resource), unplace_instead)`.
+type Op = ((u8, u8, u8), (u8, u8, u8, u8), bool);
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        (
+            (0..3u8, 1..=24u8, 0..=120u8),
+            (0..=6u8, 0..=6u8, 0..=3u8, 0..=6u8),
+            prop::bool::ANY,
+        ),
+        1..48,
+    )
+}
+
+/// A machine/cap shell for driving the timetables directly (no tasks:
+/// probes and placements use ad-hoc modes).
+fn shell_instance() -> (Instance, ResourceId) {
+    let mut b = InstanceBuilder::new();
+    b.add_machine("m0");
+    b.add_machine("m1");
+    b.add_machine("m2");
+    let res = b.add_resource("shared", 7.5);
+    b.set_power_cap(8.25);
+    b.set_bandwidth_cap(9.5);
+    b.set_core_cap(4);
+    b.set_horizon(400);
+    (b.build().expect("valid shell"), res)
+}
+
+fn op_mode(op: &Op, res: ResourceId) -> Mode {
+    let ((machine, duration, _), (power, bandwidth, cores, extra), _) = *op;
+    Mode::on(MachineId(usize::from(machine % 3)), u32::from(duration))
+        .power(f64::from(power) * 0.75)
+        .bandwidth(f64::from(bandwidth) * 1.25)
+        .cores(u32::from(cores))
+        .uses(res, f64::from(extra) * 1.5)
+}
+
+/// Small random multi-mode instances with precedence, caps, and a
+/// horizon generous enough to stay feasible.
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    (2..=6usize)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::vec((0..3u8, 1..=8u8, 0..=4u8, 0..=3u8), n),
+                prop::collection::vec((0..3u8, 1..=8u8), n),
+                prop::collection::vec(prop::bool::ANY, n),
+                prop::collection::vec(prop::bool::ANY, n * (n - 1) / 2),
+            )
+        })
+        .prop_map(|(n, first_modes, alt_modes, has_alt, edge_mask)| {
+            let mut b = InstanceBuilder::new();
+            let machines: Vec<MachineId> = (0..3).map(|i| b.add_machine(format!("m{i}"))).collect();
+            let mut tasks = Vec::with_capacity(n);
+            for t in 0..n {
+                let (m, dur, power, cores) = first_modes[t];
+                let mut modes = vec![Mode::on(machines[usize::from(m) % 3], u32::from(dur))
+                    .power(f64::from(power))
+                    .cores(u32::from(cores))];
+                if has_alt[t] {
+                    let (am, adur) = alt_modes[t];
+                    modes.push(Mode::on(machines[usize::from(am) % 3], u32::from(adur)));
+                }
+                tasks.push(b.add_task(format!("t{t}"), modes));
+            }
+            let mut e = 0;
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    if edge_mask[e] {
+                        b.add_precedence(tasks[i], tasks[j]);
+                    }
+                    e += 1;
+                }
+            }
+            b.set_power_cap(8.0);
+            b.set_core_cap(4);
+            b.build().expect("valid random instance")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The event-driven timetable must agree with the dense reference on
+    /// every `earliest_start` probe across arbitrary place/undo sequences,
+    /// and undo must restore the profiles exactly.
+    #[test]
+    fn event_timetable_matches_dense_reference(ops in ops()) {
+        let (instance, res) = shell_instance();
+        let mut event = Timetable::with_kind(&instance, TimetableKind::Event);
+        let mut dense = Timetable::with_kind(&instance, TimetableKind::Dense);
+        let mut placed: Vec<(Mode, u32)> = Vec::new();
+        for op in &ops {
+            let ((_, _, est), _, unplace) = *op;
+            if unplace && !placed.is_empty() {
+                let victim = usize::from(est) % placed.len();
+                let (mode, start) = placed.swap_remove(victim);
+                event.unplace(&mode, start);
+                dense.unplace(&mode, start);
+            } else {
+                let mode = op_mode(op, res);
+                let e = event.earliest_start(&mode, u32::from(est));
+                let d = dense.earliest_start(&mode, u32::from(est));
+                prop_assert_eq!(e, d, "earliest_start diverged");
+                if let Some(start) = e {
+                    event.place(&mode, start);
+                    dense.place(&mode, start);
+                    placed.push((mode, start));
+                }
+            }
+            // Spot-check the aggregate profiles and a fresh probe per
+            // machine after every operation.
+            for t in [0u32, 13, 57, 200] {
+                prop_assert_eq!(event.cores_at(t), dense.cores_at(t));
+                prop_assert!((event.power_at(t) - dense.power_at(t)).abs() < 1e-9);
+            }
+            for m in 0..3 {
+                let probe = Mode::on(MachineId(m), 3).power(1.5).cores(1);
+                prop_assert_eq!(event.earliest_start(&probe, 0), dense.earliest_start(&probe, 0));
+            }
+        }
+    }
+
+    /// The multi-start heuristic returns bit-identical schedules for any
+    /// thread count and for both timetable representations.
+    #[test]
+    fn multi_start_is_thread_and_representation_independent(
+        instance in arb_instance(),
+        seed in 0..1_000u64,
+    ) {
+        let base = HeuristicParams {
+            starts: 12,
+            local_search_passes: 1,
+            seed,
+            threads: 1,
+            timetable: TimetableKind::Event,
+            warm_priority: None,
+        };
+        let serial = multi_start(&instance, &base);
+        let parallel = multi_start(&instance, &HeuristicParams { threads: 4, ..base });
+        prop_assert_eq!(&serial, &parallel, "thread count changed the result");
+        let dense = multi_start(
+            &instance,
+            &HeuristicParams { timetable: TimetableKind::Dense, ..base },
+        );
+        prop_assert_eq!(&serial, &dense, "timetable representation changed the result");
+    }
+}

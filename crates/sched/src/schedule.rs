@@ -368,9 +368,9 @@ mod tests {
             modes: vec![ModeId(0), ModeId(0)],
         };
         let violations = sched.verify(&inst);
-        assert!(violations
-            .iter()
-            .any(|v| matches!(v, Violation::PowerCap { total, .. } if (*total - 10.0).abs() < 1e-9)));
+        assert!(violations.iter().any(
+            |v| matches!(v, Violation::PowerCap { total, .. } if (*total - 10.0).abs() < 1e-9)
+        ));
     }
 
     #[test]
@@ -564,8 +564,7 @@ impl Schedule {
             let mode = instance.mode(TaskId(t), self.modes[t]);
             busy[mode.machine.0] += u64::from(mode.duration);
         }
-        busy
-            .into_iter()
+        busy.into_iter()
             .map(|b| {
                 if makespan == 0 {
                     0.0

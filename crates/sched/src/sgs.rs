@@ -6,12 +6,282 @@
 //! mode choices) generates the class of *active* schedules, which is known
 //! to contain an optimum for makespan minimization; this is the foundation
 //! of both the randomized heuristic and the exact branch-and-bound search.
+//!
+//! Two timetable representations back the SGS:
+//!
+//! * [`TimetableKind::Event`] (the default) stores each resource as a
+//!   piecewise-constant profile over breakpoints, so a feasibility probe
+//!   jumps straight to the end of the first conflicting segment instead of
+//!   re-checking every time step, and undo touches only the segments the
+//!   placed task created.
+//! * [`TimetableKind::Dense`] is the original per-time-step representation,
+//!   kept as a slow-but-obviously-correct reference for property tests and
+//!   benchmark baselines.
 
 use crate::instance::{EdgeKind, Instance, Mode, ModeId, TaskId};
 use crate::schedule::Schedule;
 
-/// Dense per-time-step occupancy and resource usage over the horizon.
-pub(crate) struct Timetable<'a> {
+/// Which timetable representation the scheduler uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TimetableKind {
+    /// Piecewise-constant resource profiles over breakpoints: feasibility
+    /// probes skip to the next conflict and undo is O(placed tasks).
+    #[default]
+    Event,
+    /// Dense per-time-step occupancy vectors over the whole horizon: the
+    /// original reference implementation, retained for cross-checking.
+    Dense,
+}
+
+/// A piecewise-constant profile: `values[i]` holds on
+/// `[times[i], times[i + 1])`, and the last segment extends to infinity.
+/// `times[0]` is always 0.
+struct Profile<V> {
+    times: Vec<u32>,
+    values: Vec<V>,
+}
+
+impl<V> Profile<V>
+where
+    V: Copy + PartialEq + std::ops::Add<Output = V> + std::ops::Sub<Output = V>,
+{
+    fn new(zero: V) -> Self {
+        Profile {
+            times: vec![0],
+            values: vec![zero],
+        }
+    }
+
+    /// Resets to the all-`zero` profile, keeping allocated capacity.
+    fn clear(&mut self, zero: V) {
+        self.times.clear();
+        self.times.push(0);
+        self.values.clear();
+        self.values.push(zero);
+    }
+
+    /// Index of the segment containing time `t`.
+    fn segment(&self, t: u32) -> usize {
+        self.times.partition_point(|&x| x <= t) - 1
+    }
+
+    /// First position in `[start, end)` whose segment value violates the
+    /// predicate, together with the end of that segment (the next candidate
+    /// time at which the value can change). `u32::MAX` marks an unbounded
+    /// final segment.
+    fn first_violation(
+        &self,
+        start: u32,
+        end: u32,
+        violates: impl Fn(V) -> bool,
+    ) -> Option<(u32, u32)> {
+        let mut i = self.segment(start);
+        while i < self.times.len() && self.times[i] < end {
+            if violates(self.values[i]) {
+                let pos = self.times[i].max(start);
+                let resume = self.times.get(i + 1).copied().unwrap_or(u32::MAX);
+                return Some((pos, resume));
+            }
+            i += 1;
+        }
+        None
+    }
+
+    /// Ensures a breakpoint exists exactly at `t` and returns its index.
+    fn ensure_breakpoint(&mut self, t: u32) -> usize {
+        let i = self.segment(t);
+        if self.times[i] == t {
+            i
+        } else {
+            self.times.insert(i + 1, t);
+            self.values.insert(i + 1, self.values[i]);
+            i + 1
+        }
+    }
+
+    /// Removes the breakpoint at `i` when it no longer changes the value.
+    fn coalesce_at(&mut self, i: usize) {
+        if i > 0 && i < self.values.len() && self.values[i] == self.values[i - 1] {
+            self.times.remove(i);
+            self.values.remove(i);
+        }
+    }
+
+    /// Applies `value += delta` (or `-=`) over `[start, end)`.
+    fn apply(&mut self, start: u32, end: u32, delta: V, subtract: bool) {
+        if start >= end {
+            return;
+        }
+        let first = self.ensure_breakpoint(start);
+        let last = self.ensure_breakpoint(end);
+        for v in &mut self.values[first..last] {
+            *v = if subtract { *v - delta } else { *v + delta };
+        }
+        // Drop boundary breakpoints that became (or arrived) redundant;
+        // highest index first so `first` stays valid.
+        self.coalesce_at(last);
+        self.coalesce_at(first);
+    }
+}
+
+/// Event-driven timetable: per-machine occupancy profiles plus shared
+/// power/bandwidth/core/resource profiles.
+pub(crate) struct EventTimetable<'a> {
+    instance: &'a Instance,
+    machine: Vec<Profile<u32>>,
+    power: Profile<f64>,
+    bandwidth: Profile<f64>,
+    cores: Profile<u32>,
+    /// One profile per user-defined resource.
+    extra: Vec<Profile<f64>>,
+}
+
+/// Merges a profile's first-violation hit into the running conflict:
+/// keep the earliest violating position; on ties keep the latest resume
+/// time (every profile violating there blocks until its own segment ends).
+fn merge_conflict(conflict: &mut Option<(u32, u32)>, hit: Option<(u32, u32)>) {
+    if let Some((pos, resume)) = hit {
+        match conflict {
+            Some((best_pos, best_resume)) => {
+                if pos < *best_pos || (pos == *best_pos && resume > *best_resume) {
+                    *conflict = Some((pos, resume));
+                }
+            }
+            None => *conflict = Some((pos, resume)),
+        }
+    }
+}
+
+impl<'a> EventTimetable<'a> {
+    fn new(instance: &'a Instance) -> Self {
+        EventTimetable {
+            instance,
+            machine: (0..instance.num_machines())
+                .map(|_| Profile::new(0u32))
+                .collect(),
+            power: Profile::new(0.0),
+            bandwidth: Profile::new(0.0),
+            cores: Profile::new(0u32),
+            extra: instance
+                .resources()
+                .iter()
+                .map(|_| Profile::new(0.0))
+                .collect(),
+        }
+    }
+
+    fn clear(&mut self) {
+        for m in &mut self.machine {
+            m.clear(0);
+        }
+        self.power.clear(0.0);
+        self.bandwidth.clear(0.0);
+        self.cores.clear(0);
+        for r in &mut self.extra {
+            r.clear(0.0);
+        }
+    }
+
+    /// Whether `mode` can run during `[start, start + duration)`; on
+    /// conflict returns the next start time at which the blocking profile
+    /// can change.
+    fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
+        let end = start + mode.duration;
+        let mut conflict: Option<(u32, u32)> = None;
+        merge_conflict(
+            &mut conflict,
+            self.machine[mode.machine.0].first_violation(start, end, |v| v > 0),
+        );
+        if mode.power > 0.0 {
+            if let Some(cap) = self.instance.power_cap() {
+                merge_conflict(
+                    &mut conflict,
+                    self.power
+                        .first_violation(start, end, |v| v + mode.power > cap + 1e-9),
+                );
+            }
+        }
+        if mode.bandwidth > 0.0 {
+            if let Some(cap) = self.instance.bandwidth_cap() {
+                merge_conflict(
+                    &mut conflict,
+                    self.bandwidth
+                        .first_violation(start, end, |v| v + mode.bandwidth > cap + 1e-9),
+                );
+            }
+        }
+        if mode.cores > 0 {
+            if let Some(cap) = self.instance.core_cap() {
+                merge_conflict(
+                    &mut conflict,
+                    self.cores
+                        .first_violation(start, end, |v| v + mode.cores > cap),
+                );
+            }
+        }
+        for &(r, amount) in &mode.resource_usage {
+            if amount > 0.0 {
+                let cap = self.instance.resources()[r.0].1;
+                merge_conflict(
+                    &mut conflict,
+                    self.extra[r.0].first_violation(start, end, |v| v + amount > cap + 1e-9),
+                );
+            }
+        }
+        match conflict {
+            None => Ok(()),
+            Some((_, resume)) => Err(resume),
+        }
+    }
+
+    fn place(&mut self, mode: &Mode, start: u32) {
+        let end = start + mode.duration;
+        debug_assert!(
+            self.machine[mode.machine.0]
+                .first_violation(start, end, |v| v > 0)
+                .is_none(),
+            "machine double-booked"
+        );
+        self.machine[mode.machine.0].apply(start, end, 1, false);
+        if mode.power > 0.0 {
+            self.power.apply(start, end, mode.power, false);
+        }
+        if mode.bandwidth > 0.0 {
+            self.bandwidth.apply(start, end, mode.bandwidth, false);
+        }
+        if mode.cores > 0 {
+            self.cores.apply(start, end, mode.cores, false);
+        }
+        for &(r, amount) in &mode.resource_usage {
+            if amount > 0.0 {
+                self.extra[r.0].apply(start, end, amount, false);
+            }
+        }
+    }
+
+    fn unplace(&mut self, mode: &Mode, start: u32) {
+        let end = start + mode.duration;
+        self.machine[mode.machine.0].apply(start, end, 1, true);
+        if mode.power > 0.0 {
+            self.power.apply(start, end, mode.power, true);
+        }
+        if mode.bandwidth > 0.0 {
+            self.bandwidth.apply(start, end, mode.bandwidth, true);
+        }
+        if mode.cores > 0 {
+            self.cores.apply(start, end, mode.cores, true);
+        }
+        for &(r, amount) in &mode.resource_usage {
+            if amount > 0.0 {
+                self.extra[r.0].apply(start, end, amount, true);
+            }
+        }
+    }
+}
+
+/// Dense per-time-step occupancy and resource usage over the horizon: the
+/// original reference representation.
+pub(crate) struct DenseTimetable<'a> {
     instance: &'a Instance,
     machine_busy: Vec<Vec<bool>>,
     power: Vec<f64>,
@@ -21,10 +291,10 @@ pub(crate) struct Timetable<'a> {
     extra: Vec<Vec<f64>>,
 }
 
-impl<'a> Timetable<'a> {
-    pub(crate) fn new(instance: &'a Instance) -> Self {
+impl<'a> DenseTimetable<'a> {
+    fn new(instance: &'a Instance) -> Self {
         let horizon = instance.horizon() as usize;
-        Timetable {
+        DenseTimetable {
             instance,
             machine_busy: vec![vec![false; horizon]; instance.num_machines()],
             power: vec![0.0; horizon],
@@ -34,7 +304,20 @@ impl<'a> Timetable<'a> {
         }
     }
 
-    /// Whether `mode` can run during `[start, start + duration)`.
+    fn clear(&mut self) {
+        for busy in &mut self.machine_busy {
+            busy.fill(false);
+        }
+        self.power.fill(0.0);
+        self.bandwidth.fill(0.0);
+        self.cores.fill(0);
+        for profile in &mut self.extra {
+            profile.fill(0.0);
+        }
+    }
+
+    /// Whether `mode` can run during `[start, start + duration)`; on
+    /// conflict returns the step after the first conflicting one.
     #[allow(clippy::needless_range_loop)] // the step index probes several profiles
     fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
         let begin = start as usize;
@@ -52,29 +335,13 @@ impl<'a> Timetable<'a> {
                     self.extra[r.0][u] + amount > self.instance.resources()[r.0].1 + 1e-9
                 });
             if conflict {
-                return Err(u as u32);
+                return Err(u as u32 + 1);
             }
         }
         Ok(())
     }
 
-    /// Earliest start `>= est` at which `mode` fits, or `None` if it does
-    /// not fit anywhere before the horizon.
-    pub(crate) fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
-        let mut t = est;
-        loop {
-            if u64::from(t) + u64::from(mode.duration) > u64::from(self.instance.horizon()) {
-                return None;
-            }
-            match self.fits_at(mode, t) {
-                Ok(()) => return Some(t),
-                Err(failed_at) => t = failed_at + 1,
-            }
-        }
-    }
-
-    /// Marks `mode` as running during `[start, start + duration)`.
-    pub(crate) fn place(&mut self, mode: &Mode, start: u32) {
+    fn place(&mut self, mode: &Mode, start: u32) {
         let begin = start as usize;
         let end = begin + mode.duration as usize;
         for u in begin..end {
@@ -89,8 +356,7 @@ impl<'a> Timetable<'a> {
         }
     }
 
-    /// Reverts a previous [`Timetable::place`] call.
-    pub(crate) fn unplace(&mut self, mode: &Mode, start: u32) {
+    fn unplace(&mut self, mode: &Mode, start: u32) {
         let begin = start as usize;
         let end = begin + mode.duration as usize;
         for u in begin..end {
@@ -101,6 +367,105 @@ impl<'a> Timetable<'a> {
             for &(r, amount) in &mode.resource_usage {
                 self.extra[r.0][u] -= amount;
             }
+        }
+    }
+}
+
+/// Occupancy and resource usage over the horizon, in either representation.
+pub(crate) enum Timetable<'a> {
+    /// Breakpoint profiles (the fast default).
+    Event(EventTimetable<'a>),
+    /// Per-time-step vectors (the reference).
+    Dense(DenseTimetable<'a>),
+}
+
+impl<'a> Timetable<'a> {
+    /// An empty timetable in the default (event-driven) representation.
+    pub(crate) fn new(instance: &'a Instance) -> Self {
+        Timetable::with_kind(instance, TimetableKind::Event)
+    }
+
+    /// An empty timetable in the requested representation.
+    pub(crate) fn with_kind(instance: &'a Instance, kind: TimetableKind) -> Self {
+        match kind {
+            TimetableKind::Event => Timetable::Event(EventTimetable::new(instance)),
+            TimetableKind::Dense => Timetable::Dense(DenseTimetable::new(instance)),
+        }
+    }
+
+    fn instance(&self) -> &'a Instance {
+        match self {
+            Timetable::Event(t) => t.instance,
+            Timetable::Dense(t) => t.instance,
+        }
+    }
+
+    /// Empties the timetable while keeping its allocations, so one buffer
+    /// can be reused across many SGS runs.
+    pub(crate) fn clear(&mut self) {
+        match self {
+            Timetable::Event(t) => t.clear(),
+            Timetable::Dense(t) => t.clear(),
+        }
+    }
+
+    /// Whether `mode` can run during `[start, start + duration)`. On
+    /// conflict returns the next candidate start worth probing (always
+    /// greater than `start`).
+    pub(crate) fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
+        match self {
+            Timetable::Event(t) => t.fits_at(mode, start),
+            Timetable::Dense(t) => t.fits_at(mode, start),
+        }
+    }
+
+    /// Earliest start `>= est` at which `mode` fits, or `None` if it does
+    /// not fit anywhere before the horizon.
+    pub(crate) fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
+        let horizon = u64::from(self.instance().horizon());
+        let mut t = est;
+        loop {
+            if u64::from(t) + u64::from(mode.duration) > horizon {
+                return None;
+            }
+            match self.fits_at(mode, t) {
+                Ok(()) => return Some(t),
+                Err(next) => t = next,
+            }
+        }
+    }
+
+    /// Marks `mode` as running during `[start, start + duration)`.
+    pub(crate) fn place(&mut self, mode: &Mode, start: u32) {
+        match self {
+            Timetable::Event(t) => t.place(mode, start),
+            Timetable::Dense(t) => t.place(mode, start),
+        }
+    }
+
+    /// Reverts a previous [`Timetable::place`] call.
+    pub(crate) fn unplace(&mut self, mode: &Mode, start: u32) {
+        match self {
+            Timetable::Event(t) => t.unplace(mode, start),
+            Timetable::Dense(t) => t.unplace(mode, start),
+        }
+    }
+
+    /// Total power drawn at time `t` (test observability).
+    #[cfg(test)]
+    pub(crate) fn power_at(&self, t: u32) -> f64 {
+        match self {
+            Timetable::Event(tt) => tt.power.values[tt.power.segment(t)],
+            Timetable::Dense(tt) => tt.power[t as usize],
+        }
+    }
+
+    /// CPU cores occupied at time `t` (test observability).
+    #[cfg(test)]
+    pub(crate) fn cores_at(&self, t: u32) -> u32 {
+        match self {
+            Timetable::Event(tt) => tt.cores.values[tt.cores.segment(t)],
+            Timetable::Dense(tt) => tt.cores[t as usize],
         }
     }
 }
@@ -116,15 +481,16 @@ pub(crate) enum ModeRule<'f> {
 }
 
 /// Runs the serial SGS over a ready list ordered by `priority` (highest
-/// first). Returns `None` when some task cannot be placed within the
-/// horizon.
-pub(crate) fn serial_sgs(
+/// first), reusing `timetable` as scratch space (it is cleared on entry).
+/// Returns `None` when some task cannot be placed within the horizon.
+pub(crate) fn serial_sgs_into(
     instance: &Instance,
     priority: &[f64],
     mode_rule: &ModeRule<'_>,
+    timetable: &mut Timetable<'_>,
 ) -> Option<Schedule> {
+    timetable.clear();
     let n = instance.num_tasks();
-    let mut timetable = Timetable::new(instance);
     let mut starts = vec![0u32; n];
     let mut modes = vec![ModeId(0); n];
     let mut finish: Vec<Option<u32>> = vec![None; n];
@@ -135,15 +501,12 @@ pub(crate) fn serial_sgs(
 
     for _ in 0..n {
         // Highest-priority ready task; ties broken by index for determinism.
-        let (pos, &t) = ready
-            .iter()
-            .enumerate()
-            .max_by(|(_, &a), (_, &b)| {
-                priority[a]
-                    .partial_cmp(&priority[b])
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(b.cmp(&a))
-            })?;
+        let (pos, &t) = ready.iter().enumerate().max_by(|(_, &a), (_, &b)| {
+            priority[a]
+                .partial_cmp(&priority[b])
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(b.cmp(&a))
+        })?;
         ready.swap_remove(pos);
         let task = TaskId(t);
         let est = instance
@@ -209,10 +572,23 @@ pub(crate) fn serial_sgs(
     Some(Schedule { starts, modes })
 }
 
+/// One-shot [`serial_sgs_into`] with a freshly allocated event timetable.
+#[cfg(test)]
+pub(crate) fn serial_sgs(
+    instance: &Instance,
+    priority: &[f64],
+    mode_rule: &ModeRule<'_>,
+) -> Option<Schedule> {
+    let mut timetable = Timetable::new(instance);
+    serial_sgs_into(instance, priority, mode_rule, &mut timetable)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::instance::{InstanceBuilder, Mode};
+
+    const BOTH_KINDS: [TimetableKind; 2] = [TimetableKind::Event, TimetableKind::Dense];
 
     #[test]
     fn earliest_start_skips_busy_windows() {
@@ -222,13 +598,15 @@ mod tests {
         b.add_task("b", vec![Mode::on(cpu, 2)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        let mut tt = Timetable::new(&inst);
-        let mode = Mode::on(cpu, 3);
-        tt.place(&mode, 2); // busy [2, 5)
-        let probe = Mode::on(cpu, 2);
-        assert_eq!(tt.earliest_start(&probe, 0), Some(0));
-        assert_eq!(tt.earliest_start(&probe, 1), Some(5));
-        assert_eq!(tt.earliest_start(&probe, 4), Some(5));
+        for kind in BOTH_KINDS {
+            let mut tt = Timetable::with_kind(&inst, kind);
+            let mode = Mode::on(cpu, 3);
+            tt.place(&mode, 2); // busy [2, 5)
+            let probe = Mode::on(cpu, 2);
+            assert_eq!(tt.earliest_start(&probe, 0), Some(0));
+            assert_eq!(tt.earliest_start(&probe, 1), Some(5));
+            assert_eq!(tt.earliest_start(&probe, 4), Some(5));
+        }
     }
 
     #[test]
@@ -238,10 +616,12 @@ mod tests {
         b.add_task("a", vec![Mode::on(cpu, 3)]);
         b.set_horizon(5);
         let inst = b.build().unwrap();
-        let tt = Timetable::new(&inst);
-        let probe = Mode::on(cpu, 3);
-        assert_eq!(tt.earliest_start(&probe, 2), Some(2));
-        assert_eq!(tt.earliest_start(&probe, 3), None);
+        for kind in BOTH_KINDS {
+            let tt = Timetable::with_kind(&inst, kind);
+            let probe = Mode::on(cpu, 3);
+            assert_eq!(tt.earliest_start(&probe, 2), Some(2));
+            assert_eq!(tt.earliest_start(&probe, 3), None);
+        }
     }
 
     #[test]
@@ -254,11 +634,13 @@ mod tests {
         b.set_power_cap(10.0);
         b.set_horizon(20);
         let inst = b.build().unwrap();
-        let mut tt = Timetable::new(&inst);
-        tt.place(&Mode::on(cpu, 4).power(6.0), 0);
-        let probe = Mode::on(gpu, 2).power(5.0);
-        // 6 + 5 > 10 during [0,4): must wait until step 4.
-        assert_eq!(tt.earliest_start(&probe, 0), Some(4));
+        for kind in BOTH_KINDS {
+            let mut tt = Timetable::with_kind(&inst, kind);
+            tt.place(&Mode::on(cpu, 4).power(6.0), 0);
+            let probe = Mode::on(gpu, 2).power(5.0);
+            // 6 + 5 > 10 during [0,4): must wait until step 4.
+            assert_eq!(tt.earliest_start(&probe, 0), Some(4));
+        }
     }
 
     #[test]
@@ -268,14 +650,52 @@ mod tests {
         b.add_task("a", vec![Mode::on(cpu, 2)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        let mut tt = Timetable::new(&inst);
-        let mode = Mode::on(cpu, 2).power(3.0).bandwidth(1.0).cores(1);
-        tt.place(&mode, 0);
-        assert_eq!(tt.earliest_start(&Mode::on(cpu, 1), 0), Some(2));
-        tt.unplace(&mode, 0);
-        assert_eq!(tt.earliest_start(&Mode::on(cpu, 1), 0), Some(0));
-        assert_eq!(tt.power[0], 0.0);
-        assert_eq!(tt.cores[0], 0);
+        for kind in BOTH_KINDS {
+            let mut tt = Timetable::with_kind(&inst, kind);
+            let mode = Mode::on(cpu, 2).power(3.0).bandwidth(1.0).cores(1);
+            tt.place(&mode, 0);
+            assert_eq!(tt.earliest_start(&Mode::on(cpu, 1), 0), Some(2));
+            tt.unplace(&mode, 0);
+            assert_eq!(tt.earliest_start(&Mode::on(cpu, 1), 0), Some(0));
+            assert_eq!(tt.power_at(0), 0.0);
+            assert_eq!(tt.cores_at(0), 0);
+        }
+    }
+
+    #[test]
+    fn clear_resets_a_reused_buffer() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 3)]);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        for kind in BOTH_KINDS {
+            let mut tt = Timetable::with_kind(&inst, kind);
+            let mode = Mode::on(cpu, 3).power(2.0);
+            tt.place(&mode, 1);
+            assert_eq!(tt.earliest_start(&Mode::on(cpu, 2), 0), Some(4));
+            tt.clear();
+            assert_eq!(tt.earliest_start(&Mode::on(cpu, 2), 0), Some(0));
+            assert_eq!(tt.power_at(2), 0.0);
+        }
+    }
+
+    #[test]
+    fn event_probe_jumps_over_long_busy_segments() {
+        // The event timetable must resolve this in one re-probe (resume at
+        // the busy segment's end), not by stepping through 1000 steps; the
+        // observable contract is just that both representations agree.
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 1000)]);
+        b.add_task("b", vec![Mode::on(cpu, 5)]);
+        b.set_horizon(2000);
+        let inst = b.build().unwrap();
+        for kind in BOTH_KINDS {
+            let mut tt = Timetable::with_kind(&inst, kind);
+            tt.place(&Mode::on(cpu, 1000), 0);
+            assert_eq!(tt.earliest_start(&Mode::on(cpu, 5), 0), Some(1000));
+        }
     }
 
     #[test]

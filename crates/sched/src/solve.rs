@@ -6,6 +6,7 @@ use crate::error::SchedError;
 use crate::heuristic;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
+use crate::sgs::TimetableKind;
 
 /// Tuning knobs for [`solve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -22,6 +23,13 @@ pub struct SolverConfig {
     pub exact_task_threshold: usize,
     /// Seed for the randomized heuristic, making solves reproducible.
     pub seed: u64,
+    /// Worker threads for the heuristic multi-start loop: `1` (the
+    /// default) runs inline, `0` uses one thread per available core. The
+    /// per-unit seed split makes the result identical for every value.
+    pub heuristic_threads: usize,
+    /// Timetable representation backing the SGS and branch-and-bound
+    /// (event-driven by default; dense is the slow reference).
+    pub timetable: TimetableKind,
 }
 
 impl Default for SolverConfig {
@@ -32,6 +40,8 @@ impl Default for SolverConfig {
             exact_node_budget: 2_000_000,
             exact_task_threshold: 12,
             seed: 0x4a53_5350, // "JSSP"
+            heuristic_threads: 1,
+            timetable: TimetableKind::Event,
         }
     }
 }
@@ -121,13 +131,37 @@ impl SolveOutcome {
 ///
 /// See the [crate-level documentation](crate).
 pub fn solve(instance: &Instance, config: &SolverConfig) -> Result<SolveOutcome, SchedError> {
+    solve_with_warm_start(instance, config, None)
+}
+
+/// Like [`solve`], seeding the heuristic with a warm-start ordering —
+/// typically the negated start times of an incumbent from a coarser time
+/// discretization of the same workload. The ordering only adds one extra
+/// deterministic multi-start pass, so a bad warm start cannot hurt beyond
+/// the randomized baseline. An ordering whose length does not match the
+/// task count is ignored.
+///
+/// # Errors
+///
+/// Returns [`SchedError::HorizonExhausted`] when no feasible schedule fits
+/// within the instance horizon.
+pub fn solve_with_warm_start(
+    instance: &Instance,
+    config: &SolverConfig,
+    warm_priority: Option<&[f64]>,
+) -> Result<SolveOutcome, SchedError> {
     let combinatorial_bound = bounds::lower_bound(instance);
 
     let heuristic_best = heuristic::multi_start(
         instance,
-        config.heuristic_starts,
-        config.local_search_passes,
-        config.seed,
+        &heuristic::HeuristicParams {
+            starts: config.heuristic_starts,
+            local_search_passes: config.local_search_passes,
+            seed: config.seed,
+            threads: config.heuristic_threads,
+            timetable: config.timetable,
+            warm_priority,
+        },
     );
 
     let run_exact = config.exact_node_budget > 0
@@ -149,6 +183,7 @@ pub fn solve(instance: &Instance, config: &SolverConfig) -> Result<SolveOutcome,
             heuristic_best,
             combinatorial_bound,
             config.exact_node_budget,
+            config.timetable,
         );
         stats.bnb_nodes = result.nodes;
         let Some(best) = result.best else {
@@ -166,7 +201,11 @@ pub fn solve(instance: &Instance, config: &SolverConfig) -> Result<SolveOutcome,
         };
         let makespan = best.makespan(instance);
         let proved = makespan <= combinatorial_bound;
-        (best, combinatorial_bound.min(makespan).max(combinatorial_bound), proved)
+        (
+            best,
+            combinatorial_bound.min(makespan).max(combinatorial_bound),
+            proved,
+        )
     };
 
     let makespan = schedule.makespan(instance);
@@ -305,7 +344,10 @@ mod tests {
         let exact = solve(&inst, &SolverConfig::exact()).unwrap();
         assert_eq!(exact.makespan, 7);
         assert!(sweep.makespan >= exact.makespan);
-        assert!(sweep.makespan <= 8, "sweep heuristic should be near-optimal");
+        assert!(
+            sweep.makespan <= 8,
+            "sweep heuristic should be near-optimal"
+        );
     }
 
     #[test]

@@ -98,9 +98,8 @@ impl ProcessNode {
     /// Panics in debug builds when `area_mm2` is not positive.
     #[must_use]
     pub fn embodied_carbon_kg(&self, area_mm2: f64) -> f64 {
-        let wafer_area = std::f64::consts::PI
-            * (self.wafer_diameter_mm / 2.0)
-            * (self.wafer_diameter_mm / 2.0);
+        let wafer_area =
+            std::f64::consts::PI * (self.wafer_diameter_mm / 2.0) * (self.wafer_diameter_mm / 2.0);
         let good_dies = self.dies_per_wafer(area_mm2) * self.yield_fraction(area_mm2);
         if good_dies <= 0.0 {
             f64::INFINITY

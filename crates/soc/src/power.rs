@@ -53,17 +53,50 @@ pub const CPU_CORE_POWER_W: f64 = 7.0;
 
 /// Table III: measured whole-GPU power per supported core clock.
 const GPU_POWER_TABLE: [OperatingPoint; 11] = [
-    OperatingPoint { freq_mhz: 210, total_power_w: 77.2 },
-    OperatingPoint { freq_mhz: 240, total_power_w: 83.5 },
-    OperatingPoint { freq_mhz: 300, total_power_w: 97.1 },
-    OperatingPoint { freq_mhz: 360, total_power_w: 105.1 },
-    OperatingPoint { freq_mhz: 420, total_power_w: 119.9 },
-    OperatingPoint { freq_mhz: 480, total_power_w: 129.5 },
-    OperatingPoint { freq_mhz: 540, total_power_w: 139.8 },
-    OperatingPoint { freq_mhz: 600, total_power_w: 153.6 },
-    OperatingPoint { freq_mhz: 660, total_power_w: 164.0 },
-    OperatingPoint { freq_mhz: 705, total_power_w: 172.9 },
-    OperatingPoint { freq_mhz: 765, total_power_w: 185.4 },
+    OperatingPoint {
+        freq_mhz: 210,
+        total_power_w: 77.2,
+    },
+    OperatingPoint {
+        freq_mhz: 240,
+        total_power_w: 83.5,
+    },
+    OperatingPoint {
+        freq_mhz: 300,
+        total_power_w: 97.1,
+    },
+    OperatingPoint {
+        freq_mhz: 360,
+        total_power_w: 105.1,
+    },
+    OperatingPoint {
+        freq_mhz: 420,
+        total_power_w: 119.9,
+    },
+    OperatingPoint {
+        freq_mhz: 480,
+        total_power_w: 129.5,
+    },
+    OperatingPoint {
+        freq_mhz: 540,
+        total_power_w: 139.8,
+    },
+    OperatingPoint {
+        freq_mhz: 600,
+        total_power_w: 153.6,
+    },
+    OperatingPoint {
+        freq_mhz: 660,
+        total_power_w: 164.0,
+    },
+    OperatingPoint {
+        freq_mhz: 705,
+        total_power_w: 172.9,
+    },
+    OperatingPoint {
+        freq_mhz: 765,
+        total_power_w: 185.4,
+    },
 ];
 
 /// The GPU DVFS operating points of Table III, slowest first.

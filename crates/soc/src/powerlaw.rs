@@ -99,10 +99,7 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Option<FitResult> {
     let law = PowerLaw::new(ln_a.exp(), b);
 
     let ss_tot: f64 = logs.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 = logs
-        .iter()
-        .map(|p| (p.1 - (ln_a + b * p.0)).powi(2))
-        .sum();
+    let ss_res: f64 = logs.iter().map(|p| (p.1 - (ln_a + b * p.0)).powi(2)).sum();
     let r_squared = if ss_tot.abs() < 1e-15 {
         // All y identical: a constant law fits exactly.
         1.0

@@ -286,7 +286,9 @@ mod tests {
 
     #[test]
     fn constraints_builders_compose() {
-        let c = Constraints::unconstrained().with_power(50.0).with_bandwidth(100.0);
+        let c = Constraints::unconstrained()
+            .with_power(50.0)
+            .with_bandwidth(100.0);
         assert_eq!(c.power_w, Some(50.0));
         assert_eq!(c.bandwidth_gbps, Some(100.0));
         let d = Constraints::paper_default();

@@ -113,14 +113,8 @@ mod tests {
     #[test]
     fn profiling_is_reproducible_per_seed() {
         let hs = rodinia::benchmark("HS").unwrap();
-        assert_eq!(
-            profile_synthetic(hs, 0.1, 3),
-            profile_synthetic(hs, 0.1, 3)
-        );
-        assert_ne!(
-            profile_synthetic(hs, 0.1, 3),
-            profile_synthetic(hs, 0.1, 4)
-        );
+        assert_eq!(profile_synthetic(hs, 0.1, 3), profile_synthetic(hs, 0.1, 3));
+        assert_ne!(profile_synthetic(hs, 0.1, 3), profile_synthetic(hs, 0.1, 4));
     }
 
     #[test]

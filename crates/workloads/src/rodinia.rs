@@ -93,8 +93,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 1.0,
         teardown_seconds: 11.9,
         gpu_bandwidth_gbps: 86.5,
-        gpu_time_fit: ReportedFit { a: 7.83, b: -0.77, r_squared: 0.95 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 0.92, r_squared: 0.98 },
+        gpu_time_fit: ReportedFit {
+            a: 7.83,
+            b: -0.77,
+            r_squared: 0.95,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.07,
+            b: 0.92,
+            r_squared: 0.98,
+        },
         scaled_configuration: "128M elements",
     },
     BenchmarkProfile {
@@ -105,8 +113,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 1.2,
         teardown_seconds: 0.2,
         gpu_bandwidth_gbps: 7.3,
-        gpu_time_fit: ReportedFit { a: 3.77, b: -0.52, r_squared: 0.92 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.84, b: 0.24, r_squared: 0.30 },
+        gpu_time_fit: ReportedFit {
+            a: 3.77,
+            b: -0.52,
+            r_squared: 0.92,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.84,
+            b: 0.24,
+            r_squared: 0.30,
+        },
         scaled_configuration: "104 frames",
     },
     BenchmarkProfile {
@@ -117,8 +133,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 0.1,
         teardown_seconds: 51.2,
         gpu_bandwidth_gbps: 36.4,
-        gpu_time_fit: ReportedFit { a: 10.33, b: -0.86, r_squared: 1.00 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.14, b: 0.75, r_squared: 1.00 },
+        gpu_time_fit: ReportedFit {
+            a: 10.33,
+            b: -0.86,
+            r_squared: 1.00,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.14,
+            b: 0.75,
+            r_squared: 1.00,
+        },
         scaled_configuration: "512x512x8, 200 iterations",
     },
     BenchmarkProfile {
@@ -129,8 +153,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 20.5,
         teardown_seconds: 71.3,
         gpu_bandwidth_gbps: 40.4,
-        gpu_time_fit: ReportedFit { a: 13.93, b: -1.00, r_squared: 1.00 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 1.00, r_squared: 1.00 },
+        gpu_time_fit: ReportedFit {
+            a: 13.93,
+            b: -1.00,
+            r_squared: 1.00,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.07,
+            b: 1.00,
+            r_squared: 1.00,
+        },
         scaled_configuration: "16Kx16K, 512 iterations",
     },
     BenchmarkProfile {
@@ -141,8 +173,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 2.5,
         teardown_seconds: 0.3,
         gpu_bandwidth_gbps: 0.6,
-        gpu_time_fit: ReportedFit { a: 13.98, b: -0.99, r_squared: 1.00 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.10, b: 0.90, r_squared: 1.00 },
+        gpu_time_fit: ReportedFit {
+            a: 13.98,
+            b: -0.99,
+            r_squared: 1.00,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.10,
+            b: 0.90,
+            r_squared: 1.00,
+        },
         scaled_configuration: "42 1D boxes",
     },
     BenchmarkProfile {
@@ -153,8 +193,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 12.0,
         teardown_seconds: 0.6,
         gpu_bandwidth_gbps: 61.6,
-        gpu_time_fit: ReportedFit { a: 10.26, b: -0.88, r_squared: 1.00 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.10, b: 0.87, r_squared: 1.00 },
+        gpu_time_fit: ReportedFit {
+            a: 10.26,
+            b: -0.88,
+            r_squared: 1.00,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.10,
+            b: 0.87,
+            r_squared: 1.00,
+        },
         scaled_configuration: "matrix size 16K",
     },
     BenchmarkProfile {
@@ -165,8 +213,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 8.3e-2,
         teardown_seconds: 0.6,
         gpu_bandwidth_gbps: 0.1,
-        gpu_time_fit: ReportedFit { a: 1.01, b: 8.98e-06, r_squared: 0.00 },
-        gpu_bandwidth_fit: ReportedFit { a: 2.60, b: -0.28, r_squared: 0.15 },
+        gpu_time_fit: ReportedFit {
+            a: 1.01,
+            b: 8.98e-06,
+            r_squared: 0.00,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 2.60,
+            b: -0.28,
+            r_squared: 0.15,
+        },
         scaled_configuration: "100K span, 12 w., 0 m.",
     },
     BenchmarkProfile {
@@ -177,8 +233,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 3.8e-3,
         teardown_seconds: 0.3,
         gpu_bandwidth_gbps: 187.6,
-        gpu_time_fit: ReportedFit { a: 8.97, b: -0.82, r_squared: 0.98 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 0.95, r_squared: 0.99 },
+        gpu_time_fit: ReportedFit {
+            a: 8.97,
+            b: -0.82,
+            r_squared: 0.98,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.07,
+            b: 0.95,
+            r_squared: 0.99,
+        },
         scaled_configuration: "64K size, 2K neighbors",
     },
     BenchmarkProfile {
@@ -189,8 +253,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 0.2,
         teardown_seconds: 0.3,
         gpu_bandwidth_gbps: 95.2,
-        gpu_time_fit: ReportedFit { a: 7.27, b: -0.76, r_squared: 0.99 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.27, b: 0.58, r_squared: 0.95 },
+        gpu_time_fit: ReportedFit {
+            a: 7.27,
+            b: -0.76,
+            r_squared: 0.99,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.27,
+            b: 0.58,
+            r_squared: 0.95,
+        },
         scaled_configuration: "400K rows, 5K col., 1 pyr.",
     },
     BenchmarkProfile {
@@ -201,8 +273,16 @@ const TABLE2: [BenchmarkProfile; 10] = [
         compute_gpu_seconds: 2.1,
         teardown_seconds: 0.3,
         gpu_bandwidth_gbps: 216.1,
-        gpu_time_fit: ReportedFit { a: 5.41, b: -0.62, r_squared: 0.87 },
-        gpu_bandwidth_fit: ReportedFit { a: 0.07, b: 0.88, r_squared: 0.96 },
+        gpu_time_fit: ReportedFit {
+            a: 5.41,
+            b: -0.62,
+            r_squared: 0.87,
+        },
+        gpu_bandwidth_fit: ReportedFit {
+            a: 0.07,
+            b: 0.88,
+            r_squared: 0.96,
+        },
         scaled_configuration: "30-40 centers, 128K points",
     },
 ];

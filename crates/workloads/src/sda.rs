@@ -264,12 +264,7 @@ mod tests {
         assert_eq!(app.phases.len(), 8);
         assert_eq!(app.dependencies.len(), 9);
         // DF has three predecessors, PP has three predecessors.
-        let preds_of = |i: usize| {
-            app.dependencies
-                .iter()
-                .filter(|(_, b)| *b == i)
-                .count()
-        };
+        let preds_of = |i: usize| app.dependencies.iter().filter(|(_, b)| *b == i).count();
         assert_eq!(preds_of(3), 3);
         assert_eq!(preds_of(7), 3);
     }

@@ -357,10 +357,7 @@ mod tests {
         let ratio = raw_hs.phases[0].cpu_seconds.unwrap() / opt_hs.phases[0].cpu_seconds.unwrap();
         assert!((ratio - 20.0).abs() < 1e-9);
         // Compute phases are untouched.
-        assert_eq!(
-            raw_hs.phases[1].cpu_seconds,
-            opt_hs.phases[1].cpu_seconds
-        );
+        assert_eq!(raw_hs.phases[1].cpu_seconds, opt_hs.phases[1].cpu_seconds);
     }
 
     #[test]
@@ -426,7 +423,11 @@ mod tests {
         let tripled = base.with_copies(3);
         assert_eq!(tripled.applications().len(), 30);
         assert_eq!(tripled.num_phases(), 90);
-        let mut names: Vec<&str> = tripled.applications().iter().map(|a| a.name.as_str()).collect();
+        let mut names: Vec<&str> = tripled
+            .applications()
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), 30);

@@ -20,9 +20,7 @@ fn build(llc_gbps: f64) -> hilp_sched::Instance {
     let llc = b.add_resource("llc-bandwidth", llc_gbps);
 
     // Two applications: setup on the CPU, then an LLC-hungry kernel.
-    for (name, accel, kernel_steps, llc_need) in
-        [("img", gpu, 6, 70.0), ("net", dsa, 5, 60.0)]
-    {
+    for (name, accel, kernel_steps, llc_need) in [("img", gpu, 6, 70.0), ("net", dsa, 5, 60.0)] {
         let setup = b.add_task(format!("{name}.setup"), vec![Mode::on(cpu, 1)]);
         let kernel = b.add_task(
             format!("{name}.kernel"),

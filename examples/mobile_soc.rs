@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
         }
     }
-    println!("sweeping {} phone-class SoCs under a 15 W budget...\n", socs.len());
+    println!(
+        "sweeping {} phone-class SoCs under a 15 W budget...\n",
+        socs.len()
+    );
 
     let constraints = Constraints::unconstrained()
         .with_power(15.0)
@@ -51,6 +54,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         solver: SolverConfig::sweep(),
         threads: 0,
+        memoize: true,
     };
     let points = evaluate_space(&workload, &socs, &constraints, ModelKind::Hilp, &config)?;
     let front = pareto_front(&points);

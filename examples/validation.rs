@@ -80,7 +80,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for variant in [WorkloadVariant::Rodinia, WorkloadVariant::Optimized] {
-        println!("\n== Figure 6 ({:?}): MA vs HILP vs Gables on a 64-SM SoC ==", variant);
+        println!(
+            "\n== Figure 6 ({:?}): MA vs HILP vs Gables on a 64-SM SoC ==",
+            variant
+        );
         let rows = fig6_wlp_comparison(variant, &config)?;
         for row in &rows {
             println!("{row}");
@@ -91,7 +94,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "avg WLP",
         );
         let line = |f: fn(&hilp_dse::experiments::Fig6Row) -> f64| {
-            rows.iter().map(|r| (f64::from(r.cpus), f(r))).collect::<Vec<_>>()
+            rows.iter()
+                .map(|r| (f64::from(r.cpus), f(r)))
+                .collect::<Vec<_>>()
         };
         plot.add_series("MA", Marker::Line, line(|r| r.ma.0));
         plot.add_series("HILP", Marker::Line, line(|r| r.hilp.0));

@@ -26,6 +26,7 @@ fn fast_sweep() -> SweepConfig {
         policy: TimeStepPolicy::fixed(5.0),
         solver: fast_solver(),
         threads: 0,
+        memoize: true,
     }
 }
 
@@ -45,10 +46,9 @@ fn figure2_agrees_across_scheduler_and_milp() {
 
 #[test]
 fn figure3_power_constraint_costs_two_seconds() {
-    let unconstrained = solve_exact(&example2::figure2_instance(), &SolverConfig::default())
-        .unwrap();
-    let constrained = solve_exact(&example2::figure3_instance(), &SolverConfig::default())
-        .unwrap();
+    let unconstrained =
+        solve_exact(&example2::figure2_instance(), &SolverConfig::default()).unwrap();
+    let constrained = solve_exact(&example2::figure3_instance(), &SolverConfig::default()).unwrap();
     assert_eq!(unconstrained.makespan, 7);
     assert_eq!(constrained.makespan, 9);
 }
@@ -133,8 +133,13 @@ fn encoding_then_solving_respects_the_core_cap() {
     // Two CPUs: at most two cores' worth of phases concurrently, even
     // though parallel compute modes exist.
     let workload = Workload::rodinia(WorkloadVariant::Default);
-    let (instance, _) = encode(&workload, &SocSpec::new(2), &Constraints::unconstrained(), 5.0)
-        .unwrap();
+    let (instance, _) = encode(
+        &workload,
+        &SocSpec::new(2),
+        &Constraints::unconstrained(),
+        5.0,
+    )
+    .unwrap();
     let outcome = solve(&instance, &fast_solver()).unwrap();
     assert!(outcome.schedule.verify(&instance).is_empty());
 }
@@ -156,11 +161,17 @@ fn model_ordering_holds_across_a_mini_space() {
     ];
     let config = fast_sweep();
     let constraints = Constraints::paper_default();
-    let ma = evaluate_space(&workload, &socs, &constraints, ModelKind::MultiAmdahl, &config)
-        .unwrap();
+    let ma = evaluate_space(
+        &workload,
+        &socs,
+        &constraints,
+        ModelKind::MultiAmdahl,
+        &config,
+    )
+    .unwrap();
     let hilp = evaluate_space(&workload, &socs, &constraints, ModelKind::Hilp, &config).unwrap();
-    let gables = evaluate_space(&workload, &socs, &constraints, ModelKind::Gables, &config)
-        .unwrap();
+    let gables =
+        evaluate_space(&workload, &socs, &constraints, ModelKind::Gables, &config).unwrap();
     for i in 0..socs.len() {
         assert!(
             ma[i].speedup <= hilp[i].speedup * 1.05,
@@ -209,7 +220,11 @@ fn pareto_front_of_design_points_is_dominance_free() {
             let dominates = p.area_mm2 <= points[i].area_mm2
                 && p.speedup >= points[i].speedup
                 && (p.area_mm2 < points[i].area_mm2 || p.speedup > points[i].speedup);
-            assert!(!dominates, "{} dominates front member {}", p.label, points[i].label);
+            assert!(
+                !dominates,
+                "{} dominates front member {}",
+                p.label, points[i].label
+            );
         }
     }
 }
@@ -347,6 +362,10 @@ fn ninety_task_consolidated_workload_solves_feasibly() {
         .evaluate()
         .unwrap();
     assert!(eval.schedule.verify(&eval.instance).is_empty());
-    assert!(eval.avg_wlp > 2.0, "consolidation should overlap: {}", eval.avg_wlp);
+    assert!(
+        eval.avg_wlp > 2.0,
+        "consolidation should overlap: {}",
+        eval.avg_wlp
+    );
     assert!(eval.lower_bound_seconds <= eval.makespan_seconds + 1e-9);
 }

@@ -23,6 +23,7 @@ fn test_config() -> SweepConfig {
             ..SolverConfig::default()
         },
         threads: 0,
+        memoize: true,
     }
 }
 
@@ -65,9 +66,15 @@ fn fig5b_memory_wall_shape() {
         assert!(at(sms, 400.0) > at(sms, 50.0), "{sms}-SM never recovers");
     }
     // The 16-SM SoC saturates early (compute-bound by ~100-150 GB/s)...
-    assert!(at(16, 400.0) <= at(16, 150.0) * 1.10, "16-SM should saturate early");
+    assert!(
+        at(16, 400.0) <= at(16, 150.0) * 1.10,
+        "16-SM should saturate early"
+    );
     // ...while the 64-SM SoC is still gaining between 150 and 400 GB/s.
-    assert!(at(64, 400.0) > at(64, 150.0) * 1.05, "64-SM should still be BW-bound");
+    assert!(
+        at(64, 400.0) > at(64, 150.0) * 1.05,
+        "64-SM should still be BW-bound"
+    );
 }
 
 #[test]

@@ -1,0 +1,226 @@
+//! Vendored offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the benchmarking surface its benches use:
+//! `criterion_group!` / `criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with `bench_with_input`, and `BenchmarkId`. Instead
+//! of criterion's statistical machinery this harness runs a short warmup
+//! plus a capped number of timed iterations and prints the mean
+//! wall-clock time per iteration — enough to track relative performance
+//! in logs without registry dependencies.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Benchmark identifier, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id rendering just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// An id combining a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+}
+
+/// Times closures; handed to every benchmark body.
+pub struct Bencher {
+    iters: u32,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records the mean time per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup iteration, then the timed batch.
+        std::hint::black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / f64::from(self.iters.max(1));
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.mean_ns;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "us")
+    } else {
+        (ns, "ns")
+    };
+    println!(
+        "bench: {name:<50} {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iters
+    );
+}
+
+/// The benchmark manager, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+/// How many timed iterations a configured sample size maps to. Criterion
+/// samples are statistical batches; this stand-in caps the count so heavy
+/// report-style benches stay affordable in logs.
+fn iters_for(sample_size: usize) -> u32 {
+    u32::try_from(sample_size.clamp(1, 10)).expect("clamped")
+}
+
+impl Criterion {
+    /// Sets the nominal sample size (clamped; see [`iters_for`]).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepts CLI arguments for compatibility; filtering is not
+    /// implemented in the offline stand-in.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: iters_for(self.sample_size),
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(id, &bencher);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, group_name: S) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: group_name.into(),
+            sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the group's sample size.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks a function against one input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: iters_for(self.sample_size),
+            mean_ns: 0.0,
+        };
+        f(&mut bencher, input);
+        report(&format!("{}/{}", self.name, id.0), &bencher);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            iters: iters_for(self.sample_size),
+            mean_ns: 0.0,
+        };
+        f(&mut bencher);
+        report(&format!("{}/{}", self.name, id), &bencher);
+        self
+    }
+
+    /// Ends the group (a no-op here; kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Re-export of [`std::hint::black_box`] under criterion's name.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target(c: &mut Criterion) {
+        c.bench_function("stub/add", |b| b.iter(|| 2 + 2));
+        let mut group = c.benchmark_group("stub/group");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5, |b, &x| {
+            b.iter(|| x * x);
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(4);
+        targets = target
+    }
+
+    #[test]
+    fn harness_runs_and_reports() {
+        benches();
+    }
+}

@@ -1,0 +1,110 @@
+//! Vendored offline stand-in for the `crossbeam` crate.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the one API it uses: `crossbeam::thread::scope` with
+//! crossbeam's `Result`-returning signature and spawn closures that
+//! receive the scope (for nested spawns). Since Rust 1.63 this is a thin
+//! wrapper over `std::thread::scope`.
+
+#![warn(missing_docs)]
+
+/// Scoped threads, mirroring `crossbeam::thread`.
+pub mod thread {
+    /// A panic payload propagated out of a scoped thread.
+    pub type PanicPayload = Box<dyn std::any::Any + Send + 'static>;
+
+    /// A scope handle passed to [`scope`] closures and to every spawned
+    /// thread's closure, allowing nested spawns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope, matching
+        /// crossbeam's `|scope| ...` signature (commonly ignored as `|_|`).
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Handle to a scoped thread, mirroring crossbeam's join API.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the
+        /// panic payload.
+        ///
+        /// # Errors
+        ///
+        /// Returns the payload when the thread panicked.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning threads that may borrow from the
+    /// caller's stack. Returns `Ok(result)` when no spawned thread
+    /// panicked; unlike crossbeam, a panicking child propagates the panic
+    /// on scope exit (std semantics), so the `Err` arm is vestigial but
+    /// kept for signature compatibility.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` in practice (see above).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrowed_state() {
+        let counter = AtomicUsize::new(0);
+        let data = [1usize, 2, 3, 4];
+        super::thread::scope(|scope| {
+            for &x in &data {
+                let counter = &counter;
+                scope.spawn(move |_| counter.fetch_add(x, Ordering::Relaxed));
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 10);
+    }
+
+    #[test]
+    fn join_returns_thread_results() {
+        let out = super::thread::scope(|scope| {
+            let h = scope.spawn(|_| 41 + 1);
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawns_compile_and_run() {
+        let n = super::thread::scope(|scope| {
+            scope
+                .spawn(|inner| inner.spawn(|_| 7).join().unwrap())
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 7);
+    }
+}

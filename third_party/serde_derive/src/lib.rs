@@ -1,0 +1,64 @@
+//! Vendored offline stand-in for `serde_derive`.
+//!
+//! Emits empty marker-trait impls matching the vendored no-op `serde`
+//! crate. Written against `proc_macro` directly (no `syn`/`quote`, which
+//! are unavailable offline); supports the plain non-generic structs and
+//! enums this workspace derives on.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name following the `struct`/`enum`/`union` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_keyword = false;
+    for tt in input.clone() {
+        // Attribute groups, doc comments, and punctuation are skipped.
+        if let TokenTree::Ident(ident) = tt {
+            let s = ident.to_string();
+            if saw_keyword {
+                return s;
+            }
+            if s == "struct" || s == "enum" || s == "union" {
+                saw_keyword = true;
+            }
+        }
+    }
+    panic!("serde_derive stub: could not find a type name in the derive input");
+}
+
+/// Rejects generic types: the offline stub only needs (and supports)
+/// concrete ones, and failing loudly beats emitting broken impls.
+fn assert_no_generics(input: &TokenStream, name: &str) {
+    let mut after_name = false;
+    for tt in input.clone() {
+        match &tt {
+            TokenTree::Ident(ident) if ident.to_string() == name => after_name = true,
+            TokenTree::Punct(p) if after_name => {
+                if p.as_char() == '<' {
+                    panic!("serde_derive stub: generic type `{name}` is not supported offline");
+                }
+                // Any other punctuation (`{`, `(`, `;`) ends the header.
+                return;
+            }
+            TokenTree::Group(_) if after_name => return,
+            _ => {}
+        }
+    }
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_no_generics(&input, &name);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    assert_no_generics(&input, &name);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("valid impl block")
+}
