@@ -5,8 +5,9 @@
 //! multi-start, no memoization: the original implementation's hot path)
 //! and once in *optimized* mode (event-driven timetable, parallel
 //! multi-start, instance memoization) — then writes the timings, the
-//! measured speedup, and a per-point correctness check to
-//! `BENCH_sweep.json`.
+//! measured speedup, a per-point correctness check, and the optimized
+//! run's per-point makespans (consumed by the Fig. 7 regression test in
+//! `tests/fig7_regression.rs`) to `BENCH_sweep.json`.
 //!
 //! Usage:
 //!
@@ -68,7 +69,7 @@ struct ModelRun {
     solves: usize,
     max_rel_diff: f64,
     max_allowed: f64,
-    points: usize,
+    points: Vec<DesignPoint>,
 }
 
 fn main() {
@@ -129,7 +130,7 @@ fn main() {
             solves: stats.solves,
             max_rel_diff,
             max_allowed,
-            points: ref_points.len(),
+            points: opt_points,
         });
     }
 
@@ -204,17 +205,30 @@ fn render_json(
         per_model.push_str(&format!(
             "    {{\"model\": \"{}\", \"reference_seconds\": {:.4}, \"optimized_seconds\": {:.4}, \
              \"speedup\": {:.3}, \"cache_hits\": {}, \"solves\": {}, \"points\": {}, \
-             \"max_rel_makespan_diff\": {:.6e}, \"max_allowed_gap\": {:.6e}}}",
+             \"max_rel_makespan_diff\": {:.6e}, \"max_allowed_gap\": {:.6e},\n     \"sweep\": [\n",
             r.model.name(),
             r.reference_seconds,
             r.optimized_seconds,
             r.reference_seconds / r.optimized_seconds.max(1e-9),
             r.cache_hits,
             r.solves,
-            r.points,
+            r.points.len(),
             r.max_rel_diff,
             r.max_allowed,
         ));
+        // One point per line, `{}`-formatted floats (shortest exact
+        // round-trip), so the Fig. 7 regression test can pin every
+        // per-point makespan with a line-based parse.
+        for (j, p) in r.points.iter().enumerate() {
+            per_model.push_str(&format!(
+                "      {{\"label\": \"{}\", \"makespan_seconds\": {}, \"gap\": {}}}{}\n",
+                p.label,
+                p.makespan_seconds,
+                p.gap,
+                if j + 1 < r.points.len() { "," } else { "" },
+            ));
+        }
+        per_model.push_str("    ]}");
     }
     format!(
         "{{\n  \"benchmark\": \"fig7_design_space_sweep\",\n  \"workload\": \"Default\",\n  \

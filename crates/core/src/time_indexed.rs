@@ -87,7 +87,8 @@ pub fn makespan_via_time_indexed(
     let mut binaries = 0usize;
     for t in 0..n {
         for mode in &instance.task(TaskId(t)).modes {
-            binaries += horizon.saturating_sub(mode.duration as usize) + 1;
+            // Modes longer than the horizon have no feasible start at all.
+            binaries += (horizon + 1).saturating_sub(mode.duration as usize);
         }
     }
     if binaries > MAX_BINARIES {
@@ -108,10 +109,15 @@ pub fn makespan_via_time_indexed(
     for t in 0..n {
         let mut per_mode = Vec::new();
         for (m, mode) in instance.task(TaskId(t)).modes.iter().enumerate() {
-            let latest = horizon - mode.duration as usize;
-            let vars: Vec<Var> = (0..=latest)
-                .map(|s| model.binary(format!("x{t}_{m}_{s}")))
-                .collect();
+            // A mode longer than the horizon gets no start variables; if
+            // every mode of a task is too long, the pick-exactly-one row
+            // below makes the model infeasible, as it should.
+            let vars: Vec<Var> = match horizon.checked_sub(mode.duration as usize) {
+                Some(latest) => (0..=latest)
+                    .map(|s| model.binary(format!("x{t}_{m}_{s}")))
+                    .collect(),
+                None => Vec::new(),
+            };
             per_mode.push(vars);
         }
         x.push(per_mode);
@@ -173,6 +179,9 @@ pub fn makespan_via_time_indexed(
         for t in 0..n {
             for (m, mode) in instance.task(TaskId(t)).modes.iter().enumerate() {
                 let d = mode.duration as usize;
+                if d > horizon {
+                    continue;
+                }
                 let lo = u.saturating_sub(d - 1);
                 let hi = u.min(horizon - d);
                 for s in lo..=hi {

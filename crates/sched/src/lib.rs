@@ -58,8 +58,6 @@ mod error;
 mod heuristic;
 mod instance;
 pub mod online;
-#[cfg(test)]
-mod proptests;
 mod schedule;
 mod sgs;
 mod solve;
@@ -71,6 +69,12 @@ pub use instance::{
 };
 pub use schedule::{Schedule, Violation};
 pub use sgs::TimetableKind;
+// Internal timetable machinery, re-exported (hidden) so the workspace test
+// oracle (`hilp-testkit` and the integration proptests it feeds) can
+// cross-check the event-driven representation against the dense reference.
+// Not a stable API.
+#[doc(hidden)]
+pub use sgs::Timetable;
 pub use solve::{
     solve, solve_exact, solve_heuristic, solve_with_warm_start, SolveOutcome, SolveStats,
     SolverConfig,

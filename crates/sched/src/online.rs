@@ -282,6 +282,141 @@ mod tests {
     }
 
     #[test]
+    fn retirement_admits_in_completion_order() {
+        // One machine, three independent tasks: each dispatch waits for the
+        // previous completion event, so starts follow retirement order.
+        let mut b = InstanceBuilder::new();
+        let m = b.add_machine("m");
+        b.add_task("a", vec![Mode::on(m, 3)]);
+        b.add_task("b", vec![Mode::on(m, 2)]);
+        b.add_task("c", vec![Mode::on(m, 4)]);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.starts, vec![0, 3, 5], "FIFO retirement order");
+        assert_eq!(sched.makespan(&inst), 9);
+    }
+
+    #[test]
+    fn shortest_first_reorders_admission() {
+        // Same instance, shortest-first: b (2) before a (3) before c (4).
+        let mut b = InstanceBuilder::new();
+        let m = b.add_machine("m");
+        b.add_task("a", vec![Mode::on(m, 3)]);
+        b.add_task("b", vec![Mode::on(m, 2)]);
+        b.add_task("c", vec![Mode::on(m, 4)]);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::ShortestFirst).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.starts, vec![2, 0, 5], "SPT admission order");
+    }
+
+    #[test]
+    fn diamond_admission_waits_for_every_predecessor() {
+        // a -> {b, c} -> d: d is admitted only once both branches retire.
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        let a = b.add_task("a", vec![Mode::on(m0, 1)]);
+        let left = b.add_task("b", vec![Mode::on(m0, 5)]);
+        let right = b.add_task("c", vec![Mode::on(m1, 2)]);
+        let d = b.add_task("d", vec![Mode::on(m1, 1)]);
+        b.add_precedence(a, left);
+        b.add_precedence(a, right);
+        b.add_precedence(left, d);
+        b.add_precedence(right, d);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.starts[d.0], 6, "slow branch gates admission");
+    }
+
+    #[test]
+    fn lagged_admission_releases_between_completions() {
+        // A finish-to-start lag releases the successor at a time that is
+        // not a completion event; the event loop must advance to it.
+        let mut b = InstanceBuilder::new();
+        let m = b.add_machine("m");
+        let a = b.add_task("a", vec![Mode::on(m, 2)]);
+        let c = b.add_task("b", vec![Mode::on(m, 1)]);
+        b.add_precedence_lagged(a, c, 5);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.starts[c.0], 7, "lag expiry is its own event");
+        let _ = a;
+    }
+
+    #[test]
+    fn online_respects_bandwidth_budgets() {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        b.add_task("a", vec![Mode::on(m0, 3).bandwidth(60.0)]);
+        b.add_task("b", vec![Mode::on(m1, 3).bandwidth(60.0)]);
+        b.set_bandwidth_cap(100.0);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.makespan(&inst), 6, "bandwidth budget serializes");
+    }
+
+    #[test]
+    fn online_respects_core_budgets() {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        b.add_task("a", vec![Mode::on(m0, 2).cores(3)]);
+        b.add_task("b", vec![Mode::on(m1, 2).cores(3)]);
+        b.set_core_cap(4);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.makespan(&inst), 4, "core budget serializes");
+    }
+
+    #[test]
+    fn online_respects_custom_resource_budgets() {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        let llc = b.add_resource("llc", 100.0);
+        b.add_task("a", vec![Mode::on(m0, 3).uses(llc, 60.0)]);
+        b.add_task("b", vec![Mode::on(m1, 3).uses(llc, 60.0)]);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert!(sched.verify(&inst).is_empty());
+        assert_eq!(sched.makespan(&inst), 6, "resource budget serializes");
+    }
+
+    #[test]
+    fn capacity_blocked_task_is_placed_at_the_next_event() {
+        // The power cap blocks b at time 0; it must be dispatched exactly
+        // when a retires, not a step later.
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        b.add_task("a", vec![Mode::on(m0, 4).power(6.0)]);
+        b.add_task("b", vec![Mode::on(m1, 2).power(6.0)]);
+        b.set_power_cap(10.0);
+        b.set_horizon(20);
+        let inst = b.build().unwrap();
+        let sched = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        assert_eq!(
+            sched.starts,
+            vec![0, 4],
+            "blocked task starts at retirement"
+        );
+    }
+
+    #[test]
     fn heterogeneity_aware_policy_waits_for_the_right_machine() {
         // One GPU-friendly kernel and a busy GPU: work conservation
         // dispatches it to the 20x-slower CPU; the aware policy waits.

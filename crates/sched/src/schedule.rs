@@ -76,9 +76,12 @@ impl Schedule {
     ///
     /// Panics if `task` does not belong to the instance this schedule was
     /// built for.
+    /// Saturates at `u32::MAX` for pathological start times so that
+    /// [`Schedule::verify`] can always report a `Horizon` violation instead
+    /// of overflowing.
     #[must_use]
     pub fn finish(&self, instance: &Instance, task: TaskId) -> u32 {
-        self.starts[task.0] + instance.mode(task, self.modes[task.0]).duration
+        self.starts[task.0].saturating_add(instance.mode(task, self.modes[task.0]).duration)
     }
 
     /// The makespan: completion time of the last-finishing task
@@ -159,8 +162,10 @@ impl Schedule {
         for after in 0..n {
             for edge in instance.incoming(TaskId(after)) {
                 let earliest = match edge.kind {
-                    EdgeKind::FinishToStart => self.finish(instance, edge.before) + edge.lag,
-                    EdgeKind::StartToStart => self.starts[edge.before.0] + edge.lag,
+                    EdgeKind::FinishToStart => {
+                        self.finish(instance, edge.before).saturating_add(edge.lag)
+                    }
+                    EdgeKind::StartToStart => self.starts[edge.before.0].saturating_add(edge.lag),
                 };
                 if earliest > self.starts[after] {
                     violations.push(Violation::Precedence {
@@ -189,8 +194,16 @@ impl Schedule {
             }
         }
 
+        // Cap scans are clamped to `min(makespan, horizon)` steps: any task
+        // active beyond the horizon is already reported as a `Horizon`
+        // violation above, and the clamp keeps pathological start times
+        // (e.g. near `u32::MAX`) from forcing makespan-sized allocations.
+        let scan_limit = self.makespan(instance).min(instance.horizon()) as usize;
+
         if let Some(cap) = instance.power_cap() {
-            for (step, &total) in self.power_profile(instance).iter().enumerate() {
+            let totals =
+                self.windowed_sum(instance, scan_limit, |inst, t, m| inst.mode(t, m).power);
+            for (step, &total) in totals.iter().enumerate() {
                 if total > cap + 1e-6 {
                     violations.push(Violation::PowerCap {
                         step: step as u32,
@@ -200,7 +213,9 @@ impl Schedule {
             }
         }
         if let Some(cap) = instance.bandwidth_cap() {
-            for (step, &total) in self.bandwidth_profile(instance).iter().enumerate() {
+            let totals =
+                self.windowed_sum(instance, scan_limit, |inst, t, m| inst.mode(t, m).bandwidth);
+            for (step, &total) in totals.iter().enumerate() {
                 if total > cap + 1e-6 {
                     violations.push(Violation::BandwidthCap {
                         step: step as u32,
@@ -211,20 +226,9 @@ impl Schedule {
         }
         for (r, &(_, cap)) in instance.resources().iter().enumerate() {
             let resource = ResourceId(r);
-            let makespan = self.makespan(instance) as usize;
-            let mut usage = vec![0.0f64; makespan];
-            for t in 0..n {
-                let task = TaskId(t);
-                let amount = instance.mode(task, self.modes[t]).usage_of(resource);
-                if amount == 0.0 {
-                    continue;
-                }
-                let start = self.starts[t] as usize;
-                let finish = self.finish(instance, task) as usize;
-                for step in usage.iter_mut().take(finish).skip(start) {
-                    *step += amount;
-                }
-            }
+            let usage = self.windowed_sum(instance, scan_limit, |inst, t, m| {
+                inst.mode(t, m).usage_of(resource)
+            });
             for (step, &total) in usage.iter().enumerate() {
                 if total > cap + 1e-6 {
                     violations.push(Violation::ResourceCap {
@@ -237,8 +241,7 @@ impl Schedule {
         }
 
         if let Some(cap) = instance.core_cap() {
-            let makespan = self.makespan(instance) as usize;
-            let mut cores = vec![0u32; makespan];
+            let mut cores = vec![0u32; scan_limit];
             for t in 0..n {
                 let task = TaskId(t);
                 let c = instance.mode(task, self.modes[t]).cores;
@@ -259,6 +262,28 @@ impl Schedule {
         }
 
         violations
+    }
+
+    /// Per-step sums of `value` over `[0, limit)`; task windows falling
+    /// outside the range are clipped rather than allocated for.
+    fn windowed_sum<F>(&self, instance: &Instance, limit: usize, value: F) -> Vec<f64>
+    where
+        F: Fn(&Instance, TaskId, ModeId) -> f64,
+    {
+        let mut totals = vec![0.0f64; limit];
+        for t in 0..instance.num_tasks() {
+            let task = TaskId(t);
+            let v = value(instance, task, self.modes[t]);
+            if v == 0.0 {
+                continue;
+            }
+            let start = self.starts[t] as usize;
+            let finish = self.finish(instance, task) as usize;
+            for step in totals.iter_mut().take(finish).skip(start) {
+                *step += v;
+            }
+        }
+        totals
     }
 
     /// Renders the schedule as a per-machine Gantt listing, one line per
@@ -428,6 +453,76 @@ mod tests {
             .verify(&inst)
             .iter()
             .any(|v| matches!(v, Violation::Horizon { .. })));
+    }
+
+    #[test]
+    fn resource_cap_violation_is_detected() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let llc = b.add_resource("llc", 10.0);
+        b.add_task("a", vec![Mode::on(cpu, 3).uses(llc, 6.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 3).uses(llc, 6.0)]);
+        b.set_horizon(100);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 2],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::ResourceCap { step: 2, total, .. } if (*total - 12.0).abs() < 1e-9
+        )));
+    }
+
+    /// Regression: start times near `u32::MAX` used to overflow `finish`
+    /// (panicking in debug, wrapping in release and masking the horizon
+    /// violation) and to size cap-scan buffers by the bogus makespan.
+    #[test]
+    fn verify_survives_near_overflow_starts() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 5).power(5.0)]);
+        b.set_power_cap(8.0);
+        b.set_horizon(10);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![u32::MAX - 2],
+            modes: vec![ModeId(0)],
+        };
+        assert_eq!(sched.finish(&inst, TaskId(0)), u32::MAX);
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Horizon { task } if task.0 == 0)));
+    }
+
+    /// Regression: a rogue far-future task must not stop verify from
+    /// reporting cap violations inside the horizon.
+    #[test]
+    fn cap_violations_reported_alongside_out_of_horizon_tasks() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let dsa = b.add_machine("dsa");
+        b.add_task("a", vec![Mode::on(cpu, 2).power(5.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 2).power(5.0)]);
+        b.add_task("late", vec![Mode::on(dsa, 2).power(1.0)]);
+        b.set_power_cap(8.0);
+        b.set_horizon(50);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 0, u32::MAX - 10],
+            modes: vec![ModeId(0), ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::PowerCap { step: 0, .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, Violation::Horizon { task } if task.0 == 2)));
     }
 
     #[test]

@@ -126,7 +126,7 @@ where
 
 /// Event-driven timetable: per-machine occupancy profiles plus shared
 /// power/bandwidth/core/resource profiles.
-pub(crate) struct EventTimetable<'a> {
+pub struct EventTimetable<'a> {
     instance: &'a Instance,
     machine: Vec<Profile<u32>>,
     power: Profile<f64>,
@@ -281,7 +281,7 @@ impl<'a> EventTimetable<'a> {
 
 /// Dense per-time-step occupancy and resource usage over the horizon: the
 /// original reference representation.
-pub(crate) struct DenseTimetable<'a> {
+pub struct DenseTimetable<'a> {
     instance: &'a Instance,
     machine_busy: Vec<Vec<bool>>,
     power: Vec<f64>,
@@ -372,7 +372,7 @@ impl<'a> DenseTimetable<'a> {
 }
 
 /// Occupancy and resource usage over the horizon, in either representation.
-pub(crate) enum Timetable<'a> {
+pub enum Timetable<'a> {
     /// Breakpoint profiles (the fast default).
     Event(EventTimetable<'a>),
     /// Per-time-step vectors (the reference).
@@ -386,7 +386,7 @@ impl<'a> Timetable<'a> {
     }
 
     /// An empty timetable in the requested representation.
-    pub(crate) fn with_kind(instance: &'a Instance, kind: TimetableKind) -> Self {
+    pub fn with_kind(instance: &'a Instance, kind: TimetableKind) -> Self {
         match kind {
             TimetableKind::Event => Timetable::Event(EventTimetable::new(instance)),
             TimetableKind::Dense => Timetable::Dense(DenseTimetable::new(instance)),
@@ -402,7 +402,7 @@ impl<'a> Timetable<'a> {
 
     /// Empties the timetable while keeping its allocations, so one buffer
     /// can be reused across many SGS runs.
-    pub(crate) fn clear(&mut self) {
+    pub fn clear(&mut self) {
         match self {
             Timetable::Event(t) => t.clear(),
             Timetable::Dense(t) => t.clear(),
@@ -412,7 +412,7 @@ impl<'a> Timetable<'a> {
     /// Whether `mode` can run during `[start, start + duration)`. On
     /// conflict returns the next candidate start worth probing (always
     /// greater than `start`).
-    pub(crate) fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
+    pub fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
         match self {
             Timetable::Event(t) => t.fits_at(mode, start),
             Timetable::Dense(t) => t.fits_at(mode, start),
@@ -421,7 +421,7 @@ impl<'a> Timetable<'a> {
 
     /// Earliest start `>= est` at which `mode` fits, or `None` if it does
     /// not fit anywhere before the horizon.
-    pub(crate) fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
+    pub fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
         let horizon = u64::from(self.instance().horizon());
         let mut t = est;
         loop {
@@ -436,7 +436,7 @@ impl<'a> Timetable<'a> {
     }
 
     /// Marks `mode` as running during `[start, start + duration)`.
-    pub(crate) fn place(&mut self, mode: &Mode, start: u32) {
+    pub fn place(&mut self, mode: &Mode, start: u32) {
         match self {
             Timetable::Event(t) => t.place(mode, start),
             Timetable::Dense(t) => t.place(mode, start),
@@ -444,7 +444,7 @@ impl<'a> Timetable<'a> {
     }
 
     /// Reverts a previous [`Timetable::place`] call.
-    pub(crate) fn unplace(&mut self, mode: &Mode, start: u32) {
+    pub fn unplace(&mut self, mode: &Mode, start: u32) {
         match self {
             Timetable::Event(t) => t.unplace(mode, start),
             Timetable::Dense(t) => t.unplace(mode, start),
@@ -452,8 +452,7 @@ impl<'a> Timetable<'a> {
     }
 
     /// Total power drawn at time `t` (test observability).
-    #[cfg(test)]
-    pub(crate) fn power_at(&self, t: u32) -> f64 {
+    pub fn power_at(&self, t: u32) -> f64 {
         match self {
             Timetable::Event(tt) => tt.power.values[tt.power.segment(t)],
             Timetable::Dense(tt) => tt.power[t as usize],
@@ -461,8 +460,7 @@ impl<'a> Timetable<'a> {
     }
 
     /// CPU cores occupied at time `t` (test observability).
-    #[cfg(test)]
-    pub(crate) fn cores_at(&self, t: u32) -> u32 {
+    pub fn cores_at(&self, t: u32) -> u32 {
         match self {
             Timetable::Event(tt) => tt.cores.values[tt.cores.segment(t)],
             Timetable::Dense(tt) => tt.cores[t as usize],

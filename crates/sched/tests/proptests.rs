@@ -1,0 +1,108 @@
+//! Property tests for the scheduler hot path, consuming the shared
+//! `hilp-testkit` strategies (the generators that used to live here as
+//! private copies).
+//!
+//! The event-driven timetable is cross-checked against the retained dense
+//! reference on random placement/undo sequences, and the multi-start
+//! heuristic is checked to be independent of thread count and timetable
+//! representation.
+
+use proptest::prelude::*;
+
+use hilp_sched::{
+    solve_heuristic, Mode, SchedError, SolveOutcome, SolverConfig, Timetable, TimetableKind,
+};
+use hilp_sched::{MachineId, Schedule};
+use hilp_testkit::strategies::{
+    arb_instance, op_mode, shell_instance, timetable_ops, InstanceParams,
+};
+
+/// The determinism property compares the schedule-relevant parts of an
+/// outcome, ignoring run statistics.
+fn essence(result: &Result<SolveOutcome, SchedError>) -> Option<(u32, u32, &Schedule)> {
+    result
+        .as_ref()
+        .ok()
+        .map(|out| (out.makespan, out.lower_bound, &out.schedule))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The event-driven timetable must agree with the dense reference on
+    /// every `earliest_start` probe across arbitrary place/undo sequences,
+    /// and undo must restore the profiles exactly.
+    #[test]
+    fn event_timetable_matches_dense_reference(ops in timetable_ops()) {
+        let (instance, res) = shell_instance();
+        let mut event = Timetable::with_kind(&instance, TimetableKind::Event);
+        let mut dense = Timetable::with_kind(&instance, TimetableKind::Dense);
+        let mut placed: Vec<(Mode, u32)> = Vec::new();
+        for op in &ops {
+            let ((_, _, est), _, unplace) = *op;
+            if unplace && !placed.is_empty() {
+                let victim = usize::from(est) % placed.len();
+                let (mode, start) = placed.swap_remove(victim);
+                event.unplace(&mode, start);
+                dense.unplace(&mode, start);
+            } else {
+                let mode = op_mode(op, res);
+                let e = event.earliest_start(&mode, u32::from(est));
+                let d = dense.earliest_start(&mode, u32::from(est));
+                prop_assert_eq!(e, d, "earliest_start diverged");
+                if let Some(start) = e {
+                    event.place(&mode, start);
+                    dense.place(&mode, start);
+                    placed.push((mode, start));
+                }
+            }
+            // Spot-check the aggregate profiles and a fresh probe per
+            // machine after every operation.
+            for t in [0u32, 13, 57, 200] {
+                prop_assert_eq!(event.cores_at(t), dense.cores_at(t));
+                prop_assert!((event.power_at(t) - dense.power_at(t)).abs() < 1e-9);
+            }
+            for m in 0..3 {
+                let probe = Mode::on(MachineId(m), 3).power(1.5).cores(1);
+                prop_assert_eq!(event.earliest_start(&probe, 0), dense.earliest_start(&probe, 0));
+            }
+        }
+    }
+
+    /// The multi-start heuristic returns bit-identical schedules for any
+    /// thread count and for both timetable representations — including on
+    /// instances with lags, custom resources, and tight horizons.
+    #[test]
+    fn heuristic_is_thread_and_representation_independent(
+        instance in arb_instance(InstanceParams::tiny()),
+        seed in 0..1_000u64,
+    ) {
+        let base = SolverConfig {
+            heuristic_starts: 12,
+            local_search_passes: 1,
+            seed,
+            heuristic_threads: 1,
+            timetable: TimetableKind::Event,
+            ..SolverConfig::default()
+        };
+        let serial = solve_heuristic(&instance, &base);
+        let parallel = solve_heuristic(
+            &instance,
+            &SolverConfig { heuristic_threads: 4, ..base.clone() },
+        );
+        prop_assert_eq!(
+            essence(&serial),
+            essence(&parallel),
+            "thread count changed the result"
+        );
+        let dense = solve_heuristic(
+            &instance,
+            &SolverConfig { timetable: TimetableKind::Dense, ..base.clone() },
+        );
+        prop_assert_eq!(
+            essence(&serial),
+            essence(&dense),
+            "timetable representation changed the result"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Budgeted fuzz driver for the cross-solver differential oracle.
+//!
+//! Draws random scheduling instances and workload/SoC/constraint triples
+//! from the shared [`hilp_testkit::strategies`], runs the full differential
+//! battery on each, and exits non-zero if any two solver paths disagree.
+//! Failing cases are written to `--out-dir` so CI can upload them as
+//! artifacts.
+//!
+//! ```text
+//! fuzz_smoke [--cases N] [--seed S] [--time-budget-secs T] [--out-dir DIR]
+//! ```
+//!
+//! The case mix per 10 cases: 6 tiny instances (full battery including the
+//! brute-force reference, both MILP encodings, and the metamorphic
+//! transforms), 3 small instances (solver-vs-solver and bounds checks), and
+//! 1 encoding-pipeline case.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use proptest::{fnv1a, Strategy, TestRng};
+
+use hilp_testkit::harness::{check_instance, check_pipeline, CheckStats, OracleConfig};
+use hilp_testkit::strategies::{
+    arb_constraints, arb_instance, arb_soc, arb_workload, InstanceParams,
+};
+
+struct Args {
+    cases: u64,
+    seed: u64,
+    time_budget: Option<Duration>,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        cases: 200,
+        seed: 0x00C0_FFEE,
+        time_budget: None,
+        out_dir: PathBuf::from("fuzz-failures"),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} requires a value"))
+        };
+        match flag.as_str() {
+            "--cases" => args.cases = value("--cases").parse().expect("--cases: integer"),
+            "--seed" => args.seed = value("--seed").parse().expect("--seed: integer"),
+            "--time-budget-secs" => {
+                args.time_budget = Some(Duration::from_secs(
+                    value("--time-budget-secs")
+                        .parse()
+                        .expect("--time-budget-secs: integer"),
+                ));
+            }
+            "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
+            other => {
+                eprintln!(
+                    "unknown flag {other}; usage: fuzz_smoke [--cases N] [--seed S] \
+                     [--time-budget-secs T] [--out-dir DIR]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let started = Instant::now();
+    let config = OracleConfig::default();
+    let mut stats = CheckStats::default();
+    let mut failures = 0u64;
+
+    let tiny = arb_instance(InstanceParams::tiny());
+    let small = arb_instance(InstanceParams::small());
+    let workloads = arb_workload();
+    let socs = arb_soc();
+    let constraints = arb_constraints();
+    let hash = fnv1a("hilp-testkit::fuzz_smoke") ^ args.seed;
+
+    for case in 0..args.cases {
+        // `case` completed cases so far: the budget is only consulted after
+        // at least one case has run.
+        if let Some(budget) = args.time_budget {
+            if started.elapsed() > budget && case > 0 {
+                eprintln!("time budget exhausted after {case} cases");
+                break;
+            }
+        }
+        let mut rng = TestRng::new(hash, case);
+        let result = match case % 10 {
+            0..=5 => check_instance(&tiny.generate(&mut rng), &config, &mut stats),
+            6..=8 => check_instance(&small.generate(&mut rng), &config, &mut stats),
+            _ => check_pipeline(
+                &workloads.generate(&mut rng),
+                &socs.generate(&mut rng),
+                &constraints.generate(&mut rng),
+                &mut stats,
+            ),
+        };
+        if let Err(disagreement) = result {
+            failures += 1;
+            eprintln!("case {case} (seed {}): {disagreement}", args.seed);
+            if let Err(io) = write_failure(&args, case, &disagreement.to_string()) {
+                eprintln!("could not record failing case: {io}");
+            }
+        }
+    }
+
+    println!(
+        "fuzz_smoke: {} in {:.1}s; {failures} disagreement(s)",
+        stats.summary(),
+        started.elapsed().as_secs_f64()
+    );
+    if failures > 0 {
+        eprintln!("failing cases recorded under {}", args.out_dir.display());
+        std::process::exit(1);
+    }
+}
+
+fn write_failure(args: &Args, case: u64, detail: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(&args.out_dir)?;
+    let path = args.out_dir.join(format!("case-{}-{case}.txt", args.seed));
+    let mut file = std::fs::File::create(&path)?;
+    writeln!(
+        file,
+        "fuzz_smoke failure\nseed: {}\ncase: {case}\nreproduce: fuzz_smoke --seed {} --cases {}\n\n{detail}",
+        args.seed,
+        args.seed,
+        case + 1,
+    )
+}

@@ -1,0 +1,298 @@
+//! Exhaustive brute-force reference scheduler for tiny instances.
+//!
+//! The search enumerates every *serial schedule-generation* run: every
+//! precedence-feasible placement order, every mode assignment, and for each
+//! (order, modes) pair the earliest feasible start of each task given what is
+//! already placed. For regular objectives (makespan) over MM-RCPSP with
+//! non-negative minimum time lags this enumeration contains an optimal
+//! schedule (the active-schedule dominance theorem; see Kolisch/Sprecher on
+//! schedule-generation schemes). The same assumption underpins the `sched`
+//! branch-and-bound — and the oracle cross-checks it empirically against the
+//! assumption-free time-indexed MILP encoding on capped instances.
+//!
+//! Feasibility during placement is decided by an independent dense time scan
+//! (machine exclusivity, power/bandwidth/core caps, custom cumulative
+//! resources), deliberately sharing no code with the solver's timetables so
+//! that a bug in one cannot mask a bug in the other.
+
+use hilp_sched::{EdgeKind, Instance, ModeId, ResourceId, Schedule, TaskId};
+
+/// Largest instance the brute force will accept. The search is
+/// `O(n! · modes^n · horizon)`, so anything beyond this is impractical.
+pub const MAX_BRUTE_FORCE_TASKS: usize = 6;
+
+/// Cumulative cap comparisons share the solver's floating-point tolerance.
+const CAP_EPS: f64 = 1e-9;
+
+/// An optimal schedule found by exhaustive enumeration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceResult {
+    /// The provably optimal makespan.
+    pub makespan: u32,
+    /// One schedule attaining it.
+    pub schedule: Schedule,
+}
+
+/// The true optimal makespan of a tiny instance, or `None` if no feasible
+/// schedule fits inside the horizon.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_BRUTE_FORCE_TASKS`] tasks.
+pub fn brute_force_makespan(instance: &Instance) -> Option<u32> {
+    brute_force_schedule(instance).map(|r| r.makespan)
+}
+
+/// Like [`brute_force_makespan`] but also returns an optimal schedule.
+pub fn brute_force_schedule(instance: &Instance) -> Option<BruteForceResult> {
+    let n = instance.num_tasks();
+    assert!(
+        n <= MAX_BRUTE_FORCE_TASKS,
+        "brute force is factorial; got {n} tasks (limit {MAX_BRUTE_FORCE_TASKS})"
+    );
+    if n == 0 {
+        return Some(BruteForceResult {
+            makespan: 0,
+            schedule: Schedule {
+                starts: Vec::new(),
+                modes: Vec::new(),
+            },
+        });
+    }
+    let mut search = Search {
+        instance,
+        placed: vec![false; n],
+        starts: vec![0; n],
+        modes: vec![ModeId(0); n],
+        finishes: vec![0; n],
+        num_placed: 0,
+        best: None,
+    };
+    search.dfs();
+    search
+        .best
+        .map(|(makespan, starts, modes)| BruteForceResult {
+            makespan,
+            schedule: Schedule { starts, modes },
+        })
+}
+
+struct Search<'a> {
+    instance: &'a Instance,
+    placed: Vec<bool>,
+    starts: Vec<u32>,
+    modes: Vec<ModeId>,
+    finishes: Vec<u32>,
+    num_placed: usize,
+    best: Option<(u32, Vec<u32>, Vec<ModeId>)>,
+}
+
+impl Search<'_> {
+    fn dfs(&mut self) {
+        let n = self.instance.num_tasks();
+        let partial = (0..n)
+            .filter(|&t| self.placed[t])
+            .map(|t| self.finishes[t])
+            .max()
+            .unwrap_or(0);
+        // Admissible cut: completing the partial schedule can only raise the
+        // latest finish, so a partial already at the incumbent cannot improve.
+        if let Some((best, _, _)) = &self.best {
+            if partial >= *best {
+                return;
+            }
+        }
+        if self.num_placed == n {
+            self.best = Some((partial, self.starts.clone(), self.modes.clone()));
+            return;
+        }
+        for t in 0..n {
+            if self.placed[t] {
+                continue;
+            }
+            let task = TaskId(t);
+            if !self
+                .instance
+                .predecessors(task)
+                .iter()
+                .all(|p| self.placed[p.0])
+            {
+                continue;
+            }
+            for m in 0..self.instance.task(task).modes.len() {
+                let mode_id = ModeId(m);
+                if let Some(start) = self.earliest_start(task, mode_id) {
+                    let duration = self.instance.mode(task, mode_id).duration;
+                    self.placed[t] = true;
+                    self.starts[t] = start;
+                    self.modes[t] = mode_id;
+                    self.finishes[t] = start + duration;
+                    self.num_placed += 1;
+                    self.dfs();
+                    self.num_placed -= 1;
+                    self.placed[t] = false;
+                }
+            }
+        }
+    }
+
+    /// Earliest start at which `task` in `mode_id` fits, given every placed
+    /// task, or `None` if it cannot fit inside the horizon.
+    fn earliest_start(&self, task: TaskId, mode_id: ModeId) -> Option<u32> {
+        let instance = self.instance;
+        let mode = instance.mode(task, mode_id);
+        if mode.duration > instance.horizon() {
+            return None;
+        }
+        let mut start = 0u32;
+        for edge in instance.incoming(task) {
+            let bound = match edge.kind {
+                EdgeKind::FinishToStart => self.finishes[edge.before.0] + edge.lag,
+                EdgeKind::StartToStart => self.starts[edge.before.0] + edge.lag,
+            };
+            start = start.max(bound);
+        }
+        let latest = instance.horizon() - mode.duration;
+        while start <= latest {
+            match self.first_conflict(task, mode_id, start) {
+                None => return Some(start),
+                Some(step) => start = step + 1,
+            }
+        }
+        None
+    }
+
+    /// First time step in `[start, start + duration)` where the candidate
+    /// placement would break machine exclusivity or a cumulative cap.
+    fn first_conflict(&self, task: TaskId, mode_id: ModeId, start: u32) -> Option<u32> {
+        let instance = self.instance;
+        let mode = instance.mode(task, mode_id);
+        let end = start + mode.duration;
+        let n = instance.num_tasks();
+        for step in start..end {
+            let mut power = mode.power;
+            let mut bandwidth = mode.bandwidth;
+            let mut cores = mode.cores;
+            for other in 0..n {
+                if !self.placed[other] || self.starts[other] > step || self.finishes[other] <= step
+                {
+                    continue;
+                }
+                let omode = instance.mode(TaskId(other), self.modes[other]);
+                if omode.machine == mode.machine {
+                    return Some(step);
+                }
+                power += omode.power;
+                bandwidth += omode.bandwidth;
+                cores += omode.cores;
+            }
+            if instance
+                .power_cap()
+                .is_some_and(|cap| power > cap + CAP_EPS)
+            {
+                return Some(step);
+            }
+            if instance
+                .bandwidth_cap()
+                .is_some_and(|cap| bandwidth > cap + CAP_EPS)
+            {
+                return Some(step);
+            }
+            if instance.core_cap().is_some_and(|cap| cores > cap) {
+                return Some(step);
+            }
+            for (r, (_, cap)) in instance.resources().iter().enumerate() {
+                let resource = ResourceId(r);
+                let mut usage = mode.usage_of(resource);
+                for other in 0..n {
+                    if !self.placed[other]
+                        || self.starts[other] > step
+                        || self.finishes[other] <= step
+                    {
+                        continue;
+                    }
+                    usage += instance
+                        .mode(TaskId(other), self.modes[other])
+                        .usage_of(resource);
+                }
+                if usage > *cap + CAP_EPS {
+                    return Some(step);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hilp_sched::{solve_exact, InstanceBuilder, Mode, SolverConfig};
+
+    #[test]
+    fn empty_instance_has_zero_makespan() {
+        let instance = InstanceBuilder::new().build().expect("empty instance");
+        assert_eq!(brute_force_makespan(&instance), Some(0));
+    }
+
+    #[test]
+    fn figure2_optimum_is_seven() {
+        let instance = hilp_core::example2::figure2_instance();
+        let result = brute_force_schedule(&instance).expect("figure 2 is feasible");
+        assert_eq!(result.makespan, hilp_core::example2::UNCONSTRAINED_OPTIMUM);
+        assert!(result.schedule.verify(&instance).is_empty());
+    }
+
+    #[test]
+    fn lags_delay_the_optimum() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let a = b.add_task("a", vec![Mode::on(cpu, 2)]);
+        let c = b.add_task("c", vec![Mode::on(gpu, 3)]);
+        b.add_precedence_lagged(a, c, 4);
+        b.set_horizon(20);
+        let instance = b.build().expect("valid");
+        // a: [0, 2), then a 4-step lag, then c: [6, 9).
+        assert_eq!(brute_force_makespan(&instance), Some(9));
+    }
+
+    #[test]
+    fn infeasible_horizon_returns_none() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let a = b.add_task("a", vec![Mode::on(cpu, 5)]);
+        let c = b.add_task("c", vec![Mode::on(cpu, 5)]);
+        b.add_precedence(a, c);
+        b.set_horizon(8);
+        let instance = b.build().expect("valid");
+        assert_eq!(brute_force_makespan(&instance), None);
+    }
+
+    #[test]
+    fn matches_exact_solver_on_a_six_task_resource_instance() {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        let llc = b.add_resource("llc", 10.0);
+        let mut tasks = Vec::new();
+        for t in 0..6 {
+            let machine = if t % 2 == 0 { m0 } else { m1 };
+            tasks.push(b.add_task(
+                format!("t{t}"),
+                vec![Mode::on(machine, 2 + (t as u32 % 3))
+                    .power(2.0)
+                    .uses(llc, 6.0)],
+            ));
+        }
+        b.add_precedence(tasks[0], tasks[2]);
+        b.add_precedence(tasks[1], tasks[3]);
+        b.set_power_cap(7.5);
+        let instance = b.build().expect("valid");
+        let bf = brute_force_schedule(&instance).expect("feasible");
+        assert!(bf.schedule.verify(&instance).is_empty());
+        let exact = solve_exact(&instance, &SolverConfig::exact()).expect("solver feasible");
+        assert!(exact.proved_optimal);
+        assert_eq!(bf.makespan, exact.makespan);
+    }
+}

@@ -1,0 +1,769 @@
+//! The differential checks: every solver path is judged against the
+//! brute-force reference, the combinatorial bounds, and each other.
+//!
+//! [`check_instance`] runs one random scheduling instance through the whole
+//! battery; [`check_pipeline`] exercises the workload → SoC → instance
+//! encoding front-end. Both tally what they actually exercised into
+//! [`CheckStats`] so that a fuzz run can prove it covered the interesting
+//! paths (MILP comparisons, infeasibility agreements, metamorphic rounds)
+//! rather than silently skipping them.
+
+use std::fmt;
+
+use hilp_core::milp_encode::{makespan_via_milp, MilpEncodeError};
+use hilp_core::time_indexed::makespan_via_time_indexed;
+use hilp_model::{ModelError, SolveLimits};
+use hilp_sched::online::{online_greedy, OnlinePolicy};
+use hilp_sched::{
+    lower_bound, solve_exact, solve_heuristic, Instance, InstanceBuilder, SolverConfig, TaskId,
+};
+use hilp_soc::{Constraints, SocSpec};
+use hilp_workloads::Workload;
+
+use crate::brute_force::{brute_force_schedule, BruteForceResult, MAX_BRUTE_FORCE_TASKS};
+
+/// What the oracle runs per case and how hard it tries.
+#[derive(Debug, Clone)]
+pub struct OracleConfig {
+    /// Solver configuration used for both the exact and heuristic runs.
+    pub solver: SolverConfig,
+    /// Cross-check the disjunctive big-M MILP encoding (cap-free tiny
+    /// instances only).
+    pub milp: bool,
+    /// Cross-check the time-indexed MILP encoding (tiny instances whose
+    /// model stays under [`Self::max_time_indexed_binaries`]).
+    pub time_indexed: bool,
+    /// Check the online greedy dispatcher against the optimum.
+    pub online: bool,
+    /// Run the metamorphic transforms (time scaling, cap relaxation, task
+    /// permutation) on brute-forceable instances.
+    pub metamorphic: bool,
+    /// Binary budget for the time-indexed encoding; keeps debug-mode runs
+    /// fast. The encoding's own hard limit is
+    /// [`hilp_core::time_indexed::MAX_BINARIES`].
+    pub max_time_indexed_binaries: usize,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            solver: SolverConfig::exact(),
+            milp: true,
+            time_indexed: true,
+            online: true,
+            metamorphic: true,
+            max_time_indexed_binaries: 400,
+        }
+    }
+}
+
+/// Tallies of which checks a run actually exercised.
+#[derive(Debug, Clone, Default)]
+pub struct CheckStats {
+    /// Random cases fed to [`check_instance`].
+    pub cases: u64,
+    /// Cases where the exact solver found a schedule.
+    pub feasible: u64,
+    /// Cases where solver and brute force agreed nothing fits the horizon.
+    pub infeasible_agreed: u64,
+    /// Cases compared against the brute-force optimum.
+    pub brute_forced: u64,
+    /// Cases the exact solver proved optimal (strict equality checked).
+    pub proved_optimal: u64,
+    /// Disjunctive MILP comparisons performed / skipped (solver gave up).
+    pub milp_checked: u64,
+    /// Disjunctive MILP runs skipped because the solver hit its limits.
+    pub milp_skipped: u64,
+    /// Time-indexed MILP comparisons performed.
+    pub time_indexed_checked: u64,
+    /// Time-indexed MILP runs skipped (model too large or solver limits).
+    pub time_indexed_skipped: u64,
+    /// Metamorphic rounds (scale + relax + permute) completed.
+    pub metamorphic_checked: u64,
+    /// Pipeline cases that encoded and solved.
+    pub pipeline_encoded: u64,
+    /// Pipeline cases whose workload/SoC/constraints combination cannot
+    /// encode (e.g. a phase with no compatible cluster).
+    pub pipeline_skipped: u64,
+}
+
+impl CheckStats {
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &CheckStats) {
+        self.cases += other.cases;
+        self.feasible += other.feasible;
+        self.infeasible_agreed += other.infeasible_agreed;
+        self.brute_forced += other.brute_forced;
+        self.proved_optimal += other.proved_optimal;
+        self.milp_checked += other.milp_checked;
+        self.milp_skipped += other.milp_skipped;
+        self.time_indexed_checked += other.time_indexed_checked;
+        self.time_indexed_skipped += other.time_indexed_skipped;
+        self.metamorphic_checked += other.metamorphic_checked;
+        self.pipeline_encoded += other.pipeline_encoded;
+        self.pipeline_skipped += other.pipeline_skipped;
+    }
+
+    /// One-line human-readable summary for fuzz logs.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{} cases: {} feasible, {} infeasible-agreed, {} brute-forced ({} proved optimal), \
+             milp {}/{} skipped, time-indexed {}/{} skipped, {} metamorphic, \
+             pipeline {} encoded / {} skipped",
+            self.cases,
+            self.feasible,
+            self.infeasible_agreed,
+            self.brute_forced,
+            self.proved_optimal,
+            self.milp_checked,
+            self.milp_skipped,
+            self.time_indexed_checked,
+            self.time_indexed_skipped,
+            self.metamorphic_checked,
+            self.pipeline_encoded,
+            self.pipeline_skipped,
+        )
+    }
+}
+
+/// Two solver paths produced irreconcilable answers on one instance.
+#[derive(Debug, Clone)]
+pub struct Disagreement {
+    /// Which cross-check failed.
+    pub check: &'static str,
+    /// Human-readable description of the two sides.
+    pub detail: String,
+    /// Graphviz dump of the offending instance for reproduction.
+    pub dot: String,
+}
+
+impl fmt::Display for Disagreement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}] {}\n--- instance ---\n{}",
+            self.check, self.detail, self.dot
+        )
+    }
+}
+
+impl Disagreement {
+    fn new(check: &'static str, instance: &Instance, detail: String) -> Self {
+        Self {
+            check,
+            detail,
+            dot: instance.to_dot(),
+        }
+    }
+}
+
+/// Run the full differential battery on one instance.
+///
+/// # Errors
+///
+/// Returns the first [`Disagreement`] found, if any.
+pub fn check_instance(
+    instance: &Instance,
+    config: &OracleConfig,
+    stats: &mut CheckStats,
+) -> Result<(), Disagreement> {
+    stats.cases += 1;
+    let n = instance.num_tasks();
+    let combinatorial_lb = lower_bound(instance);
+    let exact = solve_exact(instance, &config.solver);
+    let brute: Option<Option<BruteForceResult>> =
+        (n <= MAX_BRUTE_FORCE_TASKS).then(|| brute_force_schedule(instance));
+
+    if let Some(Some(bf)) = &brute {
+        let violations = bf.schedule.verify(instance);
+        if !violations.is_empty() {
+            return Err(Disagreement::new(
+                "brute-force-feasibility",
+                instance,
+                format!("brute force returned an infeasible schedule: {violations:?}"),
+            ));
+        }
+        if combinatorial_lb > bf.makespan {
+            return Err(Disagreement::new(
+                "bounds-vs-brute-force",
+                instance,
+                format!(
+                    "combinatorial lower bound {combinatorial_lb} exceeds the true optimum {}",
+                    bf.makespan
+                ),
+            ));
+        }
+    }
+
+    let exact_outcome = match &exact {
+        Ok(outcome) => {
+            stats.feasible += 1;
+            let violations = outcome.schedule.verify(instance);
+            if !violations.is_empty() {
+                return Err(Disagreement::new(
+                    "exact-feasibility",
+                    instance,
+                    format!("exact solver schedule violates: {violations:?}"),
+                ));
+            }
+            if outcome.lower_bound > outcome.makespan || combinatorial_lb > outcome.makespan {
+                return Err(Disagreement::new(
+                    "bounds-sandwich",
+                    instance,
+                    format!(
+                        "lower bounds (solver {}, combinatorial {combinatorial_lb}) exceed \
+                         makespan {}",
+                        outcome.lower_bound, outcome.makespan
+                    ),
+                ));
+            }
+            match &brute {
+                Some(Some(bf)) => {
+                    stats.brute_forced += 1;
+                    if outcome.makespan < bf.makespan {
+                        return Err(Disagreement::new(
+                            "exact-below-optimum",
+                            instance,
+                            format!(
+                                "exact solver makespan {} beats the exhaustive optimum {}",
+                                outcome.makespan, bf.makespan
+                            ),
+                        ));
+                    }
+                    if outcome.lower_bound > bf.makespan {
+                        return Err(Disagreement::new(
+                            "lower-bound-above-optimum",
+                            instance,
+                            format!(
+                                "solver lower bound {} exceeds the true optimum {}",
+                                outcome.lower_bound, bf.makespan
+                            ),
+                        ));
+                    }
+                    if outcome.proved_optimal {
+                        stats.proved_optimal += 1;
+                        if outcome.makespan != bf.makespan {
+                            return Err(Disagreement::new(
+                                "proved-optimal-mismatch",
+                                instance,
+                                format!(
+                                    "solver proved makespan {} optimal but brute force found {}",
+                                    outcome.makespan, bf.makespan
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Some(None) => {
+                    return Err(Disagreement::new(
+                        "feasibility-mismatch",
+                        instance,
+                        format!(
+                            "exact solver found makespan {} but brute force says nothing fits \
+                             the horizon",
+                            outcome.makespan
+                        ),
+                    ));
+                }
+                None => {}
+            }
+            Some(outcome)
+        }
+        Err(_) => {
+            match &brute {
+                Some(Some(bf)) => {
+                    return Err(Disagreement::new(
+                        "feasibility-mismatch",
+                        instance,
+                        format!(
+                            "exact solver claims the horizon is exhausted but brute force found \
+                             makespan {}",
+                            bf.makespan
+                        ),
+                    ));
+                }
+                Some(None) => stats.infeasible_agreed += 1,
+                None => {}
+            }
+            None
+        }
+    };
+
+    if let Ok(heuristic) = solve_heuristic(instance, &config.solver) {
+        let violations = heuristic.schedule.verify(instance);
+        if !violations.is_empty() {
+            return Err(Disagreement::new(
+                "heuristic-feasibility",
+                instance,
+                format!("heuristic schedule violates: {violations:?}"),
+            ));
+        }
+        if let Some(exact) = exact_outcome {
+            if exact.makespan > heuristic.makespan {
+                return Err(Disagreement::new(
+                    "exact-above-heuristic",
+                    instance,
+                    format!(
+                        "exact makespan {} exceeds the heuristic upper bound {}",
+                        exact.makespan, heuristic.makespan
+                    ),
+                ));
+            }
+        }
+        match &brute {
+            Some(Some(bf)) if heuristic.makespan < bf.makespan => {
+                return Err(Disagreement::new(
+                    "heuristic-below-optimum",
+                    instance,
+                    format!(
+                        "heuristic makespan {} beats the exhaustive optimum {}",
+                        heuristic.makespan, bf.makespan
+                    ),
+                ));
+            }
+            Some(None) => {
+                return Err(Disagreement::new(
+                    "feasibility-mismatch",
+                    instance,
+                    format!(
+                        "heuristic found makespan {} but brute force says nothing fits the \
+                         horizon",
+                        heuristic.makespan
+                    ),
+                ));
+            }
+            _ => {}
+        }
+    }
+
+    if config.online {
+        for policy in [
+            OnlinePolicy::Fifo,
+            OnlinePolicy::LongestFirst,
+            OnlinePolicy::ShortestFirst,
+            OnlinePolicy::HeterogeneityAware,
+        ] {
+            let Some(schedule) = online_greedy(instance, policy) else {
+                continue;
+            };
+            let violations = schedule.verify(instance);
+            if !violations.is_empty() {
+                return Err(Disagreement::new(
+                    "online-feasibility",
+                    instance,
+                    format!("online {policy:?} schedule violates: {violations:?}"),
+                ));
+            }
+            let makespan = schedule.makespan(instance);
+            match &brute {
+                Some(Some(bf)) if makespan < bf.makespan => {
+                    return Err(Disagreement::new(
+                        "online-below-optimum",
+                        instance,
+                        format!(
+                            "online {policy:?} makespan {makespan} beats the exhaustive \
+                             optimum {}",
+                            bf.makespan
+                        ),
+                    ));
+                }
+                Some(None) => {
+                    return Err(Disagreement::new(
+                        "feasibility-mismatch",
+                        instance,
+                        format!(
+                            "online {policy:?} found makespan {makespan} but brute force says \
+                             nothing fits the horizon"
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+            if let Some(exact) = exact_outcome {
+                if makespan < exact.lower_bound {
+                    return Err(Disagreement::new(
+                        "online-below-lower-bound",
+                        instance,
+                        format!(
+                            "online {policy:?} makespan {makespan} beats the proven lower \
+                             bound {}",
+                            exact.lower_bound
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    let tiny = n <= MAX_BRUTE_FORCE_TASKS;
+    let cap_free = instance.power_cap().is_none()
+        && instance.bandwidth_cap().is_none()
+        && instance.core_cap().is_none()
+        && instance.resources().is_empty();
+
+    if config.milp && tiny && cap_free {
+        match makespan_via_milp(instance, &SolveLimits::default()) {
+            Ok(milp_makespan) => {
+                stats.milp_checked += 1;
+                reconcile_milp("milp", instance, milp_makespan, exact_outcome)?;
+            }
+            Err(MilpEncodeError::Model(ModelError::Infeasible)) => {
+                stats.milp_checked += 1;
+                if let Some(exact) = exact_outcome {
+                    return Err(Disagreement::new(
+                        "milp",
+                        instance,
+                        format!(
+                            "MILP says infeasible but the exact solver found makespan {}",
+                            exact.makespan
+                        ),
+                    ));
+                }
+            }
+            Err(_) => stats.milp_skipped += 1,
+        }
+    }
+
+    if config.time_indexed && tiny && instance.resources().is_empty() {
+        let horizon = instance.horizon() as usize;
+        let binaries: usize = (0..n)
+            .flat_map(|t| instance.task(TaskId(t)).modes.iter())
+            .map(|mode| (horizon + 1).saturating_sub(mode.duration as usize))
+            .sum();
+        if binaries <= config.max_time_indexed_binaries {
+            match makespan_via_time_indexed(instance, &SolveLimits::default()) {
+                Ok(ti_makespan) => {
+                    stats.time_indexed_checked += 1;
+                    reconcile_milp("time-indexed", instance, ti_makespan, exact_outcome)?;
+                }
+                Err(hilp_core::time_indexed::TimeIndexedError::Encode(MilpEncodeError::Model(
+                    ModelError::Infeasible,
+                ))) => {
+                    stats.time_indexed_checked += 1;
+                    if let Some(exact) = exact_outcome {
+                        return Err(Disagreement::new(
+                            "time-indexed",
+                            instance,
+                            format!(
+                                "time-indexed MILP says infeasible but the exact solver found \
+                                 makespan {}",
+                                exact.makespan
+                            ),
+                        ));
+                    }
+                }
+                Err(_) => stats.time_indexed_skipped += 1,
+            }
+        } else {
+            stats.time_indexed_skipped += 1;
+        }
+    }
+
+    if config.metamorphic && tiny {
+        check_metamorphic(instance, &brute, stats)?;
+    }
+
+    Ok(())
+}
+
+/// Reconcile a MILP-optimal makespan with the exact solver's outcome: strict
+/// equality when the solver proved optimality, otherwise the MILP optimum
+/// must land inside the solver's `[lower_bound, makespan]` interval (i.e.
+/// they agree within the reported optimality gap).
+fn reconcile_milp(
+    check: &'static str,
+    instance: &Instance,
+    milp_makespan: u32,
+    exact: Option<&hilp_sched::SolveOutcome>,
+) -> Result<(), Disagreement> {
+    match exact {
+        Some(outcome) if outcome.proved_optimal => {
+            if milp_makespan != outcome.makespan {
+                return Err(Disagreement::new(
+                    check,
+                    instance,
+                    format!(
+                        "MILP optimum {milp_makespan} != proved-optimal solver makespan {}",
+                        outcome.makespan
+                    ),
+                ));
+            }
+        }
+        Some(outcome) => {
+            if milp_makespan < outcome.lower_bound || milp_makespan > outcome.makespan {
+                return Err(Disagreement::new(
+                    check,
+                    instance,
+                    format!(
+                        "MILP optimum {milp_makespan} outside the solver's gap interval \
+                         [{}, {}]",
+                        outcome.lower_bound, outcome.makespan
+                    ),
+                ));
+            }
+        }
+        None => {
+            return Err(Disagreement::new(
+                check,
+                instance,
+                format!(
+                    "MILP found makespan {milp_makespan} but the exact solver claims the \
+                     horizon is exhausted"
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The three metamorphic properties from the issue, each decided against the
+/// brute-force reference so the expected answer is exact:
+///
+/// 1. **Time scaling**: multiplying every duration, lag, and the horizon by
+///    `k` scales the optimum by exactly `k` (and preserves infeasibility).
+///    Any schedule for the original maps to one for the scaled instance by
+///    `s ↦ k·s`; conversely `s ↦ ⌊s/k⌋` maps back (every scaled task active
+///    at original step `u` is active at scaled time `k·u + k − 1`, so caps
+///    and machine exclusivity carry over), hence the optima correspond.
+/// 2. **Cap relaxation**: dropping `p_max`/`b_max`/`u_max` and enlarging
+///    custom resource capacities only grows the feasible set, so the optimum
+///    never increases and feasible instances stay feasible.
+/// 3. **Task permutation**: relabeling tasks (we reverse the order) changes
+///    nothing; the optimum and feasibility are identical.
+fn check_metamorphic(
+    instance: &Instance,
+    brute: &Option<Option<BruteForceResult>>,
+    stats: &mut CheckStats,
+) -> Result<(), Disagreement> {
+    let Some(original) = brute else {
+        return Ok(());
+    };
+    let original = original.as_ref().map(|bf| bf.makespan);
+
+    const K: u32 = 3;
+    let scaled = scale_time(instance, K);
+    let scaled_opt = brute_force_schedule(&scaled).map(|bf| bf.makespan);
+    if scaled_opt != original.map(|m| m * K) {
+        return Err(Disagreement::new(
+            "metamorphic-scale",
+            instance,
+            format!(
+                "optimum {original:?} should scale by {K} to {:?}, brute force found {:?}",
+                original.map(|m| m * K),
+                scaled_opt
+            ),
+        ));
+    }
+
+    let relaxed = relax_caps(instance);
+    let relaxed_opt = brute_force_schedule(&relaxed).map(|bf| bf.makespan);
+    if let Some(m) = original {
+        match relaxed_opt {
+            Some(rm) if rm <= m => {}
+            _ => {
+                return Err(Disagreement::new(
+                    "metamorphic-relax",
+                    instance,
+                    format!(
+                        "relaxing caps turned optimum {m} into {relaxed_opt:?} (must stay \
+                         feasible and not increase)"
+                    ),
+                ));
+            }
+        }
+    }
+
+    let permuted = permute_tasks(instance);
+    let permuted_opt = brute_force_schedule(&permuted).map(|bf| bf.makespan);
+    if permuted_opt != original {
+        return Err(Disagreement::new(
+            "metamorphic-permute",
+            instance,
+            format!("task relabeling changed the optimum: {original:?} -> {permuted_opt:?}"),
+        ));
+    }
+
+    stats.metamorphic_checked += 1;
+    Ok(())
+}
+
+/// Rebuild `instance` with every duration, lag, and the horizon multiplied
+/// by `k`.
+#[must_use]
+pub fn scale_time(instance: &Instance, k: u32) -> Instance {
+    rebuild(
+        instance,
+        |_| 0,
+        |d| d * k,
+        |lag| lag * k,
+        true,
+        instance.horizon().saturating_mul(k),
+    )
+}
+
+/// Rebuild `instance` with power/bandwidth/core caps dropped and custom
+/// resource capacities quadrupled.
+#[must_use]
+pub fn relax_caps(instance: &Instance) -> Instance {
+    rebuild(instance, |_| 0, |d| d, |lag| lag, false, instance.horizon())
+}
+
+/// Rebuild `instance` with the task order reversed (a pure relabeling).
+#[must_use]
+pub fn permute_tasks(instance: &Instance) -> Instance {
+    let n = instance.num_tasks();
+    rebuild(
+        instance,
+        move |t| n - 1 - t,
+        |d| d,
+        |lag| lag,
+        true,
+        instance.horizon(),
+    )
+}
+
+/// Shared rebuild: `position` places original task `t` at a new index,
+/// `duration`/`lag` transform times, `keep_caps` controls whether the
+/// power/bandwidth/core caps carry over (custom resource capacities are
+/// quadrupled when caps are dropped).
+fn rebuild(
+    instance: &Instance,
+    position: impl Fn(usize) -> usize,
+    duration: impl Fn(u32) -> u32,
+    lag: impl Fn(u32) -> u32,
+    keep_caps: bool,
+    horizon: u32,
+) -> Instance {
+    let n = instance.num_tasks();
+    let mut b = InstanceBuilder::new();
+    for name in instance.machines() {
+        b.add_machine(name.clone());
+    }
+    for (name, cap) in instance.resources() {
+        b.add_resource(name.clone(), if keep_caps { *cap } else { *cap * 4.0 });
+    }
+    // Original task index -> new TaskId, honoring the position map.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&t| position(t));
+    let mut new_ids = vec![None; n];
+    for &t in &order {
+        let task = instance.task(TaskId(t));
+        let modes = task
+            .modes
+            .iter()
+            .map(|mode| {
+                let mut scaled = mode.clone();
+                scaled.duration = duration(mode.duration);
+                scaled
+            })
+            .collect();
+        new_ids[t] = Some(b.add_task(task.label.clone(), modes));
+    }
+    for t in 0..n {
+        for edge in instance.incoming(TaskId(t)) {
+            let before = new_ids[edge.before.0].expect("all tasks added");
+            let after = new_ids[edge.after.0].expect("all tasks added");
+            match edge.kind {
+                hilp_sched::EdgeKind::FinishToStart => {
+                    b.add_precedence_lagged(before, after, lag(edge.lag));
+                }
+                hilp_sched::EdgeKind::StartToStart => {
+                    b.add_initiation_interval(before, after, lag(edge.lag));
+                }
+            }
+        }
+    }
+    if keep_caps {
+        if let Some(cap) = instance.power_cap() {
+            b.set_power_cap(cap);
+        }
+        if let Some(cap) = instance.bandwidth_cap() {
+            b.set_bandwidth_cap(cap);
+        }
+        if let Some(cap) = instance.core_cap() {
+            b.set_core_cap(cap);
+        }
+    }
+    b.set_horizon(horizon);
+    b.build().expect("transformed instances stay valid")
+}
+
+/// Run the workload → SoC → instance encoding front-end on a random
+/// (workload, SoC, constraints) triple and check the resulting instance's
+/// solver invariants: heuristic feasibility, the bounds sandwich, and online
+/// dispatch feasibility.
+///
+/// # Errors
+///
+/// Returns the first [`Disagreement`] found, if any.
+pub fn check_pipeline(
+    workload: &Workload,
+    soc: &SocSpec,
+    constraints: &Constraints,
+    stats: &mut CheckStats,
+) -> Result<(), Disagreement> {
+    let Ok((instance, _maps)) = hilp_core::encode(workload, soc, constraints, 1.0) else {
+        stats.pipeline_skipped += 1;
+        return Ok(());
+    };
+    stats.pipeline_encoded += 1;
+    let config = SolverConfig::sweep();
+    let combinatorial_lb = lower_bound(&instance);
+    match solve_heuristic(&instance, &config) {
+        Ok(outcome) => {
+            let violations = outcome.schedule.verify(&instance);
+            if !violations.is_empty() {
+                return Err(Disagreement::new(
+                    "pipeline-feasibility",
+                    &instance,
+                    format!("encoded workload schedule violates: {violations:?}"),
+                ));
+            }
+            if outcome.lower_bound > outcome.makespan || combinatorial_lb > outcome.makespan {
+                return Err(Disagreement::new(
+                    "pipeline-bounds",
+                    &instance,
+                    format!(
+                        "lower bounds (solver {}, combinatorial {combinatorial_lb}) exceed \
+                         makespan {}",
+                        outcome.lower_bound, outcome.makespan
+                    ),
+                ));
+            }
+            let wlp = hilp_core::average_wlp(&outcome.schedule, &instance);
+            if instance.num_tasks() > 0 && wlp < 1.0 - 1e-9 {
+                return Err(Disagreement::new(
+                    "pipeline-wlp",
+                    &instance,
+                    format!("average WLP {wlp} below 1 for a non-empty schedule"),
+                ));
+            }
+        }
+        Err(_) => {
+            // The heuristic may legitimately exhaust a tight horizon; the
+            // online check below still runs on its own.
+        }
+    }
+    if let Some(schedule) = online_greedy(&instance, OnlinePolicy::Fifo) {
+        let violations = schedule.verify(&instance);
+        if !violations.is_empty() {
+            return Err(Disagreement::new(
+                "pipeline-online-feasibility",
+                &instance,
+                format!("online schedule for encoded workload violates: {violations:?}"),
+            ));
+        }
+        if schedule.makespan(&instance) < combinatorial_lb {
+            return Err(Disagreement::new(
+                "pipeline-online-below-bound",
+                &instance,
+                format!(
+                    "online makespan {} beats the combinatorial lower bound {combinatorial_lb}",
+                    schedule.makespan(&instance)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
