@@ -1,0 +1,127 @@
+//! Micro-benchmarks for the sweep engine's hot operations: the event
+//! timetable's feasibility probe and place/undo splice (the inner loop of
+//! every SGS pass), and the cross-point `BoundStore` lookup that every
+//! refinement level performs in a bound-sharing sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use hilp_core::{encode, Constraints, SocSpec, Workload, WorkloadVariant};
+use hilp_dse::{design_space, BoundStore, DominanceLattice};
+use hilp_sched::{solve_heuristic, SolverConfig, TaskId, Timetable, TimetableKind};
+
+fn timetable_bench(c: &mut Criterion) {
+    // The paper's flagship-sized instance at a validation-grade step: ~30
+    // tasks over 66 machines, the shape every Fig. 7 sweep level solves.
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let soc = SocSpec::new(4).with_gpu(64);
+    let (instance, _) = encode(&workload, &soc, &Constraints::paper_default(), 2.0).unwrap();
+    let schedule = solve_heuristic(
+        &instance,
+        &SolverConfig {
+            heuristic_starts: 40,
+            local_search_passes: 1,
+            ..SolverConfig::default()
+        },
+    )
+    .unwrap()
+    .schedule;
+
+    for kind in [TimetableKind::Event, TimetableKind::Dense] {
+        // A realistically occupied timetable: the full heuristic schedule.
+        let mut occupied = Timetable::with_kind(&instance, kind);
+        for (i, (&start, &mode)) in schedule.starts.iter().zip(&schedule.modes).enumerate() {
+            occupied.place(instance.mode(TaskId(i), mode), start);
+        }
+
+        let mut group = c.benchmark_group("hotops/fits_at");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &occupied,
+            |b, timetable| {
+                // Probe every task's first mode at a spread of starts: the
+                // exact query mix the serial SGS issues while scanning for
+                // a slot.
+                b.iter(|| {
+                    let mut acc = 0u64;
+                    for (i, &start) in schedule.starts.iter().enumerate() {
+                        let mode = instance.mode(TaskId(i), schedule.modes[i]);
+                        for probe in [0, start / 2, start, start + 7] {
+                            acc = acc.wrapping_add(match timetable.fits_at(mode, probe) {
+                                Ok(()) => 1,
+                                Err(next) => u64::from(next),
+                            });
+                        }
+                    }
+                    black_box(acc)
+                });
+            },
+        );
+        group.finish();
+
+        let mut group = c.benchmark_group("hotops/place_unplace");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kind:?}")),
+            &(),
+            |b, ()| {
+                // Splice every task in and back out of an occupied
+                // timetable — the undo pattern of local search moves.
+                let mut timetable = Timetable::with_kind(&instance, kind);
+                for (i, (&start, &mode)) in schedule.starts.iter().zip(&schedule.modes).enumerate()
+                {
+                    timetable.place(instance.mode(TaskId(i), mode), start);
+                }
+                b.iter(|| {
+                    for (i, &start) in schedule.starts.iter().enumerate() {
+                        let mode = instance.mode(TaskId(i), schedule.modes[i]);
+                        timetable.unplace(mode, start);
+                        timetable.place(mode, start);
+                    }
+                    black_box(timetable.power_at(0))
+                });
+            },
+        );
+        group.finish();
+    }
+}
+
+fn bound_store_bench(c: &mut Criterion) {
+    // The full 372-point Fig. 7 lattice with every level's bound
+    // published, queried for its most-dominated point — the worst-case
+    // lookup a sweep issues before each refinement level.
+    let socs = design_space(4.0);
+    let lattice = DominanceLattice::build(&socs);
+    let levels = 5usize;
+    let store = BoundStore::new(socs.len(), levels);
+    for point in 0..socs.len() {
+        for level in 0..levels {
+            store.publish(point, level, 10 + (point % 7) as u32 + level as u32);
+        }
+    }
+    let most_dominated = (0..socs.len())
+        .max_by_key(|&i| lattice.dominators(i).len())
+        .unwrap();
+    c.bench_function("hotops/bound_store_best_inherited", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for level in 0..levels {
+                acc = acc.wrapping_add(
+                    store
+                        .best_inherited(lattice.dominators(black_box(most_dominated)), level)
+                        .unwrap_or(0),
+                );
+            }
+            black_box(acc)
+        });
+    });
+    c.bench_function("hotops/lattice_build_372", |b| {
+        b.iter(|| black_box(DominanceLattice::build(&socs).edges()));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = timetable_bench, bound_store_bench
+}
+criterion_main!(benches);

@@ -1,30 +1,46 @@
 //! Wall-clock timing harness for the Figure 7 design-space sweep.
 //!
 //! Runs the sweep (all three models, Default workload, paper constraints)
-//! twice — once in *reference* mode (dense timetable, single-threaded
-//! multi-start, no memoization: the original implementation's hot path)
-//! and once in *optimized* mode (event-driven timetable, parallel
-//! multi-start, instance memoization) — then writes the timings, the
-//! measured speedup, a per-point correctness check, and the optimized
-//! run's per-point makespans (consumed by the Fig. 7 regression test in
+//! three times per model:
+//!
+//! * *reference* — dense timetable, single-threaded multi-start, no
+//!   memoization, no bound reuse: the original implementation's hot path.
+//! * *baseline* — event-driven timetable plus instance memoization, no
+//!   bound reuse: the previously-committed hot path, kept as the yardstick
+//!   for the cross-point improvements.
+//! * *optimized* — baseline plus proven-bound termination and cross-point
+//!   bound sharing along the dominance lattice.
+//!
+//! It then writes the timings, both speedups, a per-point correctness
+//! check, bound-sharing effectiveness statistics, and the optimized run's
+//! per-point makespans (consumed by the Fig. 7 regression test in
 //! `tests/fig7_regression.rs`) to `BENCH_sweep.json`.
+//!
+//! Two correctness gates run every time: per-point makespans must agree
+//! across reference and optimized within the reported optimality gaps, and
+//! the optimized run must be *bit-identical* to the baseline run — bound
+//! termination and sharing are pure work-skipping and may never move a
+//! result.
 //!
 //! Usage:
 //!
 //! ```text
 //! cargo run --release -p hilp-bench --bin sweep_timing -- \
-//!     [--step N] [--out PATH] [--strict]
+//!     [--step N] [--out PATH] [--threads N] [--strict]
 //! ```
 //!
 //! `--step N` subsamples the 372-SoC space (every Nth SoC; default 1 =
-//! the full space). `--strict` also fails the process when the measured
-//! speedup is below 2x (by default only a per-point result mismatch is
-//! fatal, since wall-clock ratios depend on the host).
+//! the full space). `--threads N` fixes the sweep worker count (default:
+//! all cores). `--strict` also fails the process when the measured speedup
+//! is below 2x (by default only a correctness failure is fatal, since
+//! wall-clock ratios depend on the host).
 
 use std::time::Instant;
 
 use hilp_core::SolverConfig;
-use hilp_dse::{design_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepConfig};
+use hilp_dse::{
+    design_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepConfig, SweepStats,
+};
 use hilp_sched::TimetableKind;
 use hilp_soc::Constraints;
 use hilp_workloads::{Workload, WorkloadVariant};
@@ -32,31 +48,55 @@ use hilp_workloads::{Workload, WorkloadVariant};
 const MODELS: [ModelKind; 3] = [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp];
 
 /// The original implementation's configuration: dense per-step timetable,
-/// serial multi-start, every design point solved from scratch.
-fn reference_config() -> SweepConfig {
+/// serial multi-start, every design point solved from scratch to
+/// completion.
+fn reference_config(threads: usize) -> SweepConfig {
     SweepConfig {
         solver: SolverConfig {
             timetable: TimetableKind::Dense,
             heuristic_threads: 1,
+            bound_termination: false,
             ..SolverConfig::sweep()
         },
+        threads,
         memoize: false,
+        share_bounds: false,
         ..SweepConfig::default()
     }
 }
 
-/// The optimized hot path: event-driven timetable plus instance
-/// memoization. Multi-start stays single-threaded here because the sweep
-/// already saturates every core with one design point per worker; the
-/// per-point parallelism is for interactive single-SoC evaluations.
-fn optimized_config() -> SweepConfig {
+/// The previously-committed hot path: event-driven timetable plus
+/// instance memoization, but no bound-based work skipping. Multi-start
+/// stays single-threaded here because the sweep already saturates every
+/// core with one design point per worker; the per-point parallelism is
+/// for interactive single-SoC evaluations.
+fn baseline_config(threads: usize) -> SweepConfig {
+    SweepConfig {
+        solver: SolverConfig {
+            timetable: TimetableKind::Event,
+            heuristic_threads: 1,
+            bound_termination: false,
+            ..SolverConfig::sweep()
+        },
+        threads,
+        memoize: true,
+        share_bounds: false,
+        ..SweepConfig::default()
+    }
+}
+
+/// The current hot path: baseline plus proven-bound early termination and
+/// cross-point bound sharing along the dominance lattice.
+fn optimized_config(threads: usize) -> SweepConfig {
     SweepConfig {
         solver: SolverConfig {
             timetable: TimetableKind::Event,
             heuristic_threads: 1,
             ..SolverConfig::sweep()
         },
+        threads,
         memoize: true,
+        share_bounds: true,
         ..SweepConfig::default()
     }
 }
@@ -64,11 +104,12 @@ fn optimized_config() -> SweepConfig {
 struct ModelRun {
     model: ModelKind,
     reference_seconds: f64,
+    baseline_seconds: f64,
     optimized_seconds: f64,
-    cache_hits: usize,
-    solves: usize,
+    stats: SweepStats,
     max_rel_diff: f64,
     max_allowed: f64,
+    bit_identical: bool,
     points: Vec<DesignPoint>,
 }
 
@@ -76,11 +117,18 @@ fn main() {
     let mut step = 1usize;
     let mut out = String::from("BENCH_sweep.json");
     let mut strict = false;
+    let mut threads = 0usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--step" => step = args.next().and_then(|v| v.parse().ok()).expect("--step N"),
             "--out" => out = args.next().expect("--out PATH"),
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads N");
+            }
             "--strict" => strict = true,
             other => panic!("unknown argument: {other}"),
         }
@@ -95,8 +143,9 @@ fn main() {
         MODELS.len()
     );
 
-    let reference = reference_config();
-    let optimized = optimized_config();
+    let reference = reference_config(threads);
+    let baseline = baseline_config(threads);
+    let optimized = optimized_config(threads);
     let mut runs = Vec::new();
     for model in MODELS {
         let t0 = Instant::now();
@@ -106,57 +155,84 @@ fn main() {
         let reference_seconds = t0.elapsed().as_secs_f64();
 
         let t1 = Instant::now();
+        let (base_points, _) =
+            evaluate_space_with_stats(&workload, &socs, &constraints, model, &baseline)
+                .expect("baseline sweep succeeds");
+        let baseline_seconds = t1.elapsed().as_secs_f64();
+
+        let t2 = Instant::now();
         let (opt_points, stats) =
             evaluate_space_with_stats(&workload, &socs, &constraints, model, &optimized)
                 .expect("optimized sweep succeeds");
-        let optimized_seconds = t1.elapsed().as_secs_f64();
+        let optimized_seconds = t2.elapsed().as_secs_f64();
 
-        // Correctness: per-point makespans must agree within the solver's
-        // reported optimality gap (both paths return near-optimal, not
-        // canonical, schedules; the gap bounds how far apart they may be).
+        // Correctness gate 1: reference vs optimized makespans must agree
+        // within the solver's reported optimality gap (both paths return
+        // near-optimal, not canonical, schedules; the gap bounds how far
+        // apart they may be).
         let (max_rel_diff, max_allowed) = compare(&ref_points, &opt_points);
+        // Correctness gate 2: bound termination and sharing are pure
+        // work-skipping — the optimized run must reproduce the baseline
+        // run bit for bit.
+        let bit_identical = opt_points == base_points;
         eprintln!(
-            "  {:<7} reference {reference_seconds:8.2}s  optimized {optimized_seconds:8.2}s  \
-             ({:.2}x, {} cache hits, max point diff {max_rel_diff:.2e})",
+            "  {:<7} reference {reference_seconds:7.2}s  baseline {baseline_seconds:7.2}s  \
+             optimized {optimized_seconds:7.2}s  ({:.2}x vs baseline, {} cache hits, \
+             {:.0}% levels inherited, bit-identical: {bit_identical})",
             model.name(),
-            reference_seconds / optimized_seconds.max(1e-9),
+            baseline_seconds / optimized_seconds.max(1e-9),
             stats.cache_hits,
+            stats.inheritance_hit_rate() * 100.0,
         );
         runs.push(ModelRun {
             model,
             reference_seconds,
+            baseline_seconds,
             optimized_seconds,
-            cache_hits: stats.cache_hits,
-            solves: stats.solves,
+            stats,
             max_rel_diff,
             max_allowed,
+            bit_identical,
             points: opt_points,
         });
     }
 
     let total_ref: f64 = runs.iter().map(|r| r.reference_seconds).sum();
+    let total_base: f64 = runs.iter().map(|r| r.baseline_seconds).sum();
     let total_opt: f64 = runs.iter().map(|r| r.optimized_seconds).sum();
     let speedup = total_ref / total_opt.max(1e-9);
+    let speedup_vs_baseline = total_base / total_opt.max(1e-9);
     let worst = runs
         .iter()
         .map(|r| r.max_rel_diff - r.max_allowed)
         .fold(f64::NEG_INFINITY, f64::max);
     let points_match = worst <= 1e-9;
+    let bit_identical = runs.iter().all(|r| r.bit_identical);
 
     let json = render_json(
         &runs,
-        &socs.len(),
+        socs.len(),
         total_ref,
+        total_base,
         total_opt,
         speedup,
+        speedup_vs_baseline,
         points_match,
+        bit_identical,
     );
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
-    eprintln!("sweep_timing: total {total_ref:.2}s -> {total_opt:.2}s ({speedup:.2}x) -> {out}");
+    eprintln!(
+        "sweep_timing: total {total_ref:.2}s -> {total_base:.2}s -> {total_opt:.2}s \
+         ({speedup:.2}x vs reference, {speedup_vs_baseline:.2}x vs baseline) -> {out}"
+    );
 
     assert!(
         points_match,
         "per-point makespans diverged beyond the reported optimality gap"
+    );
+    assert!(
+        bit_identical,
+        "bound sharing changed reported results; it must be transparent"
     );
     if strict {
         assert!(speedup >= 2.0, "speedup {speedup:.2}x below the 2x target");
@@ -189,42 +265,84 @@ fn compare(reference: &[DesignPoint], optimized: &[DesignPoint]) -> (f64, f64) {
     (max_rel_diff, max_allowed)
 }
 
+/// Rounds to 12 significant digits before serialization. The shortest
+/// round-trip `{}` format otherwise leaks accumulated float noise into the
+/// committed file (`353.20000000000005`); 12 significant digits are ~1000x
+/// finer than the regression test's 1e-9 tolerance yet far coarser than
+/// one ulp, so the committed value is stable and noise-free.
+fn clean(x: f64) -> f64 {
+    if x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let digits = (11 - x.abs().log10().floor() as i32).clamp(0, 300);
+    let scale = 10f64.powi(digits);
+    (x * scale).round() / scale
+}
+
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     runs: &[ModelRun],
-    socs: &usize,
+    socs: usize,
     total_ref: f64,
+    total_base: f64,
     total_opt: f64,
     speedup: f64,
+    speedup_vs_baseline: f64,
     points_match: bool,
+    bit_identical: bool,
 ) -> String {
     let mut per_model = String::new();
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
             per_model.push_str(",\n");
         }
+        let s = &r.stats;
         per_model.push_str(&format!(
-            "    {{\"model\": \"{}\", \"reference_seconds\": {:.4}, \"optimized_seconds\": {:.4}, \
-             \"speedup\": {:.3}, \"cache_hits\": {}, \"solves\": {}, \"points\": {}, \
-             \"max_rel_makespan_diff\": {:.6e}, \"max_allowed_gap\": {:.6e},\n     \"sweep\": [\n",
+            "    {{\"model\": \"{}\", \"reference_seconds\": {:.4}, \"baseline_seconds\": {:.4}, \
+             \"optimized_seconds\": {:.4}, \"speedup\": {:.3}, \"speedup_vs_baseline\": {:.3}, \
+             \"cache_hits\": {}, \"solves\": {}, \"points\": {},\n     \
+             \"threads_used\": {}, \"parallelism_fallback\": {}, \"levels_solved\": {}, \
+             \"bound_inherited_levels\": {}, \"inheritance_hit_rate\": {:.4}, \
+             \"early_terminated_levels\": {}, \"heuristic_jobs_total\": {}, \
+             \"heuristic_jobs_executed\": {}, \
+             \"bound_tightening_histogram\": [{}, {}, {}, {}, {}],\n     \
+             \"max_rel_makespan_diff\": {:.6e}, \"max_allowed_gap\": {:.6e},\n     \
+             \"slowest_points\": [{}],\n     \"sweep\": [\n",
             r.model.name(),
             r.reference_seconds,
+            r.baseline_seconds,
             r.optimized_seconds,
             r.reference_seconds / r.optimized_seconds.max(1e-9),
-            r.cache_hits,
-            r.solves,
+            r.baseline_seconds / r.optimized_seconds.max(1e-9),
+            s.cache_hits,
+            s.solves,
             r.points.len(),
+            s.threads_used,
+            s.parallelism_fallback,
+            s.levels_solved,
+            s.bound_inherited_levels,
+            s.inheritance_hit_rate(),
+            s.early_terminated_levels,
+            s.heuristic_jobs_total,
+            s.heuristic_jobs_executed,
+            s.bound_tightening_histogram[0],
+            s.bound_tightening_histogram[1],
+            s.bound_tightening_histogram[2],
+            s.bound_tightening_histogram[3],
+            s.bound_tightening_histogram[4],
             r.max_rel_diff,
             r.max_allowed,
+            slowest(r),
         ));
-        // One point per line, `{}`-formatted floats (shortest exact
-        // round-trip), so the Fig. 7 regression test can pin every
-        // per-point makespan with a line-based parse.
+        // One point per line, noise-rounded `{}`-formatted floats
+        // (shortest exact round-trip), so the Fig. 7 regression test can
+        // pin every per-point makespan with a line-based parse.
         for (j, p) in r.points.iter().enumerate() {
             per_model.push_str(&format!(
                 "      {{\"label\": \"{}\", \"makespan_seconds\": {}, \"gap\": {}}}{}\n",
                 p.label,
-                p.makespan_seconds,
-                p.gap,
+                clean(p.makespan_seconds),
+                clean(p.gap),
                 if j + 1 < r.points.len() { "," } else { "" },
             ));
         }
@@ -232,10 +350,35 @@ fn render_json(
     }
     format!(
         "{{\n  \"benchmark\": \"fig7_design_space_sweep\",\n  \"workload\": \"Default\",\n  \
-         \"socs\": {socs},\n  \"reference\": \"dense timetable, serial multi-start, no memo\",\n  \
-         \"optimized\": \"event timetable, instance memoization\",\n  \
-         \"reference_seconds\": {total_ref:.4},\n  \"optimized_seconds\": {total_opt:.4},\n  \
-         \"speedup\": {speedup:.3},\n  \"points_match_within_gap\": {points_match},\n  \
+         \"socs\": {socs},\n  \
+         \"reference\": \"dense timetable, serial multi-start, no memo, no bound reuse\",\n  \
+         \"baseline\": \"event timetable, instance memoization\",\n  \
+         \"optimized\": \"event timetable, memoization, bound termination, cross-point bound sharing\",\n  \
+         \"reference_seconds\": {total_ref:.4},\n  \"baseline_seconds\": {total_base:.4},\n  \
+         \"optimized_seconds\": {total_opt:.4},\n  \
+         \"speedup\": {speedup:.3},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.3},\n  \
+         \"points_match_within_gap\": {points_match},\n  \
+         \"results_bit_identical\": {bit_identical},\n  \
          \"per_model\": [\n{per_model}\n  ]\n}}\n"
     )
+}
+
+/// The five slowest design points of the optimized run, labelled by SoC
+/// (key deliberately not `label`, which the regression test's line parser
+/// treats as a sweep point).
+fn slowest(r: &ModelRun) -> String {
+    let mut indexed: Vec<(usize, f64)> =
+        r.stats.point_seconds.iter().copied().enumerate().collect();
+    indexed.sort_by(|a, b| b.1.total_cmp(&a.1));
+    indexed
+        .iter()
+        .take(5)
+        .map(|&(i, secs)| {
+            format!(
+                "{{\"soc\": \"{}\", \"seconds\": {:.4}}}",
+                r.points[i].label, secs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
 }

@@ -1,6 +1,6 @@
 //! The HILP evaluator: adaptive time-step refinement around the scheduler.
 
-use hilp_sched::{solve_with_warm_start, Instance, Schedule, SolverConfig};
+use hilp_sched::{solve_with_hints, Instance, Schedule, SolveHints, SolveTelemetry, SolverConfig};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
 
@@ -106,6 +106,71 @@ impl Evaluation {
     }
 }
 
+/// What one refinement level of [`Hilp::evaluate_with_observer`] solved:
+/// the discretization, the result in steps, and the solver's work
+/// attribution. Borrowed fields refer to the level's encoded instance.
+#[derive(Debug)]
+pub struct LevelReport<'a> {
+    /// Refinement round index (0 = the initial, coarsest step).
+    pub level: u32,
+    /// Time-step size of this level, in seconds.
+    pub time_step_seconds: f64,
+    /// Makespan of the level's best schedule, in steps.
+    pub makespan_steps: u32,
+    /// The solver's *reported* lower bound for the level, in steps (the
+    /// instance's own combinatorial bound — never the external one).
+    pub lower_bound_steps: u32,
+    /// The external bound that was injected for this level, if any.
+    pub external_bound_steps: Option<u32>,
+    /// Work attribution for the level's solve.
+    pub telemetry: SolveTelemetry,
+    /// The level's best schedule.
+    pub schedule: &'a Schedule,
+    /// The instance the schedule refers to.
+    pub instance: &'a Instance,
+}
+
+/// Hook into the adaptive-refinement loop of [`Hilp::evaluate_with_observer`],
+/// letting a coordinator (e.g. a dominance-aware DSE sweep) inject proven
+/// lower bounds per level and harvest what each level proved.
+///
+/// Injected bounds must be sound — true lower bounds on the *optimal*
+/// makespan of this evaluator's instance at that exact time step. Sound
+/// bounds never change the evaluation result (see
+/// [`SolveHints::external_lower_bound`]); they only let the solver stop
+/// earlier.
+pub trait RefinementObserver {
+    /// A proven external lower bound (in steps) for the given level, or
+    /// `None` when nothing is known.
+    fn external_lower_bound(&self, level: u32, time_step_seconds: f64) -> Option<u32> {
+        let _ = (level, time_step_seconds);
+        None
+    }
+
+    /// A feasible schedule for the given level's instance (e.g. lifted
+    /// from a dominated design point via `lift_schedule`), or `None`. The
+    /// solver verifies it and adopts it only when strictly better than its
+    /// own heuristic incumbent — which makes a supplied incumbent
+    /// *result-visible*, unlike an external bound. Coordinators that
+    /// promise bit-identical results (the DSE sweep does) must therefore
+    /// leave this hook alone; it exists for callers that want the best
+    /// schedule money can buy and accept order-dependent results.
+    fn warm_incumbent(&self, level: u32, instance: &Instance) -> Option<Schedule> {
+        let _ = (level, instance);
+        None
+    }
+
+    /// Called after each level is solved, including the final one.
+    fn level_solved(&self, report: &LevelReport<'_>) {
+        let _ = report;
+    }
+}
+
+/// The no-op observer behind plain [`Hilp::evaluate`].
+struct NullObserver;
+
+impl RefinementObserver for NullObserver {}
+
 /// The HILP evaluator: workload + SoC + constraints + solver settings.
 ///
 /// See the [crate-level documentation](crate) for an end-to-end example.
@@ -173,6 +238,22 @@ impl Hilp {
     /// Propagates encoding errors (incompatible phases, invalid time step)
     /// and scheduling failures.
     pub fn evaluate(&self) -> Result<Evaluation, HilpError> {
+        self.evaluate_with_observer(&NullObserver)
+    }
+
+    /// [`Hilp::evaluate`] with a [`RefinementObserver`] wired into every
+    /// refinement level. With sound injected bounds the returned
+    /// [`Evaluation`] is identical to [`Hilp::evaluate`]'s; the observer
+    /// only redistributes work and harvests per-level results.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors (incompatible phases, invalid time step)
+    /// and scheduling failures.
+    pub fn evaluate_with_observer(
+        &self,
+        observer: &dyn RefinementObserver,
+    ) -> Result<Evaluation, HilpError> {
         let mut time_step = self.policy.initial_seconds;
         let mut refinements = 0;
         // Warm start across refinement rounds: the incumbent schedule of
@@ -184,7 +265,27 @@ impl Hilp {
         let mut warm_order: Option<Vec<f64>> = None;
         loop {
             let (instance, maps) = encode(&self.workload, &self.soc, &self.constraints, time_step)?;
-            let outcome = solve_with_warm_start(&instance, &self.solver, warm_order.as_deref())?;
+            let external = observer.external_lower_bound(refinements, time_step);
+            let incumbent = observer.warm_incumbent(refinements, &instance);
+            let (outcome, telemetry) = solve_with_hints(
+                &instance,
+                &self.solver,
+                &SolveHints {
+                    warm_priority: warm_order.as_deref(),
+                    external_lower_bound: external,
+                    warm_incumbent: incumbent.as_ref(),
+                },
+            )?;
+            observer.level_solved(&LevelReport {
+                level: refinements,
+                time_step_seconds: time_step,
+                makespan_steps: outcome.makespan,
+                lower_bound_steps: outcome.lower_bound,
+                external_bound_steps: external,
+                telemetry,
+                schedule: &outcome.schedule,
+                instance: &instance,
+            });
 
             let refine = outcome.makespan > 0
                 && outcome.makespan < self.policy.target_steps
@@ -336,6 +437,33 @@ mod tests {
                 .makespan_steps
         };
         assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn observer_warm_incumbent_is_verified_and_adopted_transparently() {
+        struct Seeder(Schedule);
+        impl RefinementObserver for Seeder {
+            fn warm_incumbent(&self, _level: u32, _instance: &Instance) -> Option<Schedule> {
+                Some(self.0.clone())
+            }
+        }
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16);
+        let plain = Hilp::new(w.clone(), soc.clone())
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::fixed(5.0))
+            .evaluate()
+            .unwrap();
+        // Seed the solver with its own best schedule: it is feasible (so
+        // it passes the adoption verification) but not strictly better, so
+        // the evaluation must come out unchanged.
+        let seeded = Hilp::new(w, soc)
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::fixed(5.0))
+            .evaluate_with_observer(&Seeder(plain.schedule.clone()))
+            .unwrap();
+        assert_eq!(seeded.makespan_steps, plain.makespan_steps);
+        assert_eq!(seeded.schedule, plain.schedule);
     }
 
     #[test]

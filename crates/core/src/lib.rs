@@ -61,9 +61,9 @@ mod wlp;
 
 pub use encode::{encode, EncodeMaps};
 pub use error::HilpError;
-pub use evaluate::{Evaluation, Hilp, TimeStepPolicy};
+pub use evaluate::{Evaluation, Hilp, LevelReport, RefinementObserver, TimeStepPolicy};
 pub use wlp::average_wlp;
 
-pub use hilp_sched::{Schedule, SolverConfig};
+pub use hilp_sched::{Schedule, SolveTelemetry, SolverConfig};
 pub use hilp_soc::{Constraints, DsaSpec, SocSpec};
 pub use hilp_workloads::{Workload, WorkloadVariant};

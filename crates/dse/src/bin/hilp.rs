@@ -1,7 +1,7 @@
 //! `hilp` — command-line front end to the experiment harness.
 //!
 //! ```text
-//! Usage: hilp <command> [--quick]
+//! Usage: hilp <command> [--quick] [--threads N]
 //!
 //! Commands:
 //!   eval <cpus> <gpu_sms> <dsas> <pes>   evaluate one SoC on Default (600 W)
@@ -15,6 +15,12 @@
 //!   cost                                 cost/carbon Pareto fronts (extension)
 //!   consolidation                        WLP vs workload copies (extension)
 //!   ablation                             scheduler-quality ablation
+//!
+//! Options:
+//!   --quick        subsample the design space for a fast smoke run
+//!   --threads N    sweep worker threads (default: all available cores;
+//!                  if the core count cannot be determined the sweep falls
+//!                  back to 4 workers and says so)
 //! ```
 
 use std::process::ExitCode;
@@ -32,14 +38,28 @@ use hilp_workloads::{Workload, WorkloadVariant};
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hilp <eval c g d p | spec <file> | fig5a | fig5b | fig5c | fig6 <variant> | \
-         fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation> [--quick]"
+         fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation> \
+         [--quick] [--threads N]"
     );
     ExitCode::from(2)
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    // `--threads` takes a value, so it is consumed (flag and value) before
+    // the positional split below, which would otherwise keep the value.
+    let mut threads = 0usize;
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => threads = n,
+            None => {
+                eprintln!("--threads needs a worker count");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
     let positional: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -48,7 +68,10 @@ fn main() -> ExitCode {
     let Some(&command) = positional.first() else {
         return usage();
     };
-    let config = SweepConfig::default();
+    let config = SweepConfig {
+        threads,
+        ..SweepConfig::default()
+    };
 
     let result: Result<(), Box<dyn std::error::Error>> = (|| {
         match command {

@@ -572,6 +572,7 @@ mod tests {
             },
             threads: 0,
             memoize: true,
+            share_bounds: true,
         }
     }
 
@@ -700,6 +701,7 @@ mod consolidation_tests {
             },
             threads: 0,
             memoize: true,
+            share_bounds: true,
         };
         let rows = consolidation_sweep(&soc, &[1, 2], &config).unwrap();
         assert_eq!(rows.len(), 2);
@@ -903,6 +905,7 @@ mod extension_tests {
             },
             threads: 0,
             memoize: true,
+            share_bounds: true,
         }
     }
 

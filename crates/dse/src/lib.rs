@@ -23,12 +23,17 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lattice;
 pub mod pareto;
 pub mod plot;
 pub mod space;
 pub mod specfile;
 pub mod sweep;
 
+pub use lattice::{
+    constraints_dominate, lift_schedule, point_dominates, soc_dominates, BoundStore,
+    DominanceLattice,
+};
 pub use pareto::{pareto_front, ParetoPoint};
 pub use space::design_space;
 pub use sweep::{

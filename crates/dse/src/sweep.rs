@@ -1,14 +1,28 @@
 //! Parallel evaluation of design spaces under the three models.
+//!
+//! The HILP sweep is dominance-aware (see [`crate::lattice`]): points are
+//! pulled from a loosest-first work queue, each solved point publishes its
+//! proven per-level lower bounds into a shared [`BoundStore`], and every
+//! point inherits the tightest bound from the points that dominate it as a
+//! termination target for its own solve. Crucially this sharing is
+//! *transparent*: inherited bounds only stop the heuristic once its
+//! incumbent provably cannot improve, so every reported value — makespan,
+//! gap, schedule-derived WLP — is bit-identical to a sweep with sharing
+//! disabled, for any thread count. `tests/bound_sharing.rs` enforces this.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 use hilp_baselines::{gables_constraints, gables_parallel, multi_amdahl, without_dependencies};
-use hilp_core::{encode, Hilp, HilpError, SolverConfig, TimeStepPolicy};
+use hilp_core::{
+    encode, Hilp, HilpError, LevelReport, RefinementObserver, SolverConfig, TimeStepPolicy,
+};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
 
+use crate::lattice::{BoundStore, DominanceLattice};
 use crate::pareto::ParetoPoint;
 
 /// Which evaluation model a sweep uses.
@@ -41,7 +55,9 @@ pub struct SweepConfig {
     pub policy: TimeStepPolicy,
     /// Scheduler configuration per evaluation.
     pub solver: SolverConfig,
-    /// Number of worker threads (`0` = all available cores).
+    /// Number of worker threads (`0` = all available cores; when the core
+    /// count cannot be determined the sweep falls back to 4 workers and
+    /// reports it via [`SweepStats::parallelism_fallback`]).
     pub threads: usize,
     /// Memoize solves across design points whose *effective* scheduling
     /// instances coincide (e.g. SoCs differing only in components the
@@ -51,6 +67,16 @@ pub struct SweepConfig {
     /// — and therefore the result — is identical. Applies to the HILP and
     /// Gables models (MultiAmdahl is too cheap to be worth caching).
     pub memoize: bool,
+    /// Share proven lower bounds across HILP design points along the
+    /// dominance lattice (see [`crate::lattice`]): a dominating point's
+    /// solved bounds become termination targets for the points it
+    /// dominates. Sharing never changes any reported value (bounds only
+    /// stop provably-finished searches), so results stay bit-identical
+    /// with sharing on or off and for any thread count. Only active for
+    /// heuristic-only solver configurations (`exact_node_budget == 0`,
+    /// the sweep default): an exact phase *would* consume external bounds
+    /// result-visibly, so it is excluded to keep sweeps deterministic.
+    pub share_bounds: bool,
 }
 
 impl Default for SweepConfig {
@@ -72,6 +98,7 @@ impl Default for SweepConfig {
             solver: SolverConfig::sweep(),
             threads: 0,
             memoize: true,
+            share_bounds: true,
         }
     }
 }
@@ -119,13 +146,29 @@ pub fn evaluate_soc(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<DesignPoint, HilpError> {
+    evaluate_soc_observed(workload, soc, constraints, model, config, None)
+}
+
+/// [`evaluate_soc`] with an optional refinement observer threaded into HILP
+/// evaluations (the other models have no refinement loop to observe).
+fn evaluate_soc_observed(
+    workload: &Workload,
+    soc: &SocSpec,
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+    observer: Option<&dyn RefinementObserver>,
+) -> Result<DesignPoint, HilpError> {
     let (speedup, makespan_seconds, avg_wlp, gap) = match model {
         ModelKind::Hilp => {
-            let eval = Hilp::new(workload.clone(), soc.clone())
+            let hilp = Hilp::new(workload.clone(), soc.clone())
                 .with_constraints(*constraints)
                 .with_policy(config.policy)
-                .with_solver(config.solver.clone())
-                .evaluate()?;
+                .with_solver(config.solver.clone());
+            let eval = match observer {
+                Some(observer) => hilp.evaluate_with_observer(observer)?,
+                None => hilp.evaluate()?,
+            };
             (eval.speedup, eval.makespan_seconds, eval.avg_wlp, eval.gap)
         }
         ModelKind::MultiAmdahl => {
@@ -162,26 +205,88 @@ fn design_point(
     }
 }
 
-/// Sweep-wide statistics, mostly about the memoization cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Sweep-wide statistics: cache effectiveness, bound-sharing effectiveness,
+/// and per-point solve-time attribution.
+///
+/// The timing and work-count fields describe *how* the sweep ran, not what
+/// it computed; they vary with thread interleaving while the returned
+/// design points do not.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SweepStats {
     /// Design points that ran a full evaluation.
     pub solves: usize,
     /// Design points answered from the memoization cache.
     pub cache_hits: usize,
+    /// Worker threads the sweep actually used.
+    pub threads_used: usize,
+    /// `threads: 0` was requested but the core count could not be
+    /// determined, so the sweep fell back to 4 workers.
+    pub parallelism_fallback: bool,
+    /// Whether cross-point bound sharing was active for this sweep.
+    pub bounds_shared: bool,
+    /// Dominance edges in the design space's lattice (0 when not shared).
+    pub lattice_edges: usize,
+    /// Refinement levels solved across all HILP evaluations.
+    pub levels_solved: usize,
+    /// Levels that inherited a bound from a dominating point.
+    pub bound_inherited_levels: usize,
+    /// Histogram of how much the inherited bound tightened the level's own
+    /// combinatorial bound, in steps: `[0, 1, 2-3, 4-7, >=8]`.
+    pub bound_tightening_histogram: [usize; 5],
+    /// Levels whose heuristic stopped early because its incumbent reached
+    /// a proven bound.
+    pub early_terminated_levels: usize,
+    /// Heuristic SGS evaluations requested across all levels.
+    pub heuristic_jobs_total: u64,
+    /// Heuristic SGS evaluations actually executed; the rest were cut by
+    /// bound termination.
+    pub heuristic_jobs_executed: u64,
+    /// Wall-clock seconds spent on each design point, aligned with the
+    /// input SoC order (cache hits cost ~0).
+    pub point_seconds: Vec<f64>,
 }
+
+impl SweepStats {
+    /// Fraction of solved levels that inherited a cross-point bound.
+    #[must_use]
+    pub fn inheritance_hit_rate(&self) -> f64 {
+        if self.levels_solved == 0 {
+            return 0.0;
+        }
+        self.bound_inherited_levels as f64 / self.levels_solved as f64
+    }
+}
+
+/// Cached scalar results of one evaluation, plus the per-level bounds the
+/// solved point published (so a cache hit can republish them for its own
+/// dominated points — a hit point may dominate points its twin does not).
+#[derive(Clone)]
+struct CacheEntry {
+    speedup: f64,
+    makespan_seconds: f64,
+    avg_wlp: f64,
+    gap: f64,
+    level_bounds: Vec<u32>,
+}
+
+/// Shards of the solve memo. Sixteen shards keep lock contention negligible
+/// for any realistic worker count while the power-of-two mask makes shard
+/// selection branch-free; keys are fingerprint hashes, so their low bits
+/// are uniformly distributed.
+const CACHE_SHARDS: usize = 16;
 
 /// The per-sweep solve memo: maps an instance-trajectory fingerprint to
 /// the scalar results of the evaluation. The schedule itself is not
 /// cached — `DesignPoint` only carries scalars, and the SoC-specific
-/// fields (label, area) are recomputed per point.
+/// fields (label, area) are recomputed per point. Sharded by key so
+/// concurrent workers do not serialize on one global lock.
 struct SolveCache {
     /// The *effective* workload the model schedules (dependency-stripped
     /// for Gables).
     key_workload: Workload,
     /// The *effective* constraints (power budget dropped for Gables).
     key_constraints: Constraints,
-    map: Mutex<HashMap<u64, (f64, f64, f64, f64)>>,
+    shards: Vec<Mutex<HashMap<u64, CacheEntry>>>,
     hits: AtomicUsize,
 }
 
@@ -205,12 +310,40 @@ impl SolveCache {
             // encode per level — caching would cost as much as solving.
             ModelKind::MultiAmdahl => return None,
         };
+        let mut shards = Vec::with_capacity(CACHE_SHARDS);
+        shards.resize_with(CACHE_SHARDS, || Mutex::new(HashMap::new()));
         Some(SolveCache {
             key_workload,
             key_constraints,
-            map: Mutex::new(HashMap::new()),
+            shards,
             hits: AtomicUsize::new(0),
         })
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, CacheEntry>> {
+        &self.shards[(key as usize) & (CACHE_SHARDS - 1)]
+    }
+
+    fn get(&self, key: u64) -> Option<CacheEntry> {
+        let hit = self
+            .shard(key)
+            .lock()
+            .expect("cache shard")
+            .get(&key)
+            .cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn insert(&self, key: u64, entry: CacheEntry) {
+        // Two workers may race on the same key; both solves are
+        // deterministic and identical, so last-write-wins is benign.
+        self.shard(key)
+            .lock()
+            .expect("cache shard")
+            .insert(key, entry);
     }
 
     /// Fingerprints the instance at *every* discretization level the
@@ -232,6 +365,131 @@ impl SolveCache {
     }
 }
 
+/// Shared state of a bound-sharing sweep: the dominance lattice over the
+/// input SoCs and the concurrent per-level bound store.
+struct ShareState {
+    lattice: DominanceLattice,
+    store: BoundStore,
+}
+
+/// Sweep-wide work counters, updated lock-free by the per-point oracles.
+#[derive(Default)]
+struct SweepCounters {
+    levels_solved: AtomicUsize,
+    inherited_levels: AtomicUsize,
+    tightening: [AtomicUsize; 5],
+    early_terminated: AtomicUsize,
+    jobs_total: AtomicU64,
+    jobs_executed: AtomicU64,
+}
+
+/// Per-point refinement observer: pulls inherited bounds from dominators
+/// before each level's solve and publishes what the level proved.
+struct PointOracle<'a> {
+    share: Option<&'a ShareState>,
+    counters: &'a SweepCounters,
+    point: usize,
+}
+
+impl RefinementObserver for PointOracle<'_> {
+    fn external_lower_bound(&self, level: u32, _time_step_seconds: f64) -> Option<u32> {
+        let share = self.share?;
+        share
+            .store
+            .best_inherited(share.lattice.dominators(self.point), level as usize)
+    }
+
+    fn level_solved(&self, report: &LevelReport<'_>) {
+        let c = self.counters;
+        c.levels_solved.fetch_add(1, Ordering::Relaxed);
+        c.jobs_total.fetch_add(
+            report.telemetry.heuristic_jobs_total as u64,
+            Ordering::Relaxed,
+        );
+        c.jobs_executed.fetch_add(
+            report.telemetry.heuristic_jobs_executed as u64,
+            Ordering::Relaxed,
+        );
+        if report.telemetry.bound_termination_hit {
+            c.early_terminated.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(external) = report.external_bound_steps {
+            c.inherited_levels.fetch_add(1, Ordering::Relaxed);
+            let tightened = external.saturating_sub(report.lower_bound_steps);
+            let bin = match tightened {
+                0 => 0,
+                1 => 1,
+                2..=3 => 2,
+                4..=7 => 3,
+                _ => 4,
+            };
+            c.tightening[bin].fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(share) = self.share {
+            // Everything this level proved, for the points we dominate: our
+            // own combinatorial bound and the inherited one are both true
+            // lower bounds on our optimum, which upper-bounds theirs. (When
+            // the solve terminated early the makespan *equals* this value.)
+            let bound = report
+                .lower_bound_steps
+                .max(report.external_bound_steps.unwrap_or(0));
+            share
+                .store
+                .publish(self.point, report.level as usize, bound);
+        }
+    }
+}
+
+/// A dominance-ordered work queue with stealing. Positions are striped
+/// across workers (worker `w` owns positions `w, w + T, ...`), so the
+/// loosest points — everyone else's bound producers — are claimed first
+/// across all workers; a worker that drains its stripe steals from the
+/// others'. The per-position CAS guarantees each point is evaluated exactly
+/// once no matter how claims and steals race.
+struct WorkQueue {
+    order: Vec<usize>,
+    claimed: Vec<AtomicBool>,
+    cursors: Vec<AtomicUsize>,
+}
+
+impl WorkQueue {
+    fn new(order: Vec<usize>, stripes: usize) -> Self {
+        let mut claimed = Vec::new();
+        claimed.resize_with(order.len(), || AtomicBool::new(false));
+        let mut cursors = Vec::new();
+        cursors.resize_with(stripes.max(1), || AtomicUsize::new(0));
+        WorkQueue {
+            order,
+            claimed,
+            cursors,
+        }
+    }
+
+    fn take_from(&self, stripe: usize) -> Option<usize> {
+        let stripes = self.cursors.len();
+        loop {
+            let k = self.cursors[stripe].fetch_add(1, Ordering::Relaxed);
+            let pos = stripe + k * stripes;
+            if pos >= self.order.len() {
+                return None;
+            }
+            // Lost races (a steal got here first) just advance the cursor.
+            if self.claimed[pos]
+                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                return Some(self.order[pos]);
+            }
+        }
+    }
+
+    /// Next point for `worker`: its own stripe first, then steal.
+    fn take(&self, worker: usize) -> Option<usize> {
+        let stripes = self.cursors.len();
+        (0..stripes).find_map(|offset| self.take_from((worker + offset) % stripes))
+    }
+}
+
 fn evaluate_soc_cached(
     workload: &Workload,
     soc: &SocSpec,
@@ -239,29 +497,52 @@ fn evaluate_soc_cached(
     model: ModelKind,
     config: &SweepConfig,
     cache: Option<&SolveCache>,
+    oracle: Option<&PointOracle<'_>>,
 ) -> Result<DesignPoint, HilpError> {
     let key = match cache {
         Some(c) => Some(c.key(soc, config)?),
         None => None,
     };
     if let (Some(c), Some(k)) = (cache, key) {
-        if let Some(&(speedup, makespan, wlp, gap)) = c.map.lock().expect("cache").get(&k) {
-            c.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(design_point(soc, speedup, makespan, wlp, gap));
+        if let Some(entry) = c.get(k) {
+            // Replay the twin's published bounds under *this* point's
+            // index: the hit point may dominate points its twin does not.
+            if let Some(share) = oracle.and_then(|o| o.share) {
+                share.store.publish_levels(
+                    oracle.expect("share implies oracle").point,
+                    &entry.level_bounds,
+                );
+            }
+            return Ok(design_point(
+                soc,
+                entry.speedup,
+                entry.makespan_seconds,
+                entry.avg_wlp,
+                entry.gap,
+            ));
         }
     }
-    let point = evaluate_soc(workload, soc, constraints, model, config)?;
+    let point = evaluate_soc_observed(
+        workload,
+        soc,
+        constraints,
+        model,
+        config,
+        oracle.map(|o| o as &dyn RefinementObserver),
+    )?;
     if let (Some(c), Some(k)) = (cache, key) {
-        // Two workers may race on the same key; both solves are
-        // deterministic and identical, so last-write-wins is benign.
-        c.map.lock().expect("cache").insert(
+        let level_bounds = oracle
+            .and_then(|o| o.share.map(|s| s.store.point_levels(o.point)))
+            .unwrap_or_default();
+        c.insert(
             k,
-            (
-                point.speedup,
-                point.makespan_seconds,
-                point.avg_wlp,
-                point.gap,
-            ),
+            CacheEntry {
+                speedup: point.speedup,
+                makespan_seconds: point.makespan_seconds,
+                avg_wlp: point.avg_wlp,
+                gap: point.gap,
+                level_bounds,
+            },
         );
     }
     Ok(point)
@@ -287,7 +568,8 @@ pub fn evaluate_space(
 }
 
 /// Like [`evaluate_space`], additionally reporting how much work the
-/// memoization cache saved.
+/// memoization cache and cross-point bound sharing saved, and where the
+/// sweep's wall clock went.
 ///
 /// # Errors
 ///
@@ -304,49 +586,97 @@ pub fn evaluate_space_with_stats(
     config: &SweepConfig,
 ) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
     let cache = SolveCache::for_model(workload, constraints, model, config);
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism().map_or(4, std::num::NonZero::get)
+    let (threads, parallelism_fallback) = if config.threads == 0 {
+        match std::thread::available_parallelism() {
+            Ok(n) => (n.get(), false),
+            Err(_) => (4, true),
+        }
     } else {
-        config.threads
-    }
-    .min(socs.len().max(1));
+        (config.threads, false)
+    };
+    let threads = threads.min(socs.len().max(1));
 
-    let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<Result<DesignPoint, HilpError>>>> =
-        Mutex::new((0..socs.len()).map(|_| None).collect());
+    // Bound sharing applies to HILP sweeps with heuristic-only solver
+    // configurations: with an exact phase the external bounds would change
+    // its search (root bound, reported bound), breaking the guarantee that
+    // sharing never alters results. All constraints are shared, so the
+    // lattice reduces to SoC machine-multiset dominance.
+    let share = (config.share_bounds
+        && model == ModelKind::Hilp
+        && config.solver.exact_node_budget == 0
+        && socs.len() > 1)
+        .then(|| ShareState {
+            lattice: DominanceLattice::build(socs),
+            store: BoundStore::new(socs.len(), config.policy.max_refinements as usize + 1),
+        });
+    let counters = SweepCounters::default();
+    let order = share
+        .as_ref()
+        .map_or_else(|| (0..socs.len()).collect(), |s| s.lattice.order().to_vec());
+    let queue = WorkQueue::new(order, threads);
+
+    type Slot = Option<(Result<DesignPoint, HilpError>, f64)>;
+    let results: Mutex<Vec<Slot>> = Mutex::new((0..socs.len()).map(|_| None).collect());
 
     crossbeam::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= socs.len() {
-                    break;
+        for worker in 0..threads {
+            let queue = &queue;
+            let results = &results;
+            let cache = cache.as_ref();
+            let share = share.as_ref();
+            let counters = &counters;
+            scope.spawn(move |_| {
+                while let Some(i) = queue.take(worker) {
+                    let oracle = PointOracle {
+                        share,
+                        counters,
+                        point: i,
+                    };
+                    let t0 = Instant::now();
+                    let point = evaluate_soc_cached(
+                        workload,
+                        &socs[i],
+                        constraints,
+                        model,
+                        config,
+                        cache,
+                        Some(&oracle),
+                    );
+                    let seconds = t0.elapsed().as_secs_f64();
+                    results.lock().expect("no poisoned workers")[i] = Some((point, seconds));
                 }
-                let point = evaluate_soc_cached(
-                    workload,
-                    &socs[i],
-                    constraints,
-                    model,
-                    config,
-                    cache.as_ref(),
-                );
-                results.lock().expect("no poisoned workers")[i] = Some(point);
             });
         }
     })
     .expect("worker threads do not panic");
 
     let cache_hits = cache.map_or(0, |c| c.hits.load(Ordering::Relaxed));
+    let mut point_seconds = Vec::with_capacity(socs.len());
     let points: Result<Vec<DesignPoint>, HilpError> = results
         .into_inner()
         .expect("all workers joined")
         .into_iter()
-        .map(|r| r.expect("every index was evaluated"))
+        .map(|slot| {
+            let (point, seconds) = slot.expect("every index was evaluated");
+            point_seconds.push(seconds);
+            point
+        })
         .collect();
     let points = points?;
     let stats = SweepStats {
         solves: points.len() - cache_hits,
         cache_hits,
+        threads_used: threads,
+        parallelism_fallback,
+        bounds_shared: share.is_some(),
+        lattice_edges: share.as_ref().map_or(0, |s| s.lattice.edges()),
+        levels_solved: counters.levels_solved.into_inner(),
+        bound_inherited_levels: counters.inherited_levels.into_inner(),
+        bound_tightening_histogram: counters.tightening.map(AtomicUsize::into_inner),
+        early_terminated_levels: counters.early_terminated.into_inner(),
+        heuristic_jobs_total: counters.jobs_total.into_inner(),
+        heuristic_jobs_executed: counters.jobs_executed.into_inner(),
+        point_seconds,
     };
     Ok((points, stats))
 }
@@ -367,6 +697,7 @@ mod tests {
             },
             threads: 2,
             memoize: true,
+            share_bounds: true,
         }
     }
 
@@ -447,6 +778,7 @@ mod tests {
         .unwrap();
         assert_eq!(stats.cache_hits, 0);
         assert_eq!(stats.solves, 2);
+        assert!(!stats.bounds_shared);
     }
 
     #[test]
@@ -460,6 +792,60 @@ mod tests {
         cfg.threads = 4;
         let parallel = evaluate_space(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn bound_sharing_is_transparent_and_tracked() {
+        // A chain of dominating SoCs: sharing must kick in, record
+        // inheritance, and leave every reported value bit-identical.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![
+            SocSpec::new(4).with_gpu(16),
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(2),
+            SocSpec::new(1),
+        ];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.threads = 1;
+        cfg.share_bounds = true;
+        let (shared, stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        cfg.share_bounds = false;
+        let (isolated, isolated_stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(shared, isolated, "sharing changed reported results");
+        assert!(stats.bounds_shared);
+        assert!(!isolated_stats.bounds_shared);
+        assert!(stats.lattice_edges >= 5, "chain has at least 5 edges");
+        assert!(stats.levels_solved >= socs.len());
+        assert!(
+            stats.bound_inherited_levels > 0,
+            "a dominance chain must inherit bounds"
+        );
+        assert_eq!(stats.point_seconds.len(), socs.len());
+        assert!(stats.inheritance_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn work_queue_hands_out_every_point_exactly_once() {
+        let queue = WorkQueue::new((0..23).rev().collect(), 4);
+        let mut seen = Vec::new();
+        for worker in [0, 3, 1, 2] {
+            while let Some(i) = queue.take(worker) {
+                seen.push(i);
+                if seen.len() % 5 == 0 {
+                    break; // interleave workers
+                }
+            }
+        }
+        for worker in 0..4 {
+            while let Some(i) = queue.take(worker) {
+                seen.push(i);
+            }
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
     }
 }
 
@@ -526,6 +912,7 @@ mod csv_tests {
             },
             threads: 1,
             memoize: true,
+            share_bounds: true,
         };
         let points = evaluate_space(
             &w,

@@ -337,6 +337,7 @@ mod tests {
                 threads: 1,
                 timetable: TimetableKind::Event,
                 warm_priority: None,
+                target_bound: None,
             },
         )
         .unwrap();
@@ -362,6 +363,7 @@ mod tests {
                 threads: 1,
                 timetable: TimetableKind::Event,
                 warm_priority: None,
+                target_bound: None,
             },
         )
         .unwrap();

@@ -39,6 +39,25 @@ pub(crate) struct HeuristicParams<'w> {
     /// the negated start times of an incumbent from a coarser time
     /// discretization. Ignored unless it has one entry per task.
     pub warm_priority: Option<&'w [f64]>,
+    /// Optional *proven* lower bound on the optimal makespan. Any candidate
+    /// that reaches it is optimal, so the search stops early — without
+    /// changing the returned schedule (see [`best_candidate`] for why the
+    /// `(makespan, index)` winner is preserved bit-for-bit).
+    pub target_bound: Option<u32>,
+}
+
+/// Work counters from one [`multi_start`] run, used by callers to attribute
+/// where solve time went and how much the target bound saved. Deliberately
+/// *not* part of the solver outcome: executed counts depend on thread
+/// interleaving, while the returned schedule does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct HeuristicTelemetry {
+    /// SGS evaluations requested across all phases that were entered.
+    pub jobs_total: usize,
+    /// SGS evaluations actually performed (the rest were cut by the bound).
+    pub jobs_executed: usize,
+    /// The incumbent reached `target_bound`, proving it optimal.
+    pub bound_reached: bool,
 }
 
 /// SplitMix64-style finalizer over a `(seed, stream, index)` triple, giving
@@ -62,30 +81,46 @@ fn resolve_threads(threads: usize, jobs: usize) -> usize {
 }
 
 /// Evaluates `jobs` independent candidates and returns the best by
-/// `(makespan, job index)`. Work is distributed over `threads` workers via
-/// an atomic counter; each worker reuses one timetable buffer. The
-/// index-based tie-break makes the reduction independent of both the
-/// execution order and the thread count.
+/// `(makespan, job index)` plus the number of candidates actually
+/// evaluated. Work is distributed over `threads` workers via an atomic
+/// counter; each worker reuses one timetable buffer. The index-based
+/// tie-break makes the reduction independent of both the execution order
+/// and the thread count.
+///
+/// `target` is a *proven* lower bound on the optimal makespan. A candidate
+/// reaching it cannot be beaten, only tied — and ties lose to smaller
+/// indices. Indices are claimed in order from 0, so every index below the
+/// first achiever has been (or is being) evaluated by some worker; only
+/// indices above it are skipped. Skipped candidates have makespan >= the
+/// achiever's and a larger index, so the selected winner is identical to
+/// the full run's for every thread count.
 fn best_candidate<F>(
     instance: &Instance,
     kind: TimetableKind,
     threads: usize,
     jobs: usize,
+    target: Option<u32>,
     eval: F,
-) -> Option<(u32, Schedule)>
+) -> (Option<(u32, Schedule)>, usize)
 where
     F: Fn(usize, &mut Timetable<'_>) -> Option<Schedule> + Sync,
 {
     let mut locals: Vec<Option<(u32, usize, Schedule)>> = Vec::new();
     let threads = resolve_threads(threads, jobs);
+    let executed = AtomicUsize::new(0);
+    // Smallest index whose candidate reached `target`; indices above it are
+    // abandoned. Relaxed ordering suffices: a stale read only delays the
+    // cutoff, and claimed indices are always evaluated to completion.
+    let stop_at = AtomicUsize::new(usize::MAX);
     let run_worker = |next: &AtomicUsize| {
         let mut timetable = Timetable::with_kind(instance, kind);
         let mut best: Option<(u32, usize, Schedule)> = None;
         loop {
             let index = next.fetch_add(1, Ordering::Relaxed);
-            if index >= jobs {
+            if index >= jobs || index > stop_at.load(Ordering::Relaxed) {
                 return best;
             }
+            executed.fetch_add(1, Ordering::Relaxed);
             if let Some(schedule) = eval(index, &mut timetable) {
                 let makespan = schedule.makespan(instance);
                 if best
@@ -93,6 +128,9 @@ where
                     .is_none_or(|&(m, i, _)| (makespan, index) < (m, i))
                 {
                     best = Some((makespan, index, schedule));
+                }
+                if target.is_some_and(|t| makespan <= t) {
+                    stop_at.fetch_min(index, Ordering::Relaxed);
                 }
             }
         }
@@ -116,24 +154,47 @@ where
         })
         .expect("heuristic thread scope failed");
     }
-    locals
+    let winner = locals
         .into_iter()
         .flatten()
         .min_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)))
-        .map(|(makespan, _, schedule)| (makespan, schedule))
+        .map(|(makespan, _, schedule)| (makespan, schedule));
+    (winner, executed.into_inner())
 }
 
 /// Runs `starts` randomized SGS passes plus ruin-and-recreate and local
 /// search, returning the best feasible schedule found, or `None` when no
 /// pass fits the horizon.
+#[cfg(test)]
 pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> Option<Schedule> {
+    multi_start_with_telemetry(instance, params).0
+}
+
+/// [`multi_start`] plus work counters. The schedule is identical for any
+/// `target_bound`: the bound only cuts SGS evaluations that could not have
+/// changed the `(makespan, index)` winner, and phases B/C only replace the
+/// incumbent on a strict improvement, which is impossible once the
+/// incumbent matches a proven lower bound.
+pub(crate) fn multi_start_with_telemetry(
+    instance: &Instance,
+    params: &HeuristicParams<'_>,
+) -> (Option<Schedule>, HeuristicTelemetry) {
     let n = instance.num_tasks();
+    let target = params.target_bound;
+    let mut telemetry = HeuristicTelemetry::default();
     if n == 0 {
-        return Some(Schedule {
-            starts: Vec::new(),
-            modes: Vec::new(),
-        });
+        telemetry.bound_reached = target.is_some();
+        return (
+            Some(Schedule {
+                starts: Vec::new(),
+                modes: Vec::new(),
+            }),
+            telemetry,
+        );
     }
+    let reached = |best: &Option<(u32, Schedule)>| {
+        target.is_some_and(|t| best.as_ref().is_some_and(|&(m, _)| m <= t))
+    };
     let base: Vec<f64> = tails(instance).iter().map(|&t| f64::from(t)).collect();
     let starts = params.starts.max(1);
     let warm = params.warm_priority.filter(|w| w.len() == n);
@@ -142,11 +203,12 @@ pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> 
     // Phase A — multi-start: job 0 is the deterministic longest-tail-first
     // pass, an optional job replays the warm-start ordering, and the
     // remaining `starts - 1` jobs perturb the tail priorities.
-    let mut best: Option<(u32, Schedule)> = best_candidate(
+    let (mut best, executed) = best_candidate(
         instance,
         params.timetable,
         params.threads,
         starts + warm_jobs,
+        target,
         |index, timetable| {
             let priority: Vec<f64> = if index == 0 {
                 base.clone()
@@ -165,47 +227,56 @@ pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> 
             serial_sgs_into(instance, &priority, &ModeRule::GreedyFinish, timetable)
         },
     );
+    telemetry.jobs_total += starts + warm_jobs;
+    telemetry.jobs_executed += executed;
 
     // Phase B — ruin and recreate: keep most of the incumbent's mode
     // assignment, release a random subset of tasks back to greedy choice,
     // and replay with jittered start-order priorities. Escapes local optima
-    // that single-mode moves cannot.
-    if let Some((incumbent_makespan, incumbent)) = best.clone() {
-        let rounds = (starts / 4).min(60);
-        let candidate = best_candidate(
-            instance,
-            params.timetable,
-            params.threads,
-            rounds,
-            |round, timetable| {
-                let mut rng = SmallRng::seed_from_u64(mix_seed(params.seed, 2, round as u64));
-                let order_priority: Vec<f64> = incumbent
-                    .starts
-                    .iter()
-                    .map(|&s| -f64::from(s) + rng.gen_range(-0.4..0.4))
-                    .collect();
-                let forced: Vec<Option<ModeId>> = incumbent
-                    .modes
-                    .iter()
-                    .map(|&mid| {
-                        if rng.gen::<f64>() < 0.25 {
-                            None // ruined: re-chosen greedily
-                        } else {
-                            Some(mid)
-                        }
-                    })
-                    .collect();
-                serial_sgs_into(
-                    instance,
-                    &order_priority,
-                    &ModeRule::Forced(&forced),
-                    timetable,
-                )
-            },
-        );
-        if let Some((makespan, schedule)) = candidate {
-            if makespan < incumbent_makespan {
-                best = Some((makespan, schedule));
+    // that single-mode moves cannot. Skipped once the incumbent matches the
+    // target bound: replacement requires a strict improvement, which a
+    // proven lower bound rules out, so skipping cannot change the result.
+    if !reached(&best) {
+        if let Some((incumbent_makespan, incumbent)) = best.clone() {
+            let rounds = (starts / 4).min(60);
+            let (candidate, executed) = best_candidate(
+                instance,
+                params.timetable,
+                params.threads,
+                rounds,
+                target,
+                |round, timetable| {
+                    let mut rng = SmallRng::seed_from_u64(mix_seed(params.seed, 2, round as u64));
+                    let order_priority: Vec<f64> = incumbent
+                        .starts
+                        .iter()
+                        .map(|&s| -f64::from(s) + rng.gen_range(-0.4..0.4))
+                        .collect();
+                    let forced: Vec<Option<ModeId>> = incumbent
+                        .modes
+                        .iter()
+                        .map(|&mid| {
+                            if rng.gen::<f64>() < 0.25 {
+                                None // ruined: re-chosen greedily
+                            } else {
+                                Some(mid)
+                            }
+                        })
+                        .collect();
+                    serial_sgs_into(
+                        instance,
+                        &order_priority,
+                        &ModeRule::Forced(&forced),
+                        timetable,
+                    )
+                },
+            );
+            telemetry.jobs_total += rounds;
+            telemetry.jobs_executed += executed;
+            if let Some((makespan, schedule)) = candidate {
+                if makespan < incumbent_makespan {
+                    best = Some((makespan, schedule));
+                }
             }
         }
     }
@@ -215,6 +286,11 @@ pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> 
     // order. Moves are independent, so each pass evaluates them as one
     // (possibly parallel) batch against the pass's incumbent.
     for _ in 0..params.local_search_passes {
+        // Same argument as phase B: an incumbent at the bound cannot be
+        // strictly improved, so further passes are pure overhead.
+        if reached(&best) {
+            break;
+        }
         let Some((incumbent_makespan, incumbent)) = best.clone() else {
             break;
         };
@@ -229,11 +305,12 @@ pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> 
                     .map(move |m| (t, m))
             })
             .collect();
-        let candidate = best_candidate(
+        let (candidate, executed) = best_candidate(
             instance,
             params.timetable,
             params.threads,
             moves.len(),
+            target,
             |index, timetable| {
                 let (t, m) = moves[index];
                 let mut forced: Vec<Option<ModeId>> =
@@ -247,6 +324,8 @@ pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> 
                 )
             },
         );
+        telemetry.jobs_total += moves.len();
+        telemetry.jobs_executed += executed;
         match candidate {
             Some((makespan, schedule)) if makespan < incumbent_makespan => {
                 best = Some((makespan, schedule));
@@ -255,7 +334,8 @@ pub(crate) fn multi_start(instance: &Instance, params: &HeuristicParams<'_>) -> 
         }
     }
 
-    best.map(|(_, s)| s)
+    telemetry.bound_reached = reached(&best);
+    (best.map(|(_, s)| s), telemetry)
 }
 
 #[cfg(test)]
@@ -271,6 +351,7 @@ mod tests {
             threads: 1,
             timetable: TimetableKind::Event,
             warm_priority: None,
+            target_bound: None,
         }
     }
 
@@ -405,6 +486,62 @@ mod tests {
         )
         .unwrap();
         assert!(warmed.makespan(&inst) <= cold.makespan(&inst));
+    }
+
+    #[test]
+    fn target_bound_terminates_early_without_changing_the_result() {
+        let inst = figure2_instance();
+        let (cold, cold_t) = multi_start_with_telemetry(&inst, &params(200, 2, 42));
+        // Figure 2's optimum is 7; with the bound known the search must
+        // stop early yet return the exact same schedule.
+        let (bounded, bounded_t) = multi_start_with_telemetry(
+            &inst,
+            &HeuristicParams {
+                target_bound: Some(7),
+                ..params(200, 2, 42)
+            },
+        );
+        assert_eq!(cold, bounded);
+        assert!(bounded_t.bound_reached);
+        assert!(
+            bounded_t.jobs_executed < cold_t.jobs_executed,
+            "bound saved no work: {} vs {}",
+            bounded_t.jobs_executed,
+            cold_t.jobs_executed,
+        );
+    }
+
+    #[test]
+    fn unreachable_target_bound_changes_nothing() {
+        let inst = figure2_instance();
+        let (cold, _) = multi_start_with_telemetry(&inst, &params(60, 2, 11));
+        let (bounded, telemetry) = multi_start_with_telemetry(
+            &inst,
+            &HeuristicParams {
+                target_bound: Some(1), // below the optimum of 7: never reached
+                ..params(60, 2, 11)
+            },
+        );
+        assert_eq!(cold, bounded);
+        assert!(!telemetry.bound_reached);
+    }
+
+    #[test]
+    fn parallel_target_bound_matches_serial() {
+        let inst = figure2_instance();
+        let config = |threads| HeuristicParams {
+            threads,
+            target_bound: Some(7),
+            ..params(60, 2, 11)
+        };
+        let serial = multi_start(&inst, &config(1)).unwrap();
+        for threads in [2, 3, 8] {
+            let parallel = multi_start(&inst, &config(threads)).unwrap();
+            assert_eq!(
+                serial, parallel,
+                "thread count {threads} changed the bounded result"
+            );
+        }
     }
 
     #[test]

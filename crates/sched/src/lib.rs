@@ -76,6 +76,6 @@ pub use sgs::TimetableKind;
 #[doc(hidden)]
 pub use sgs::Timetable;
 pub use solve::{
-    solve, solve_exact, solve_heuristic, solve_with_warm_start, SolveOutcome, SolveStats,
-    SolverConfig,
+    solve, solve_exact, solve_heuristic, solve_with_hints, solve_with_warm_start, SolveHints,
+    SolveOutcome, SolveStats, SolveTelemetry, SolverConfig,
 };

@@ -30,6 +30,13 @@ pub struct SolverConfig {
     /// Timetable representation backing the SGS and branch-and-bound
     /// (event-driven by default; dense is the slow reference).
     pub timetable: TimetableKind,
+    /// Stop the heuristic as soon as its incumbent matches a proven lower
+    /// bound (the instance's own combinatorial bound, possibly raised by
+    /// [`SolveHints::external_lower_bound`]). This never changes the
+    /// returned schedule, bound, or gap — only how much work proves them —
+    /// so it is on by default; it exists as a knob so benchmarks can
+    /// measure the saving against the always-exhaustive behaviour.
+    pub bound_termination: bool,
 }
 
 impl Default for SolverConfig {
@@ -42,6 +49,7 @@ impl Default for SolverConfig {
             seed: 0x4a53_5350, // "JSSP"
             heuristic_threads: 1,
             timetable: TimetableKind::Event,
+            bound_termination: true,
         }
     }
 }
@@ -81,6 +89,58 @@ pub struct SolveStats {
     pub bnb_nodes: u64,
     /// Whether the exact phase ran at all.
     pub exact_phase_ran: bool,
+}
+
+/// Optional cross-solve inputs for [`solve_with_hints`]: information a
+/// caller learned from *other* solves (a coarser discretization of the same
+/// workload, or a dominating design point in a DSE sweep) that can shrink
+/// this solve's work.
+///
+/// Soundness contract: `external_lower_bound` must be a true lower bound on
+/// *this* instance's optimal makespan, and `warm_incumbent` must be (or be
+/// liftable to) a feasible schedule for *this* instance — invalid incumbents
+/// are verified and silently dropped, but a wrong bound makes the solver
+/// terminate on non-optimal schedules.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SolveHints<'a> {
+    /// Warm-start ordering (higher schedules earlier); adds one extra
+    /// deterministic multi-start pass. Ignored unless it has one entry per
+    /// task.
+    pub warm_priority: Option<&'a [f64]>,
+    /// Proven lower bound on this instance's optimal makespan, in steps.
+    /// Raises the heuristic's termination target (when
+    /// [`SolverConfig::bound_termination`] is on) and the branch-and-bound
+    /// root bound. Never raises the *reported* `lower_bound` of a
+    /// heuristic-only solve, so heuristic outcomes are bit-identical with
+    /// and without it.
+    pub external_lower_bound: Option<u32>,
+    /// Feasible schedule for this instance (e.g. lifted from a dominated
+    /// design point). Adopted as the incumbent when strictly better than
+    /// the heuristic's result; fails `Schedule::verify` quietly otherwise.
+    /// Unlike the other hints this can change the returned schedule, so
+    /// result-deterministic sweeps must not pass it.
+    pub warm_incumbent: Option<&'a Schedule>,
+}
+
+/// Work attribution from one [`solve_with_hints`] call. Kept separate from
+/// [`SolveStats`] (inside the outcome) because executed-work counts may
+/// depend on thread interleaving while the outcome itself does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolveTelemetry {
+    /// Heuristic SGS evaluations requested (multi-start passes plus
+    /// ruin-and-recreate rounds plus local-search moves).
+    pub heuristic_jobs_total: usize,
+    /// Heuristic SGS evaluations actually executed; the difference was cut
+    /// by bound termination.
+    pub heuristic_jobs_executed: usize,
+    /// The heuristic incumbent reached the termination target, proving it
+    /// optimal before the work budget ran out.
+    pub bound_termination_hit: bool,
+    /// An external bound was supplied and was tighter than the instance's
+    /// own combinatorial bound.
+    pub external_bound_used: bool,
+    /// The warm incumbent beat the heuristic and was adopted.
+    pub warm_incumbent_adopted: bool,
 }
 
 /// The result of a scheduling solve: the paper's triple of best schedule,
@@ -150,9 +210,47 @@ pub fn solve_with_warm_start(
     config: &SolverConfig,
     warm_priority: Option<&[f64]>,
 ) -> Result<SolveOutcome, SchedError> {
-    let combinatorial_bound = bounds::lower_bound(instance);
+    solve_with_hints(
+        instance,
+        config,
+        &SolveHints {
+            warm_priority,
+            ..SolveHints::default()
+        },
+    )
+    .map(|(outcome, _)| outcome)
+}
 
-    let heuristic_best = heuristic::multi_start(
+/// Like [`solve`], consuming [`SolveHints`] learned from related solves and
+/// returning work-attribution telemetry alongside the outcome.
+///
+/// With default hints this is exactly [`solve`]. An
+/// `external_lower_bound` hint is *transparent* for heuristic-only
+/// configurations (`exact_node_budget == 0`): the outcome — schedule,
+/// makespan, reported bound, gap — is bit-identical to the hint-free solve;
+/// only the telemetry (work saved) differs. A `warm_incumbent` hint can
+/// change the returned schedule and is for callers that want the best
+/// anytime result rather than determinism.
+///
+/// # Errors
+///
+/// Returns [`SchedError::HorizonExhausted`] when no feasible schedule fits
+/// within the instance horizon.
+pub fn solve_with_hints(
+    instance: &Instance,
+    config: &SolverConfig,
+    hints: &SolveHints<'_>,
+) -> Result<(SolveOutcome, SolveTelemetry), SchedError> {
+    let combinatorial_bound = bounds::lower_bound(instance);
+    let external = hints.external_lower_bound;
+    // Termination target for the heuristic: the tightest proven bound we
+    // hold. Any incumbent reaching it is optimal, so stopping there cannot
+    // change the result (see `heuristic::best_candidate`).
+    let target = config
+        .bound_termination
+        .then(|| external.map_or(combinatorial_bound, |e| e.max(combinatorial_bound)));
+
+    let (heuristic_best, heuristic_telemetry) = heuristic::multi_start_with_telemetry(
         instance,
         &heuristic::HeuristicParams {
             starts: config.heuristic_starts,
@@ -160,16 +258,39 @@ pub fn solve_with_warm_start(
             seed: config.seed,
             threads: config.heuristic_threads,
             timetable: config.timetable,
-            warm_priority,
+            warm_priority: hints.warm_priority,
+            target_bound: target,
         },
     );
 
+    // A lifted incumbent is only trusted after a full feasibility check:
+    // callers map schedules across instances and may get it wrong.
+    let n = instance.num_tasks();
+    let warm_incumbent = hints
+        .warm_incumbent
+        .filter(|s| s.starts.len() == n && s.modes.len() == n && s.verify(instance).is_empty());
+    let mut warm_incumbent_adopted = false;
+    let heuristic_best = match (heuristic_best, warm_incumbent) {
+        (Some(h), Some(w)) if w.makespan(instance) < h.makespan(instance) => {
+            warm_incumbent_adopted = true;
+            Some(w.clone())
+        }
+        (None, Some(w)) => {
+            warm_incumbent_adopted = true;
+            Some(w.clone())
+        }
+        (h, _) => h,
+    };
+
+    // Root bound for the exact phase: the external bound tightens pruning
+    // and can prove the incumbent optimal before any node is expanded.
+    let root_bound = combinatorial_bound.max(external.unwrap_or(0));
     let run_exact = config.exact_node_budget > 0
         && instance.num_tasks() <= config.exact_task_threshold
-        // Skip the exact phase when the heuristic already matches the bound.
+        // Skip the exact phase when the incumbent already matches the bound.
         && heuristic_best
             .as_ref()
-            .is_none_or(|s| s.makespan(instance) > combinatorial_bound);
+            .is_none_or(|s| s.makespan(instance) > root_bound);
 
     let mut stats = SolveStats {
         heuristic_starts: config.heuristic_starts,
@@ -181,7 +302,7 @@ pub fn solve_with_warm_start(
         let result = bnb::branch_and_bound(
             instance,
             heuristic_best,
-            combinatorial_bound,
+            root_bound,
             config.exact_node_budget,
             config.timetable,
         );
@@ -191,7 +312,7 @@ pub fn solve_with_warm_start(
                 horizon: instance.horizon(),
             });
         };
-        let bound = result.lower_bound.max(combinatorial_bound);
+        let bound = result.lower_bound.max(root_bound);
         (best, bound, result.complete)
     } else {
         let Some(best) = heuristic_best else {
@@ -200,22 +321,45 @@ pub fn solve_with_warm_start(
             });
         };
         let makespan = best.makespan(instance);
-        let proved = makespan <= combinatorial_bound;
+        // With an exact phase configured, reaching here means the incumbent
+        // already matched `root_bound`, so the external bound may certify
+        // it. Heuristic-only configurations deliberately ignore the
+        // external bound instead: their reported bound, gap, and proved
+        // flag must not depend on what other solves have learned, so sweeps
+        // stay result-deterministic whether or not bounds were shared.
+        let certifying =
+            config.exact_node_budget > 0 && instance.num_tasks() <= config.exact_task_threshold;
+        let cert_bound = if certifying {
+            root_bound
+        } else {
+            combinatorial_bound
+        };
+        let proved = makespan <= cert_bound;
         (
             best,
-            combinatorial_bound.min(makespan).max(combinatorial_bound),
+            cert_bound.min(makespan).max(combinatorial_bound),
             proved,
         )
     };
 
+    let telemetry = SolveTelemetry {
+        heuristic_jobs_total: heuristic_telemetry.jobs_total,
+        heuristic_jobs_executed: heuristic_telemetry.jobs_executed,
+        bound_termination_hit: heuristic_telemetry.bound_reached,
+        external_bound_used: external.is_some_and(|e| e > combinatorial_bound),
+        warm_incumbent_adopted,
+    };
     let makespan = schedule.makespan(instance);
-    Ok(SolveOutcome {
-        schedule,
-        makespan,
-        lower_bound: lower_bound.min(makespan),
-        proved_optimal: proved || lower_bound >= makespan,
-        stats,
-    })
+    Ok((
+        SolveOutcome {
+            schedule,
+            makespan,
+            lower_bound: lower_bound.min(makespan),
+            proved_optimal: proved || lower_bound >= makespan,
+            stats,
+        },
+        telemetry,
+    ))
 }
 
 /// Convenience wrapper: heuristic-only solve (no exact phase).
@@ -348,6 +492,133 @@ mod tests {
             sweep.makespan <= 8,
             "sweep heuristic should be near-optimal"
         );
+    }
+
+    /// Three interchangeable 2-step tasks on two machines: the optimum is
+    /// 4 (two tasks share one machine), but the combinatorial bounds only
+    /// reach 3, leaving room for an external bound to be tighter.
+    fn loose_bound_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let m1 = b.add_machine("m1");
+        let m2 = b.add_machine("m2");
+        for name in ["a", "b", "c"] {
+            b.add_task(name, vec![Mode::on(m1, 2), Mode::on(m2, 2)]);
+        }
+        b.set_horizon(20);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn external_bound_is_transparent_for_heuristic_solves() {
+        let inst = loose_bound_instance();
+        assert!(crate::bounds::lower_bound(&inst) < 4);
+        let config = SolverConfig::sweep();
+        let plain = solve(&inst, &config).unwrap();
+        assert_eq!(plain.makespan, 4);
+        // A correct external bound (the optimum is 7, the combinatorial
+        // bound is lower) must leave the outcome bit-identical and only cut
+        // work.
+        let (hinted, telemetry) = solve_with_hints(
+            &inst,
+            &config,
+            &SolveHints {
+                external_lower_bound: Some(4),
+                ..SolveHints::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, hinted);
+        assert!(telemetry.external_bound_used);
+        assert!(telemetry.bound_termination_hit);
+        assert!(telemetry.heuristic_jobs_executed < telemetry.heuristic_jobs_total);
+    }
+
+    #[test]
+    fn bound_termination_off_matches_default_outcome() {
+        let inst = figure2_instance();
+        let on = solve(&inst, &SolverConfig::sweep()).unwrap();
+        let off = solve(
+            &inst,
+            &SolverConfig {
+                bound_termination: false,
+                ..SolverConfig::sweep()
+            },
+        )
+        .unwrap();
+        assert_eq!(on, off);
+    }
+
+    #[test]
+    fn valid_warm_incumbent_is_adopted_when_strictly_better() {
+        let inst = figure2_instance();
+        // A deliberately weak configuration that does not find the optimum
+        // on its own, plus the proven-optimal schedule as a warm incumbent.
+        let weak = SolverConfig {
+            heuristic_starts: 1,
+            local_search_passes: 0,
+            exact_node_budget: 0,
+            ..SolverConfig::default()
+        };
+        let optimal = solve(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(optimal.makespan, 7);
+        let cold = solve(&inst, &weak).unwrap();
+        let (warmed, telemetry) = solve_with_hints(
+            &inst,
+            &weak,
+            &SolveHints {
+                warm_incumbent: Some(&optimal.schedule),
+                ..SolveHints::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(warmed.makespan, 7);
+        assert_eq!(telemetry.warm_incumbent_adopted, cold.makespan > 7);
+    }
+
+    #[test]
+    fn infeasible_warm_incumbent_is_dropped() {
+        let inst = figure2_instance();
+        let bad = Schedule {
+            starts: vec![0; 6],
+            modes: vec![crate::instance::ModeId(0); 6],
+        };
+        let config = SolverConfig::sweep();
+        let plain = solve(&inst, &config).unwrap();
+        let (hinted, telemetry) = solve_with_hints(
+            &inst,
+            &config,
+            &SolveHints {
+                warm_incumbent: Some(&bad),
+                ..SolveHints::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, hinted);
+        assert!(!telemetry.warm_incumbent_adopted);
+    }
+
+    #[test]
+    fn external_bound_short_circuits_the_exact_phase() {
+        let inst = loose_bound_instance();
+        let config = SolverConfig::default();
+        let plain = solve(&inst, &config).unwrap();
+        assert_eq!(plain.makespan, 4);
+        assert!(plain.stats.exact_phase_ran);
+        // Knowing opt = 4 up front, the incumbent matches the root bound
+        // and branch and bound is skipped entirely — yet the outcome is
+        // still certified optimal.
+        let (hinted, _) = solve_with_hints(
+            &inst,
+            &config,
+            &SolveHints {
+                external_lower_bound: Some(4),
+                ..SolveHints::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(hinted.makespan, 4);
+        assert!(hinted.proved_optimal);
+        assert!(!hinted.stats.exact_phase_ran);
     }
 
     #[test]

@@ -55,6 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         solver: SolverConfig::sweep(),
         threads: 0,
         memoize: true,
+        share_bounds: true,
     };
     let points = evaluate_space(&workload, &socs, &constraints, ModelKind::Hilp, &config)?;
     let front = pareto_front(&points);

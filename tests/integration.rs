@@ -27,6 +27,7 @@ fn fast_sweep() -> SweepConfig {
         solver: fast_solver(),
         threads: 0,
         memoize: true,
+        share_bounds: true,
     }
 }
 

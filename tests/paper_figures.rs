@@ -24,6 +24,7 @@ fn test_config() -> SweepConfig {
         },
         threads: 0,
         memoize: true,
+        share_bounds: true,
     }
 }
 
