@@ -1,0 +1,49 @@
+//! Telemetry overhead: the same solve with the event ring disabled versus
+//! enabled. The acceptance target is < 3% wall-clock overhead when enabled;
+//! the disabled path should be indistinguishable from the pre-telemetry
+//! baseline (one pointer-null branch per instrumentation site).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use hilp_core::{encode, Constraints, SocSpec, Workload, WorkloadVariant};
+use hilp_sched::{solve, SolverConfig, Telemetry};
+
+fn config(telemetry: Telemetry) -> SolverConfig {
+    SolverConfig {
+        heuristic_starts: 120,
+        local_search_passes: 2,
+        exact_node_budget: 20_000,
+        telemetry,
+        ..SolverConfig::default()
+    }
+}
+
+fn telemetry_overhead(c: &mut Criterion) {
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let soc = SocSpec::new(4).with_gpu(16);
+    let (instance, _) = encode(&workload, &soc, &Constraints::unconstrained(), 10.0).unwrap();
+
+    let mut group = c.benchmark_group("telemetry/solve");
+    group.sample_size(20);
+    group.bench_function("disabled", |b| {
+        b.iter(|| {
+            let outcome = solve(&instance, &config(Telemetry::disabled())).unwrap();
+            black_box(outcome.makespan)
+        });
+    });
+    // One ring per process, as in real use: allocating the ring and
+    // draining the journal are one-time costs, not per-solve overhead.
+    let tel = Telemetry::enabled();
+    group.bench_function("enabled", |b| {
+        b.iter(|| {
+            let outcome = solve(&instance, &config(tel.clone())).unwrap();
+            black_box(outcome.makespan)
+        });
+    });
+    black_box(tel.journal().records.len());
+    group.finish();
+}
+
+criterion_group!(benches, telemetry_overhead);
+criterion_main!(benches);

@@ -26,14 +26,20 @@
 //!
 //! ```text
 //! cargo run --release -p hilp-bench --bin sweep_timing -- \
-//!     [--step N] [--out PATH] [--threads N] [--strict]
+//!     [--step N] [--out PATH] [--threads N] [--strict] \
+//!     [--trace PATH] [--summary PATH] [--quiet]
 //! ```
 //!
 //! `--step N` subsamples the 372-SoC space (every Nth SoC; default 1 =
 //! the full space). `--threads N` fixes the sweep worker count (default:
 //! all cores). `--strict` also fails the process when the measured speedup
 //! is below 2x (by default only a correctness failure is fatal, since
-//! wall-clock ratios depend on the host).
+//! wall-clock ratios depend on the host). `--trace PATH` runs a fourth,
+//! telemetry-enabled HILP sweep, asserts it is bit-identical to the
+//! optimized run, writes its search-trace journal (JSONL) to PATH, and
+//! reports the measured telemetry overhead. `--summary PATH` writes a
+//! markdown health dashboard (for `$GITHUB_STEP_SUMMARY`). `--quiet`
+//! silences progress on stderr.
 
 use std::time::Instant;
 
@@ -43,6 +49,7 @@ use hilp_dse::{
 };
 use hilp_sched::TimetableKind;
 use hilp_soc::Constraints;
+use hilp_telemetry::{Counter, Reporter, Telemetry, TraceSummary};
 use hilp_workloads::{Workload, WorkloadVariant};
 
 const MODELS: [ModelKind; 3] = [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp];
@@ -118,6 +125,9 @@ fn main() {
     let mut out = String::from("BENCH_sweep.json");
     let mut strict = false;
     let mut threads = 0usize;
+    let mut trace: Option<String> = None;
+    let mut summary: Option<String> = None;
+    let mut quiet = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -130,18 +140,32 @@ fn main() {
                     .expect("--threads N");
             }
             "--strict" => strict = true,
+            "--trace" => trace = Some(args.next().expect("--trace PATH")),
+            "--summary" => summary = Some(args.next().expect("--summary PATH")),
+            "--quiet" => quiet = true,
             other => panic!("unknown argument: {other}"),
         }
     }
 
+    // One telemetry sink for the whole process: the three comparison runs
+    // use telemetry-disabled configs, so only the traced fourth sweep (and
+    // the progress messages) land in the journal.
+    let telemetry = if trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let reporter = Reporter::new(quiet, &telemetry);
+    let root_span = telemetry.span("bench.sweep_timing");
+
     let workload = Workload::rodinia(WorkloadVariant::Default);
     let constraints = Constraints::paper_default();
     let socs: Vec<_> = design_space(4.0).into_iter().step_by(step.max(1)).collect();
-    eprintln!(
+    reporter.say(&format!(
         "sweep_timing: {} SoCs x {} models",
         socs.len(),
         MODELS.len()
-    );
+    ));
 
     let reference = reference_config(threads);
     let baseline = baseline_config(threads);
@@ -175,7 +199,7 @@ fn main() {
         // work-skipping — the optimized run must reproduce the baseline
         // run bit for bit.
         let bit_identical = opt_points == base_points;
-        eprintln!(
+        reporter.say(&format!(
             "  {:<7} reference {reference_seconds:7.2}s  baseline {baseline_seconds:7.2}s  \
              optimized {optimized_seconds:7.2}s  ({:.2}x vs baseline, {} cache hits, \
              {:.0}% levels inherited, bit-identical: {bit_identical})",
@@ -183,7 +207,7 @@ fn main() {
             baseline_seconds / optimized_seconds.max(1e-9),
             stats.cache_hits,
             stats.inheritance_hit_rate() * 100.0,
-        );
+        ));
         runs.push(ModelRun {
             model,
             reference_seconds,
@@ -209,6 +233,41 @@ fn main() {
     let points_match = worst <= 1e-9;
     let bit_identical = runs.iter().all(|r| r.bit_identical);
 
+    // Fourth sweep (with --trace): the optimized HILP configuration with
+    // telemetry enabled. Telemetry is observational, so the traced sweep
+    // must reproduce the optimized run bit for bit; the wall-clock
+    // difference is the enabled-path overhead.
+    let traced = trace.as_ref().map(|_| {
+        let hilp_run = runs
+            .iter()
+            .find(|r| r.model == ModelKind::Hilp)
+            .expect("HILP is in MODELS");
+        let mut cfg = optimized_config(threads);
+        cfg.telemetry = telemetry.clone();
+        let t = Instant::now();
+        let (points, _) =
+            evaluate_space_with_stats(&workload, &socs, &constraints, ModelKind::Hilp, &cfg)
+                .expect("traced sweep succeeds");
+        let traced_seconds = t.elapsed().as_secs_f64();
+        assert!(
+            points == hilp_run.points,
+            "telemetry changed sweep results; it must be observational"
+        );
+        let overhead_pct = (traced_seconds / hilp_run.optimized_seconds.max(1e-9) - 1.0) * 100.0;
+        reporter.say(&format!(
+            "  HILP    traced {traced_seconds:7.2}s  \
+             (telemetry overhead {overhead_pct:+.1}% vs optimized, bit-identical: true)"
+        ));
+        TracedRun {
+            traced_seconds,
+            optimized_seconds: hilp_run.optimized_seconds,
+            overhead_pct,
+        }
+    });
+    let telemetry_json = traced
+        .as_ref()
+        .map(|t| render_telemetry_json(t, &telemetry));
+
     let json = render_json(
         &runs,
         socs.len(),
@@ -219,12 +278,39 @@ fn main() {
         speedup_vs_baseline,
         points_match,
         bit_identical,
+        telemetry_json.as_deref(),
     );
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
-    eprintln!(
+
+    // Close the root span before draining the journal so it is included,
+    // giving a trace-summary of the journal (near-)full attribution.
+    drop(root_span);
+    let journal = trace.as_ref().map(|path| {
+        let journal = telemetry.journal();
+        journal
+            .write_jsonl(std::path::Path::new(path))
+            .expect("write trace journal");
+        reporter.say(&format!("sweep_timing: trace journal -> {path}"));
+        journal
+    });
+    if let Some(summary_path) = &summary {
+        let md = render_markdown_summary(
+            &runs,
+            socs.len(),
+            speedup,
+            speedup_vs_baseline,
+            points_match && bit_identical,
+            traced.as_ref(),
+            journal.as_ref(),
+            &telemetry,
+        );
+        std::fs::write(summary_path, md).expect("write markdown summary");
+        reporter.say(&format!("sweep_timing: health dashboard -> {summary_path}"));
+    }
+    reporter.say(&format!(
         "sweep_timing: total {total_ref:.2}s -> {total_base:.2}s -> {total_opt:.2}s \
          ({speedup:.2}x vs reference, {speedup_vs_baseline:.2}x vs baseline) -> {out}"
-    );
+    ));
 
     assert!(
         points_match,
@@ -237,8 +323,107 @@ fn main() {
     if strict {
         assert!(speedup >= 2.0, "speedup {speedup:.2}x below the 2x target");
     } else if speedup < 2.0 {
-        eprintln!("sweep_timing: WARNING speedup {speedup:.2}x below the 2x target");
+        reporter.say(&format!(
+            "sweep_timing: WARNING speedup {speedup:.2}x below the 2x target"
+        ));
     }
+}
+
+/// Timing of the telemetry-enabled fourth sweep relative to the optimized
+/// (telemetry-disabled) HILP run it must reproduce.
+struct TracedRun {
+    traced_seconds: f64,
+    optimized_seconds: f64,
+    overhead_pct: f64,
+}
+
+/// The `"telemetry"` object of `BENCH_sweep.json`: overhead measurement
+/// plus the key solver counters of the traced sweep.
+fn render_telemetry_json(t: &TracedRun, tel: &Telemetry) -> String {
+    let c = |k: Counter| tel.counter(k);
+    let levels = c(Counter::LevelsSolved);
+    let inherited = c(Counter::InheritedBoundLevels);
+    let hit_rate = if levels > 0 {
+        inherited as f64 / levels as f64
+    } else {
+        0.0
+    };
+    format!(
+        "{{\"traced_seconds\": {:.4}, \"optimized_seconds\": {:.4}, \"overhead_pct\": {:.2}, \
+         \"bit_identical\": true, \"sweep_points\": {}, \"cache_hits\": {}, \"steals\": {}, \
+         \"levels_solved\": {levels}, \"inherited_bound_levels\": {inherited}, \
+         \"inheritance_hit_rate\": {hit_rate:.4}, \"heuristic_jobs_requested\": {}, \
+         \"heuristic_jobs_executed\": {}, \"bound_terminations\": {}}}",
+        t.traced_seconds,
+        t.optimized_seconds,
+        t.overhead_pct,
+        c(Counter::SweepPoints),
+        c(Counter::SweepCacheHits),
+        c(Counter::SweepSteals),
+        c(Counter::HeuristicJobsRequested),
+        c(Counter::HeuristicJobsExecuted),
+        c(Counter::HeuristicBoundTerminations),
+    )
+}
+
+/// The CI health dashboard: timing and correctness of the sweep, telemetry
+/// overhead and key counters, and per-phase trace attribution. Written in
+/// GitHub-flavoured markdown for `$GITHUB_STEP_SUMMARY`.
+#[allow(clippy::too_many_arguments)]
+fn render_markdown_summary(
+    runs: &[ModelRun],
+    socs: usize,
+    speedup: f64,
+    speedup_vs_baseline: f64,
+    correct: bool,
+    traced: Option<&TracedRun>,
+    journal: Option<&hilp_telemetry::Journal>,
+    tel: &Telemetry,
+) -> String {
+    let mut md = String::from("## Sweep health dashboard\n\n");
+    md.push_str(&format!(
+        "{socs} SoCs/model | **{speedup:.2}x** vs reference, \
+         **{speedup_vs_baseline:.2}x** vs baseline | results {}\n\n",
+        if correct {
+            "bit-identical ✅"
+        } else {
+            "DIVERGED ❌"
+        }
+    ));
+    md.push_str(
+        "| model | reference (s) | baseline (s) | optimized (s) | cache hits | levels inherited |\n\
+         |---|---:|---:|---:|---:|---:|\n",
+    );
+    for r in runs {
+        md.push_str(&format!(
+            "| {} | {:.2} | {:.2} | {:.2} | {} | {:.0}% |\n",
+            r.model.name(),
+            r.reference_seconds,
+            r.baseline_seconds,
+            r.optimized_seconds,
+            r.stats.cache_hits,
+            r.stats.inheritance_hit_rate() * 100.0,
+        ));
+    }
+    if let Some(t) = traced {
+        md.push_str(&format!(
+            "\n### Telemetry overhead\n\n\
+             Traced HILP sweep: **{:.2}s** vs optimized **{:.2}s** \
+             (**{:+.1}%** overhead), results bit-identical ✅\n\n\
+             | counter | value |\n|---|---:|\n",
+            t.traced_seconds, t.optimized_seconds, t.overhead_pct,
+        ));
+        for (counter, value) in tel.counters() {
+            if value > 0 {
+                md.push_str(&format!("| `{}` | {value} |\n", counter.name()));
+            }
+        }
+    }
+    if let Some(journal) = journal {
+        md.push_str("\n### Trace attribution\n\n");
+        md.push_str(&TraceSummary::from_journal(journal).render_markdown());
+    }
+    md
 }
 
 /// Maximum relative makespan difference between the two runs, and the
@@ -290,7 +475,12 @@ fn render_json(
     speedup_vs_baseline: f64,
     points_match: bool,
     bit_identical: bool,
+    telemetry_json: Option<&str>,
 ) -> String {
+    // Optional: only present when --trace ran the fourth sweep, so the
+    // committed BENCH_sweep.json (regenerated without --trace) is stable.
+    let telemetry_field =
+        telemetry_json.map_or_else(String::new, |t| format!("  \"telemetry\": {t},\n"));
     let mut per_model = String::new();
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
@@ -358,8 +548,8 @@ fn render_json(
          \"optimized_seconds\": {total_opt:.4},\n  \
          \"speedup\": {speedup:.3},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.3},\n  \
          \"points_match_within_gap\": {points_match},\n  \
-         \"results_bit_identical\": {bit_identical},\n  \
-         \"per_model\": [\n{per_model}\n  ]\n}}\n"
+         \"results_bit_identical\": {bit_identical},\n\
+         {telemetry_field}  \"per_model\": [\n{per_model}\n  ]\n}}\n"
     )
 }
 

@@ -29,6 +29,7 @@ pub fn bench_sweep_config() -> SweepConfig {
         threads: 0,
         memoize: true,
         share_bounds: true,
+        ..SweepConfig::default()
     }
 }
 

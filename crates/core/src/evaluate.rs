@@ -2,6 +2,7 @@
 
 use hilp_sched::{solve_with_hints, Instance, Schedule, SolveHints, SolveTelemetry, SolverConfig};
 use hilp_soc::{Constraints, SocSpec};
+use hilp_telemetry::Counter;
 use hilp_workloads::Workload;
 
 use crate::encode::{encode, EncodeMaps};
@@ -263,8 +264,14 @@ impl Hilp {
         // over). Mode ids do NOT transfer: each discretization drops
         // cap-infeasible and dominated modes differently.
         let mut warm_order: Option<Vec<f64>> = None;
+        let tel = &self.solver.telemetry;
+        let _eval_span = tel.span("core.evaluate");
         loop {
-            let (instance, maps) = encode(&self.workload, &self.soc, &self.constraints, time_step)?;
+            let _level_span = tel.span("core.level");
+            let (instance, maps) = {
+                let _encode_span = tel.span("core.encode");
+                encode(&self.workload, &self.soc, &self.constraints, time_step)?
+            };
             let external = observer.external_lower_bound(refinements, time_step);
             let incumbent = observer.warm_incumbent(refinements, &instance);
             let (outcome, telemetry) = solve_with_hints(
@@ -276,6 +283,10 @@ impl Hilp {
                     warm_incumbent: incumbent.as_ref(),
                 },
             )?;
+            tel.incr(Counter::LevelsSolved);
+            if external.is_some() {
+                tel.incr(Counter::InheritedBoundLevels);
+            }
             observer.level_solved(&LevelReport {
                 level: refinements,
                 time_step_seconds: time_step,

@@ -1,7 +1,7 @@
 //! `hilp` — command-line front end to the experiment harness.
 //!
 //! ```text
-//! Usage: hilp <command> [--quick] [--threads N]
+//! Usage: hilp <command> [--quick] [--threads N] [--trace FILE] [--quiet]
 //!
 //! Commands:
 //!   eval <cpus> <gpu_sms> <dsas> <pes>   evaluate one SoC on Default (600 W)
@@ -15,14 +15,19 @@
 //!   cost                                 cost/carbon Pareto fronts (extension)
 //!   consolidation                        WLP vs workload copies (extension)
 //!   ablation                             scheduler-quality ablation
+//!   trace-summary <journal>              per-phase attribution of a --trace journal
 //!
 //! Options:
 //!   --quick        subsample the design space for a fast smoke run
 //!   --threads N    sweep worker threads (default: all available cores;
 //!                  if the core count cannot be determined the sweep falls
 //!                  back to 4 workers and says so)
+//!   --trace FILE   record a structured search-trace journal (JSONL) of the
+//!                  run; inspect it with `hilp trace-summary FILE`
+//!   --quiet        suppress progress messages on stderr
 //! ```
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 
 use hilp_core::{Hilp, SolverConfig, TimeStepPolicy};
@@ -33,13 +38,14 @@ use hilp_dse::experiments::{
 };
 use hilp_dse::{design_space, ModelKind, SweepConfig};
 use hilp_soc::{Constraints, SocSpec};
+use hilp_telemetry::{Journal, Reporter, Telemetry, TraceSummary};
 use hilp_workloads::{Workload, WorkloadVariant};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hilp <eval c g d p | spec <file> | fig5a | fig5b | fig5c | fig6 <variant> | \
-         fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation> \
-         [--quick] [--threads N]"
+         fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation | \
+         trace-summary <journal>> [--quick] [--threads N] [--trace FILE] [--quiet]"
     );
     ExitCode::from(2)
 }
@@ -47,14 +53,27 @@ fn usage() -> ExitCode {
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
-    // `--threads` takes a value, so it is consumed (flag and value) before
-    // the positional split below, which would otherwise keep the value.
+    let quiet = args.iter().any(|a| a == "--quiet");
+    // `--threads` and `--trace` take values, so they are consumed (flag and
+    // value) before the positional split below, which would otherwise keep
+    // the value.
     let mut threads = 0usize;
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         match args.get(i + 1).and_then(|v| v.parse().ok()) {
             Some(n) => threads = n,
             None => {
                 eprintln!("--threads needs a worker count");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let mut trace: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--trace") {
+        match args.get(i + 1) {
+            Some(path) => trace = Some(PathBuf::from(path)),
+            None => {
+                eprintln!("--trace needs an output path");
                 return usage();
             }
         }
@@ -68,12 +87,26 @@ fn main() -> ExitCode {
     let Some(&command) = positional.first() else {
         return usage();
     };
+    let telemetry = if trace.is_some() {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    let reporter = Reporter::new(quiet, &telemetry);
     let config = SweepConfig {
         threads,
+        telemetry: telemetry.clone(),
         ..SweepConfig::default()
+    };
+    let solver_config = || SolverConfig {
+        telemetry: telemetry.clone(),
+        ..SolverConfig::default()
     };
 
     let result: Result<(), Box<dyn std::error::Error>> = (|| {
+        // The root span covers the whole command, so a trace-summary of the
+        // journal attributes (nearly) all wall-clock to named spans.
+        let _root_span = telemetry.span("cli.main");
         match command {
             "eval" => {
                 let parse = |i: usize| -> u32 {
@@ -87,11 +120,15 @@ fn main() -> ExitCode {
                 for dsa in hilp_dse::space::dsa_allocation(dsas as usize, pes, 4.0) {
                     soc = soc.with_dsa(dsa);
                 }
-                println!("evaluating {} ({:.1} mm^2)...", soc.label(), soc.area_mm2());
+                reporter.say(&format!(
+                    "evaluating {} ({:.1} mm^2)...",
+                    soc.label(),
+                    soc.area_mm2()
+                ));
                 let eval = Hilp::new(Workload::rodinia(WorkloadVariant::Default), soc)
                     .with_constraints(Constraints::paper_default())
                     .with_policy(TimeStepPolicy::sweep())
-                    .with_solver(SolverConfig::default())
+                    .with_solver(solver_config())
                     .evaluate()?;
                 println!(
                     "makespan {:.1} s | speedup {:.1}x | avg WLP {:.2} | gap {:.1}%",
@@ -182,11 +219,15 @@ fn main() -> ExitCode {
                 let path = positional.get(1).ok_or("spec needs a file path")?;
                 let text = std::fs::read_to_string(path)?;
                 let (soc, constraints) = hilp_dse::specfile::parse_soc(&text)?;
-                println!("evaluating {} ({:.1} mm^2)...", soc.label(), soc.area_mm2());
+                reporter.say(&format!(
+                    "evaluating {} ({:.1} mm^2)...",
+                    soc.label(),
+                    soc.area_mm2()
+                ));
                 let eval = Hilp::new(Workload::rodinia(WorkloadVariant::Default), soc)
                     .with_constraints(constraints)
                     .with_policy(TimeStepPolicy::sweep())
-                    .with_solver(SolverConfig::default())
+                    .with_solver(solver_config())
                     .evaluate()?;
                 println!(
                     "makespan {:.1} s | speedup {:.1}x | avg WLP {:.2} | gap {:.1}%",
@@ -250,6 +291,13 @@ fn main() -> ExitCode {
                     println!("{row}");
                 }
             }
+            "trace-summary" => {
+                let path = positional
+                    .get(1)
+                    .ok_or("trace-summary needs a journal path")?;
+                let journal = Journal::read_jsonl(std::path::Path::new(path))?;
+                print!("{}", TraceSummary::from_journal(&journal).render());
+            }
             _ => {
                 return Err("unknown command".into());
             }
@@ -258,7 +306,16 @@ fn main() -> ExitCode {
     })();
 
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(()) => {
+            if let Some(path) = &trace {
+                if let Err(e) = telemetry.journal().write_jsonl(path) {
+                    eprintln!("error: could not write trace journal: {e}");
+                    return ExitCode::FAILURE;
+                }
+                reporter.say(&format!("trace journal written to {}", path.display()));
+            }
+            ExitCode::SUCCESS
+        }
         Err(e) => {
             eprintln!("error: {e}");
             usage()

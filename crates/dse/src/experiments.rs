@@ -573,6 +573,7 @@ mod tests {
             threads: 0,
             memoize: true,
             share_bounds: true,
+            ..SweepConfig::default()
         }
     }
 
@@ -702,6 +703,7 @@ mod consolidation_tests {
             threads: 0,
             memoize: true,
             share_bounds: true,
+            ..SweepConfig::default()
         };
         let rows = consolidation_sweep(&soc, &[1, 2], &config).unwrap();
         assert_eq!(rows.len(), 2);
@@ -906,6 +908,7 @@ mod extension_tests {
             threads: 0,
             memoize: true,
             share_bounds: true,
+            ..SweepConfig::default()
         }
     }
 

@@ -20,6 +20,7 @@ use hilp_core::{
     encode, Hilp, HilpError, LevelReport, RefinementObserver, SolverConfig, TimeStepPolicy,
 };
 use hilp_soc::{Constraints, SocSpec};
+use hilp_telemetry::{Counter, Telemetry};
 use hilp_workloads::Workload;
 
 use crate::lattice::{BoundStore, DominanceLattice};
@@ -77,6 +78,12 @@ pub struct SweepConfig {
     /// the sweep default): an exact phase *would* consume external bounds
     /// result-visibly, so it is excluded to keep sweeps deterministic.
     pub share_bounds: bool,
+    /// Structured telemetry sink for the whole sweep. When enabled it is
+    /// propagated into every per-point solver at sweep start, so spans and
+    /// counters from all layers (sweep, evaluator, scheduler) land in one
+    /// ring. Observational only: enabling it never changes any reported
+    /// value. Disabled by default.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SweepConfig {
@@ -99,6 +106,7 @@ impl Default for SweepConfig {
             threads: 0,
             memoize: true,
             share_bounds: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -388,6 +396,7 @@ struct SweepCounters {
 struct PointOracle<'a> {
     share: Option<&'a ShareState>,
     counters: &'a SweepCounters,
+    tel: &'a Telemetry,
     point: usize,
 }
 
@@ -400,6 +409,11 @@ impl RefinementObserver for PointOracle<'_> {
     }
 
     fn level_solved(&self, report: &LevelReport<'_>) {
+        self.tel.level(
+            self.point as u64,
+            u64::from(report.level),
+            u64::from(report.makespan_steps),
+        );
         let c = self.counters;
         c.levels_solved.fetch_add(1, Ordering::Relaxed);
         c.jobs_total.fetch_add(
@@ -483,10 +497,14 @@ impl WorkQueue {
         }
     }
 
-    /// Next point for `worker`: its own stripe first, then steal.
-    fn take(&self, worker: usize) -> Option<usize> {
+    /// Next point for `worker`: its own stripe first, then steal. The flag
+    /// reports whether the point came from another worker's stripe.
+    fn take(&self, worker: usize) -> Option<(usize, bool)> {
         let stripes = self.cursors.len();
-        (0..stripes).find_map(|offset| self.take_from((worker + offset) % stripes))
+        (0..stripes).find_map(|offset| {
+            self.take_from((worker + offset) % stripes)
+                .map(|i| (i, offset > 0))
+        })
     }
 }
 
@@ -585,6 +603,16 @@ pub fn evaluate_space_with_stats(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
+    // Propagate sweep-level telemetry into the per-point solver so spans
+    // and counters from every layer land in one ring.
+    let mut effective = config.clone();
+    if effective.telemetry.is_enabled() {
+        effective.solver.telemetry = effective.telemetry.clone();
+    }
+    let config = &effective;
+    let tel = &config.solver.telemetry;
+    let _sweep_span = tel.span("dse.sweep");
+
     let cache = SolveCache::for_model(workload, constraints, model, config);
     let (threads, parallelism_fallback) = if config.threads == 0 {
         match std::thread::available_parallelism() {
@@ -625,11 +653,18 @@ pub fn evaluate_space_with_stats(
             let cache = cache.as_ref();
             let share = share.as_ref();
             let counters = &counters;
+            let tel = &config.solver.telemetry;
             scope.spawn(move |_| {
-                while let Some(i) = queue.take(worker) {
+                while let Some((i, stolen)) = queue.take(worker) {
+                    let _point_span = tel.span("dse.point");
+                    tel.incr(Counter::SweepPoints);
+                    if stolen {
+                        tel.incr(Counter::SweepSteals);
+                    }
                     let oracle = PointOracle {
                         share,
                         counters,
+                        tel,
                         point: i,
                     };
                     let t0 = Instant::now();
@@ -651,6 +686,7 @@ pub fn evaluate_space_with_stats(
     .expect("worker threads do not panic");
 
     let cache_hits = cache.map_or(0, |c| c.hits.load(Ordering::Relaxed));
+    tel.add(Counter::SweepCacheHits, cache_hits as u64);
     let mut point_seconds = Vec::with_capacity(socs.len());
     let points: Result<Vec<DesignPoint>, HilpError> = results
         .into_inner()
@@ -698,6 +734,7 @@ mod tests {
             threads: 2,
             memoize: true,
             share_bounds: true,
+            ..SweepConfig::default()
         }
     }
 
@@ -831,8 +868,9 @@ mod tests {
     fn work_queue_hands_out_every_point_exactly_once() {
         let queue = WorkQueue::new((0..23).rev().collect(), 4);
         let mut seen = Vec::new();
+        let mut steals = 0usize;
         for worker in [0, 3, 1, 2] {
-            while let Some(i) = queue.take(worker) {
+            while let Some((i, _)) = queue.take(worker) {
                 seen.push(i);
                 if seen.len() % 5 == 0 {
                     break; // interleave workers
@@ -840,12 +878,16 @@ mod tests {
             }
         }
         for worker in 0..4 {
-            while let Some(i) = queue.take(worker) {
+            while let Some((i, stolen)) = queue.take(worker) {
                 seen.push(i);
+                steals += usize::from(stolen);
             }
         }
         seen.sort_unstable();
         assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        // The drain pass exhausts every stripe, so workers whose own stripe
+        // is empty must report their claims as steals.
+        assert!(steals > 0, "the drain pass must steal across stripes");
     }
 }
 
@@ -913,6 +955,7 @@ mod csv_tests {
             threads: 1,
             memoize: true,
             share_bounds: true,
+            ..SweepConfig::default()
         };
         let points = evaluate_space(
             &w,

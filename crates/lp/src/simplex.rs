@@ -84,6 +84,7 @@ fn run_phase(
     objective: &[f64],
     blocked: &[bool],
     iteration_limit: usize,
+    pivots: &mut u64,
 ) -> Result<PhaseOutcome, LpError> {
     // Reduced-cost row: z_j = c_j - c_B^T * column_j.
     let m = tableau.rows;
@@ -145,6 +146,7 @@ fn run_phase(
         };
 
         tableau.pivot(row, col);
+        *pivots += 1;
         // Update reduced costs by the same elimination.
         let factor = reduced[col];
         if factor.abs() > TOLERANCE {
@@ -163,6 +165,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
     let n = lp.num_variables();
     let lower = lp.lower_bounds();
     let upper = lp.upper_bounds();
+    let mut pivots = 0u64;
 
     // Shifted rows: structural variable j is represented as y_j = x_j - l_j.
     // Each row becomes sum(a_ij * y_j) rel (rhs - sum(a_ij * l_j)); finite
@@ -281,7 +284,13 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
                 }
             })
             .collect();
-        match run_phase(&mut tableau, &phase1_costs, &no_block, lp.iteration_limit())? {
+        match run_phase(
+            &mut tableau,
+            &phase1_costs,
+            &no_block,
+            lp.iteration_limit(),
+            &mut pivots,
+        )? {
             PhaseOutcome::Optimal => {}
             PhaseOutcome::Unbounded => unreachable!("phase-1 objective is bounded below by zero"),
         }
@@ -290,7 +299,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             .map(|r| tableau.rhs(r))
             .sum();
         if infeasibility > 1e-7 {
-            return Ok(Solution::new(Status::Infeasible, vec![0.0; n], 0.0));
+            return Ok(Solution::new(Status::Infeasible, vec![0.0; n], 0.0).with_pivots(pivots));
         }
         // Drive remaining zero-valued artificials out of the basis where
         // possible; redundant rows keep them basic at zero.
@@ -301,6 +310,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
                 });
                 if let Some(c) = col {
                     tableau.pivot(r, c);
+                    pivots += 1;
                 }
             }
         }
@@ -316,10 +326,16 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         phase2_costs[j] = sign * c;
     }
     let blocked: Vec<bool> = kind.iter().map(|k| *k == ColumnKind::Artificial).collect();
-    match run_phase(&mut tableau, &phase2_costs, &blocked, lp.iteration_limit())? {
+    match run_phase(
+        &mut tableau,
+        &phase2_costs,
+        &blocked,
+        lp.iteration_limit(),
+        &mut pivots,
+    )? {
         PhaseOutcome::Optimal => {}
         PhaseOutcome::Unbounded => {
-            return Ok(Solution::new(Status::Unbounded, vec![0.0; n], 0.0));
+            return Ok(Solution::new(Status::Unbounded, vec![0.0; n], 0.0).with_pivots(pivots));
         }
     }
 
@@ -331,7 +347,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         }
     }
     let objective_value: f64 = lp.costs().iter().zip(&x).map(|(c, v)| c * v).sum();
-    Ok(Solution::new(Status::Optimal, x, objective_value))
+    Ok(Solution::new(Status::Optimal, x, objective_value).with_pivots(pivots))
 }
 
 #[cfg(test)]

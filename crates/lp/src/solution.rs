@@ -20,6 +20,7 @@ pub struct Solution {
     status: Status,
     values: Vec<f64>,
     objective_value: f64,
+    pivots: u64,
 }
 
 impl Solution {
@@ -28,7 +29,21 @@ impl Solution {
             status,
             values,
             objective_value,
+            pivots: 0,
         }
+    }
+
+    /// Attaches the number of simplex pivots the solve performed.
+    pub(crate) fn with_pivots(mut self, pivots: u64) -> Self {
+        self.pivots = pivots;
+        self
+    }
+
+    /// Simplex pivots performed across both phases of the solve. Purely
+    /// informational (telemetry); deterministic for a given program.
+    #[must_use]
+    pub fn pivots(&self) -> u64 {
+        self.pivots
     }
 
     /// Termination status of the solve.
@@ -73,6 +88,9 @@ mod tests {
     #[test]
     fn accessors_round_trip() {
         let sol = Solution::new(Status::Optimal, vec![1.0, 2.0], 5.0);
+        assert_eq!(sol.pivots(), 0);
+        let sol = sol.with_pivots(5);
+        assert_eq!(sol.pivots(), 5);
         assert!(sol.is_optimal());
         assert_eq!(sol.values(), &[1.0, 2.0]);
         assert_eq!(sol.objective_value(), 5.0);

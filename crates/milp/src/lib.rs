@@ -45,6 +45,10 @@ use std::fmt;
 use std::time::Duration;
 
 use hilp_lp::{LinearProgram, LpError, Objective, Relation, VariableId};
+use hilp_telemetry::Counter;
+// Re-exported so callers can configure `SolveLimits::telemetry` without a
+// direct hilp-telemetry dependency.
+pub use hilp_telemetry::Telemetry;
 
 /// Tolerance within which a value counts as integral.
 pub const INTEGRALITY_TOLERANCE: f64 = 1e-6;
@@ -99,6 +103,11 @@ pub struct SolveLimits {
     /// models with general integers and wide boxes, but the binary-heavy
     /// scheduling encodings in this workspace are faster without it.
     pub presolve: bool,
+    /// Structured-telemetry handle recording spans, counters (nodes,
+    /// prunes, pivots, presolve reductions), and incumbent/bound events.
+    /// Disabled by default; strictly observational, so it is ignored by
+    /// `PartialEq`.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SolveLimits {
@@ -108,6 +117,7 @@ impl Default for SolveLimits {
             time_limit: None,
             gap_target: 0.0,
             presolve: false,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -325,9 +335,15 @@ impl MilpProblem {
     /// Returns [`MilpError::UnboundedRelaxation`] when the root relaxation
     /// is unbounded and propagates LP iteration-limit failures.
     pub fn solve(&self, limits: &SolveLimits) -> Result<MilpSolution, MilpError> {
+        let tel = &limits.telemetry;
+        let _solve_span = tel.span("milp.solve");
         if limits.presolve {
             let mut tightened = self.lp.clone();
-            match presolve::tighten_bounds(&mut tightened, &self.integer, 8) {
+            let result = {
+                let _presolve_span = tel.span("milp.presolve");
+                presolve::tighten_bounds(&mut tightened, &self.integer, 8)
+            };
+            match result {
                 presolve::PresolveResult::Infeasible => {
                     return Ok(MilpSolution::new(
                         MilpStatus::Infeasible,
@@ -337,7 +353,10 @@ impl MilpProblem {
                         0,
                     ));
                 }
-                presolve::PresolveResult::Tightened { .. } => {}
+                presolve::PresolveResult::Tightened { changes, rounds } => {
+                    tel.add(Counter::MilpPresolveRounds, rounds as u64);
+                    tel.add(Counter::MilpPresolveTightenings, changes as u64);
+                }
             }
             solver::branch_and_bound(&tightened, &self.integer, limits)
         } else {

@@ -24,6 +24,9 @@ pub enum PresolveResult {
     Tightened {
         /// Number of individual bound changes applied.
         changes: usize,
+        /// Propagation rounds executed (including the final round that
+        /// found nothing left to tighten).
+        rounds: usize,
     },
     /// A row was proven unsatisfiable within the bounds: the integer
     /// program is infeasible.
@@ -64,7 +67,9 @@ pub fn tighten_bounds(
     }
 
     let mut total_changes = 0usize;
+    let mut rounds = 0usize;
     for _ in 0..max_rounds {
+        rounds += 1;
         let mut changed_this_round = false;
         {
             for (cap, row) in &le_rows {
@@ -131,6 +136,7 @@ pub fn tighten_bounds(
     }
     PresolveResult::Tightened {
         changes: total_changes,
+        rounds,
     }
 }
 
@@ -151,7 +157,9 @@ mod tests {
             .unwrap();
         let integer = vec![true, true];
         let result = tighten_bounds(&mut lp, &integer, 10);
-        assert!(matches!(result, PresolveResult::Tightened { changes } if changes >= 2));
+        assert!(
+            matches!(result, PresolveResult::Tightened { changes, rounds } if changes >= 2 && rounds >= 1)
+        );
         assert_eq!(lp.bounds(x).unwrap(), (0.0, 3.0));
         assert_eq!(lp.bounds(y).unwrap(), (0.0, 2.0));
     }

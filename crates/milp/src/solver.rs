@@ -3,6 +3,7 @@
 use std::time::Instant;
 
 use hilp_lp::{LinearProgram, Objective, Status, VariableId};
+use hilp_telemetry::{BoundSource, Counter, IncumbentSource, PruneReason};
 
 use crate::{MilpError, MilpSolution, MilpStatus, SolveLimits, INTEGRALITY_TOLERANCE};
 
@@ -54,6 +55,10 @@ pub(crate) fn branch_and_bound(
 ) -> Result<MilpSolution, MilpError> {
     let sense = root.objective();
     let start = Instant::now();
+    // Observational telemetry; incumbent/bound event values are recorded
+    // in minimization sense so they replay monotonically.
+    let tel = &limits.telemetry;
+    let _bnb_span = tel.span("milp.bnb");
 
     let mut incumbent: Option<(Vec<f64>, f64)> = None; // values, min-sense objective
     let mut nodes_explored = 0usize;
@@ -89,6 +94,7 @@ pub(crate) fn branch_and_bound(
                 for rest in stack.drain(..) {
                     abandoned_bound = abandoned_bound.min(rest.parent_bound);
                 }
+                tel.prune(PruneReason::Budget, nodes_explored as u64, abandoned_bound);
                 break;
             }
             continue;
@@ -97,11 +103,14 @@ pub(crate) fn branch_and_bound(
         // Prune by bound before paying for an LP solve.
         if let Some((_, inc)) = &incumbent {
             if node.parent_bound >= *inc - 1e-9 {
+                tel.incr(Counter::MilpPrunesBound);
+                tel.prune(PruneReason::Bound, nodes_explored as u64, node.parent_bound);
                 continue;
             }
         }
 
         nodes_explored += 1;
+        tel.incr(Counter::MilpNodes);
         let mut lp = root.clone();
         let mut infeasible_overrides = false;
         for &(j, lo, hi) in &node.overrides {
@@ -115,8 +124,17 @@ pub(crate) fn branch_and_bound(
             continue;
         }
         let relax = lp.solve()?;
+        tel.add(Counter::SimplexPivots, relax.pivots());
         match relax.status() {
-            Status::Infeasible => continue,
+            Status::Infeasible => {
+                tel.incr(Counter::MilpPrunesInfeasible);
+                tel.prune(
+                    PruneReason::Infeasible,
+                    nodes_explored as u64,
+                    node.parent_bound,
+                );
+                continue;
+            }
             Status::Unbounded => {
                 if node.overrides.is_empty() {
                     return Err(MilpError::UnboundedRelaxation);
@@ -131,7 +149,10 @@ pub(crate) fn branch_and_bound(
         let relax_obj = to_min(sense, relax.objective_value());
         if let Some((_, inc)) = &incumbent {
             if relax_obj >= *inc - 1e-9 {
-                continue; // Pruned: subtree cannot improve the incumbent.
+                // Pruned: subtree cannot improve the incumbent.
+                tel.incr(Counter::MilpPrunesBound);
+                tel.prune(PruneReason::Bound, nodes_explored as u64, relax_obj);
+                continue;
             }
         }
 
@@ -143,6 +164,8 @@ pub(crate) fn branch_and_bound(
                     .is_none_or(|(_, inc)| relax_obj < *inc - 1e-9);
                 if better {
                     incumbent = Some((relax.values().to_vec(), relax_obj));
+                    tel.incr(Counter::MilpIncumbents);
+                    tel.incumbent(IncumbentSource::Milp, nodes_explored as u64, relax_obj);
                 }
             }
             Some((j, v)) => {
@@ -166,6 +189,7 @@ pub(crate) fn branch_and_bound(
     let (status, values, objective, bound) = match incumbent {
         Some((values, inc_min)) => {
             let proven = inc_min.min(abandoned_bound);
+            tel.bound(BoundSource::Milp, nodes_explored as u64, proven);
             let denom = inc_min.abs().max(1e-9);
             let gap = (inc_min - proven) / denom;
             // Optimal when either the tree was exhausted within the gap

@@ -16,6 +16,7 @@ use crate::bounds::tails;
 use crate::instance::{EdgeKind, Instance, ModeId, TaskId};
 use crate::schedule::Schedule;
 use crate::sgs::{Timetable, TimetableKind};
+use hilp_telemetry::{Counter, IncumbentSource, PruneReason, Telemetry};
 
 pub(crate) struct BnbResult {
     pub best: Option<Schedule>,
@@ -41,6 +42,9 @@ struct SearchState<'a> {
     node_budget: u64,
     nodes: u64,
     exhausted_budget: bool,
+    /// Observational telemetry (disabled handles cost one branch per
+    /// record site; never influences the search).
+    tel: &'a Telemetry,
 }
 
 impl SearchState<'_> {
@@ -95,7 +99,11 @@ impl SearchState<'_> {
         self.nodes += 1;
         if self.nodes > self.node_budget {
             self.exhausted_budget = true;
-            self.abandoned_bound = self.abandoned_bound.min(self.node_bound());
+            let bound = self.node_bound();
+            self.abandoned_bound = self.abandoned_bound.min(bound);
+            self.tel.incr(Counter::BnbPrunesBudget);
+            self.tel
+                .prune(PruneReason::Budget, self.nodes, f64::from(bound));
             return;
         }
 
@@ -115,6 +123,9 @@ impl SearchState<'_> {
                         modes: self.modes.clone(),
                     },
                 ));
+                self.tel.incr(Counter::BnbIncumbents);
+                self.tel
+                    .incumbent(IncumbentSource::Bnb, self.nodes, f64::from(makespan));
             }
             return;
         }
@@ -122,7 +133,11 @@ impl SearchState<'_> {
         let bound = self.node_bound();
         if let Some((best, _)) = &self.incumbent {
             if bound >= *best {
-                return; // Subtree cannot improve the incumbent.
+                // Subtree cannot improve the incumbent.
+                self.tel.incr(Counter::BnbPrunesBound);
+                self.tel
+                    .prune(PruneReason::Bound, self.nodes, f64::from(bound));
+                return;
             }
         }
 
@@ -156,6 +171,7 @@ impl SearchState<'_> {
                 }
                 let mode = &self.instance.task(task).modes[m].clone();
                 let Some(start) = self.timetable.earliest_start(mode, est) else {
+                    self.tel.incr(Counter::BnbPrunesInfeasible);
                     continue;
                 };
                 self.timetable.place(mode, start);
@@ -191,6 +207,7 @@ pub(crate) fn branch_and_bound(
     initial_bound: u32,
     node_budget: u64,
     timetable: TimetableKind,
+    tel: &Telemetry,
 ) -> BnbResult {
     let n = instance.num_tasks();
     let incumbent = initial_incumbent.map(|s| (s.makespan(instance), s));
@@ -222,8 +239,10 @@ pub(crate) fn branch_and_bound(
         node_budget,
         nodes: 0,
         exhausted_budget: false,
+        tel,
     };
     state.dfs();
+    tel.add(Counter::BnbNodes, state.nodes);
 
     let complete = !state.exhausted_budget;
     let (best, best_makespan) = match state.incumbent {
@@ -283,7 +302,14 @@ mod tests {
     #[test]
     fn proves_the_figure2_optimum() {
         let inst = figure2_instance();
-        let result = branch_and_bound(&inst, None, 0, 10_000_000, TimetableKind::Event);
+        let result = branch_and_bound(
+            &inst,
+            None,
+            0,
+            10_000_000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(result.complete);
         let best = result.best.unwrap();
         assert!(best.verify(&inst).is_empty());
@@ -318,7 +344,14 @@ mod tests {
         b.set_power_cap(3.0);
         b.set_horizon(30);
         let inst = b.build().unwrap();
-        let result = branch_and_bound(&inst, None, 0, 50_000_000, TimetableKind::Event);
+        let result = branch_and_bound(
+            &inst,
+            None,
+            0,
+            50_000_000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(result.complete);
         let best = result.best.unwrap();
         assert!(best.verify(&inst).is_empty());
@@ -341,8 +374,22 @@ mod tests {
             },
         )
         .unwrap();
-        let seeded = branch_and_bound(&inst, Some(heuristic), 0, 10_000_000, TimetableKind::Event);
-        let unseeded = branch_and_bound(&inst, None, 0, 10_000_000, TimetableKind::Event);
+        let seeded = branch_and_bound(
+            &inst,
+            Some(heuristic),
+            0,
+            10_000_000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
+        let unseeded = branch_and_bound(
+            &inst,
+            None,
+            0,
+            10_000_000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(seeded.complete && unseeded.complete);
         assert_eq!(
             seeded.best.unwrap().makespan(&inst),
@@ -369,7 +416,14 @@ mod tests {
         .unwrap();
         // The heuristic finds 7; telling B&B the bound is 7 must stop it
         // before exploring anything.
-        let result = branch_and_bound(&inst, Some(heuristic), 7, 10_000_000, TimetableKind::Event);
+        let result = branch_and_bound(
+            &inst,
+            Some(heuristic),
+            7,
+            10_000_000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(result.complete);
         assert_eq!(result.nodes, 0);
         assert_eq!(result.lower_bound, 7);
@@ -378,7 +432,14 @@ mod tests {
     #[test]
     fn budget_exhaustion_reports_valid_bound() {
         let inst = figure2_instance();
-        let result = branch_and_bound(&inst, None, 0, 5, TimetableKind::Event);
+        let result = branch_and_bound(
+            &inst,
+            None,
+            0,
+            5,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(!result.complete);
         assert!(
             result.lower_bound <= 7,
@@ -403,7 +464,14 @@ mod tests {
         b.add_initiation_interval(t0, t1, 3);
         b.add_initiation_interval(t1, t2, 3);
         let inst = b.build().unwrap();
-        let result = branch_and_bound(&inst, None, 0, 1_000_000, TimetableKind::Event);
+        let result = branch_and_bound(
+            &inst,
+            None,
+            0,
+            1_000_000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(result.complete);
         let best = result.best.unwrap();
         assert_eq!(best.makespan(&inst), 8);
@@ -417,7 +485,14 @@ mod tests {
         b.add_task("only", vec![Mode::on(cpu, 4)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        let result = branch_and_bound(&inst, None, 0, 1000, TimetableKind::Event);
+        let result = branch_and_bound(
+            &inst,
+            None,
+            0,
+            1000,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        );
         assert!(result.complete);
         assert_eq!(result.best.unwrap().makespan(&inst), 4);
     }

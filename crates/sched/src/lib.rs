@@ -79,3 +79,6 @@ pub use solve::{
     solve, solve_exact, solve_heuristic, solve_with_hints, solve_with_warm_start, SolveHints,
     SolveOutcome, SolveStats, SolveTelemetry, SolverConfig,
 };
+// Re-exported so callers can configure `SolverConfig::telemetry` without a
+// direct hilp-telemetry dependency.
+pub use hilp_telemetry::Telemetry;

@@ -7,6 +7,7 @@ use crate::heuristic;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 use crate::sgs::TimetableKind;
+use hilp_telemetry::{BoundSource, Counter, IncumbentSource, Telemetry};
 
 /// Tuning knobs for [`solve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,12 @@ pub struct SolverConfig {
     /// so it is on by default; it exists as a knob so benchmarks can
     /// measure the saving against the always-exhaustive behaviour.
     pub bound_termination: bool,
+    /// Structured-telemetry handle recording spans, counters, and
+    /// search events (disabled by default, at the cost of one branch
+    /// per record site). Telemetry is strictly observational — it never
+    /// changes the solve outcome — so it is ignored by `PartialEq`:
+    /// configs differing only here describe the same computation.
+    pub telemetry: Telemetry,
 }
 
 impl Default for SolverConfig {
@@ -50,6 +57,7 @@ impl Default for SolverConfig {
             heuristic_threads: 1,
             timetable: TimetableKind::Event,
             bound_termination: true,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -241,8 +249,18 @@ pub fn solve_with_hints(
     config: &SolverConfig,
     hints: &SolveHints<'_>,
 ) -> Result<(SolveOutcome, SolveTelemetry), SchedError> {
+    let tel = &config.telemetry;
+    let _solve_span = tel.span("sched.solve");
     let combinatorial_bound = bounds::lower_bound(instance);
+    tel.bound(
+        BoundSource::Combinatorial,
+        0,
+        f64::from(combinatorial_bound),
+    );
     let external = hints.external_lower_bound;
+    if let Some(e) = external {
+        tel.bound(BoundSource::External, 0, f64::from(e));
+    }
     // Termination target for the heuristic: the tightest proven bound we
     // hold. Any incumbent reaching it is optimal, so stopping there cannot
     // change the result (see `heuristic::best_candidate`).
@@ -250,18 +268,39 @@ pub fn solve_with_hints(
         .bound_termination
         .then(|| external.map_or(combinatorial_bound, |e| e.max(combinatorial_bound)));
 
-    let (heuristic_best, heuristic_telemetry) = heuristic::multi_start_with_telemetry(
-        instance,
-        &heuristic::HeuristicParams {
-            starts: config.heuristic_starts,
-            local_search_passes: config.local_search_passes,
-            seed: config.seed,
-            threads: config.heuristic_threads,
-            timetable: config.timetable,
-            warm_priority: hints.warm_priority,
-            target_bound: target,
-        },
+    let (heuristic_best, heuristic_telemetry) = {
+        let _heuristic_span = tel.span("sched.heuristic");
+        heuristic::multi_start_with_telemetry(
+            instance,
+            &heuristic::HeuristicParams {
+                starts: config.heuristic_starts,
+                local_search_passes: config.local_search_passes,
+                seed: config.seed,
+                threads: config.heuristic_threads,
+                timetable: config.timetable,
+                warm_priority: hints.warm_priority,
+                target_bound: target,
+            },
+        )
+    };
+    tel.add(
+        Counter::HeuristicJobsRequested,
+        heuristic_telemetry.jobs_total as u64,
     );
+    tel.add(
+        Counter::HeuristicJobsExecuted,
+        heuristic_telemetry.jobs_executed as u64,
+    );
+    if heuristic_telemetry.bound_reached {
+        tel.incr(Counter::HeuristicBoundTerminations);
+    }
+    if let Some(best) = &heuristic_best {
+        tel.incumbent(
+            IncumbentSource::Heuristic,
+            0,
+            f64::from(best.makespan(instance)),
+        );
+    }
 
     // A lifted incumbent is only trusted after a full feasibility check:
     // callers map schedules across instances and may get it wrong.
@@ -281,6 +320,11 @@ pub fn solve_with_hints(
         }
         (h, _) => h,
     };
+    if warm_incumbent_adopted {
+        if let Some(best) = &heuristic_best {
+            tel.incumbent(IncumbentSource::Warm, 0, f64::from(best.makespan(instance)));
+        }
+    }
 
     // Root bound for the exact phase: the external bound tightens pruning
     // and can prove the incumbent optimal before any node is expanded.
@@ -299,13 +343,17 @@ pub fn solve_with_hints(
     };
 
     let (schedule, lower_bound, proved) = if run_exact {
-        let result = bnb::branch_and_bound(
-            instance,
-            heuristic_best,
-            root_bound,
-            config.exact_node_budget,
-            config.timetable,
-        );
+        let result = {
+            let _bnb_span = tel.span("sched.bnb");
+            bnb::branch_and_bound(
+                instance,
+                heuristic_best,
+                root_bound,
+                config.exact_node_budget,
+                config.timetable,
+                tel,
+            )
+        };
         stats.bnb_nodes = result.nodes;
         let Some(best) = result.best else {
             return Err(SchedError::HorizonExhausted {
@@ -350,6 +398,7 @@ pub fn solve_with_hints(
         warm_incumbent_adopted,
     };
     let makespan = schedule.makespan(instance);
+    tel.bound(BoundSource::Proved, 0, f64::from(lower_bound.min(makespan)));
     Ok((
         SolveOutcome {
             schedule,

@@ -1,0 +1,283 @@
+//! A bounded, lock-free, multi-producer event ring.
+//!
+//! Producers claim a monotonically increasing ticket with one
+//! `fetch_add` and write their event into slot `ticket % capacity`; when
+//! the ring is full the oldest events are overwritten (the drain reports
+//! how many were lost). Slots are written seqlock-style — a *writing*
+//! marker, then the payload, then the final sequence tag with `Release`
+//! ordering — so a concurrent drain can detect and skip torn slots
+//! without any `unsafe` code. Drains are intended to run when producers
+//! are quiescent (end of a solve or sweep); a drain that races a writer
+//! loses at most the slots being rewritten at that instant.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// What an [`Event`] describes. Stored as a `u8` in the ring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A completed span: `a` packs the span-name id (low 32 bits) and
+    /// nesting depth (high 32 bits), `b` is the start time in µs, `c`
+    /// the duration in µs. `t_us` is the end time.
+    Span = 0,
+    /// A new incumbent solution: `a` is the source
+    /// ([`crate::IncumbentSource`]), `b` the search-node id, `c` the
+    /// objective value as `f64` bits.
+    Incumbent = 1,
+    /// A proven lower bound: `a` is the source ([`crate::BoundSource`]),
+    /// `b` the search-node id, `c` the bound value as `f64` bits.
+    Bound = 2,
+    /// A pruned subtree: `a` is the reason ([`crate::PruneReason`]),
+    /// `b` the search-node id, `c` the pruning bound as `f64` bits.
+    Prune = 3,
+    /// A refinement level solved during a sweep: `a` is the design-point
+    /// index, `b` the level number, `c` the level makespan in steps.
+    Level = 4,
+    /// A progress message was emitted (payload unused).
+    Progress = 5,
+}
+
+impl EventKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(EventKind::Span),
+            1 => Some(EventKind::Incumbent),
+            2 => Some(EventKind::Bound),
+            3 => Some(EventKind::Prune),
+            4 => Some(EventKind::Level),
+            5 => Some(EventKind::Progress),
+            _ => None,
+        }
+    }
+}
+
+/// One telemetry event. The payload words `a`/`b`/`c` are interpreted
+/// per [`EventKind`]; see each variant's documentation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Microseconds since the owning [`crate::Telemetry`] was created
+    /// (monotonic clock).
+    pub t_us: u64,
+    /// What happened.
+    pub kind: EventKind,
+    /// Numeric id of the emitting thread (dense, assigned on first use).
+    pub thread: u32,
+    /// First payload word.
+    pub a: u64,
+    /// Second payload word.
+    pub b: u64,
+    /// Third payload word.
+    pub c: u64,
+}
+
+/// Sequence value marking a slot that is mid-write.
+const WRITING: u64 = u64::MAX;
+
+struct Slot {
+    /// `ticket + 1` once the slot's payload is fully published, `0`
+    /// when never written, [`WRITING`] while a writer is inside.
+    seq: AtomicU64,
+    t_us: AtomicU64,
+    /// `kind as u64 | (thread as u64) << 8`.
+    meta: AtomicU64,
+    a: AtomicU64,
+    b: AtomicU64,
+    c: AtomicU64,
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Slot {
+            seq: AtomicU64::new(0),
+            t_us: AtomicU64::new(0),
+            meta: AtomicU64::new(0),
+            a: AtomicU64::new(0),
+            b: AtomicU64::new(0),
+            c: AtomicU64::new(0),
+        }
+    }
+}
+
+/// The bounded multi-producer ring. See the module docs for the
+/// publication protocol.
+pub(crate) struct EventRing {
+    slots: Vec<Slot>,
+    /// Total events ever pushed; the next ticket to hand out.
+    head: AtomicU64,
+    /// `capacity - 1`; capacity is a power of two.
+    mask: usize,
+}
+
+/// Result of [`EventRing::snapshot`]: the surviving events in push
+/// order plus how many older events were overwritten (or torn by a
+/// concurrent writer) and therefore lost.
+pub(crate) struct Snapshot {
+    pub events: Vec<Event>,
+    pub dropped: u64,
+}
+
+impl EventRing {
+    /// Creates a ring with at least `capacity` slots (rounded up to a
+    /// power of two, minimum 8).
+    pub(crate) fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        EventRing {
+            slots: (0..cap).map(|_| Slot::empty()).collect(),
+            head: AtomicU64::new(0),
+            mask: cap - 1,
+        }
+    }
+
+    /// Publishes one event, overwriting the oldest if the ring is full.
+    pub(crate) fn push(&self, ev: &Event) {
+        let ticket = self.head.fetch_add(1, Ordering::Relaxed);
+        #[allow(clippy::cast_possible_truncation)]
+        let slot = &self.slots[ticket as usize & self.mask];
+        slot.seq.store(WRITING, Ordering::Relaxed);
+        slot.t_us.store(ev.t_us, Ordering::Relaxed);
+        slot.meta.store(
+            ev.kind as u64 | (u64::from(ev.thread) << 8),
+            Ordering::Relaxed,
+        );
+        slot.a.store(ev.a, Ordering::Relaxed);
+        slot.b.store(ev.b, Ordering::Relaxed);
+        slot.c.store(ev.c, Ordering::Relaxed);
+        // Publish: everything above happens-before a reader that
+        // observes this sequence value.
+        slot.seq.store(ticket + 1, Ordering::Release);
+    }
+
+    /// Total events ever pushed (including overwritten ones).
+    pub(crate) fn pushed(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Snapshots the surviving window in push order without consuming
+    /// it. Slots that are mid-write (only possible when racing live
+    /// producers) are counted as dropped.
+    pub(crate) fn snapshot(&self) -> Snapshot {
+        let head = self.head.load(Ordering::Acquire);
+        let cap = self.mask as u64 + 1;
+        let start = head.saturating_sub(cap);
+        let mut dropped = start;
+        let mut events = Vec::with_capacity((head - start) as usize);
+        for ticket in start..head {
+            #[allow(clippy::cast_possible_truncation)]
+            let slot = &self.slots[ticket as usize & self.mask];
+            if slot.seq.load(Ordering::Acquire) != ticket + 1 {
+                dropped += 1;
+                continue;
+            }
+            let t_us = slot.t_us.load(Ordering::Relaxed);
+            let meta = slot.meta.load(Ordering::Relaxed);
+            let a = slot.a.load(Ordering::Relaxed);
+            let b = slot.b.load(Ordering::Relaxed);
+            let c = slot.c.load(Ordering::Relaxed);
+            // Seqlock re-check: if a writer got in between, discard the
+            // (possibly torn) payload.
+            fence(Ordering::Acquire);
+            if slot.seq.load(Ordering::Relaxed) != ticket + 1 {
+                dropped += 1;
+                continue;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            let kind = match EventKind::from_u8(meta as u8) {
+                Some(k) => k,
+                None => {
+                    dropped += 1;
+                    continue;
+                }
+            };
+            #[allow(clippy::cast_possible_truncation)]
+            events.push(Event {
+                t_us,
+                kind,
+                thread: (meta >> 8) as u32,
+                a,
+                b,
+                c,
+            });
+        }
+        Snapshot { events, dropped }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(n: u64) -> Event {
+        Event {
+            t_us: n,
+            kind: EventKind::Progress,
+            thread: 0,
+            a: n,
+            b: 2 * n,
+            c: 3 * n,
+        }
+    }
+
+    #[test]
+    fn preserves_push_order() {
+        let ring = EventRing::new(16);
+        for n in 0..10 {
+            ring.push(&ev(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), 10);
+        assert!(snap.events.iter().enumerate().all(|(i, e)| e.a == i as u64));
+    }
+
+    #[test]
+    fn overwrites_oldest_when_full() {
+        let ring = EventRing::new(8);
+        for n in 0..20 {
+            ring.push(&ev(n));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 12);
+        assert_eq!(snap.events.len(), 8);
+        assert_eq!(snap.events[0].a, 12);
+        assert_eq!(snap.events[7].a, 19);
+        assert_eq!(ring.pushed(), 20);
+    }
+
+    #[test]
+    fn capacity_rounds_up_to_power_of_two() {
+        let ring = EventRing::new(9);
+        for n in 0..16 {
+            ring.push(&ev(n));
+        }
+        assert_eq!(ring.snapshot().events.len(), 16);
+    }
+
+    #[test]
+    fn concurrent_pushes_all_survive_when_ring_is_large() {
+        let ring = EventRing::new(4096);
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let ring = &ring;
+                scope.spawn(move || {
+                    for n in 0..512 {
+                        ring.push(&ev(t * 10_000 + n));
+                    }
+                });
+            }
+        });
+        let snap = ring.snapshot();
+        assert_eq!(snap.dropped, 0);
+        assert_eq!(snap.events.len(), 2048);
+        // Per-thread subsequences keep their order even though the
+        // interleaving is arbitrary.
+        for t in 0..4u64 {
+            let sub: Vec<u64> = snap
+                .events
+                .iter()
+                .filter(|e| e.a / 10_000 == t)
+                .map(|e| e.a % 10_000)
+                .collect();
+            assert_eq!(sub, (0..512).collect::<Vec<u64>>());
+        }
+    }
+}

@@ -1,0 +1,376 @@
+//! Rendering a [`Journal`] as a per-phase time/attribution breakdown —
+//! the `hilp trace-summary` view.
+
+use crate::journal::{Journal, Record};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRow {
+    /// Span name (e.g. `dse.point`).
+    pub name: String,
+    /// How many spans carried this name.
+    pub count: u64,
+    /// Summed duration, µs (parallel spans sum, so this can exceed the
+    /// wall clock).
+    pub total_us: u64,
+    /// Summed *self* time, µs: duration minus time spent in directly
+    /// nested child spans on the same thread.
+    pub self_us: u64,
+}
+
+/// A per-phase breakdown of a search-trace journal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Journal time range (first to last recorded timestamp), µs.
+    pub wall_us: u64,
+    /// Fraction of the wall clock covered by at least one named span,
+    /// in percent (union over all threads, projected on the time axis).
+    pub attributed_pct: f64,
+    /// Per-name rows, sorted by total time descending.
+    pub spans: Vec<SpanRow>,
+    /// Distinct threads that recorded anything.
+    pub threads: u64,
+    /// Final counter values, in journal order.
+    pub counters: Vec<(String, u64)>,
+    /// Event tallies: incumbents, bounds, prunes, levels recorded.
+    pub incumbents: u64,
+    /// Bound events recorded.
+    pub bounds: u64,
+    /// Prune events recorded.
+    pub prunes: u64,
+    /// Level events recorded.
+    pub levels: u64,
+    /// Events lost to ring overflow.
+    pub dropped: u64,
+}
+
+struct SpanInterval {
+    name: String,
+    thread: u32,
+    depth: u32,
+    start: u64,
+    end: u64,
+}
+
+impl TraceSummary {
+    /// Computes the breakdown of a journal.
+    #[must_use]
+    pub fn from_journal(journal: &Journal) -> TraceSummary {
+        let mut spans = Vec::new();
+        let mut threads = std::collections::BTreeSet::new();
+        let (mut t_min, mut t_max) = (u64::MAX, 0u64);
+        let mut touch =
+            |thread: u32, lo: u64, hi: u64, threads: &mut std::collections::BTreeSet<u32>| {
+                threads.insert(thread);
+                t_min = t_min.min(lo);
+                t_max = t_max.max(hi);
+            };
+        let (mut incumbents, mut bounds, mut prunes, mut levels, mut dropped) = (0, 0, 0, 0, 0);
+        let mut counters = Vec::new();
+        for record in &journal.records {
+            match record {
+                Record::Span {
+                    name,
+                    thread,
+                    depth,
+                    start_us,
+                    dur_us,
+                } => {
+                    let end = start_us.saturating_add(*dur_us);
+                    touch(*thread, *start_us, end, &mut threads);
+                    spans.push(SpanInterval {
+                        name: name.clone(),
+                        thread: *thread,
+                        depth: *depth,
+                        start: *start_us,
+                        end,
+                    });
+                }
+                Record::Incumbent { t_us, thread, .. } => {
+                    incumbents += 1;
+                    touch(*thread, *t_us, *t_us, &mut threads);
+                }
+                Record::Bound { t_us, thread, .. } => {
+                    bounds += 1;
+                    touch(*thread, *t_us, *t_us, &mut threads);
+                }
+                Record::Prune { t_us, thread, .. } => {
+                    prunes += 1;
+                    touch(*thread, *t_us, *t_us, &mut threads);
+                }
+                Record::Level { t_us, thread, .. } => {
+                    levels += 1;
+                    touch(*thread, *t_us, *t_us, &mut threads);
+                }
+                Record::Progress { t_us, thread } => {
+                    touch(*thread, *t_us, *t_us, &mut threads);
+                }
+                Record::Counter { name, value } => counters.push((name.clone(), *value)),
+                Record::Dropped { count } => dropped += count,
+            }
+        }
+        let wall_us = if t_min == u64::MAX { 0 } else { t_max - t_min };
+
+        // Self time: a span's duration minus its directly nested child
+        // spans (same thread, depth exactly one deeper, interval
+        // contained). Quadratic in span count, which journals keep small
+        // by design (spans are per phase/point/level, not per node).
+        let mut rows: BTreeMap<&str, SpanRow> = BTreeMap::new();
+        for s in &spans {
+            let child_us: u64 = spans
+                .iter()
+                .filter(|c| {
+                    c.thread == s.thread
+                        && c.depth == s.depth + 1
+                        && c.start >= s.start
+                        && c.end <= s.end
+                })
+                .map(|c| c.end - c.start)
+                .sum();
+            let row = rows.entry(s.name.as_str()).or_insert_with(|| SpanRow {
+                name: s.name.clone(),
+                count: 0,
+                total_us: 0,
+                self_us: 0,
+            });
+            row.count += 1;
+            row.total_us += s.end - s.start;
+            row.self_us += (s.end - s.start).saturating_sub(child_us);
+        }
+        let mut span_rows: Vec<SpanRow> = rows.into_values().collect();
+        span_rows.sort_by(|a, b| b.total_us.cmp(&a.total_us).then(a.name.cmp(&b.name)));
+
+        // Attribution: union of all span intervals on the time axis.
+        let mut intervals: Vec<(u64, u64)> = spans.iter().map(|s| (s.start, s.end)).collect();
+        intervals.sort_unstable();
+        let mut covered = 0u64;
+        let mut cursor = 0u64;
+        for (lo, hi) in intervals {
+            let lo = lo.max(cursor);
+            if hi > lo {
+                covered += hi - lo;
+                cursor = hi;
+            }
+            cursor = cursor.max(hi);
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let attributed_pct = if wall_us == 0 {
+            0.0
+        } else {
+            100.0 * covered as f64 / wall_us as f64
+        };
+
+        TraceSummary {
+            wall_us,
+            attributed_pct,
+            spans: span_rows,
+            threads: threads.len() as u64,
+            counters,
+            incumbents,
+            bounds,
+            prunes,
+            levels,
+            dropped,
+        }
+    }
+
+    /// Renders the breakdown as plain text for the terminal.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wall clock {}  |  {:.1}% attributed to named spans  |  {} thread(s)",
+            fmt_us(self.wall_us),
+            self.attributed_pct,
+            self.threads
+        );
+        if !self.spans.is_empty() {
+            let name_w = self
+                .spans
+                .iter()
+                .map(|r| r.name.len())
+                .max()
+                .unwrap_or(4)
+                .max(4);
+            let _ = writeln!(
+                out,
+                "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>7}",
+                "span", "count", "total", "self", "% wall"
+            );
+            for row in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "{:<name_w$}  {:>8}  {:>10}  {:>10}  {:>6.1}%",
+                    row.name,
+                    row.count,
+                    fmt_us(row.total_us),
+                    fmt_us(row.self_us),
+                    self.pct(row.total_us),
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "events: {} incumbents, {} bounds, {} prunes, {} levels, {} dropped",
+            self.incumbents, self.bounds, self.prunes, self.levels, self.dropped
+        );
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            for (name, value) in &self.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+        }
+        out
+    }
+
+    /// Renders the breakdown as a GitHub-flavored-markdown fragment
+    /// (used by the CI health dashboard).
+    #[must_use]
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "wall clock **{}**, **{:.1}%** attributed to named spans, {} thread(s)\n",
+            fmt_us(self.wall_us),
+            self.attributed_pct,
+            self.threads
+        );
+        if !self.spans.is_empty() {
+            out.push_str("| span | count | total | self | % wall |\n");
+            out.push_str("|---|---:|---:|---:|---:|\n");
+            for row in &self.spans {
+                let _ = writeln!(
+                    out,
+                    "| `{}` | {} | {} | {} | {:.1}% |",
+                    row.name,
+                    row.count,
+                    fmt_us(row.total_us),
+                    fmt_us(row.self_us),
+                    self.pct(row.total_us),
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "\n{} incumbents, {} bounds, {} prunes, {} levels, {} dropped",
+            self.incumbents, self.bounds, self.prunes, self.levels, self.dropped
+        );
+        out
+    }
+
+    fn pct(&self, us: u64) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        if self.wall_us == 0 {
+            0.0
+        } else {
+            100.0 * us as f64 / self.wall_us as f64
+        }
+    }
+}
+
+/// Formats a µs quantity with an adaptive unit.
+fn fmt_us(us: u64) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let us_f = us as f64;
+    if us >= 1_000_000 {
+        format!("{:.3}s", us_f / 1e6)
+    } else if us >= 1_000 {
+        format!("{:.1}ms", us_f / 1e3)
+    } else {
+        format!("{us}µs")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::Record;
+
+    fn span(name: &str, thread: u32, depth: u32, start: u64, dur: u64) -> Record {
+        Record::Span {
+            name: name.to_string(),
+            thread,
+            depth,
+            start_us: start,
+            dur_us: dur,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children_only() {
+        let journal = Journal {
+            records: vec![
+                span("root", 0, 0, 0, 100),
+                span("child", 0, 1, 10, 30),
+                span("grandchild", 0, 2, 15, 20),
+                // Same name on another thread, no children there.
+                span("child", 1, 1, 0, 50),
+            ],
+        };
+        let summary = TraceSummary::from_journal(&journal);
+        let row = |name: &str| {
+            summary
+                .spans
+                .iter()
+                .find(|r| r.name == name)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!(row("root").self_us, 70); // 100 - 30, grandchild not double-counted
+        assert_eq!(row("child").total_us, 80);
+        assert_eq!(row("child").self_us, 60); // (30 - 20) + 50
+        assert_eq!(row("grandchild").self_us, 20);
+        assert_eq!(summary.threads, 2);
+    }
+
+    #[test]
+    fn attribution_is_the_union_of_span_intervals() {
+        let journal = Journal {
+            records: vec![
+                span("a", 0, 0, 0, 40),
+                span("b", 1, 0, 20, 40), // overlaps a: union is [0, 60)
+                // A lone event at t=100 stretches the wall clock.
+                Record::Progress {
+                    t_us: 100,
+                    thread: 0,
+                },
+            ],
+        };
+        let summary = TraceSummary::from_journal(&journal);
+        assert_eq!(summary.wall_us, 100);
+        assert!((summary.attributed_pct - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_journal_summarizes_to_zero() {
+        let summary = TraceSummary::from_journal(&Journal::default());
+        assert_eq!(summary.wall_us, 0);
+        assert_eq!(summary.attributed_pct, 0.0);
+        assert!(summary.spans.is_empty());
+        assert!(!summary.render().is_empty());
+    }
+
+    #[test]
+    fn render_includes_rows_counters_and_events() {
+        let journal = Journal {
+            records: vec![
+                span("dse.sweep", 0, 0, 0, 1000),
+                Record::Counter {
+                    name: "bnb.nodes".to_string(),
+                    value: 5,
+                },
+                Record::Dropped { count: 3 },
+            ],
+        };
+        let summary = TraceSummary::from_journal(&journal);
+        let text = summary.render();
+        assert!(text.contains("dse.sweep"));
+        assert!(text.contains("bnb.nodes = 5"));
+        assert!(text.contains("3 dropped"));
+        let md = summary.render_markdown();
+        assert!(md.contains("| `dse.sweep` |"));
+    }
+}

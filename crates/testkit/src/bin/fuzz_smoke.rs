@@ -7,7 +7,7 @@
 //! artifacts.
 //!
 //! ```text
-//! fuzz_smoke [--cases N] [--seed S] [--time-budget-secs T] [--out-dir DIR]
+//! fuzz_smoke [--cases N] [--seed S] [--time-budget-secs T] [--out-dir DIR] [--quiet]
 //! ```
 //!
 //! The case mix per 10 cases: 6 tiny instances (full battery including the
@@ -21,6 +21,7 @@ use std::time::{Duration, Instant};
 
 use proptest::{fnv1a, Strategy, TestRng};
 
+use hilp_telemetry::{Reporter, Telemetry};
 use hilp_testkit::harness::{check_instance, check_pipeline, CheckStats, OracleConfig};
 use hilp_testkit::strategies::{
     arb_constraints, arb_instance, arb_soc, arb_workload, InstanceParams,
@@ -31,6 +32,7 @@ struct Args {
     seed: u64,
     time_budget: Option<Duration>,
     out_dir: PathBuf,
+    quiet: bool,
 }
 
 fn parse_args() -> Args {
@@ -39,6 +41,7 @@ fn parse_args() -> Args {
         seed: 0x00C0_FFEE,
         time_budget: None,
         out_dir: PathBuf::from("fuzz-failures"),
+        quiet: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -57,10 +60,11 @@ fn parse_args() -> Args {
                 ));
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
+            "--quiet" => args.quiet = true,
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: fuzz_smoke [--cases N] [--seed S] \
-                     [--time-budget-secs T] [--out-dir DIR]"
+                     [--time-budget-secs T] [--out-dir DIR] [--quiet]"
                 );
                 std::process::exit(2);
             }
@@ -71,6 +75,7 @@ fn parse_args() -> Args {
 
 fn main() {
     let args = parse_args();
+    let reporter = Reporter::new(args.quiet, &Telemetry::disabled());
     let started = Instant::now();
     let config = OracleConfig::default();
     let mut stats = CheckStats::default();
@@ -88,7 +93,7 @@ fn main() {
         // at least one case has run.
         if let Some(budget) = args.time_budget {
             if started.elapsed() > budget && case > 0 {
-                eprintln!("time budget exhausted after {case} cases");
+                reporter.say(&format!("time budget exhausted after {case} cases"));
                 break;
             }
         }
@@ -112,6 +117,7 @@ fn main() {
         }
     }
 
+    // The final tally is the program's output, not progress: always printed.
     println!(
         "fuzz_smoke: {} in {:.1}s; {failures} disagreement(s)",
         stats.summary(),

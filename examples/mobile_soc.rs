@@ -56,6 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         threads: 0,
         memoize: true,
         share_bounds: true,
+        ..SweepConfig::default()
     };
     let points = evaluate_space(&workload, &socs, &constraints, ModelKind::Hilp, &config)?;
     let front = pareto_front(&points);

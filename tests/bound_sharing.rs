@@ -41,6 +41,7 @@ fn sharing_config(threads: usize, share: bool) -> SweepConfig {
         threads,
         memoize: true,
         share_bounds: share,
+        ..SweepConfig::default()
     }
 }
 

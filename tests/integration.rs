@@ -28,6 +28,7 @@ fn fast_sweep() -> SweepConfig {
         threads: 0,
         memoize: true,
         share_bounds: true,
+        ..SweepConfig::default()
     }
 }
 

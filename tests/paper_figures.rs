@@ -25,6 +25,7 @@ fn test_config() -> SweepConfig {
         threads: 0,
         memoize: true,
         share_bounds: true,
+        ..SweepConfig::default()
     }
 }
 

@@ -85,7 +85,7 @@ fn iters_for(sample_size: usize) -> u32 {
 }
 
 impl Criterion {
-    /// Sets the nominal sample size (clamped; see [`iters_for`]).
+    /// Sets the nominal sample size (clamped; see `iters_for`).
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         self.sample_size = n;

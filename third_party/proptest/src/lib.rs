@@ -311,7 +311,7 @@ pub mod prop {
             }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`](fn@vec).
         pub struct VecStrategy<S> {
             element: S,
             size: SizeRange,
