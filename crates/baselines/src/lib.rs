@@ -51,7 +51,7 @@
 
 #![warn(missing_docs)]
 
-use hilp_core::{average_wlp, encode, Hilp, HilpError, SolverConfig, TimeStepPolicy};
+use hilp_core::{average_wlp, encode, BudgetKind, Hilp, HilpError, SolverConfig, TimeStepPolicy};
 use hilp_sched::TaskId;
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::{Application, Workload};
@@ -69,6 +69,10 @@ pub struct BaselineResult {
     /// exact given its sequential-order assumption, so its gap is 0;
     /// parallel-mode Gables surfaces the scheduler's reported gap.
     pub gap: f64,
+    /// Which budget constraint (if any) truncated the underlying solve.
+    /// Always `None` for MultiAmdahl (a closed-form sum — there is no
+    /// search to budget); Gables surfaces its scheduler's truncation.
+    pub truncated: Option<BudgetKind>,
 }
 
 /// MultiAmdahl: fully sequential execution, each phase on its fastest
@@ -121,6 +125,7 @@ pub fn multi_amdahl(
         speedup,
         avg_wlp: 1.0,
         gap: 0.0,
+        truncated: None,
     })
 }
 
@@ -176,6 +181,7 @@ pub fn gables_parallel(
         speedup,
         avg_wlp: average_wlp(&eval.schedule, &eval.instance),
         gap: eval.gap,
+        truncated: eval.truncated,
     })
 }
 

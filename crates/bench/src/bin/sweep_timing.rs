@@ -27,7 +27,8 @@
 //! ```text
 //! cargo run --release -p hilp-bench --bin sweep_timing -- \
 //!     [--step N] [--out PATH] [--threads N] [--strict] \
-//!     [--trace PATH] [--summary PATH] [--quiet]
+//!     [--trace PATH] [--summary PATH] [--quiet] \
+//!     [--deadline SECS] [--per-point-budget N]
 //! ```
 //!
 //! `--step N` subsamples the 372-SoC space (every Nth SoC; default 1 =
@@ -40,12 +41,27 @@
 //! reports the measured telemetry overhead. `--summary PATH` writes a
 //! markdown health dashboard (for `$GITHUB_STEP_SUMMARY`). `--quiet`
 //! silences progress on stderr.
+//!
+//! `--deadline SECS` and/or `--per-point-budget N` switch the harness
+//! into *budgeted* mode: one budgeted sweep per model under the
+//! optimized configuration (a whole-sweep wall-clock deadline with fair
+//! redistribution across design points, and/or a fresh deterministic
+//! node budget per point). Budgeted mode asserts graceful degradation —
+//! every design point still reports a result — and writes the timings
+//! plus truncated-point counts to `--out` (default
+//! `BENCH_sweep_budgeted.json` so the committed unbudgeted
+//! `BENCH_sweep.json` is never clobbered) and, with `--summary`, a
+//! dashboard section with per-model truncated-point counts. The
+//! reference/baseline comparison and its bit-identity gates are skipped:
+//! they assert reproducibility that a wall-clock budget deliberately
+//! trades away. `--trace` and `--strict` are ignored in budgeted mode.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hilp_core::SolverConfig;
 use hilp_dse::{
-    design_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepConfig, SweepStats,
+    design_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepBudgets, SweepConfig,
+    SweepStats,
 };
 use hilp_sched::TimetableKind;
 use hilp_soc::Constraints;
@@ -122,17 +138,19 @@ struct ModelRun {
 
 fn main() {
     let mut step = 1usize;
-    let mut out = String::from("BENCH_sweep.json");
+    let mut out: Option<String> = None;
     let mut strict = false;
     let mut threads = 0usize;
     let mut trace: Option<String> = None;
     let mut summary: Option<String> = None;
     let mut quiet = false;
+    let mut deadline: Option<f64> = None;
+    let mut per_point_budget: Option<u64> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--step" => step = args.next().and_then(|v| v.parse().ok()).expect("--step N"),
-            "--out" => out = args.next().expect("--out PATH"),
+            "--out" => out = Some(args.next().expect("--out PATH")),
             "--threads" => {
                 threads = args
                     .next()
@@ -143,8 +161,42 @@ fn main() {
             "--trace" => trace = Some(args.next().expect("--trace PATH")),
             "--summary" => summary = Some(args.next().expect("--summary PATH")),
             "--quiet" => quiet = true,
+            "--deadline" => {
+                deadline = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--deadline SECS"),
+                );
+            }
+            "--per-point-budget" => {
+                per_point_budget = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--per-point-budget N"),
+                );
+            }
             other => panic!("unknown argument: {other}"),
         }
+    }
+    let budgeted = deadline.is_some() || per_point_budget.is_some();
+    let out = out.unwrap_or_else(|| {
+        String::from(if budgeted {
+            "BENCH_sweep_budgeted.json"
+        } else {
+            "BENCH_sweep.json"
+        })
+    });
+    if budgeted {
+        run_budgeted(
+            step,
+            threads,
+            deadline,
+            per_point_budget,
+            &out,
+            summary.as_deref(),
+            quiet,
+        );
+        return;
     }
 
     // One telemetry sink for the whole process: the three comparison runs
@@ -329,6 +381,118 @@ fn main() {
     }
 }
 
+/// Budgeted mode: one anytime sweep per model under the optimized
+/// configuration plus the requested budgets. Asserts graceful
+/// degradation (every design point reports a result) and records how
+/// many points each budget truncated; the unbudgeted harness's
+/// correctness gates are skipped because a wall-clock budget
+/// deliberately trades away the reproducibility they assert.
+fn run_budgeted(
+    step: usize,
+    threads: usize,
+    deadline: Option<f64>,
+    per_point_budget: Option<u64>,
+    out: &str,
+    summary: Option<&str>,
+    quiet: bool,
+) {
+    let telemetry = Telemetry::disabled();
+    let reporter = Reporter::new(quiet, &telemetry);
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let constraints = Constraints::paper_default();
+    let socs: Vec<_> = design_space(4.0).into_iter().step_by(step.max(1)).collect();
+    let mut config = optimized_config(threads);
+    config.budgets = SweepBudgets {
+        per_point_nodes: per_point_budget,
+        sweep_deadline: deadline.map(Duration::from_secs_f64),
+        cancel: None,
+    };
+    reporter.say(&format!(
+        "sweep_timing (budgeted): {} SoCs x {} models, deadline {:?} s, per-point nodes {:?}",
+        socs.len(),
+        MODELS.len(),
+        deadline,
+        per_point_budget,
+    ));
+
+    let mut rows = Vec::new();
+    for model in MODELS {
+        let t0 = Instant::now();
+        let (points, stats) =
+            evaluate_space_with_stats(&workload, &socs, &constraints, model, &config)
+                .expect("budgeted sweep succeeds");
+        let seconds = t0.elapsed().as_secs_f64();
+        assert_eq!(
+            points.len(),
+            socs.len(),
+            "{}: a budget must degrade points, never drop them",
+            model.name()
+        );
+        assert!(
+            points.iter().all(|p| p.makespan_seconds > 0.0),
+            "{}: every truncated point still reports a feasible schedule",
+            model.name()
+        );
+        reporter.say(&format!(
+            "  {:<7} {seconds:7.2}s  {} / {} points truncated",
+            model.name(),
+            stats.truncated_points,
+            points.len(),
+        ));
+        rows.push((model, seconds, stats, points.len()));
+    }
+
+    let mut per_model = String::new();
+    for (i, (model, seconds, stats, points)) in rows.iter().enumerate() {
+        if i > 0 {
+            per_model.push_str(",\n");
+        }
+        per_model.push_str(&format!(
+            "    {{\"model\": \"{}\", \"seconds\": {seconds:.4}, \"points\": {points}, \
+             \"truncated_points\": {}, \"solves\": {}}}",
+            model.name(),
+            stats.truncated_points,
+            stats.solves,
+        ));
+    }
+    let json = format!(
+        "{{\n  \"benchmark\": \"fig7_budgeted_sweep\",\n  \"workload\": \"Default\",\n  \
+         \"socs\": {},\n  \"deadline_seconds\": {},\n  \"per_point_nodes\": {},\n  \
+         \"per_model\": [\n{per_model}\n  ]\n}}\n",
+        socs.len(),
+        deadline.map_or_else(|| String::from("null"), |d| format!("{d}")),
+        per_point_budget.map_or_else(|| String::from("null"), |n| format!("{n}")),
+    );
+    std::fs::write(out, &json).expect("write budgeted sweep JSON");
+
+    if let Some(summary_path) = summary {
+        let mut md = String::from("## Budgeted sweep dashboard\n\n");
+        md.push_str(&format!(
+            "{} SoCs/model | deadline: {} | per-point node budget: {} | \
+             every point populated ✅\n\n",
+            socs.len(),
+            deadline.map_or_else(|| String::from("—"), |d| format!("{d} s")),
+            per_point_budget.map_or_else(|| String::from("—"), |n| n.to_string()),
+        ));
+        md.push_str("| model | seconds | truncated points |\n|---|---:|---:|\n");
+        for (model, seconds, stats, points) in &rows {
+            md.push_str(&format!(
+                "| {} | {seconds:.2} | {} / {points} |\n",
+                model.name(),
+                stats.truncated_points,
+            ));
+        }
+        std::fs::write(summary_path, md).expect("write budgeted markdown summary");
+        reporter.say(&format!(
+            "sweep_timing (budgeted): dashboard -> {summary_path}"
+        ));
+    }
+    let total: f64 = rows.iter().map(|r| r.1).sum();
+    reporter.say(&format!(
+        "sweep_timing (budgeted): total {total:.2}s -> {out}"
+    ));
+}
+
 /// Timing of the telemetry-enabled fourth sweep relative to the optimized
 /// (telemetry-disabled) HILP run it must reproduce.
 struct TracedRun {
@@ -391,18 +555,19 @@ fn render_markdown_summary(
         }
     ));
     md.push_str(
-        "| model | reference (s) | baseline (s) | optimized (s) | cache hits | levels inherited |\n\
-         |---|---:|---:|---:|---:|---:|\n",
+        "| model | reference (s) | baseline (s) | optimized (s) | cache hits | levels inherited | truncated points |\n\
+         |---|---:|---:|---:|---:|---:|---:|\n",
     );
     for r in runs {
         md.push_str(&format!(
-            "| {} | {:.2} | {:.2} | {:.2} | {} | {:.0}% |\n",
+            "| {} | {:.2} | {:.2} | {:.2} | {} | {:.0}% | {} |\n",
             r.model.name(),
             r.reference_seconds,
             r.baseline_seconds,
             r.optimized_seconds,
             r.stats.cache_hits,
             r.stats.inheritance_hit_rate() * 100.0,
+            r.stats.truncated_points,
         ));
     }
     if let Some(t) = traced {

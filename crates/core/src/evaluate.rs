@@ -1,8 +1,10 @@
 //! The HILP evaluator: adaptive time-step refinement around the scheduler.
 
-use hilp_sched::{solve_with_hints, Instance, Schedule, SolveHints, SolveTelemetry, SolverConfig};
+use hilp_sched::{
+    solve_with_hints, BudgetKind, Instance, Schedule, SolveHints, SolveTelemetry, SolverConfig,
+};
 use hilp_soc::{Constraints, SocSpec};
-use hilp_telemetry::Counter;
+use hilp_telemetry::{BudgetLayer, Counter};
 use hilp_workloads::Workload;
 
 use crate::encode::{encode, EncodeMaps};
@@ -91,6 +93,12 @@ pub struct Evaluation {
     pub near_optimal: bool,
     /// Number of time-step refinement rounds performed.
     pub refinements: u32,
+    /// Which [`SolverConfig::budget`] constraint cut the evaluation short,
+    /// when one did: either a solve was truncated mid-level, or the budget
+    /// expired at a refinement-level boundary (the result then comes from
+    /// a coarser time step than the policy wanted). The schedule and bound
+    /// remain valid either way — graceful degradation, not an error.
+    pub truncated: Option<BudgetKind>,
     /// The schedule itself.
     pub schedule: Schedule,
     /// The instance the schedule refers to (for rendering/inspection).
@@ -123,6 +131,8 @@ pub struct LevelReport<'a> {
     pub lower_bound_steps: u32,
     /// The external bound that was injected for this level, if any.
     pub external_bound_steps: Option<u32>,
+    /// Which budget constraint truncated the level's solve, if any.
+    pub truncated: Option<BudgetKind>,
     /// Work attribution for the level's solve.
     pub telemetry: SolveTelemetry,
     /// The level's best schedule.
@@ -293,14 +303,37 @@ impl Hilp {
                 makespan_steps: outcome.makespan,
                 lower_bound_steps: outcome.lower_bound,
                 external_bound_steps: external,
+                truncated: outcome.truncated,
                 telemetry,
                 schedule: &outcome.schedule,
                 instance: &instance,
             });
 
-            let refine = outcome.makespan > 0
+            let wants_refine = outcome.makespan > 0
                 && outcome.makespan < self.policy.target_steps
                 && refinements < self.policy.max_refinements;
+            // Refinement-level boundary: re-solving at a finer step is the
+            // most expensive thing the evaluator can do, so an expired
+            // budget stops here and the coarser level's result — feasible,
+            // with a valid bound — is returned instead. The boundary check
+            // also catches expiries the solve itself never observed (a
+            // deadline passing between levels, a node meter drained to
+            // exactly zero by phase allocations).
+            let truncated = outcome.truncated.or_else(|| {
+                wants_refine
+                    .then(|| self.solver.budget.check().err())
+                    .flatten()
+            });
+            if wants_refine && truncated.is_some() {
+                if let Some(kind) = truncated {
+                    tel.budget_expired(
+                        BudgetLayer::Refinement,
+                        kind,
+                        self.solver.budget.nodes_spent(),
+                    );
+                }
+            }
+            let refine = wants_refine && truncated.is_none();
             if refine {
                 refinements += 1;
                 time_step /= self.policy.refine_factor;
@@ -334,6 +367,7 @@ impl Hilp {
                 proved_optimal: outcome.proved_optimal,
                 near_optimal: outcome.is_near_optimal(),
                 refinements,
+                truncated,
                 schedule: outcome.schedule,
                 instance,
                 maps,
@@ -475,6 +509,86 @@ mod tests {
             .unwrap();
         assert_eq!(seeded.makespan_steps, plain.makespan_steps);
         assert_eq!(seeded.schedule, plain.schedule);
+    }
+
+    #[test]
+    fn node_budget_stops_refinement_at_a_level_boundary() {
+        // Unbudgeted, this SoC refines at least once. A node budget sized
+        // for roughly one level must stop at the boundary and return the
+        // coarse level's result instead of erroring.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(4).with_gpu(64);
+        let policy = TimeStepPolicy {
+            initial_seconds: 10.0,
+            target_steps: 40,
+            refine_factor: 5.0,
+            max_refinements: 4,
+        };
+        let unbudgeted = Hilp::new(w.clone(), soc.clone())
+            .with_solver(fast_solver())
+            .with_policy(policy)
+            .evaluate()
+            .unwrap();
+        assert!(unbudgeted.refinements >= 1);
+        assert_eq!(unbudgeted.truncated, None);
+        let budgeted = Hilp::new(w, soc)
+            .with_solver(SolverConfig {
+                budget: hilp_sched::Budget::nodes(75),
+                ..fast_solver()
+            })
+            .with_policy(policy)
+            .evaluate()
+            .unwrap();
+        assert_eq!(budgeted.truncated, Some(BudgetKind::Nodes));
+        assert!(
+            budgeted.refinements < unbudgeted.refinements,
+            "the budget must cut refinement rounds ({} vs {})",
+            budgeted.refinements,
+            unbudgeted.refinements
+        );
+        assert!(budgeted.schedule.verify(&budgeted.instance).is_empty());
+        assert!(budgeted.lower_bound_seconds <= budgeted.makespan_seconds + 1e-9);
+    }
+
+    #[test]
+    fn cancelled_evaluation_still_returns_a_result() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let token = hilp_sched::CancelToken::new();
+        token.cancel();
+        let eval = Hilp::new(w, SocSpec::new(2).with_gpu(16))
+            .with_solver(SolverConfig {
+                budget: hilp_sched::Budget::unlimited().with_cancel(token),
+                ..fast_solver()
+            })
+            .with_policy(TimeStepPolicy::sweep())
+            .evaluate()
+            .unwrap();
+        assert_eq!(eval.truncated, Some(BudgetKind::Cancelled));
+        assert_eq!(eval.refinements, 0, "no refinement after cancellation");
+        assert!(eval.schedule.verify(&eval.instance).is_empty());
+    }
+
+    #[test]
+    fn node_budgeted_evaluation_is_deterministic() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16);
+        let run = |threads| {
+            Hilp::new(w.clone(), soc.clone())
+                .with_solver(SolverConfig {
+                    budget: hilp_sched::Budget::nodes(50),
+                    heuristic_threads: threads,
+                    ..fast_solver()
+                })
+                .with_policy(TimeStepPolicy::sweep())
+                .evaluate()
+                .unwrap()
+        };
+        let a = run(1);
+        let b = run(4);
+        assert_eq!(a.makespan_steps, b.makespan_steps);
+        assert_eq!(a.schedule, b.schedule);
+        assert_eq!(a.truncated, b.truncated);
+        assert_eq!(a.refinements, b.refinements);
     }
 
     #[test]

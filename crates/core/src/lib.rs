@@ -64,6 +64,6 @@ pub use error::HilpError;
 pub use evaluate::{Evaluation, Hilp, LevelReport, RefinementObserver, TimeStepPolicy};
 pub use wlp::average_wlp;
 
-pub use hilp_sched::{Schedule, SolveTelemetry, SolverConfig};
+pub use hilp_sched::{Budget, BudgetKind, CancelToken, Schedule, SolveTelemetry, SolverConfig};
 pub use hilp_soc::{Constraints, DsaSpec, SocSpec};
 pub use hilp_workloads::{Workload, WorkloadVariant};

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! Usage: hilp <command> [--quick] [--threads N] [--trace FILE] [--quiet]
+//!                       [--deadline SECS] [--node-budget N] [--per-point-budget N]
 //!
 //! Commands:
 //!   eval <cpus> <gpu_sms> <dsas> <pes>   evaluate one SoC on Default (600 W)
@@ -25,18 +26,31 @@
 //!   --trace FILE   record a structured search-trace journal (JSONL) of the
 //!                  run; inspect it with `hilp trace-summary FILE`
 //!   --quiet        suppress progress messages on stderr
+//!   --deadline SECS
+//!                  wall-clock budget: for `eval`/`spec` the single solve's
+//!                  deadline; for sweep commands the *whole-sweep* deadline,
+//!                  redistributed fairly across the remaining design points.
+//!                  On expiry every point still reports its best incumbent.
+//!   --node-budget N
+//!                  deterministic work budget (B&B nodes + SGS restarts) for
+//!                  the `eval`/`spec` solve; identical budgets reproduce
+//!                  bit-identical results on any machine or thread count
+//!   --per-point-budget N
+//!                  fresh deterministic node budget per design point in
+//!                  sweep commands; truncated points are counted and marked
 //! ```
 
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use hilp_core::{Hilp, SolverConfig, TimeStepPolicy};
+use hilp_core::{Budget, Hilp, SolverConfig, TimeStepPolicy};
 use hilp_dse::experiments::{
     consolidation_sweep, cost_pareto, fig10_sda, fig5a_amdahl, fig5b_memory_wall,
     fig5c_dark_silicon, fig6_wlp_comparison, fig7_space, fig8a_power_constrained,
     fig8b_dsa_advantage, scheduler_quality_ablation, table2_rows, table3_rows,
 };
-use hilp_dse::{design_space, ModelKind, SweepConfig};
+use hilp_dse::{design_space, ModelKind, SweepBudgets, SweepConfig};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_telemetry::{Journal, Reporter, Telemetry, TraceSummary};
 use hilp_workloads::{Workload, WorkloadVariant};
@@ -45,7 +59,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: hilp <eval c g d p | spec <file> | fig5a | fig5b | fig5c | fig6 <variant> | \
          fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation | \
-         trace-summary <journal>> [--quick] [--threads N] [--trace FILE] [--quiet]"
+         trace-summary <journal>> [--quick] [--threads N] [--trace FILE] [--quiet] \
+         [--deadline SECS] [--node-budget N] [--per-point-budget N]"
     );
     ExitCode::from(2)
 }
@@ -79,6 +94,32 @@ fn main() -> ExitCode {
         }
         args.drain(i..=i + 1);
     }
+    // Budget flags, all value-carrying and optional. `--deadline` covers
+    // both the single-solve commands (solve deadline) and the sweep
+    // commands (whole-sweep deadline with fair redistribution).
+    let mut take_number = |flag: &str| -> Result<Option<f64>, ()> {
+        let Some(i) = args.iter().position(|a| a == flag) else {
+            return Ok(None);
+        };
+        let Some(value) = args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) else {
+            eprintln!("{flag} needs a non-negative number");
+            return Err(());
+        };
+        if value.is_nan() || value < 0.0 {
+            eprintln!("{flag} needs a non-negative number");
+            return Err(());
+        }
+        args.drain(i..=i + 1);
+        Ok(Some(value))
+    };
+    let (deadline, node_budget, per_point_budget) = match (
+        take_number("--deadline"),
+        take_number("--node-budget"),
+        take_number("--per-point-budget"),
+    ) {
+        (Ok(d), Ok(n), Ok(p)) => (d, n.map(|v| v as u64), p.map(|v| v as u64)),
+        _ => return usage(),
+    };
     let positional: Vec<&str> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -96,11 +137,26 @@ fn main() -> ExitCode {
     let config = SweepConfig {
         threads,
         telemetry: telemetry.clone(),
+        budgets: SweepBudgets {
+            per_point_nodes: per_point_budget,
+            sweep_deadline: deadline.map(Duration::from_secs_f64),
+            cancel: None,
+        },
         ..SweepConfig::default()
     };
-    let solver_config = || SolverConfig {
-        telemetry: telemetry.clone(),
-        ..SolverConfig::default()
+    let solver_config = || {
+        let mut budget = Budget::unlimited();
+        if let Some(nodes) = node_budget {
+            budget = budget.with_node_limit(nodes);
+        }
+        if let Some(secs) = deadline {
+            budget = budget.with_deadline(Duration::from_secs_f64(secs));
+        }
+        SolverConfig {
+            telemetry: telemetry.clone(),
+            budget,
+            ..SolverConfig::default()
+        }
     };
 
     let result: Result<(), Box<dyn std::error::Error>> = (|| {
@@ -137,6 +193,9 @@ fn main() -> ExitCode {
                     eval.avg_wlp,
                     eval.gap * 100.0
                 );
+                if let Some(kind) = eval.truncated {
+                    println!("budget expired ({kind}); reporting the best incumbent found");
+                }
                 println!("{}", eval.schedule.render_gantt(&eval.instance, 100));
                 println!("{}", hilp_core::report::render_reports(&eval));
             }
@@ -236,6 +295,9 @@ fn main() -> ExitCode {
                     eval.avg_wlp,
                     eval.gap * 100.0
                 );
+                if let Some(kind) = eval.truncated {
+                    println!("budget expired ({kind}); reporting the best incumbent found");
+                }
                 println!("{}", eval.schedule.render_gantt(&eval.instance, 100));
             }
             "cost" => {

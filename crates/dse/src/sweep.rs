@@ -13,14 +13,15 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use hilp_baselines::{gables_constraints, gables_parallel, multi_amdahl, without_dependencies};
 use hilp_core::{
-    encode, Hilp, HilpError, LevelReport, RefinementObserver, SolverConfig, TimeStepPolicy,
+    encode, Budget, BudgetKind, CancelToken, Hilp, HilpError, LevelReport, RefinementObserver,
+    SolverConfig, TimeStepPolicy,
 };
 use hilp_soc::{Constraints, SocSpec};
-use hilp_telemetry::{Counter, Telemetry};
+use hilp_telemetry::{BudgetLayer, Counter, Telemetry};
 use hilp_workloads::Workload;
 
 use crate::lattice::{BoundStore, DominanceLattice};
@@ -46,6 +47,43 @@ impl ModelKind {
             ModelKind::MultiAmdahl => "MA",
             ModelKind::Gables => "Gables",
         }
+    }
+}
+
+/// Budget controls for a whole sweep (all optional; the default is
+/// fully unbudgeted and changes nothing about how a sweep runs).
+///
+/// A budgeted sweep still evaluates *every* design point: expiry
+/// degrades each point's solve gracefully (the deterministic heuristic
+/// base pass always runs, so every point reports a feasible schedule)
+/// rather than dropping points. Truncated points are marked in
+/// [`SweepStats::point_truncations`].
+#[derive(Debug, Clone, Default)]
+pub struct SweepBudgets {
+    /// Deterministic node budget handed to each design point's solver as
+    /// a *fresh* meter (`None` = unlimited). Because no point draws from
+    /// another's pool, results are bit-identical for any worker count
+    /// and claim order.
+    pub per_point_nodes: Option<u64>,
+    /// Wall-clock deadline for the whole sweep, measured from the
+    /// `evaluate_space*` call. The remaining time is redistributed
+    /// fairly at each point claim: a point may use
+    /// `threads * remaining_time / unclaimed_points` (workers run
+    /// concurrently, so each wall-clock second advances ~`threads`
+    /// points), capped by the sweep deadline itself so the sweep always
+    /// lands by the cutoff. Inherently non-deterministic.
+    pub sweep_deadline: Option<Duration>,
+    /// External kill switch observed by every point's solver. After
+    /// cancellation each remaining point degrades to its heuristic base
+    /// pass, so the sweep drains quickly but completely.
+    pub cancel: Option<CancelToken>,
+}
+
+impl SweepBudgets {
+    /// Whether any budget constraint is configured.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        self.per_point_nodes.is_some() || self.sweep_deadline.is_some() || self.cancel.is_some()
     }
 }
 
@@ -84,6 +122,12 @@ pub struct SweepConfig {
     /// ring. Observational only: enabling it never changes any reported
     /// value. Disabled by default.
     pub telemetry: Telemetry,
+    /// Solve budgets for the sweep (per-point node budgets, a whole-sweep
+    /// deadline, external cancellation). Inactive by default. When any
+    /// constraint is set, memoization is disabled for the sweep: a
+    /// truncated result depends on the budget, not just the instance, so
+    /// instance-fingerprint cache keys would no longer be sound.
+    pub budgets: SweepBudgets,
 }
 
 impl Default for SweepConfig {
@@ -107,6 +151,7 @@ impl Default for SweepConfig {
             memoize: true,
             share_bounds: true,
             telemetry: Telemetry::disabled(),
+            budgets: SweepBudgets::default(),
         }
     }
 }
@@ -154,11 +199,13 @@ pub fn evaluate_soc(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<DesignPoint, HilpError> {
-    evaluate_soc_observed(workload, soc, constraints, model, config, None)
+    evaluate_soc_observed(workload, soc, constraints, model, config, None).map(|(p, _)| p)
 }
 
 /// [`evaluate_soc`] with an optional refinement observer threaded into HILP
 /// evaluations (the other models have no refinement loop to observe).
+/// Additionally reports whether the underlying solve was cut short by a
+/// budget (always `None` for MultiAmdahl, which has no search to budget).
 fn evaluate_soc_observed(
     workload: &Workload,
     soc: &SocSpec,
@@ -166,8 +213,8 @@ fn evaluate_soc_observed(
     model: ModelKind,
     config: &SweepConfig,
     observer: Option<&dyn RefinementObserver>,
-) -> Result<DesignPoint, HilpError> {
-    let (speedup, makespan_seconds, avg_wlp, gap) = match model {
+) -> Result<(DesignPoint, Option<BudgetKind>), HilpError> {
+    let (speedup, makespan_seconds, avg_wlp, gap, truncated) = match model {
         ModelKind::Hilp => {
             let hilp = Hilp::new(workload.clone(), soc.clone())
                 .with_constraints(*constraints)
@@ -177,21 +224,30 @@ fn evaluate_soc_observed(
                 Some(observer) => hilp.evaluate_with_observer(observer)?,
                 None => hilp.evaluate()?,
             };
-            (eval.speedup, eval.makespan_seconds, eval.avg_wlp, eval.gap)
+            (
+                eval.speedup,
+                eval.makespan_seconds,
+                eval.avg_wlp,
+                eval.gap,
+                eval.truncated,
+            )
         }
         ModelKind::MultiAmdahl => {
             let r = multi_amdahl(workload, soc, constraints, &config.policy)?;
-            (r.speedup, r.makespan_seconds, r.avg_wlp, r.gap)
+            (r.speedup, r.makespan_seconds, r.avg_wlp, r.gap, r.truncated)
         }
         ModelKind::Gables => {
             // Gables solves a scheduling problem too; surface its real
             // optimality gap rather than pretending the prediction is
             // exact.
             let r = gables_parallel(workload, soc, constraints, &config.policy, &config.solver)?;
-            (r.speedup, r.makespan_seconds, r.avg_wlp, r.gap)
+            (r.speedup, r.makespan_seconds, r.avg_wlp, r.gap, r.truncated)
         }
     };
-    Ok(design_point(soc, speedup, makespan_seconds, avg_wlp, gap))
+    Ok((
+        design_point(soc, speedup, makespan_seconds, avg_wlp, gap),
+        truncated,
+    ))
 }
 
 fn design_point(
@@ -252,6 +308,13 @@ pub struct SweepStats {
     /// Wall-clock seconds spent on each design point, aligned with the
     /// input SoC order (cache hits cost ~0).
     pub point_seconds: Vec<f64>,
+    /// Design points whose solve was cut short by a budget (the point
+    /// still reports its best incumbent — see [`SweepBudgets`]).
+    pub truncated_points: usize,
+    /// Which budget constraint (if any) truncated each design point,
+    /// aligned with the input SoC order. All `None` for unbudgeted
+    /// sweeps.
+    pub point_truncations: Vec<Option<BudgetKind>>,
 }
 
 impl SweepStats {
@@ -305,7 +368,11 @@ impl SolveCache {
         model: ModelKind,
         config: &SweepConfig,
     ) -> Option<SolveCache> {
-        if !config.memoize {
+        // A budget makes a point's result depend on how much budget was
+        // left, not just on the encoded instance, so instance-fingerprint
+        // keys no longer imply identical results: skip the cache entirely
+        // for budgeted sweeps (per-point or caller-supplied).
+        if !config.memoize || config.budgets.is_active() || !config.solver.budget.is_unlimited() {
             return None;
         }
         let (key_workload, key_constraints) = match model {
@@ -378,6 +445,57 @@ impl SolveCache {
 struct ShareState {
     lattice: DominanceLattice,
     store: BoundStore,
+}
+
+/// Mints one fresh [`Budget`] per design point at claim time,
+/// implementing the [`SweepBudgets`] policy: a per-point node meter,
+/// fair redistribution of the remaining sweep time, and a shared cancel
+/// token.
+struct SweepBudgeter {
+    per_point_nodes: Option<u64>,
+    /// The whole-sweep cutoff, resolved at sweep start.
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    threads: usize,
+    /// Points not yet claimed, decremented per deadline-carrying claim.
+    unclaimed: AtomicUsize,
+}
+
+impl SweepBudgeter {
+    fn new(budgets: &SweepBudgets, threads: usize, points: usize) -> Option<SweepBudgeter> {
+        budgets.is_active().then(|| SweepBudgeter {
+            per_point_nodes: budgets.per_point_nodes,
+            deadline: budgets.sweep_deadline.map(|after| Instant::now() + after),
+            cancel: budgets.cancel.clone(),
+            threads: threads.max(1),
+            unclaimed: AtomicUsize::new(points),
+        })
+    }
+
+    /// The budget for the next claimed point. Fair redistribution: the
+    /// point's deadline is `now + threads * remaining_time / unclaimed`
+    /// (workers run concurrently, so each wall-clock second advances
+    /// ~`threads` points), capped by the sweep deadline. Points that
+    /// finish early donate their slack to later claims automatically,
+    /// because later slices are computed from the *actual* remaining
+    /// time.
+    fn point_budget(&self) -> Budget {
+        let mut budget = Budget::unlimited();
+        if let Some(nodes) = self.per_point_nodes {
+            budget = budget.with_node_limit(nodes);
+        }
+        if let Some(deadline) = self.deadline {
+            let left = self.unclaimed.fetch_sub(1, Ordering::Relaxed).max(1);
+            let now = Instant::now();
+            let remaining = deadline.saturating_duration_since(now);
+            let slice = remaining.mul_f64(self.threads as f64 / left as f64);
+            budget = budget.with_deadline_at(deadline.min(now + slice));
+        }
+        if let Some(token) = &self.cancel {
+            budget = budget.with_cancel(token.clone());
+        }
+        budget
+    }
 }
 
 /// Sweep-wide work counters, updated lock-free by the per-point oracles.
@@ -516,7 +634,7 @@ fn evaluate_soc_cached(
     config: &SweepConfig,
     cache: Option<&SolveCache>,
     oracle: Option<&PointOracle<'_>>,
-) -> Result<DesignPoint, HilpError> {
+) -> Result<(DesignPoint, Option<BudgetKind>), HilpError> {
     let key = match cache {
         Some(c) => Some(c.key(soc, config)?),
         None => None,
@@ -531,16 +649,21 @@ fn evaluate_soc_cached(
                     &entry.level_bounds,
                 );
             }
-            return Ok(design_point(
-                soc,
-                entry.speedup,
-                entry.makespan_seconds,
-                entry.avg_wlp,
-                entry.gap,
+            // The cache is only active for unbudgeted sweeps, so a hit
+            // is never truncated.
+            return Ok((
+                design_point(
+                    soc,
+                    entry.speedup,
+                    entry.makespan_seconds,
+                    entry.avg_wlp,
+                    entry.gap,
+                ),
+                None,
             ));
         }
     }
-    let point = evaluate_soc_observed(
+    let (point, truncated) = evaluate_soc_observed(
         workload,
         soc,
         constraints,
@@ -563,7 +686,7 @@ fn evaluate_soc_cached(
             },
         );
     }
-    Ok(point)
+    Ok((point, truncated))
 }
 
 /// Evaluates a whole design space in parallel, preserving input order.
@@ -642,8 +765,9 @@ pub fn evaluate_space_with_stats(
         .as_ref()
         .map_or_else(|| (0..socs.len()).collect(), |s| s.lattice.order().to_vec());
     let queue = WorkQueue::new(order, threads);
+    let budgeter = SweepBudgeter::new(&config.budgets, threads, socs.len());
 
-    type Slot = Option<(Result<DesignPoint, HilpError>, f64)>;
+    type Slot = Option<(Result<DesignPoint, HilpError>, f64, Option<BudgetKind>)>;
     let results: Mutex<Vec<Slot>> = Mutex::new((0..socs.len()).map(|_| None).collect());
 
     crossbeam::thread::scope(|scope| {
@@ -653,6 +777,7 @@ pub fn evaluate_space_with_stats(
             let cache = cache.as_ref();
             let share = share.as_ref();
             let counters = &counters;
+            let budgeter = budgeter.as_ref();
             let tel = &config.solver.telemetry;
             scope.spawn(move |_| {
                 while let Some((i, stolen)) = queue.take(worker) {
@@ -667,18 +792,55 @@ pub fn evaluate_space_with_stats(
                         tel,
                         point: i,
                     };
+                    // Mint this point's budget at claim time and hand it
+                    // to the solver through a per-point config clone; the
+                    // unbudgeted path reuses the shared config untouched.
+                    let point_budget = budgeter.map(SweepBudgeter::point_budget);
+                    let budgeted_config;
+                    let point_config = match &point_budget {
+                        Some(budget) => {
+                            let mut c = config.clone();
+                            c.solver.budget = budget.clone();
+                            budgeted_config = c;
+                            &budgeted_config
+                        }
+                        None => config,
+                    };
                     let t0 = Instant::now();
-                    let point = evaluate_soc_cached(
+                    let outcome = evaluate_soc_cached(
                         workload,
                         &socs[i],
                         constraints,
                         model,
-                        config,
+                        point_config,
                         cache,
                         Some(&oracle),
                     );
                     let seconds = t0.elapsed().as_secs_f64();
-                    results.lock().expect("no poisoned workers")[i] = Some((point, seconds));
+                    let (point, solve_truncated) = match outcome {
+                        Ok((p, t)) => (Ok(p), t),
+                        Err(e) => (Err(e), None),
+                    };
+                    // The solver reports node-budget truncation (the
+                    // sticky flag stays clean there by design — phase
+                    // allocations never trip it); the sticky flag
+                    // additionally catches deadline/cancel trips, which
+                    // with a caller-supplied pooled budget (correctly)
+                    // marks every point after the trip too.
+                    let truncated = solve_truncated.or_else(|| match &point_budget {
+                        Some(budget) => budget.exhausted(),
+                        None => config.solver.budget.exhausted(),
+                    });
+                    if let Some(kind) = truncated {
+                        tel.incr(Counter::SweepTruncatedPoints);
+                        let spent = point_budget
+                            .as_ref()
+                            .unwrap_or(&config.solver.budget)
+                            .nodes_spent();
+                        tel.budget_expired(BudgetLayer::Sweep, kind, spent);
+                    }
+                    results.lock().expect("no poisoned workers")[i] =
+                        Some((point, seconds, truncated));
                 }
             });
         }
@@ -688,13 +850,15 @@ pub fn evaluate_space_with_stats(
     let cache_hits = cache.map_or(0, |c| c.hits.load(Ordering::Relaxed));
     tel.add(Counter::SweepCacheHits, cache_hits as u64);
     let mut point_seconds = Vec::with_capacity(socs.len());
+    let mut point_truncations = Vec::with_capacity(socs.len());
     let points: Result<Vec<DesignPoint>, HilpError> = results
         .into_inner()
         .expect("all workers joined")
         .into_iter()
         .map(|slot| {
-            let (point, seconds) = slot.expect("every index was evaluated");
+            let (point, seconds, truncated) = slot.expect("every index was evaluated");
             point_seconds.push(seconds);
+            point_truncations.push(truncated);
             point
         })
         .collect();
@@ -713,6 +877,8 @@ pub fn evaluate_space_with_stats(
         heuristic_jobs_total: counters.jobs_total.into_inner(),
         heuristic_jobs_executed: counters.jobs_executed.into_inner(),
         point_seconds,
+        truncated_points: point_truncations.iter().flatten().count(),
+        point_truncations,
     };
     Ok((points, stats))
 }
@@ -862,6 +1028,124 @@ mod tests {
         );
         assert_eq!(stats.point_seconds.len(), socs.len());
         assert!(stats.inheritance_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn per_point_node_budgets_truncate_but_every_point_reports() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![
+            SocSpec::new(1),
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(4).with_gpu(64),
+        ];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.budgets.per_point_nodes = Some(2);
+        let (points, stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(points.len(), socs.len(), "truncation must not drop points");
+        for p in &points {
+            assert!(p.speedup > 0.0, "degraded point still has a schedule");
+        }
+        assert!(stats.truncated_points > 0, "2 nodes cannot finish a solve");
+        assert_eq!(
+            stats.truncated_points,
+            stats.point_truncations.iter().flatten().count()
+        );
+        assert!(stats
+            .point_truncations
+            .iter()
+            .flatten()
+            .all(|&k| k == BudgetKind::Nodes));
+        // Budgets disable memoization: a truncated result depends on the
+        // budget, so instance keys are no longer sound.
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn per_point_node_budgets_are_bit_identical_across_thread_counts() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![
+            SocSpec::new(1),
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(2),
+            SocSpec::new(4).with_gpu(64),
+        ];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.budgets.per_point_nodes = Some(20);
+        cfg.threads = 1;
+        let (serial, serial_stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        for threads in [2, 4] {
+            cfg.threads = threads;
+            let (parallel, parallel_stats) =
+                evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+            assert_eq!(serial, parallel, "threads={threads} changed results");
+            assert_eq!(
+                serial_stats.point_truncations, parallel_stats.point_truncations,
+                "threads={threads} changed truncations"
+            );
+        }
+    }
+
+    #[test]
+    fn generous_per_point_budget_matches_the_unbudgeted_sweep() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(1), SocSpec::new(2).with_gpu(16)];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.memoize = false; // compare pure solves on both sides
+        let (plain, plain_stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        cfg.budgets.per_point_nodes = Some(u64::MAX / 2);
+        let (budgeted, stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(plain, budgeted, "a budget that never trips must be a no-op");
+        assert_eq!(stats.truncated_points, 0);
+        assert_eq!(plain_stats.truncated_points, 0);
+        assert!(stats.point_truncations.iter().all(Option::is_none));
+    }
+
+    #[test]
+    fn cancelled_sweep_still_returns_every_point() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(1), SocSpec::new(2), SocSpec::new(4)];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        let token = CancelToken::new();
+        token.cancel(); // cancelled before the sweep even starts
+        cfg.budgets.cancel = Some(token);
+        let (points, stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(points.len(), socs.len());
+        for p in &points {
+            assert!(p.speedup > 0.0, "base pass still yields a schedule");
+        }
+        assert_eq!(stats.truncated_points, socs.len());
+        assert!(stats
+            .point_truncations
+            .iter()
+            .flatten()
+            .all(|&k| k == BudgetKind::Cancelled));
+    }
+
+    #[test]
+    fn expired_sweep_deadline_degrades_every_point_but_completes() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(1), SocSpec::new(2).with_gpu(16)];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.budgets.sweep_deadline = Some(Duration::ZERO);
+        let (points, stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(points.len(), socs.len());
+        assert_eq!(stats.truncated_points, socs.len());
+        assert!(stats
+            .point_truncations
+            .iter()
+            .flatten()
+            .all(|&k| k == BudgetKind::Deadline));
     }
 
     #[test]

@@ -33,6 +33,12 @@ pub enum LpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// The attached [`hilp_budget::Budget`] expired (deadline passed or
+    /// the solve was cancelled) before the simplex converged.
+    BudgetExhausted {
+        /// Which budget dimension tripped.
+        kind: hilp_budget::BudgetKind,
+    },
 }
 
 impl fmt::Display for LpError {
@@ -58,6 +64,9 @@ impl fmt::Display for LpError {
             ),
             LpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit of {limit} exhausted")
+            }
+            LpError::BudgetExhausted { kind } => {
+                write!(f, "simplex stopped: solve budget exhausted ({kind})")
             }
         }
     }

@@ -1,6 +1,7 @@
 use crate::error::LpError;
 use crate::simplex;
 use crate::solution::Solution;
+use hilp_budget::Budget;
 
 /// Optimization direction of a [`LinearProgram`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -85,6 +86,7 @@ pub struct LinearProgram {
     upper: Vec<f64>,
     rows: Vec<Row>,
     iteration_limit: usize,
+    budget: Budget,
 }
 
 impl LinearProgram {
@@ -98,6 +100,7 @@ impl LinearProgram {
             upper: Vec::new(),
             rows: Vec::new(),
             iteration_limit: 50_000,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -237,18 +240,31 @@ impl LinearProgram {
         Ok(())
     }
 
-    /// Caps the number of simplex pivots (per phase). Defaults to 50,000.
+    /// Caps the total number of simplex pivots across both phases (and
+    /// the artificial drive-out between them). Defaults to 50,000.
     pub fn set_iteration_limit(&mut self, limit: usize) {
         self.iteration_limit = limit;
+    }
+
+    /// Attaches a solve [`Budget`] whose deadline and cancellation token
+    /// are checked cooperatively every few pivots.
+    ///
+    /// The LP layer never charges the budget's node meter — callers that
+    /// own a node budget (e.g. a MILP branch-and-bound driving many LP
+    /// relaxations) charge it per node themselves; the simplex only
+    /// observes deadline expiry and cancellation.
+    pub fn set_budget(&mut self, budget: Budget) {
+        self.budget = budget;
     }
 
     /// Solves the program with the two-phase primal simplex method.
     ///
     /// # Errors
     ///
-    /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted.
-    /// Infeasibility and unboundedness are reported through the returned
-    /// [`Solution`]'s status, not as errors.
+    /// Returns [`LpError::IterationLimit`] if the pivot budget is exhausted
+    /// and [`LpError::BudgetExhausted`] if an attached [`Budget`] expires or
+    /// is cancelled mid-solve. Infeasibility and unboundedness are reported
+    /// through the returned [`Solution`]'s status, not as errors.
     pub fn solve(&self) -> Result<Solution, LpError> {
         simplex::solve(self)
     }
@@ -281,6 +297,10 @@ impl LinearProgram {
 
     pub(crate) fn iteration_limit(&self) -> usize {
         self.iteration_limit
+    }
+
+    pub(crate) fn budget(&self) -> &Budget {
+        &self.budget
     }
 
     fn check_var(&self, var: VariableId) -> Result<(), LpError> {

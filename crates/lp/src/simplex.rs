@@ -11,6 +11,12 @@ use crate::error::LpError;
 use crate::problem::{LinearProgram, Objective, Relation};
 use crate::solution::{Solution, Status};
 use crate::TOLERANCE;
+use hilp_budget::Budget;
+
+/// How many pivots between cooperative deadline / cancellation checks.
+/// The global pivot count starts at zero, so an already-expired budget
+/// stops the solve before any pivoting happens.
+const BUDGET_CHECK_STRIDE: u64 = 16;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum ColumnKind {
@@ -84,6 +90,7 @@ fn run_phase(
     objective: &[f64],
     blocked: &[bool],
     iteration_limit: usize,
+    budget: &Budget,
     pivots: &mut u64,
 ) -> Result<PhaseOutcome, LpError> {
     // Reduced-cost row: z_j = c_j - c_B^T * column_j.
@@ -101,10 +108,19 @@ fn run_phase(
     }
     let _ = obj_rhs;
 
-    let bland_threshold = iteration_limit / 2;
-    for iteration in 0..iteration_limit {
+    // Both the pivot cap and the Bland threshold count *global* pivots:
+    // the cap spans phase 1, the artificial drive-out, and phase 2, so a
+    // near-cycling phase 1 cannot hand phase 2 a fresh budget.
+    let limit = u64::try_from(iteration_limit).unwrap_or(u64::MAX);
+    let bland_threshold = limit / 2;
+    loop {
+        if (*pivots).is_multiple_of(BUDGET_CHECK_STRIDE) {
+            if let Err(kind) = budget.check() {
+                return Err(LpError::BudgetExhausted { kind });
+            }
+        }
         // Entering column.
-        let use_bland = iteration >= bland_threshold;
+        let use_bland = *pivots >= bland_threshold;
         let mut entering: Option<usize> = None;
         let mut best = -TOLERANCE;
         for c in 0..tableau.cols {
@@ -123,6 +139,12 @@ fn run_phase(
         let Some(col) = entering else {
             return Ok(PhaseOutcome::Optimal);
         };
+        // A pivot is needed: spend one unit of the global cap.
+        if *pivots >= limit {
+            return Err(LpError::IterationLimit {
+                limit: iteration_limit,
+            });
+        }
 
         // Leaving row: minimum ratio test, ties broken by smallest basis
         // index (lexicographic tie-break supports Bland's rule).
@@ -156,9 +178,6 @@ fn run_phase(
         }
         reduced[col] = 0.0;
     }
-    Err(LpError::IterationLimit {
-        limit: iteration_limit,
-    })
 }
 
 pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
@@ -289,6 +308,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
             &phase1_costs,
             &no_block,
             lp.iteration_limit(),
+            lp.budget(),
             &mut pivots,
         )? {
             PhaseOutcome::Optimal => {}
@@ -331,6 +351,7 @@ pub(crate) fn solve(lp: &LinearProgram) -> Result<Solution, LpError> {
         &phase2_costs,
         &blocked,
         lp.iteration_limit(),
+        lp.budget(),
         &mut pivots,
     )? {
         PhaseOutcome::Optimal => {}
@@ -500,6 +521,37 @@ mod tests {
     }
 
     #[test]
+    fn beale_cycling_example_terminates_at_the_known_optimum() {
+        // Beale (1955): pure Dantzig pivoting cycles forever on this
+        // degenerate LP. The Bland fallback must break any cycle; the
+        // optimum is -0.05 at x = (0.04, 0, 1, 0).
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x1 = lp.add_variable(-0.75);
+        let x2 = lp.add_variable(150.0);
+        let x3 = lp.add_variable(-0.02);
+        let x4 = lp.add_variable(6.0);
+        lp.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Relation::Le,
+            0.0,
+        )
+        .unwrap();
+        lp.add_constraint(vec![(x3, 1.0)], Relation::Le, 1.0)
+            .unwrap();
+        let sol = lp.solve().unwrap();
+        assert_eq!(sol.status(), Status::Optimal);
+        assert_close(sol.objective_value(), -0.05);
+        assert_close(sol.value(x1), 0.04);
+        assert_close(sol.value(x3), 1.0);
+    }
+
+    #[test]
     fn redundant_equality_rows_are_handled() {
         // Duplicate equality rows leave an artificial basic at zero.
         let mut lp = LinearProgram::new(Objective::Minimize);
@@ -529,6 +581,70 @@ mod tests {
 #[cfg(test)]
 mod limit_tests {
     use crate::{LinearProgram, LpError, Objective, Relation};
+    use hilp_budget::{Budget, BudgetKind, CancelToken};
+    use std::time::Duration;
+
+    /// A small LP that needs phase-1 work (Ge row) and phase-2 pivots.
+    fn two_phase_instance() -> LinearProgram {
+        let mut lp = LinearProgram::new(Objective::Minimize);
+        let x = lp.add_variable(2.0);
+        let y = lp.add_variable(3.0);
+        lp.add_constraint(vec![(x, 1.0), (y, 1.0)], Relation::Ge, 10.0)
+            .unwrap();
+        lp.add_constraint(vec![(x, 1.0), (y, -1.0)], Relation::Le, 4.0)
+            .unwrap();
+        lp
+    }
+
+    #[test]
+    fn pivot_cap_is_global_across_phases() {
+        // The cap counts pivots from both phases combined: re-solving
+        // with one pivot less than the full solve used must trip the
+        // limit even though each phase alone would fit a per-phase cap.
+        let total = two_phase_instance().solve().unwrap().pivots();
+        assert!(total >= 2, "instance should need at least two pivots");
+        let mut capped = two_phase_instance();
+        #[allow(clippy::cast_possible_truncation)]
+        capped.set_iteration_limit(total as usize - 1);
+        assert!(matches!(
+            capped.solve(),
+            Err(LpError::IterationLimit { .. })
+        ));
+    }
+
+    #[test]
+    fn cancelled_budget_stops_the_solve() {
+        let token = CancelToken::new();
+        token.cancel();
+        let mut lp = two_phase_instance();
+        lp.set_budget(Budget::unlimited().with_cancel(token));
+        assert!(matches!(
+            lp.solve(),
+            Err(LpError::BudgetExhausted {
+                kind: BudgetKind::Cancelled
+            })
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_stops_the_solve() {
+        let mut lp = two_phase_instance();
+        lp.set_budget(Budget::deadline(Duration::ZERO));
+        assert!(matches!(
+            lp.solve(),
+            Err(LpError::BudgetExhausted {
+                kind: BudgetKind::Deadline
+            })
+        ));
+    }
+
+    #[test]
+    fn unlimited_budget_changes_nothing() {
+        let plain = two_phase_instance().solve().unwrap();
+        let mut budgeted = two_phase_instance();
+        budgeted.set_budget(Budget::unlimited());
+        assert_eq!(budgeted.solve().unwrap(), plain);
+    }
 
     #[test]
     fn iteration_limit_is_reported_as_an_error() {

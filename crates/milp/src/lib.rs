@@ -49,6 +49,9 @@ use hilp_telemetry::Counter;
 // Re-exported so callers can configure `SolveLimits::telemetry` without a
 // direct hilp-telemetry dependency.
 pub use hilp_telemetry::Telemetry;
+// Re-exported so callers can configure `SolveLimits::budget` without a
+// direct hilp-budget dependency.
+pub use hilp_budget::{Budget, BudgetKind, CancelToken};
 
 /// Tolerance within which a value counts as integral.
 pub const INTEGRALITY_TOLERANCE: f64 = 1e-6;
@@ -108,6 +111,13 @@ pub struct SolveLimits {
     /// Disabled by default; strictly observational, so it is ignored by
     /// `PartialEq`.
     pub telemetry: Telemetry,
+    /// Unified solve budget: a shared node meter, wall-clock deadline,
+    /// and cancellation token checked cooperatively at every
+    /// branch-and-bound node (and, for deadline/cancel, inside the LP
+    /// pivot loop). Subsumes `max_nodes`/`time_limit`, which remain as
+    /// solver-local caps; whichever trips first stops the search.
+    /// Unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for SolveLimits {
@@ -118,6 +128,7 @@ impl Default for SolveLimits {
             gap_target: 0.0,
             presolve: false,
             telemetry: Telemetry::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -156,6 +167,7 @@ pub struct MilpSolution {
     objective_value: f64,
     bound: f64,
     nodes_explored: usize,
+    exhausted: Option<BudgetKind>,
 }
 
 impl MilpSolution {
@@ -172,7 +184,13 @@ impl MilpSolution {
             objective_value,
             bound,
             nodes_explored,
+            exhausted: None,
         }
+    }
+
+    pub(crate) fn with_exhausted(mut self, exhausted: Option<BudgetKind>) -> Self {
+        self.exhausted = exhausted;
+        self
     }
 
     /// Termination status.
@@ -232,6 +250,16 @@ impl MilpSolution {
     #[must_use]
     pub fn nodes_explored(&self) -> usize {
         self.nodes_explored
+    }
+
+    /// Which limit stopped the search early, if any: `Nodes` when the
+    /// node meter (budget or `max_nodes`) ran out, `Deadline` when a
+    /// wall-clock limit passed, `Cancelled` when the caller's token
+    /// tripped. `None` when the search ran to completion (optimality,
+    /// gap target, or infeasibility proven).
+    #[must_use]
+    pub fn exhausted(&self) -> Option<BudgetKind> {
+        self.exhausted
     }
 }
 

@@ -2,8 +2,9 @@
 
 use std::time::Instant;
 
-use hilp_lp::{LinearProgram, Objective, Status, VariableId};
-use hilp_telemetry::{BoundSource, Counter, IncumbentSource, PruneReason};
+use hilp_budget::BudgetKind;
+use hilp_lp::{LinearProgram, LpError, Objective, Status, VariableId};
+use hilp_telemetry::{BoundSource, BudgetLayer, Counter, IncumbentSource, PruneReason};
 
 use crate::{MilpError, MilpSolution, MilpStatus, SolveLimits, INTEGRALITY_TOLERANCE};
 
@@ -73,9 +74,10 @@ pub(crate) fn branch_and_bound(
     }];
 
     let mut limit_hit = false;
+    // Which budget dimension stopped the search, once one does (sticky:
+    // the unified budget reports the first trip across all layers).
+    let mut exhausted_kind: Option<BudgetKind> = None;
     while let Some(node) = stack.pop() {
-        let over_limit = nodes_explored >= limits.max_nodes
-            || limits.time_limit.is_some_and(|t| start.elapsed() >= t);
         let gap_reached = match &incumbent {
             Some((_, inc)) => {
                 let bound = node.parent_bound.min(abandoned_bound);
@@ -84,6 +86,16 @@ pub(crate) fn branch_and_bound(
             }
             None => false,
         };
+        // One node popped = one unit of the unified budget. The charge
+        // also observes the deadline (on a stride) and the cancel token.
+        // Nodes already covered by the gap target are free: reaching the
+        // target is a success, not a truncation.
+        if exhausted_kind.is_none() && !gap_reached {
+            exhausted_kind = limits.budget.charge(1).err();
+        }
+        let over_limit = exhausted_kind.is_some()
+            || nodes_explored >= limits.max_nodes
+            || limits.time_limit.is_some_and(|t| start.elapsed() >= t);
         if over_limit || gap_reached {
             if over_limit {
                 limit_hit = true;
@@ -123,7 +135,26 @@ pub(crate) fn branch_and_bound(
         if infeasible_overrides {
             continue;
         }
-        let relax = lp.solve()?;
+        // Share the budget with the relaxation so a deadline or
+        // cancellation also interrupts a long simplex run. The LP layer
+        // never charges the node meter.
+        lp.set_budget(limits.budget.clone());
+        let relax = match lp.solve() {
+            Ok(relax) => relax,
+            Err(LpError::BudgetExhausted { kind }) => {
+                // The budget tripped mid-relaxation: this node's subtree
+                // is abandoned like any other unexplored one.
+                exhausted_kind = Some(kind);
+                limit_hit = true;
+                abandoned_bound = abandoned_bound.min(node.parent_bound);
+                for rest in stack.drain(..) {
+                    abandoned_bound = abandoned_bound.min(rest.parent_bound);
+                }
+                tel.prune(PruneReason::Budget, nodes_explored as u64, abandoned_bound);
+                break;
+            }
+            Err(e) => return Err(e.into()),
+        };
         tel.add(Counter::SimplexPivots, relax.pivots());
         match relax.status() {
             Status::Infeasible => {
@@ -186,6 +217,19 @@ pub(crate) fn branch_and_bound(
         }
     }
 
+    // Unify the ad-hoc limits with the budget's vocabulary: any early
+    // stop is reported as the budget dimension that caused it.
+    if limit_hit && exhausted_kind.is_none() {
+        exhausted_kind = Some(if nodes_explored >= limits.max_nodes {
+            BudgetKind::Nodes
+        } else {
+            BudgetKind::Deadline
+        });
+    }
+    if let Some(kind) = exhausted_kind {
+        tel.budget_expired(BudgetLayer::Milp, kind, nodes_explored as u64);
+    }
+
     let (status, values, objective, bound) = match incumbent {
         Some((values, inc_min)) => {
             let proven = inc_min.min(abandoned_bound);
@@ -217,13 +261,10 @@ pub(crate) fn branch_and_bound(
             (status, Vec::new(), 0.0, 0.0)
         }
     };
-    Ok(MilpSolution::new(
-        status,
-        values,
-        objective,
-        bound,
-        nodes_explored,
-    ))
+    Ok(
+        MilpSolution::new(status, values, objective, bound, nodes_explored)
+            .with_exhausted(exhausted_kind),
+    )
 }
 
 fn child(node: &Node, j: usize, lo: f64, hi: f64, bound: f64) -> Node {
@@ -379,7 +420,7 @@ mod tests {
 
 #[cfg(test)]
 mod limit_tests {
-    use crate::{MilpProblem, MilpStatus, SolveLimits};
+    use crate::{Budget, BudgetKind, CancelToken, MilpProblem, MilpStatus, SolveLimits};
     use hilp_lp::{Objective, Relation};
     use std::time::Duration;
 
@@ -420,8 +461,101 @@ mod limit_tests {
         };
         let sol = milp.solve(&limits).unwrap();
         assert_eq!(sol.status(), MilpStatus::Optimal);
+        assert_eq!(sol.exhausted(), None);
         // Cross-check against the unlimited solve.
         let unlimited = milp.solve(&SolveLimits::default()).unwrap();
         assert!((sol.objective_value() - unlimited.objective_value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn legacy_limits_report_the_matching_budget_kind() {
+        let milp = chunky_knapsack();
+        let node_limited = milp
+            .solve(&SolveLimits {
+                max_nodes: 1,
+                ..SolveLimits::default()
+            })
+            .unwrap();
+        assert_eq!(node_limited.exhausted(), Some(BudgetKind::Nodes));
+        let time_limited = milp
+            .solve(&SolveLimits {
+                time_limit: Some(Duration::ZERO),
+                ..SolveLimits::default()
+            })
+            .unwrap();
+        assert_eq!(time_limited.exhausted(), Some(BudgetKind::Deadline));
+    }
+
+    #[test]
+    fn node_budget_truncates_soundly_with_a_valid_bound() {
+        let milp = chunky_knapsack();
+        let limits = SolveLimits {
+            budget: Budget::nodes(5),
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert_eq!(sol.exhausted(), Some(BudgetKind::Nodes));
+        assert!(sol.nodes_explored() <= 5);
+        let unlimited = milp.solve(&SolveLimits::default()).unwrap();
+        if sol.status() == MilpStatus::Feasible {
+            // Maximization: bound >= true optimum >= incumbent.
+            assert!(sol.bound() >= unlimited.objective_value() - 1e-9);
+            assert!(sol.objective_value() <= unlimited.objective_value() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn identical_node_budgets_are_bit_identical() {
+        let milp = chunky_knapsack();
+        let solve = |n| {
+            milp.solve(&SolveLimits {
+                budget: Budget::nodes(n),
+                ..SolveLimits::default()
+            })
+            .unwrap()
+        };
+        assert_eq!(solve(5), solve(5));
+    }
+
+    #[test]
+    fn cancelled_budget_stops_before_any_node() {
+        let token = CancelToken::new();
+        token.cancel();
+        let milp = chunky_knapsack();
+        let limits = SolveLimits {
+            budget: Budget::unlimited().with_cancel(token),
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Unknown);
+        assert_eq!(sol.nodes_explored(), 0);
+        assert_eq!(sol.exhausted(), Some(BudgetKind::Cancelled));
+    }
+
+    #[test]
+    fn zero_deadline_budget_stops_immediately_but_soundly() {
+        let milp = chunky_knapsack();
+        let limits = SolveLimits {
+            budget: Budget::deadline(Duration::ZERO),
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Unknown);
+        assert_eq!(sol.nodes_explored(), 0);
+        assert_eq!(sol.exhausted(), Some(BudgetKind::Deadline));
+    }
+
+    #[test]
+    fn generous_node_budget_still_proves_optimality() {
+        let milp = chunky_knapsack();
+        let limits = SolveLimits {
+            budget: Budget::nodes(1_000_000),
+            ..SolveLimits::default()
+        };
+        let sol = milp.solve(&limits).unwrap();
+        assert_eq!(sol.status(), MilpStatus::Optimal);
+        assert_eq!(sol.exhausted(), None);
+        let unlimited = milp.solve(&SolveLimits::default()).unwrap();
+        assert_eq!(sol, unlimited);
     }
 }

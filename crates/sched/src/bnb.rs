@@ -16,6 +16,7 @@ use crate::bounds::tails;
 use crate::instance::{EdgeKind, Instance, ModeId, TaskId};
 use crate::schedule::Schedule;
 use crate::sgs::{Timetable, TimetableKind};
+use hilp_budget::{Budget, BudgetKind};
 use hilp_telemetry::{Counter, IncumbentSource, PruneReason, Telemetry};
 
 pub(crate) struct BnbResult {
@@ -25,6 +26,9 @@ pub(crate) struct BnbResult {
     /// True when the tree was exhausted (the incumbent is optimal).
     pub complete: bool,
     pub nodes: u64,
+    /// Which unified-budget constraint stopped the search, when one did.
+    /// The legacy `node_budget` cap reports through `complete` alone.
+    pub truncated: Option<BudgetKind>,
 }
 
 struct SearchState<'a> {
@@ -40,8 +44,11 @@ struct SearchState<'a> {
     /// Minimum lower bound among subtrees abandoned due to the node budget.
     abandoned_bound: u32,
     node_budget: u64,
+    /// Unified solve budget, charged one node per expansion.
+    budget: &'a Budget,
     nodes: u64,
     exhausted_budget: bool,
+    truncated: Option<BudgetKind>,
     /// Observational telemetry (disabled handles cost one branch per
     /// record site; never influences the search).
     tel: &'a Telemetry,
@@ -97,7 +104,15 @@ impl SearchState<'_> {
             return;
         }
         self.nodes += 1;
-        if self.nodes > self.node_budget {
+        let over_budget = if self.nodes > self.node_budget {
+            true
+        } else if let Err(kind) = self.budget.charge(1) {
+            self.truncated = Some(kind);
+            true
+        } else {
+            false
+        };
+        if over_budget {
             self.exhausted_budget = true;
             let bound = self.node_bound();
             self.abandoned_bound = self.abandoned_bound.min(bound);
@@ -206,6 +221,7 @@ pub(crate) fn branch_and_bound(
     initial_incumbent: Option<Schedule>,
     initial_bound: u32,
     node_budget: u64,
+    budget: &Budget,
     timetable: TimetableKind,
     tel: &Telemetry,
 ) -> BnbResult {
@@ -219,6 +235,7 @@ pub(crate) fn branch_and_bound(
                 lower_bound: *makespan,
                 complete: true,
                 nodes: 0,
+                truncated: None,
             };
         }
     }
@@ -237,8 +254,10 @@ pub(crate) fn branch_and_bound(
         incumbent,
         abandoned_bound: u32::MAX,
         node_budget,
+        budget,
         nodes: 0,
         exhausted_budget: false,
+        truncated: None,
         tel,
     };
     state.dfs();
@@ -265,6 +284,7 @@ pub(crate) fn branch_and_bound(
         lower_bound,
         complete,
         nodes: state.nodes,
+        truncated: state.truncated,
     }
 }
 
@@ -307,6 +327,7 @@ mod tests {
             None,
             0,
             10_000_000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -349,6 +370,7 @@ mod tests {
             None,
             0,
             50_000_000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -371,6 +393,7 @@ mod tests {
                 timetable: TimetableKind::Event,
                 warm_priority: None,
                 target_bound: None,
+                budget: Budget::unlimited(),
             },
         )
         .unwrap();
@@ -379,6 +402,7 @@ mod tests {
             Some(heuristic),
             0,
             10_000_000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -387,6 +411,7 @@ mod tests {
             None,
             0,
             10_000_000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -411,6 +436,7 @@ mod tests {
                 timetable: TimetableKind::Event,
                 warm_priority: None,
                 target_bound: None,
+                budget: Budget::unlimited(),
             },
         )
         .unwrap();
@@ -421,6 +447,7 @@ mod tests {
             Some(heuristic),
             7,
             10_000_000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -437,6 +464,7 @@ mod tests {
             None,
             0,
             5,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -446,6 +474,82 @@ mod tests {
             "bound {} must not exceed the optimum",
             result.lower_bound
         );
+    }
+
+    /// Ports of the MILP limit tests (see `hilp-milp::solver::limit_tests`)
+    /// to the scheduling branch and bound, exercising the same unified
+    /// [`Budget`] vocabulary.
+    fn budgeted(inst: &Instance, budget: &Budget) -> BnbResult {
+        branch_and_bound(
+            inst,
+            None,
+            0,
+            u64::MAX,
+            budget,
+            TimetableKind::Event,
+            &Telemetry::disabled(),
+        )
+    }
+
+    #[test]
+    fn unified_node_budget_truncates_soundly() {
+        let inst = figure2_instance();
+        let result = budgeted(&inst, &Budget::nodes(5));
+        assert!(!result.complete);
+        assert_eq!(result.truncated, Some(BudgetKind::Nodes));
+        assert!(
+            result.nodes <= 6,
+            "expanded {} nodes on a budget of 5",
+            result.nodes
+        );
+        assert!(
+            result.lower_bound <= 7,
+            "bound {} must not exceed the optimum",
+            result.lower_bound
+        );
+    }
+
+    #[test]
+    fn identical_unified_node_budgets_are_bit_identical() {
+        let inst = figure2_instance();
+        let a = budgeted(&inst, &Budget::nodes(50));
+        let b = budgeted(&inst, &Budget::nodes(50));
+        assert_eq!(a.best, b.best);
+        assert_eq!(a.lower_bound, b.lower_bound);
+        assert_eq!(a.nodes, b.nodes);
+        assert_eq!(a.truncated, b.truncated);
+    }
+
+    #[test]
+    fn cancelled_budget_stops_at_the_root() {
+        let inst = figure2_instance();
+        let token = hilp_budget::CancelToken::new();
+        token.cancel();
+        let result = budgeted(&inst, &Budget::unlimited().with_cancel(token));
+        assert!(!result.complete);
+        assert_eq!(result.truncated, Some(BudgetKind::Cancelled));
+        assert_eq!(result.nodes, 1, "only the root may be visited");
+        assert!(result.lower_bound <= 7);
+    }
+
+    #[test]
+    fn zero_deadline_budget_stops_at_the_root() {
+        let inst = figure2_instance();
+        let result = budgeted(&inst, &Budget::deadline(std::time::Duration::ZERO));
+        assert!(!result.complete);
+        assert_eq!(result.truncated, Some(BudgetKind::Deadline));
+        assert!(result.lower_bound <= 7);
+    }
+
+    #[test]
+    fn generous_unified_budget_still_proves_optimality() {
+        let inst = figure2_instance();
+        let unbudgeted = budgeted(&inst, &Budget::unlimited());
+        let result = budgeted(&inst, &Budget::nodes(1_000_000));
+        assert!(result.complete);
+        assert_eq!(result.truncated, None);
+        assert_eq!(result.best, unbudgeted.best);
+        assert_eq!(result.lower_bound, 7);
     }
 
     #[test]
@@ -469,6 +573,7 @@ mod tests {
             None,
             0,
             1_000_000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );
@@ -490,6 +595,7 @@ mod tests {
             None,
             0,
             1000,
+            &Budget::unlimited(),
             TimetableKind::Event,
             &Telemetry::disabled(),
         );

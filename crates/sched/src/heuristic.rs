@@ -13,6 +13,7 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 
+use hilp_budget::{Budget, BudgetKind};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -22,7 +23,7 @@ use crate::schedule::Schedule;
 use crate::sgs::{serial_sgs_into, ModeRule, Timetable, TimetableKind};
 
 /// Tuning inputs for [`multi_start`].
-#[derive(Clone, Copy)]
+#[derive(Clone)]
 pub(crate) struct HeuristicParams<'w> {
     /// Number of randomized SGS multi-start passes.
     pub starts: usize,
@@ -44,6 +45,14 @@ pub(crate) struct HeuristicParams<'w> {
     /// changing the returned schedule (see [`best_candidate`] for why the
     /// `(makespan, index)` winner is preserved bit-for-bit).
     pub target_bound: Option<u32>,
+    /// Shared solve budget. The node meter is charged at *phase entry*
+    /// (each SGS evaluation costs one node) by shrinking the phase's job
+    /// count to what remains, so node budgets never interrupt a worker
+    /// mid-phase and results stay thread-count independent. Deadlines and
+    /// cancellation are observed per job via
+    /// [`Budget::check_interrupt`]. The base deterministic pass is always
+    /// free: even an already-expired budget yields an incumbent.
+    pub budget: Budget,
 }
 
 /// Work counters from one [`multi_start`] run, used by callers to attribute
@@ -58,6 +67,9 @@ pub(crate) struct HeuristicTelemetry {
     pub jobs_executed: usize,
     /// The incumbent reached `target_bound`, proving it optimal.
     pub bound_reached: bool,
+    /// `Some` when the solve budget cut work (phases shrank or were
+    /// skipped, or a deadline/cancellation interrupted the workers).
+    pub truncated: Option<BudgetKind>,
 }
 
 /// SplitMix64-style finalizer over a `(seed, stream, index)` triple, giving
@@ -100,6 +112,7 @@ fn best_candidate<F>(
     threads: usize,
     jobs: usize,
     target: Option<u32>,
+    budget: &Budget,
     eval: F,
 ) -> (Option<(u32, Schedule)>, usize)
 where
@@ -118,6 +131,15 @@ where
         loop {
             let index = next.fetch_add(1, Ordering::Relaxed);
             if index >= jobs || index > stop_at.load(Ordering::Relaxed) {
+                return best;
+            }
+            // Deadline/cancellation checks only: the phase's node
+            // allocation was charged up front, so node budgets can never
+            // interrupt a worker here and the `(makespan, index)` winner
+            // stays identical for every thread count. Job 0 is exempt so
+            // the deterministic base pass survives even an expired budget
+            // and every solve still yields an incumbent.
+            if index > 0 && budget.check_interrupt().is_err() {
                 return best;
             }
             executed.fetch_add(1, Ordering::Relaxed);
@@ -195,6 +217,32 @@ pub(crate) fn multi_start_with_telemetry(
     let reached = |best: &Option<(u32, Schedule)>| {
         target.is_some_and(|t| best.as_ref().is_some_and(|&(m, _)| m <= t))
     };
+    let budget = &params.budget;
+    // Phase-entry node allocation: shrink the phase to the nodes still
+    // available and charge them up front. Charging `allowed <= remaining`
+    // never trips the budget, so workers observe only deadlines and
+    // cancellation — node-budgeted results are identical for every thread
+    // count. The first trip (or a short allocation) is remembered so the
+    // caller can report which constraint cut the search.
+    let mut truncated: Option<BudgetKind> = None;
+    let mut allocate = |requested: usize| -> usize {
+        if truncated.is_some() {
+            return 0;
+        }
+        let remaining = usize::try_from(budget.remaining_nodes()).unwrap_or(usize::MAX);
+        let allowed = requested.min(remaining);
+        match budget.charge(allowed as u64) {
+            Ok(()) if allowed == requested => allowed,
+            Ok(()) => {
+                truncated = Some(BudgetKind::Nodes);
+                allowed
+            }
+            Err(kind) => {
+                truncated = Some(kind);
+                0
+            }
+        }
+    };
     let base: Vec<f64> = tails(instance).iter().map(|&t| f64::from(t)).collect();
     let starts = params.starts.max(1);
     let warm = params.warm_priority.filter(|w| w.len() == n);
@@ -202,13 +250,17 @@ pub(crate) fn multi_start_with_telemetry(
 
     // Phase A — multi-start: job 0 is the deterministic longest-tail-first
     // pass, an optional job replays the warm-start ordering, and the
-    // remaining `starts - 1` jobs perturb the tail priorities.
+    // remaining `starts - 1` jobs perturb the tail priorities. The base
+    // pass is exempt from the budget (`.max(1)`): every solve must return
+    // an incumbent, however small its budget.
+    let phase_a_jobs = allocate(starts + warm_jobs).max(1);
     let (mut best, executed) = best_candidate(
         instance,
         params.timetable,
         params.threads,
-        starts + warm_jobs,
+        phase_a_jobs,
         target,
+        budget,
         |index, timetable| {
             let priority: Vec<f64> = if index == 0 {
                 base.clone()
@@ -227,7 +279,7 @@ pub(crate) fn multi_start_with_telemetry(
             serial_sgs_into(instance, &priority, &ModeRule::GreedyFinish, timetable)
         },
     );
-    telemetry.jobs_total += starts + warm_jobs;
+    telemetry.jobs_total += phase_a_jobs;
     telemetry.jobs_executed += executed;
 
     // Phase B — ruin and recreate: keep most of the incumbent's mode
@@ -238,13 +290,14 @@ pub(crate) fn multi_start_with_telemetry(
     // proven lower bound rules out, so skipping cannot change the result.
     if !reached(&best) {
         if let Some((incumbent_makespan, incumbent)) = best.clone() {
-            let rounds = (starts / 4).min(60);
+            let rounds = allocate((starts / 4).min(60));
             let (candidate, executed) = best_candidate(
                 instance,
                 params.timetable,
                 params.threads,
                 rounds,
                 target,
+                budget,
                 |round, timetable| {
                     let mut rng = SmallRng::seed_from_u64(mix_seed(params.seed, 2, round as u64));
                     let order_priority: Vec<f64> = incumbent
@@ -305,12 +358,20 @@ pub(crate) fn multi_start_with_telemetry(
                     .map(move |m| (t, m))
             })
             .collect();
+        // A short allocation truncates the move batch; the surviving
+        // prefix is still evaluated against the same incumbent, so the
+        // strict-improvement rule keeps the result feasible and sound.
+        let allowed_moves = allocate(moves.len());
+        if allowed_moves == 0 {
+            break;
+        }
         let (candidate, executed) = best_candidate(
             instance,
             params.timetable,
             params.threads,
-            moves.len(),
+            allowed_moves,
             target,
+            budget,
             |index, timetable| {
                 let (t, m) = moves[index];
                 let mut forced: Vec<Option<ModeId>> =
@@ -324,7 +385,7 @@ pub(crate) fn multi_start_with_telemetry(
                 )
             },
         );
-        telemetry.jobs_total += moves.len();
+        telemetry.jobs_total += allowed_moves;
         telemetry.jobs_executed += executed;
         match candidate {
             Some((makespan, schedule)) if makespan < incumbent_makespan => {
@@ -335,6 +396,9 @@ pub(crate) fn multi_start_with_telemetry(
     }
 
     telemetry.bound_reached = reached(&best);
+    // A deadline or cancellation tripped inside a worker leaves no local
+    // trace; the sticky flag on the budget records it.
+    telemetry.truncated = truncated.or_else(|| budget.exhausted());
     (best.map(|(_, s)| s), telemetry)
 }
 
@@ -352,6 +416,7 @@ mod tests {
             timetable: TimetableKind::Event,
             warm_priority: None,
             target_bound: None,
+            budget: Budget::unlimited(),
         }
     }
 
@@ -542,6 +607,88 @@ mod tests {
                 "thread count {threads} changed the bounded result"
             );
         }
+    }
+
+    #[test]
+    fn node_budget_shrinks_the_search_but_keeps_an_incumbent() {
+        let inst = figure2_instance();
+        let (best, telemetry) = multi_start_with_telemetry(
+            &inst,
+            &HeuristicParams {
+                budget: Budget::nodes(3),
+                ..params(50, 2, 42)
+            },
+        );
+        let best = best.expect("a truncated solve still yields an incumbent");
+        assert!(best.verify(&inst).is_empty());
+        assert_eq!(telemetry.truncated, Some(BudgetKind::Nodes));
+        assert!(telemetry.jobs_total <= 3, "allocation exceeded the budget");
+    }
+
+    #[test]
+    fn node_budgets_are_bit_identical_across_thread_counts() {
+        let inst = figure2_instance();
+        let run = |threads| {
+            multi_start(
+                &inst,
+                &HeuristicParams {
+                    threads,
+                    budget: Budget::nodes(7),
+                    ..params(50, 2, 11)
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(serial, run(threads), "threads {threads} changed the result");
+        }
+    }
+
+    #[test]
+    fn generous_node_budget_matches_the_unbudgeted_run() {
+        let inst = figure2_instance();
+        let plain = multi_start_with_telemetry(&inst, &params(60, 2, 11));
+        let budgeted = multi_start_with_telemetry(
+            &inst,
+            &HeuristicParams {
+                budget: Budget::nodes(1_000_000),
+                ..params(60, 2, 11)
+            },
+        );
+        assert_eq!(plain.0, budgeted.0);
+        assert_eq!(budgeted.1.truncated, None);
+    }
+
+    #[test]
+    fn cancelled_budget_still_returns_the_base_pass() {
+        let inst = figure2_instance();
+        let token = hilp_budget::CancelToken::new();
+        token.cancel();
+        let (best, telemetry) = multi_start_with_telemetry(
+            &inst,
+            &HeuristicParams {
+                budget: Budget::unlimited().with_cancel(token),
+                ..params(50, 2, 42)
+            },
+        );
+        let best = best.expect("the deterministic base pass is budget-exempt");
+        assert!(best.verify(&inst).is_empty());
+        assert_eq!(telemetry.truncated, Some(BudgetKind::Cancelled));
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_the_base_pass() {
+        let inst = figure2_instance();
+        let (best, telemetry) = multi_start_with_telemetry(
+            &inst,
+            &HeuristicParams {
+                budget: Budget::deadline(std::time::Duration::ZERO),
+                ..params(50, 2, 42)
+            },
+        );
+        assert!(best.is_some());
+        assert_eq!(telemetry.truncated, Some(BudgetKind::Deadline));
     }
 
     #[test]

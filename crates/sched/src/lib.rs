@@ -82,3 +82,6 @@ pub use solve::{
 // Re-exported so callers can configure `SolverConfig::telemetry` without a
 // direct hilp-telemetry dependency.
 pub use hilp_telemetry::Telemetry;
+// Re-exported so callers can configure `SolverConfig::budget` (and consume
+// `SolveOutcome::partial`) without a direct hilp-budget dependency.
+pub use hilp_budget::{Budget, BudgetKind, CancelToken, Partial};

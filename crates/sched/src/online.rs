@@ -18,6 +18,7 @@
 use crate::instance::{EdgeKind, Instance, ModeId, TaskId};
 use crate::schedule::Schedule;
 use crate::sgs::Timetable;
+use hilp_budget::{Budget, BudgetKind};
 
 /// Priority policies for [`online_greedy`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,12 +57,50 @@ impl OnlinePolicy {
     }
 }
 
+/// Outcome of [`online_greedy_budgeted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OnlineOutcome {
+    /// Every task was dispatched within the horizon.
+    Complete(Schedule),
+    /// The admission budget expired mid-simulation: `dispatched` tasks
+    /// were placed before `kind` tripped. The partial placement is not a
+    /// complete schedule, so only its size is reported — a runtime that
+    /// ran out of budget keeps whatever it already committed.
+    Truncated {
+        /// Tasks dispatched before the budget expired.
+        dispatched: usize,
+        /// Which budget constraint tripped.
+        kind: BudgetKind,
+    },
+    /// No work-conserving dispatch fits the horizon (the unbudgeted
+    /// [`online_greedy`] returns `None` for this).
+    HorizonExhausted,
+}
+
 /// Simulates a greedy online dispatcher, returning its (feasible but
 /// usually suboptimal) schedule. Returns `None` when the horizon is too
 /// small — which a work-conserving dispatcher can genuinely run into even
 /// where an offline schedule exists.
 #[must_use]
 pub fn online_greedy(instance: &Instance, policy: OnlinePolicy) -> Option<Schedule> {
+    match online_greedy_budgeted(instance, policy, &Budget::unlimited()) {
+        OnlineOutcome::Complete(schedule) => Some(schedule),
+        _ => None,
+    }
+}
+
+/// [`online_greedy`] under a cooperative [`Budget`]: one node is charged
+/// per *admission* (a task committed to a machine), and deadlines /
+/// cancellation are additionally observed at every dispatch event. This
+/// models an admission-control runtime that must answer within a time or
+/// work budget even during admission storms — when the budget expires the
+/// dispatcher stops admitting and reports how far it got.
+#[must_use]
+pub fn online_greedy_budgeted(
+    instance: &Instance,
+    policy: OnlinePolicy,
+    budget: &Budget,
+) -> OnlineOutcome {
     let n = instance.num_tasks();
     let mut timetable = Timetable::new(instance);
     let mut starts = vec![0u32; n];
@@ -73,6 +112,14 @@ pub fn online_greedy(instance: &Instance, policy: OnlinePolicy) -> Option<Schedu
     // Event queue of candidate dispatch times.
     let mut now = 0u32;
     while num_scheduled < n {
+        // Deadline/cancellation boundary: each dispatch event is an
+        // admission decision the runtime may no longer afford.
+        if let Err(kind) = budget.check() {
+            return OnlineOutcome::Truncated {
+                dispatched: num_scheduled,
+                kind,
+            };
+        }
         // Ready = all predecessors scheduled AND their edge constraints
         // allow a start at `now`.
         let mut ready: Vec<usize> = (0..n)
@@ -110,6 +157,15 @@ pub fn online_greedy(instance: &Instance, policy: OnlinePolicy) -> Option<Schedu
                 }
             }
             if let Some((mode_id, fin)) = best {
+                // One admission = one node. A refused charge means the
+                // runtime's budget ran out mid-storm: stop admitting but
+                // keep everything already committed.
+                if let Err(kind) = budget.charge(1) {
+                    return OnlineOutcome::Truncated {
+                        dispatched: num_scheduled,
+                        kind,
+                    };
+                }
                 let mode = instance.mode(TaskId(t), mode_id).clone();
                 timetable.place(&mode, now);
                 starts[t] = now;
@@ -152,12 +208,12 @@ pub fn online_greedy(instance: &Instance, policy: OnlinePolicy) -> Option<Schedu
             .min()
             .unwrap_or(now + 1);
         if next > instance.horizon() {
-            return None;
+            return OnlineOutcome::HorizonExhausted;
         }
         now = next;
     }
 
-    Some(Schedule { starts, modes })
+    OnlineOutcome::Complete(Schedule { starts, modes })
 }
 
 #[cfg(test)]
@@ -413,6 +469,65 @@ mod tests {
             sched.starts,
             vec![0, 4],
             "blocked task starts at retirement"
+        );
+    }
+
+    /// An admission storm: `n` independent unit tasks spread over four
+    /// machines, all ready at time zero.
+    fn storm_instance(n: usize) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let machines: Vec<_> = (0..4).map(|m| b.add_machine(format!("m{m}"))).collect();
+        for t in 0..n {
+            b.add_task(format!("t{t}"), vec![Mode::on(machines[t % 4], 1)]);
+        }
+        b.set_horizon(4 * n as u32);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn admission_budget_truncates_a_storm() {
+        let inst = storm_instance(20);
+        let outcome = online_greedy_budgeted(&inst, OnlinePolicy::Fifo, &Budget::nodes(7));
+        assert_eq!(
+            outcome,
+            OnlineOutcome::Truncated {
+                dispatched: 7,
+                kind: BudgetKind::Nodes
+            }
+        );
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_unbudgeted_dispatcher() {
+        let inst = storm_instance(20);
+        let plain = online_greedy(&inst, OnlinePolicy::Fifo).unwrap();
+        let budgeted = online_greedy_budgeted(&inst, OnlinePolicy::Fifo, &Budget::unlimited());
+        assert_eq!(budgeted, OnlineOutcome::Complete(plain));
+    }
+
+    #[test]
+    fn generous_admission_budget_completes_the_storm() {
+        let inst = storm_instance(20);
+        let outcome = online_greedy_budgeted(&inst, OnlinePolicy::Fifo, &Budget::nodes(20));
+        assert!(matches!(outcome, OnlineOutcome::Complete(_)));
+    }
+
+    #[test]
+    fn cancelled_runtime_admits_nothing() {
+        let inst = storm_instance(8);
+        let token = hilp_budget::CancelToken::new();
+        token.cancel();
+        let outcome = online_greedy_budgeted(
+            &inst,
+            OnlinePolicy::Fifo,
+            &Budget::unlimited().with_cancel(token),
+        );
+        assert_eq!(
+            outcome,
+            OnlineOutcome::Truncated {
+                dispatched: 0,
+                kind: BudgetKind::Cancelled
+            }
         );
     }
 

@@ -7,7 +7,8 @@ use crate::heuristic;
 use crate::instance::Instance;
 use crate::schedule::Schedule;
 use crate::sgs::TimetableKind;
-use hilp_telemetry::{BoundSource, Counter, IncumbentSource, Telemetry};
+use hilp_budget::{Budget, BudgetKind, Partial};
+use hilp_telemetry::{BoundSource, BudgetLayer, Counter, IncumbentSource, Telemetry};
 
 /// Tuning knobs for [`solve`].
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +45,18 @@ pub struct SolverConfig {
     /// changes the solve outcome — so it is ignored by `PartialEq`:
     /// configs differing only here describe the same computation.
     pub telemetry: Telemetry,
+    /// Unified solve budget: wall-clock deadline, node budget, and/or an
+    /// external cancel token, checked cooperatively at heuristic phase
+    /// entries and branch-and-bound node expansions. On expiry the solve
+    /// still returns its best incumbent with a valid lower bound and marks
+    /// [`SolveOutcome::truncated`]. Node-only budgets are deterministic:
+    /// identical budgets give bit-identical outcomes for every
+    /// `heuristic_threads` value, and `Budget::unlimited()` (the default)
+    /// is bit-identical to the pre-budget solver. Unlike
+    /// `exact_node_budget` (which caps only the exact phase), this budget
+    /// is shared across every phase of the solve — and, when the caller
+    /// clones one budget across layers, with those other layers too.
+    pub budget: Budget,
 }
 
 impl Default for SolverConfig {
@@ -58,6 +71,7 @@ impl Default for SolverConfig {
             timetable: TimetableKind::Event,
             bound_termination: true,
             telemetry: Telemetry::disabled(),
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -163,6 +177,12 @@ pub struct SolveOutcome {
     pub lower_bound: u32,
     /// Whether the schedule is proven optimal.
     pub proved_optimal: bool,
+    /// Which [`SolverConfig::budget`] constraint cut the solve short, when
+    /// one did. `None` for unbudgeted solves and for budgeted solves that
+    /// finished all configured work; the legacy `exact_node_budget` cap
+    /// never sets this. Even when `Some`, the schedule is feasible and
+    /// `lower_bound` is a proven bound — the anytime contract holds.
+    pub truncated: Option<BudgetKind>,
     /// Search statistics.
     pub stats: SolveStats,
 }
@@ -184,6 +204,19 @@ impl SolveOutcome {
     #[must_use]
     pub fn is_near_optimal(&self) -> bool {
         self.gap() <= 0.10 + 1e-12
+    }
+
+    /// The anytime view of a budget-truncated solve: `Some` exactly when
+    /// [`SolverConfig::budget`] expired, packaging the incumbent with its
+    /// proven bound, gap, and the constraint that tripped.
+    #[must_use]
+    pub fn partial(&self) -> Option<Partial<Schedule>> {
+        self.truncated.map(|exhausted| Partial {
+            incumbent: self.schedule.clone(),
+            lower_bound: f64::from(self.lower_bound),
+            gap: self.gap(),
+            exhausted,
+        })
     }
 }
 
@@ -280,6 +313,7 @@ pub fn solve_with_hints(
                 timetable: config.timetable,
                 warm_priority: hints.warm_priority,
                 target_bound: target,
+                budget: config.budget.clone(),
             },
         )
     };
@@ -342,6 +376,7 @@ pub fn solve_with_hints(
         exact_phase_ran: run_exact,
     };
 
+    let mut truncated = heuristic_telemetry.truncated;
     let (schedule, lower_bound, proved) = if run_exact {
         let result = {
             let _bnb_span = tel.span("sched.bnb");
@@ -350,11 +385,13 @@ pub fn solve_with_hints(
                 heuristic_best,
                 root_bound,
                 config.exact_node_budget,
+                &config.budget,
                 config.timetable,
                 tel,
             )
         };
         stats.bnb_nodes = result.nodes;
+        truncated = truncated.or(result.truncated);
         let Some(best) = result.best else {
             return Err(SchedError::HorizonExhausted {
                 horizon: instance.horizon(),
@@ -399,12 +436,21 @@ pub fn solve_with_hints(
     };
     let makespan = schedule.makespan(instance);
     tel.bound(BoundSource::Proved, 0, f64::from(lower_bound.min(makespan)));
+    if let Some(kind) = truncated {
+        let layer = if heuristic_telemetry.truncated.is_some() {
+            BudgetLayer::Heuristic
+        } else {
+            BudgetLayer::Bnb
+        };
+        tel.budget_expired(layer, kind, config.budget.nodes_spent());
+    }
     Ok((
         SolveOutcome {
             schedule,
             makespan,
             lower_bound: lower_bound.min(makespan),
             proved_optimal: proved || lower_bound >= makespan,
+            truncated,
             stats,
         },
         telemetry,
@@ -671,6 +717,140 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_budget_is_bit_identical_to_the_default() {
+        let inst = figure2_instance();
+        let plain = solve(&inst, &SolverConfig::default()).unwrap();
+        let budgeted = solve(
+            &inst,
+            &SolverConfig {
+                budget: Budget::unlimited(),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, budgeted);
+        assert_eq!(budgeted.truncated, None);
+        assert!(budgeted.partial().is_none());
+    }
+
+    #[test]
+    fn node_budget_truncates_with_a_sound_partial() {
+        let inst = figure2_instance();
+        let outcome = solve(
+            &inst,
+            &SolverConfig {
+                budget: Budget::nodes(4),
+                bound_termination: false,
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.truncated, Some(BudgetKind::Nodes));
+        assert!(outcome.schedule.verify(&inst).is_empty());
+        assert!(
+            outcome.lower_bound <= 7,
+            "bound must not exceed the optimum"
+        );
+        assert!(outcome.makespan >= 7, "incumbent cannot beat the optimum");
+        let partial = outcome.partial().expect("truncated solves are partial");
+        assert_eq!(partial.exhausted, BudgetKind::Nodes);
+        assert_eq!(partial.lower_bound, f64::from(outcome.lower_bound));
+        assert_eq!(partial.gap, outcome.gap());
+        assert_eq!(partial.incumbent, outcome.schedule);
+    }
+
+    #[test]
+    fn node_budgets_are_bit_identical_across_thread_counts() {
+        let inst = figure2_instance();
+        let run = |threads| {
+            solve(
+                &inst,
+                &SolverConfig {
+                    heuristic_threads: threads,
+                    budget: Budget::nodes(40),
+                    bound_termination: false,
+                    ..SolverConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(
+                serial,
+                run(threads),
+                "threads {threads} changed the outcome"
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_solve_still_returns_a_feasible_incumbent() {
+        let inst = figure2_instance();
+        let token = hilp_budget::CancelToken::new();
+        token.cancel();
+        let outcome = solve(
+            &inst,
+            &SolverConfig {
+                budget: Budget::unlimited().with_cancel(token),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.truncated, Some(BudgetKind::Cancelled));
+        assert!(outcome.schedule.verify(&inst).is_empty());
+        assert!(outcome.lower_bound <= outcome.makespan);
+    }
+
+    #[test]
+    fn expired_deadline_still_returns_a_feasible_incumbent() {
+        let inst = figure2_instance();
+        let outcome = solve(
+            &inst,
+            &SolverConfig {
+                budget: Budget::deadline(std::time::Duration::ZERO),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(outcome.truncated, Some(BudgetKind::Deadline));
+        assert!(outcome.schedule.verify(&inst).is_empty());
+        assert!(outcome.lower_bound <= outcome.makespan);
+    }
+
+    #[test]
+    fn one_budget_pools_across_heuristic_and_exact_phases() {
+        // A shared 30-node budget on an instance whose combinatorial bound
+        // (3) is below the optimum (4), so the exact phase must run. The
+        // heuristic's phase allocations (20 starts + 5 ruin rounds) and the
+        // branch and bound draw from the same meter: B&B gets only the 5
+        // leftover nodes, not its configured 2M-node cap.
+        let inst = loose_bound_instance();
+        let budget = Budget::nodes(30);
+        let outcome = solve(
+            &inst,
+            &SolverConfig {
+                heuristic_starts: 20,
+                local_search_passes: 0,
+                bound_termination: false,
+                budget: budget.clone(),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(outcome.stats.exact_phase_ran);
+        assert!(
+            outcome.stats.bnb_nodes > 0 && outcome.stats.bnb_nodes <= 6,
+            "B&B explored {} nodes but only 5 remained in the pool",
+            outcome.stats.bnb_nodes
+        );
+        assert_eq!(outcome.truncated, Some(BudgetKind::Nodes));
+        assert!(budget.nodes_spent() >= 30);
+        assert!(outcome.schedule.verify(&inst).is_empty());
+        assert!(outcome.lower_bound <= outcome.makespan);
+    }
+
+    #[test]
     fn gap_handles_zero_makespan() {
         let outcome = SolveOutcome {
             schedule: Schedule {
@@ -680,6 +860,7 @@ mod tests {
             makespan: 0,
             lower_bound: 0,
             proved_optimal: true,
+            truncated: None,
             stats: SolveStats::default(),
         };
         assert_eq!(outcome.gap(), 0.0);

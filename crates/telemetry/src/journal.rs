@@ -8,7 +8,8 @@
 //! and a worked example.
 
 use crate::ring::{Event, EventKind};
-use crate::{BoundSource, IncumbentSource, PruneReason};
+use crate::{BoundSource, BudgetLayer, IncumbentSource, PruneReason};
+use hilp_budget::BudgetKind;
 use std::fmt::Write as _;
 use std::path::Path;
 
@@ -85,6 +86,20 @@ pub enum Record {
         /// Level makespan in time steps.
         makespan: u64,
     },
+    /// A budget expired or a cancellation was observed:
+    /// `{"type":"budget","t_us":70,"thread":0,"layer":"bnb","kind":"nodes","spent":20000}`
+    Budget {
+        /// Event time in µs.
+        t_us: u64,
+        /// Emitting thread id.
+        thread: u32,
+        /// Which solver layer observed the expiry.
+        layer: BudgetLayer,
+        /// Which budget constraint tripped.
+        kind: BudgetKind,
+        /// Work units spent when the budget tripped.
+        spent: u64,
+    },
     /// A progress message was emitted:
     /// `{"type":"progress","t_us":100,"thread":0}`
     Progress {
@@ -157,6 +172,13 @@ impl Record {
             EventKind::Progress => Record::Progress {
                 t_us: ev.t_us,
                 thread: ev.thread,
+            },
+            EventKind::Budget => Record::Budget {
+                t_us: ev.t_us,
+                thread: ev.thread,
+                layer: BudgetLayer::from_u64(ev.a)?,
+                kind: BudgetKind::from_u64(ev.b)?,
+                spent: ev.c,
             },
         })
     }
@@ -232,6 +254,20 @@ impl Record {
                 let _ = write!(
                     s,
                     "{{\"type\":\"level\",\"t_us\":{t_us},\"thread\":{thread},\"point\":{point},\"level\":{level},\"makespan\":{makespan}}}"
+                );
+            }
+            Record::Budget {
+                t_us,
+                thread,
+                layer,
+                kind,
+                spent,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"budget\",\"t_us\":{t_us},\"thread\":{thread},\"layer\":\"{}\",\"kind\":\"{}\",\"spent\":{spent}}}",
+                    layer.as_str(),
+                    kind.as_str()
                 );
             }
             Record::Progress { t_us, thread } => {
@@ -516,6 +552,15 @@ fn parse_record(line: &str) -> Result<Record, String> {
             level: fields.u64("level")?,
             makespan: fields.u64("makespan")?,
         }),
+        "budget" => Ok(Record::Budget {
+            t_us: fields.u64("t_us")?,
+            thread: fields.u32("thread")?,
+            layer: BudgetLayer::from_str_tag(fields.str("layer")?)
+                .ok_or_else(|| format!("unknown budget layer {:?}", fields.str("layer")))?,
+            kind: BudgetKind::from_str_tag(fields.str("kind")?)
+                .ok_or_else(|| format!("unknown budget kind {:?}", fields.str("kind")))?,
+            spent: fields.u64("spent")?,
+        }),
         "progress" => Ok(Record::Progress {
             t_us: fields.u64("t_us")?,
             thread: fields.u32("thread")?,
@@ -642,6 +687,13 @@ mod tests {
                     makespan: 7,
                 },
                 Record::Progress { t_us: 7, thread: 0 },
+                Record::Budget {
+                    t_us: 8,
+                    thread: 0,
+                    layer: BudgetLayer::Bnb,
+                    kind: BudgetKind::Nodes,
+                    spent: 12,
+                },
                 Record::Counter {
                     name: "bnb.nodes".to_string(),
                     value: 12,

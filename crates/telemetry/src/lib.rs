@@ -43,6 +43,7 @@ mod journal;
 mod ring;
 mod summary;
 
+pub use hilp_budget::BudgetKind;
 pub use journal::{check_single_solve_replay, Journal, Record};
 pub use ring::{Event, EventKind};
 pub use summary::{SpanRow, TraceSummary};
@@ -143,6 +144,35 @@ tagged_enum_str!(PruneReason {
     Budget => "budget",
 });
 
+/// Which solver layer observed a budget expiry or cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetLayer {
+    /// The multi-start SGS heuristic (restart boundaries).
+    Heuristic,
+    /// The scheduling branch-and-bound (node expansion).
+    Bnb,
+    /// The MILP branch-and-bound (node pops).
+    Milp,
+    /// The simplex pivot loop.
+    Simplex,
+    /// The adaptive-refinement loop (level boundaries).
+    Refinement,
+    /// The design-space sweep (point boundaries).
+    Sweep,
+    /// The online dispatcher (admission boundaries).
+    Online,
+}
+
+tagged_enum_str!(BudgetLayer {
+    Heuristic => "heuristic",
+    Bnb => "bnb",
+    Milp => "milp",
+    Simplex => "simplex",
+    Refinement => "refinement",
+    Sweep => "sweep",
+    Online => "online",
+});
+
 macro_rules! counters {
     ($($variant:ident => $name:literal),+ $(,)?) => {
         /// The fixed set of solver counters. Each is an atomic `u64`
@@ -193,6 +223,9 @@ counters! {
     SweepPoints => "dse.points",
     SweepCacheHits => "dse.cache_hits",
     SweepSteals => "dse.steals",
+    SweepTruncatedPoints => "dse.truncated_points",
+    BudgetExpiries => "budget.expiries",
+    BudgetCancellations => "budget.cancellations",
     ProgressMessages => "progress.messages",
 }
 
@@ -389,6 +422,23 @@ impl Telemetry {
     pub fn level(&self, point: u64, level: u64, makespan: u64) {
         if self.inner.is_some() {
             self.push(EventKind::Level, point, level, makespan);
+        }
+    }
+
+    /// Records a budget expiry or an observed cancellation at `layer`
+    /// after `spent` work units, and bumps the matching counter
+    /// ([`Counter::BudgetCancellations`] for
+    /// [`BudgetKind::Cancelled`],
+    /// [`Counter::BudgetExpiries`] otherwise).
+    #[inline]
+    pub fn budget_expired(&self, layer: BudgetLayer, kind: hilp_budget::BudgetKind, spent: u64) {
+        if self.inner.is_some() {
+            self.incr(if kind == hilp_budget::BudgetKind::Cancelled {
+                Counter::BudgetCancellations
+            } else {
+                Counter::BudgetExpiries
+            });
+            self.push(EventKind::Budget, layer.to_u64(), kind.to_u64(), spent);
         }
     }
 
@@ -637,6 +687,33 @@ mod tests {
         assert!(matches!(
             journal.records[2],
             Record::Prune { bound, .. } if (bound - 9.0).abs() < 1e-12
+        ));
+    }
+
+    #[test]
+    fn budget_events_record_layer_kind_and_counters() {
+        let tel = Telemetry::enabled();
+        tel.budget_expired(BudgetLayer::Bnb, BudgetKind::Nodes, 500);
+        tel.budget_expired(BudgetLayer::Sweep, BudgetKind::Cancelled, 3);
+        assert_eq!(tel.counter(Counter::BudgetExpiries), 1);
+        assert_eq!(tel.counter(Counter::BudgetCancellations), 1);
+        let journal = tel.journal();
+        assert!(matches!(
+            journal.records[0],
+            Record::Budget {
+                layer: BudgetLayer::Bnb,
+                kind: BudgetKind::Nodes,
+                spent: 500,
+                ..
+            }
+        ));
+        assert!(matches!(
+            journal.records[1],
+            Record::Budget {
+                layer: BudgetLayer::Sweep,
+                kind: BudgetKind::Cancelled,
+                ..
+            }
         ));
     }
 

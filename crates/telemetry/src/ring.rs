@@ -35,6 +35,11 @@ pub enum EventKind {
     Level = 4,
     /// A progress message was emitted (payload unused).
     Progress = 5,
+    /// A budget expired or a cancellation was observed: `a` is the
+    /// layer ([`crate::BudgetLayer`]), `b` the expired
+    /// [`hilp_budget::BudgetKind`] tag, `c` the work units spent when
+    /// the budget tripped.
+    Budget = 6,
 }
 
 impl EventKind {
@@ -46,6 +51,7 @@ impl EventKind {
             3 => Some(EventKind::Prune),
             4 => Some(EventKind::Level),
             5 => Some(EventKind::Progress),
+            6 => Some(EventKind::Budget),
             _ => None,
         }
     }

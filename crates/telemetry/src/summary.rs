@@ -104,6 +104,9 @@ impl TraceSummary {
                     levels += 1;
                     touch(*thread, *t_us, *t_us, &mut threads);
                 }
+                Record::Budget { t_us, thread, .. } => {
+                    touch(*thread, *t_us, *t_us, &mut threads);
+                }
                 Record::Progress { t_us, thread } => {
                     touch(*thread, *t_us, *t_us, &mut threads);
                 }

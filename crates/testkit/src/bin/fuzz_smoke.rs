@@ -13,7 +13,10 @@
 //! The case mix per 10 cases: 6 tiny instances (full battery including the
 //! brute-force reference, both MILP encodings, and the metamorphic
 //! transforms), 3 small instances (solver-vs-solver and bounds checks), and
-//! 1 encoding-pipeline case.
+//! 1 encoding-pipeline case. Every tiny case additionally re-solves under a
+//! sampled node budget and checks the anytime contract: the truncated
+//! incumbent stays feasible and the reported bounds still sandwich the
+//! brute-force optimum.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -22,7 +25,9 @@ use std::time::{Duration, Instant};
 use proptest::{fnv1a, Strategy, TestRng};
 
 use hilp_telemetry::{Reporter, Telemetry};
-use hilp_testkit::harness::{check_instance, check_pipeline, CheckStats, OracleConfig};
+use hilp_testkit::harness::{
+    check_budgeted, check_instance, check_pipeline, CheckStats, OracleConfig,
+};
 use hilp_testkit::strategies::{
     arb_constraints, arb_instance, arb_soc, arb_workload, InstanceParams,
 };
@@ -99,7 +104,21 @@ fn main() {
         }
         let mut rng = TestRng::new(hash, case);
         let result = match case % 10 {
-            0..=5 => check_instance(&tiny.generate(&mut rng), &config, &mut stats),
+            0..=5 => {
+                let instance = tiny.generate(&mut rng);
+                // Sampled node budget: usually small enough to truncate real
+                // searches, with every fourth draw generous enough to finish
+                // (covering the untruncated-implies-proved contract). Derived
+                // from the case index (not the RNG) so the instance stream is
+                // unchanged from earlier fuzz corpora.
+                let node_budget = match case % 4 {
+                    3 => 1 << 22,
+                    _ => 1 + (case.wrapping_mul(0x9E37_79B9) >> 7) % 96,
+                };
+                check_instance(&instance, &config, &mut stats).and_then(|()| {
+                    check_budgeted(&instance, node_budget, &config.solver, &mut stats)
+                })
+            }
             6..=8 => check_instance(&small.generate(&mut rng), &config, &mut stats),
             _ => check_pipeline(
                 &workloads.generate(&mut rng),

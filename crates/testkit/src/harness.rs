@@ -15,7 +15,8 @@ use hilp_core::time_indexed::makespan_via_time_indexed;
 use hilp_model::{ModelError, SolveLimits};
 use hilp_sched::online::{online_greedy, OnlinePolicy};
 use hilp_sched::{
-    lower_bound, solve_exact, solve_heuristic, Instance, InstanceBuilder, SolverConfig, TaskId,
+    lower_bound, solve, solve_exact, solve_heuristic, Budget, Instance, InstanceBuilder,
+    SolverConfig, TaskId,
 };
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
@@ -80,6 +81,10 @@ pub struct CheckStats {
     pub time_indexed_skipped: u64,
     /// Metamorphic rounds (scale + relax + permute) completed.
     pub metamorphic_checked: u64,
+    /// Budgeted anytime solves checked against the brute-force optimum.
+    pub budgeted_checked: u64,
+    /// Budgeted solves that were actually truncated by their budget.
+    pub budgeted_truncated: u64,
     /// Pipeline cases that encoded and solved.
     pub pipeline_encoded: u64,
     /// Pipeline cases whose workload/SoC/constraints combination cannot
@@ -100,6 +105,8 @@ impl CheckStats {
         self.time_indexed_checked += other.time_indexed_checked;
         self.time_indexed_skipped += other.time_indexed_skipped;
         self.metamorphic_checked += other.metamorphic_checked;
+        self.budgeted_checked += other.budgeted_checked;
+        self.budgeted_truncated += other.budgeted_truncated;
         self.pipeline_encoded += other.pipeline_encoded;
         self.pipeline_skipped += other.pipeline_skipped;
     }
@@ -110,7 +117,7 @@ impl CheckStats {
         format!(
             "{} cases: {} feasible, {} infeasible-agreed, {} brute-forced ({} proved optimal), \
              milp {}/{} skipped, time-indexed {}/{} skipped, {} metamorphic, \
-             pipeline {} encoded / {} skipped",
+             budgeted {} ({} truncated), pipeline {} encoded / {} skipped",
             self.cases,
             self.feasible,
             self.infeasible_agreed,
@@ -121,6 +128,8 @@ impl CheckStats {
             self.time_indexed_checked,
             self.time_indexed_skipped,
             self.metamorphic_checked,
+            self.budgeted_checked,
+            self.budgeted_truncated,
             self.pipeline_encoded,
             self.pipeline_skipped,
         )
@@ -462,6 +471,114 @@ pub fn check_instance(
 
     if config.metamorphic && tiny {
         check_metamorphic(instance, &brute, stats)?;
+    }
+
+    Ok(())
+}
+
+/// Run an anytime (node-budgeted) solve on one instance and check the
+/// truncated-result contract: the incumbent is always feasible, the reported
+/// bounds sandwich holds, and on brute-forceable instances the incumbent is
+/// never below (and the lower bound never above) the exhaustive optimum.
+///
+/// Infeasible instances (budgeted solve returns an error) are skipped: under
+/// a budget the base heuristic pass may legitimately exhaust its horizon, so
+/// an error here is a quality outcome, not a soundness disagreement.
+///
+/// # Errors
+///
+/// Returns the first [`Disagreement`] found, if any.
+pub fn check_budgeted(
+    instance: &Instance,
+    node_budget: u64,
+    base: &SolverConfig,
+    stats: &mut CheckStats,
+) -> Result<(), Disagreement> {
+    let config = SolverConfig {
+        budget: Budget::unlimited().with_node_limit(node_budget),
+        ..base.clone()
+    };
+    let Ok(outcome) = solve(instance, &config) else {
+        return Ok(());
+    };
+    stats.budgeted_checked += 1;
+    if outcome.truncated.is_some() {
+        stats.budgeted_truncated += 1;
+    }
+
+    let violations = outcome.schedule.verify(instance);
+    if !violations.is_empty() {
+        return Err(Disagreement::new(
+            "budgeted-feasibility",
+            instance,
+            format!(
+                "budgeted solve (nodes={node_budget}) returned an infeasible incumbent: \
+                 {violations:?}"
+            ),
+        ));
+    }
+    if outcome.lower_bound > outcome.makespan {
+        return Err(Disagreement::new(
+            "budgeted-bounds-sandwich",
+            instance,
+            format!(
+                "budgeted solve (nodes={node_budget}) reports lower bound {} above its own \
+                 incumbent makespan {}",
+                outcome.lower_bound, outcome.makespan
+            ),
+        ));
+    }
+    // Within the exact phase's reach, an untruncated budgeted solve must
+    // have finished the search and proved its answer. (Outside the reach —
+    // task threshold exceeded or the legacy `exact_node_budget` cap hit —
+    // an unproved, untruncated outcome is a quality limit, not a bug.)
+    let exact_reachable = config.exact_node_budget > node_budget
+        && instance.num_tasks() <= config.exact_task_threshold;
+    if exact_reachable && outcome.truncated.is_none() && !outcome.proved_optimal {
+        return Err(Disagreement::new(
+            "budgeted-untruncated-unproved",
+            instance,
+            format!(
+                "budgeted solve (nodes={node_budget}) neither exhausted its budget nor proved \
+                 optimality (makespan {}, lower bound {})",
+                outcome.makespan, outcome.lower_bound
+            ),
+        ));
+    }
+
+    if instance.num_tasks() <= MAX_BRUTE_FORCE_TASKS {
+        if let Some(bf) = brute_force_schedule(instance) {
+            if outcome.makespan < bf.makespan {
+                return Err(Disagreement::new(
+                    "budgeted-below-optimum",
+                    instance,
+                    format!(
+                        "budgeted incumbent {} beats the exhaustive optimum {}",
+                        outcome.makespan, bf.makespan
+                    ),
+                ));
+            }
+            if outcome.lower_bound > bf.makespan {
+                return Err(Disagreement::new(
+                    "budgeted-lb-above-optimum",
+                    instance,
+                    format!(
+                        "budgeted lower bound {} exceeds the true optimum {}",
+                        outcome.lower_bound, bf.makespan
+                    ),
+                ));
+            }
+        } else {
+            return Err(Disagreement::new(
+                "budgeted-phantom-schedule",
+                instance,
+                format!(
+                    "budgeted solve found a schedule with makespan {} on an instance brute \
+                     force proves infeasible",
+                    outcome.makespan
+                ),
+            ));
+        }
     }
 
     Ok(())

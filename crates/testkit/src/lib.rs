@@ -34,5 +34,7 @@ pub mod harness;
 pub mod strategies;
 
 pub use brute_force::{brute_force_makespan, brute_force_schedule, BruteForceResult};
-pub use harness::{check_instance, check_pipeline, CheckStats, Disagreement, OracleConfig};
+pub use harness::{
+    check_budgeted, check_instance, check_pipeline, CheckStats, Disagreement, OracleConfig,
+};
 pub use strategies::{arb_constraints, arb_instance, arb_soc, arb_workload, InstanceParams};

@@ -1,0 +1,392 @@
+//! Limits-focused tests: anytime solving under node budgets, deadlines,
+//! and cancellation, across every layer of the pipeline.
+//!
+//! The anytime contract under test:
+//!
+//! 1. **Soundness of truncated results** — a budget-truncated solve still
+//!    returns a feasible incumbent whose reported lower bound never exceeds
+//!    the true (brute-force) optimum, which in turn never exceeds the
+//!    incumbent's makespan.
+//! 2. **Determinism** — node-only budgets are deterministic: identical
+//!    budgets give bit-identical outcomes for every `heuristic_threads`
+//!    value, and a generous budget is bit-identical to an unbudgeted solve.
+//! 3. **Graceful degradation, never failure** — online dispatchers under
+//!    admission storms stop admitting but keep what they committed; core
+//!    refinement returns the coarsest completed level; sweeps report every
+//!    design point.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use hilp_core::{Budget, BudgetKind, CancelToken, Hilp, TimeStepPolicy};
+use hilp_dse::{evaluate_space_with_stats, ModelKind, SweepBudgets, SweepConfig};
+use hilp_sched::online::{online_greedy_budgeted, OnlineOutcome, OnlinePolicy};
+use hilp_sched::{solve, Instance, InstanceBuilder, MachineId, Mode, SolverConfig};
+use hilp_soc::{Constraints, SocSpec};
+use hilp_testkit::{
+    arb_instance, brute_force_schedule, check_budgeted, CheckStats, InstanceParams, OracleConfig,
+};
+use hilp_workloads::{Workload, WorkloadVariant};
+
+// ---------------------------------------------------------------------------
+// Soundness of truncated results (vs the brute-force oracle).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A budget-truncated solve still satisfies the bounds sandwich around
+    /// the exhaustive optimum: `lower_bound <= optimum <= makespan`.
+    #[test]
+    fn truncated_results_are_sound(
+        instance in arb_instance(InstanceParams::tiny()),
+        node_budget in 1u64..=64,
+    ) {
+        let config = SolverConfig {
+            budget: Budget::unlimited().with_node_limit(node_budget),
+            ..SolverConfig::exact()
+        };
+        // A budgeted solve may legitimately exhaust a tight horizon; that
+        // is a quality outcome, not a soundness violation.
+        let Ok(outcome) = solve(&instance, &config) else { return Ok(()); };
+        prop_assert!(outcome.schedule.verify(&instance).is_empty());
+        prop_assert!(outcome.lower_bound <= outcome.makespan);
+        if let Some(bf) = brute_force_schedule(&instance) {
+            prop_assert!(
+                outcome.makespan >= bf.makespan,
+                "incumbent {} beats the exhaustive optimum {}",
+                outcome.makespan, bf.makespan
+            );
+            prop_assert!(
+                outcome.lower_bound <= bf.makespan,
+                "lower bound {} exceeds the exhaustive optimum {}",
+                outcome.lower_bound, bf.makespan
+            );
+        }
+        if let Some(partial) = outcome.partial() {
+            prop_assert_eq!(partial.lower_bound, f64::from(outcome.lower_bound));
+            prop_assert_eq!(partial.gap, outcome.gap());
+            prop_assert!(partial.incumbent.verify(&instance).is_empty());
+        } else {
+            prop_assert_eq!(outcome.truncated, None);
+        }
+    }
+
+    /// The testkit's budgeted differential check (the same battery the fuzz
+    /// driver runs) finds no disagreement on random tiny instances.
+    #[test]
+    fn budgeted_differential_battery_agrees(
+        instance in arb_instance(InstanceParams::tiny()),
+        node_budget in 1u64..=128,
+    ) {
+        let oracle = OracleConfig::default();
+        let mut stats = CheckStats::default();
+        let checked = check_budgeted(&instance, node_budget, &oracle.solver, &mut stats);
+        prop_assert!(checked.is_ok(), "{}", checked.unwrap_err());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Determinism.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical node budgets give bit-identical outcomes regardless of the
+    /// heuristic worker count: the budget is an allocation, not a race.
+    #[test]
+    fn node_budgets_are_thread_deterministic(
+        instance in arb_instance(InstanceParams::tiny()),
+        node_budget in 1u64..=96,
+    ) {
+        // Budget clones share consumption meters, so each solve gets a
+        // freshly minted budget rather than a clone of a spent one.
+        let config_for = |threads: usize| SolverConfig {
+            heuristic_threads: threads,
+            budget: Budget::unlimited().with_node_limit(node_budget),
+            ..SolverConfig::exact()
+        };
+        let single = solve(&instance, &config_for(1));
+        for threads in [2usize, 4] {
+            let parallel = solve(&instance, &config_for(threads));
+            // The *result* is thread-count independent; executed-work
+            // counts in `stats` may race (workers overshoot a bound-
+            // termination stop differently), so they are excluded.
+            match (&single, &parallel) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(&a.schedule, &b.schedule, "threads=1 vs threads={}", threads);
+                    prop_assert_eq!(a.makespan, b.makespan);
+                    prop_assert_eq!(a.lower_bound, b.lower_bound);
+                    prop_assert_eq!(a.proved_optimal, b.proved_optimal);
+                    prop_assert_eq!(a.truncated, b.truncated);
+                }
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "feasibility differs across thread counts"),
+            }
+        }
+    }
+
+    /// A generous node budget is transparent: bit-identical to the
+    /// unbudgeted solve, with no truncation reported.
+    #[test]
+    fn generous_budgets_are_transparent(instance in arb_instance(InstanceParams::tiny())) {
+        let plain = solve(&instance, &SolverConfig::exact());
+        let budgeted = solve(&instance, &SolverConfig {
+            budget: Budget::unlimited().with_node_limit(u64::MAX / 2),
+            ..SolverConfig::exact()
+        });
+        match (&plain, &budgeted) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(b.truncated, None);
+                prop_assert_eq!(a, b);
+            }
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "feasibility differs with a generous budget"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Online dispatch under admission storms.
+// ---------------------------------------------------------------------------
+
+/// An admission storm: `n` independent single-mode tasks all released at
+/// t = 0 onto two machines — every dispatch event is an admission decision.
+fn storm_instance(n: usize) -> Instance {
+    let mut b = InstanceBuilder::new();
+    b.add_machine("cpu");
+    b.add_machine("dsa");
+    for t in 0..n {
+        b.add_task(
+            format!("req{t}"),
+            vec![Mode::on(MachineId(0), 2), Mode::on(MachineId(1), 3)],
+        );
+    }
+    b.build().expect("storm instance is well-formed")
+}
+
+#[test]
+fn admission_storm_stops_at_the_admission_budget() {
+    let instance = storm_instance(40);
+    let mut last_dispatched = 0usize;
+    for admissions in [1u64, 5, 17, 39] {
+        let budget = Budget::unlimited().with_node_limit(admissions);
+        match online_greedy_budgeted(&instance, OnlinePolicy::Fifo, &budget) {
+            OnlineOutcome::Truncated { dispatched, kind } => {
+                assert_eq!(kind, BudgetKind::Nodes);
+                assert!(
+                    dispatched as u64 <= admissions,
+                    "dispatched {dispatched} tasks on a {admissions}-admission budget"
+                );
+                assert!(
+                    dispatched >= last_dispatched,
+                    "larger budgets must never admit less"
+                );
+                last_dispatched = dispatched;
+            }
+            other => panic!("a {admissions}-admission budget cannot place 40 tasks: {other:?}"),
+        }
+    }
+    // With room for every admission the storm completes and verifies.
+    let outcome = online_greedy_budgeted(
+        &instance,
+        OnlinePolicy::Fifo,
+        &Budget::unlimited().with_node_limit(40),
+    );
+    match outcome {
+        OnlineOutcome::Complete(schedule) => {
+            assert!(schedule.verify(&instance).is_empty());
+        }
+        other => panic!("a 40-admission budget must complete the 40-task storm: {other:?}"),
+    }
+}
+
+#[test]
+fn admission_storm_respects_cancellation_and_deadlines() {
+    let instance = storm_instance(24);
+    for policy in [
+        OnlinePolicy::Fifo,
+        OnlinePolicy::LongestFirst,
+        OnlinePolicy::ShortestFirst,
+        OnlinePolicy::HeterogeneityAware,
+    ] {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let cancelled =
+            online_greedy_budgeted(&instance, policy, &Budget::unlimited().with_cancel(cancel));
+        assert_eq!(
+            cancelled,
+            OnlineOutcome::Truncated {
+                dispatched: 0,
+                kind: BudgetKind::Cancelled
+            },
+            "a pre-cancelled dispatcher must not admit anything"
+        );
+
+        let expired = online_greedy_budgeted(
+            &instance,
+            policy,
+            &Budget::unlimited().with_deadline(Duration::ZERO),
+        );
+        match expired {
+            OnlineOutcome::Truncated {
+                kind: BudgetKind::Deadline,
+                ..
+            } => {}
+            other => panic!("an already-expired deadline must truncate dispatch: {other:?}"),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A crafted hard instance: verified incumbent, bounded gap, within budget.
+// ---------------------------------------------------------------------------
+
+/// Three machines, four 4-task chains with cross-machine mode tradeoffs —
+/// enough combinatorial slack that a few hundred nodes cannot close the gap.
+fn hard_instance() -> Instance {
+    let mut b = InstanceBuilder::new();
+    for m in 0..3 {
+        b.add_machine(format!("m{m}"));
+    }
+    let mut prev = Vec::new();
+    for chain in 0..4 {
+        let mut ids = Vec::new();
+        for t in 0..4 {
+            let skew = ((chain + t) % 3) as u32;
+            ids.push(b.add_task(
+                format!("c{chain}t{t}"),
+                vec![
+                    Mode::on(MachineId(0), 3 + skew),
+                    Mode::on(MachineId(1), 4),
+                    Mode::on(MachineId(2), 2 + 2 * skew),
+                ],
+            ));
+        }
+        for pair in ids.windows(2) {
+            b.add_precedence_lagged(pair[0], pair[1], 1);
+        }
+        prev = ids;
+    }
+    let _ = prev;
+    b.build().expect("hard instance is well-formed")
+}
+
+#[test]
+fn hard_instance_returns_a_verified_incumbent_within_budget() {
+    let instance = hard_instance();
+    let node_budget = 200u64;
+    let budget = Budget::unlimited().with_node_limit(node_budget);
+    let outcome = solve(
+        &instance,
+        &SolverConfig {
+            budget: budget.clone(),
+            ..SolverConfig::exact()
+        },
+    )
+    .expect("the horizon is generous");
+
+    assert_eq!(outcome.truncated, Some(BudgetKind::Nodes));
+    assert!(outcome.schedule.verify(&instance).is_empty());
+    assert!(outcome.lower_bound <= outcome.makespan);
+    assert!(outcome.gap() >= 0.0 && outcome.gap().is_finite());
+    // The heuristic's phase-entry allocation never overdraws; branch and
+    // bound records the one charge that trips the meter, so the spend may
+    // exceed the limit by exactly that final node.
+    assert!(
+        budget.nodes_spent() <= node_budget + 1,
+        "spend {} overshoots the {node_budget}-node limit by more than the tripping charge",
+        budget.nodes_spent()
+    );
+    let partial = outcome.partial().expect("truncated solves are partial");
+    assert_eq!(partial.exhausted, BudgetKind::Nodes);
+    assert!(partial.incumbent.verify(&instance).is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Core refinement under budgets.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn refinement_degrades_to_a_coarser_level_under_a_tight_budget() {
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let soc = SocSpec::new(2).with_gpu(16);
+
+    let budgeted = Hilp::new(workload.clone(), soc.clone())
+        .with_solver(SolverConfig {
+            budget: Budget::unlimited().with_node_limit(20),
+            ..SolverConfig::default()
+        })
+        .with_policy(TimeStepPolicy::validation())
+        .evaluate()
+        .expect("budgeted evaluation still returns a result");
+    assert!(budgeted.makespan_seconds > 0.0);
+    assert!(budgeted.schedule.verify(&budgeted.instance).is_empty());
+    assert!(budgeted.lower_bound_seconds <= budgeted.makespan_seconds + 1e-9);
+
+    // A generous budget is bit-identical to the unbudgeted evaluation.
+    let plain = Hilp::new(workload.clone(), soc.clone())
+        .evaluate()
+        .expect("unbudgeted evaluation succeeds");
+    let generous = Hilp::new(workload, soc)
+        .with_solver(SolverConfig {
+            budget: Budget::unlimited().with_node_limit(u64::MAX / 2),
+            ..SolverConfig::default()
+        })
+        .evaluate()
+        .expect("generously budgeted evaluation succeeds");
+    assert_eq!(generous.truncated, None);
+    assert_eq!(plain, generous);
+}
+
+// ---------------------------------------------------------------------------
+// Sweeps through the public API: budgets degrade points, never drop them.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn budgeted_sweep_reports_every_point_and_counts_truncations() {
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let socs = vec![
+        SocSpec::new(1),
+        SocSpec::new(2).with_gpu(16),
+        SocSpec::new(4).with_gpu(64),
+    ];
+    let config = SweepConfig {
+        budgets: SweepBudgets {
+            per_point_nodes: Some(3),
+            sweep_deadline: None,
+            cancel: None,
+        },
+        ..SweepConfig::default()
+    };
+    let (points, stats) = evaluate_space_with_stats(
+        &workload,
+        &socs,
+        &Constraints::unconstrained(),
+        ModelKind::Hilp,
+        &config,
+    )
+    .expect("budgeted sweeps degrade, never fail");
+
+    assert_eq!(
+        points.len(),
+        socs.len(),
+        "budgets must never drop a design point"
+    );
+    for point in &points {
+        assert!(point.makespan_seconds > 0.0);
+        assert!(point.speedup > 0.0);
+    }
+    assert_eq!(stats.point_truncations.len(), socs.len());
+    assert_eq!(
+        stats.truncated_points,
+        stats.point_truncations.iter().flatten().count()
+    );
+    assert!(
+        stats.truncated_points > 0,
+        "three nodes per point cannot finish a full HILP solve"
+    );
+    assert_eq!(stats.cache_hits, 0, "memoization must be off under budgets");
+}
