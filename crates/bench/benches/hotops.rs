@@ -1,12 +1,15 @@
-//! Micro-benchmarks for the sweep engine's hot operations: the event
-//! timetable's feasibility probe and place/undo splice (the inner loop of
-//! every SGS pass), and the cross-point `BoundStore` lookup that every
-//! refinement level performs in a bound-sharing sweep.
+//! Micro-benchmarks for the sweep engine's hot operations: every
+//! timetable backend's feasibility probe and place/undo splice (the inner
+//! loop of every SGS pass), the cross-point `BoundStore` lookup that every
+//! refinement level performs in a bound-sharing sweep, and the full
+//! evaluator under grid refinement vs. the single exact interval solve.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
-use hilp_core::{encode, Constraints, SocSpec, Workload, WorkloadVariant};
+use hilp_core::{
+    encode, Constraints, EvaluatePolicy, Hilp, SocSpec, TimeStepPolicy, Workload, WorkloadVariant,
+};
 use hilp_dse::{design_space, BoundStore, DominanceLattice};
 use hilp_sched::{solve_heuristic, SolverConfig, TaskId, Timetable, TimetableKind};
 
@@ -27,7 +30,11 @@ fn timetable_bench(c: &mut Criterion) {
     .unwrap()
     .schedule;
 
-    for kind in [TimetableKind::Event, TimetableKind::Dense] {
+    for kind in [
+        TimetableKind::Event,
+        TimetableKind::Dense,
+        TimetableKind::Interval,
+    ] {
         // A realistically occupied timetable: the full heuristic schedule.
         let mut occupied = Timetable::with_kind(&instance, kind);
         for (i, (&start, &mode)) in schedule.starts.iter().zip(&schedule.modes).enumerate() {
@@ -119,9 +126,44 @@ fn bound_store_bench(c: &mut Criterion) {
     });
 }
 
+fn evaluate_policy_bench(c: &mut Criterion) {
+    // One full evaluator run on a flagship design point: the paper's grid
+    // cascade (a solve per refinement level) against the exact path (the
+    // cascade as a pilot plus one finest-tick interval-backend solve
+    // seeded with the lifted pilot schedule).
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let soc = SocSpec::new(4).with_gpu(16);
+    let solver = SolverConfig {
+        heuristic_starts: 60,
+        local_search_passes: 1,
+        exact_node_budget: 0,
+        ..SolverConfig::default()
+    };
+    let mut group = c.benchmark_group("hotops/evaluate");
+    group.sample_size(10);
+    for (name, policy) in [
+        ("grid_refinement", EvaluatePolicy::grid()),
+        ("exact", EvaluatePolicy::exact()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let eval = Hilp::new(workload.clone(), soc.clone())
+                    .with_constraints(Constraints::paper_default())
+                    .with_policy(TimeStepPolicy::sweep())
+                    .with_solver(solver.clone())
+                    .with_evaluate_policy(policy)
+                    .evaluate()
+                    .unwrap();
+                black_box(eval.makespan_seconds)
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = timetable_bench, bound_store_bench
+    targets = timetable_bench, bound_store_bench, evaluate_policy_bench
 }
 criterion_main!(benches);

@@ -16,11 +16,19 @@
 //! per-point makespans (consumed by the Fig. 7 regression test in
 //! `tests/fig7_regression.rs`) to `BENCH_sweep.json`.
 //!
-//! Two correctness gates run every time: per-point makespans must agree
-//! across reference and optimized within the reported optimality gaps, and
-//! the optimized run must be *bit-identical* to the baseline run — bound
+//! A fourth HILP-only sweep runs the optimized configuration under
+//! `EvaluatePolicy::exact()` — the refinement cascade replayed as a pilot,
+//! then one finest-tick solve on the continuous-time interval backend with
+//! the pilot's schedule lifted in as a verified incumbent — and records
+//! the grid-vs-exact wall-clock speedup.
+//!
+//! Three correctness gates run every time: per-point makespans must agree
+//! across reference and optimized within the reported optimality gaps, the
+//! optimized run must be *bit-identical* to the baseline run — bound
 //! termination and sharing are pure work-skipping and may never move a
-//! result.
+//! result — and every exact makespan must be a valid *lower-or-equal*
+//! counterpart of the grid makespan on the same point (the exact path has
+//! no residual discretization inflation to hide behind).
 //!
 //! Usage:
 //!
@@ -35,7 +43,7 @@
 //! the full space). `--threads N` fixes the sweep worker count (default:
 //! all cores). `--strict` also fails the process when the measured speedup
 //! is below 2x (by default only a correctness failure is fatal, since
-//! wall-clock ratios depend on the host). `--trace PATH` runs a fourth,
+//! wall-clock ratios depend on the host). `--trace PATH` runs an extra
 //! telemetry-enabled HILP sweep, asserts it is bit-identical to the
 //! optimized run, writes its search-trace journal (JSONL) to PATH, and
 //! reports the measured telemetry overhead. `--summary PATH` writes a
@@ -58,7 +66,7 @@
 
 use std::time::{Duration, Instant};
 
-use hilp_core::SolverConfig;
+use hilp_core::{EvaluatePolicy, SolverConfig};
 use hilp_dse::{
     design_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepBudgets, SweepConfig,
     SweepStats,
@@ -285,6 +293,58 @@ fn main() {
     let points_match = worst <= 1e-9;
     let bit_identical = runs.iter().all(|r| r.bit_identical);
 
+    // Fourth sweep: HILP under `EvaluatePolicy::exact()` — the refinement
+    // cascade replayed as a pilot, then one finest-tick solve on the
+    // continuous-time interval backend seeded with the lifted pilot
+    // schedule. Correctness gate 3: the grid result carries coarse-step
+    // rounding the exact path does not, so the exact makespan must never
+    // exceed the grid makespan on any point.
+    let exact = {
+        let hilp_run = runs
+            .iter()
+            .find(|r| r.model == ModelKind::Hilp)
+            .expect("HILP is in MODELS");
+        let mut cfg = optimized_config(threads);
+        cfg.evaluate = EvaluatePolicy::exact();
+        let t = Instant::now();
+        let (points, _) =
+            evaluate_space_with_stats(&workload, &socs, &constraints, ModelKind::Hilp, &cfg)
+                .expect("exact sweep succeeds");
+        let exact_seconds = t.elapsed().as_secs_f64();
+        for (g, e) in hilp_run.points.iter().zip(&points) {
+            assert!(
+                e.makespan_seconds <= g.makespan_seconds + 1e-9,
+                "{}: exact makespan {} exceeds the grid makespan {}",
+                g.label,
+                e.makespan_seconds,
+                g.makespan_seconds
+            );
+        }
+        let tightened_points = hilp_run
+            .points
+            .iter()
+            .zip(&points)
+            .filter(|(g, e)| e.makespan_seconds < g.makespan_seconds - 1e-9)
+            .count();
+        let speedup_grid_vs_exact = hilp_run.optimized_seconds / exact_seconds.max(1e-9);
+        let speedup_baseline_vs_exact = hilp_run.baseline_seconds / exact_seconds.max(1e-9);
+        reporter.say(&format!(
+            "  HILP    exact  {exact_seconds:7.2}s  ({speedup_baseline_vs_exact:.2}x vs \
+             refinement-loop baseline, {speedup_grid_vs_exact:.2}x vs optimized grid, \
+             {tightened_points}/{} points tightened, upper bound verified)",
+            points.len(),
+        ));
+        ExactRun {
+            grid_seconds: hilp_run.optimized_seconds,
+            baseline_seconds: hilp_run.baseline_seconds,
+            exact_seconds,
+            speedup_grid_vs_exact,
+            speedup_baseline_vs_exact,
+            points: points.len(),
+            tightened_points,
+        }
+    };
+
     // Fourth sweep (with --trace): the optimized HILP configuration with
     // telemetry enabled. Telemetry is observational, so the traced sweep
     // must reproduce the optimized run bit for bit; the wall-clock
@@ -330,6 +390,7 @@ fn main() {
         speedup_vs_baseline,
         points_match,
         bit_identical,
+        &exact,
         telemetry_json.as_deref(),
     );
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
@@ -352,6 +413,7 @@ fn main() {
             speedup,
             speedup_vs_baseline,
             points_match && bit_identical,
+            &exact,
             traced.as_ref(),
             journal.as_ref(),
             &telemetry,
@@ -493,6 +555,21 @@ fn run_budgeted(
     ));
 }
 
+/// Timing of the exact-policy HILP sweep relative to the grid runs: the
+/// optimized run whose committed makespans it must upper-bound-verify,
+/// and the refinement-loop baseline it must beat on wall-clock.
+struct ExactRun {
+    grid_seconds: f64,
+    baseline_seconds: f64,
+    exact_seconds: f64,
+    speedup_grid_vs_exact: f64,
+    speedup_baseline_vs_exact: f64,
+    points: usize,
+    /// Points where the exact makespan is strictly below the grid result
+    /// — coarse-step rounding the interval backend eliminated.
+    tightened_points: usize,
+}
+
 /// Timing of the telemetry-enabled fourth sweep relative to the optimized
 /// (telemetry-disabled) HILP run it must reproduce.
 struct TracedRun {
@@ -540,6 +617,7 @@ fn render_markdown_summary(
     speedup: f64,
     speedup_vs_baseline: f64,
     correct: bool,
+    exact: &ExactRun,
     traced: Option<&TracedRun>,
     journal: Option<&hilp_telemetry::Journal>,
     tel: &Telemetry,
@@ -570,6 +648,18 @@ fn render_markdown_summary(
             r.stats.truncated_points,
         ));
     }
+    md.push_str(&format!(
+        "\n### Exact (continuous-time) sweep\n\n\
+         HILP under `EvaluatePolicy::exact()`: **{:.2}s** vs the refinement-loop \
+         baseline **{:.2}s** (**{:.2}x** faster; optimized grid ran {:.2}s), \
+         {} / {} points strictly tightened, exact ≤ grid on every point ✅\n",
+        exact.exact_seconds,
+        exact.baseline_seconds,
+        exact.speedup_baseline_vs_exact,
+        exact.grid_seconds,
+        exact.tightened_points,
+        exact.points,
+    ));
     if let Some(t) = traced {
         md.push_str(&format!(
             "\n### Telemetry overhead\n\n\
@@ -640,12 +730,29 @@ fn render_json(
     speedup_vs_baseline: f64,
     points_match: bool,
     bit_identical: bool,
+    exact: &ExactRun,
     telemetry_json: Option<&str>,
 ) -> String {
-    // Optional: only present when --trace ran the fourth sweep, so the
-    // committed BENCH_sweep.json (regenerated without --trace) is stable.
+    // Optional: only present when --trace ran the extra traced sweep, so
+    // the committed BENCH_sweep.json (regenerated without --trace) is
+    // stable.
     let telemetry_field =
         telemetry_json.map_or_else(String::new, |t| format!("  \"telemetry\": {t},\n"));
+    // Keyed without "label"/"model" so the Fig. 7 regression test's
+    // line-based parser never mistakes this object for a sweep point.
+    let exact_field = format!(
+        "  \"exact\": {{\"grid_seconds\": {:.4}, \"baseline_seconds\": {:.4}, \
+         \"exact_seconds\": {:.4}, \"speedup_grid_vs_exact\": {:.3}, \
+         \"speedup_baseline_vs_exact\": {:.3}, \"points\": {}, \"tightened_points\": {}, \
+         \"upper_bound_verified\": true}},\n",
+        exact.grid_seconds,
+        exact.baseline_seconds,
+        exact.exact_seconds,
+        exact.speedup_grid_vs_exact,
+        exact.speedup_baseline_vs_exact,
+        exact.points,
+        exact.tightened_points,
+    );
     let mut per_model = String::new();
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
@@ -714,7 +821,7 @@ fn render_json(
          \"speedup\": {speedup:.3},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.3},\n  \
          \"points_match_within_gap\": {points_match},\n  \
          \"results_bit_identical\": {bit_identical},\n\
-         {telemetry_field}  \"per_model\": [\n{per_model}\n  ]\n}}\n"
+         {exact_field}{telemetry_field}  \"per_model\": [\n{per_model}\n  ]\n}}\n"
     )
 }
 

@@ -1,7 +1,8 @@
 //! The HILP evaluator: adaptive time-step refinement around the scheduler.
 
 use hilp_sched::{
-    solve_with_hints, BudgetKind, Instance, Schedule, SolveHints, SolveTelemetry, SolverConfig,
+    solve_with_hints, BudgetKind, Instance, ModeId, Schedule, SolveHints, SolveTelemetry,
+    SolverConfig, TaskId, TimetableKind,
 };
 use hilp_soc::{Constraints, SocSpec};
 use hilp_telemetry::{BudgetLayer, Counter};
@@ -64,9 +65,72 @@ impl TimeStepPolicy {
     }
 }
 
+impl TimeStepPolicy {
+    /// The finest time step the policy can reach: the initial step divided
+    /// by `refine_factor` once per allowed refinement. This is the
+    /// resolution the grid-refinement loop converges to when it never
+    /// stops early, and the resolution [`EvaluatePolicy::Exact`] solves at
+    /// directly.
+    #[must_use]
+    pub fn exact_tick_seconds(&self) -> f64 {
+        self.initial_seconds / self.refine_factor.powi(self.max_refinements as i32)
+    }
+}
+
 impl Default for TimeStepPolicy {
     fn default() -> Self {
         TimeStepPolicy::validation()
+    }
+}
+
+/// How [`Hilp::evaluate`] turns the time-step policy into solves.
+///
+/// The paper's grid-refinement loop exists because solving on a coarse
+/// grid is cheap and solving on a fine grid with a *horizon-proportional*
+/// timetable is not. The continuous-time interval backend
+/// ([`TimetableKind::Interval`]) removes that trade-off — its cost is
+/// independent of the horizon — so the exact policy can afford a solve at
+/// the finest resolution, keeping the coarse cascade only as a warm-start
+/// pilot whose result it is guaranteed to match or beat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvaluatePolicy {
+    /// The paper's Section III-D loop: start at
+    /// [`TimeStepPolicy::initial_seconds`], re-encode and re-solve at ever
+    /// finer steps until the makespan reaches `target_steps` (or
+    /// `max_refinements` is exhausted). Up to `max_refinements + 1` solves
+    /// per evaluation; results carry a discretization gap whenever the
+    /// loop stops before the finest step.
+    #[default]
+    GridRefinement,
+    /// Solve at [`TimeStepPolicy::exact_tick_seconds`] on the interval
+    /// backend: no early stop at `target_steps` and no residual
+    /// coarse-grid rounding. A pilot pass first replays the grid cascade
+    /// (same ticks, same warm-order chain, same early stop), and its final
+    /// schedule is *lifted* onto the finest-tick instance and handed to
+    /// the solver as a verified incumbent — so the exact result is
+    /// guaranteed to be at most the grid policy's makespan in seconds on
+    /// the same point, while the finest-tick solve is free to improve on
+    /// it.
+    Exact,
+}
+
+impl EvaluatePolicy {
+    /// The single-solve continuous-time policy.
+    #[must_use]
+    pub fn exact() -> Self {
+        EvaluatePolicy::Exact
+    }
+
+    /// The paper's adaptive grid-refinement loop (the default).
+    #[must_use]
+    pub fn grid() -> Self {
+        EvaluatePolicy::GridRefinement
+    }
+
+    /// Whether this policy resolves the result at the finest tick.
+    #[must_use]
+    pub fn is_exact(self) -> bool {
+        matches!(self, EvaluatePolicy::Exact)
     }
 }
 
@@ -91,8 +155,19 @@ pub struct Evaluation {
     pub proved_optimal: bool,
     /// Whether the schedule meets the paper's 10% near-optimality bar.
     pub near_optimal: bool,
-    /// Number of time-step refinement rounds performed.
+    /// Number of time-step refinement rounds performed. Always 0 under
+    /// [`EvaluatePolicy::Exact`]: its pilot cascade only seeds the
+    /// finest-tick solve, which is where the result comes from.
     pub refinements: u32,
+    /// The makespan solved directly at the policy's finest resolution on
+    /// the continuous-time interval backend, in seconds — set only under
+    /// [`EvaluatePolicy::Exact`] (where it equals `makespan_seconds`).
+    /// Grid-refinement results can stop at a coarser step and then carry a
+    /// discretization gap of up to one coarse step per critical-path task;
+    /// an exact result has no such residual, so it is a valid (and usually
+    /// strictly tighter) upper bound on every grid result for the same
+    /// point.
+    pub exact_makespan_seconds: Option<f64>,
     /// Which [`SolverConfig::budget`] constraint cut the evaluation short,
     /// when one did: either a solve was truncated mid-level, or the budget
     /// expired at a refinement-level boundary (the result then comes from
@@ -192,6 +267,7 @@ pub struct Hilp {
     constraints: Constraints,
     solver: SolverConfig,
     policy: TimeStepPolicy,
+    evaluate_policy: EvaluatePolicy,
 }
 
 impl Hilp {
@@ -205,6 +281,7 @@ impl Hilp {
             constraints: Constraints::unconstrained(),
             solver: SolverConfig::default(),
             policy: TimeStepPolicy::validation(),
+            evaluate_policy: EvaluatePolicy::default(),
         }
     }
 
@@ -226,6 +303,14 @@ impl Hilp {
     #[must_use]
     pub fn with_policy(mut self, policy: TimeStepPolicy) -> Self {
         self.policy = policy;
+        self
+    }
+
+    /// Sets the evaluate policy (grid refinement vs. single exact solve),
+    /// builder style.
+    #[must_use]
+    pub fn with_evaluate_policy(mut self, evaluate_policy: EvaluatePolicy) -> Self {
+        self.evaluate_policy = evaluate_policy;
         self
     }
 
@@ -265,6 +350,9 @@ impl Hilp {
         &self,
         observer: &dyn RefinementObserver,
     ) -> Result<Evaluation, HilpError> {
+        if self.evaluate_policy.is_exact() {
+            return self.evaluate_exact(observer);
+        }
         let mut time_step = self.policy.initial_seconds;
         let mut refinements = 0;
         // Warm start across refinement rounds: the incumbent schedule of
@@ -367,6 +455,7 @@ impl Hilp {
                 proved_optimal: outcome.proved_optimal,
                 near_optimal: outcome.is_near_optimal(),
                 refinements,
+                exact_makespan_seconds: None,
                 truncated,
                 schedule: outcome.schedule,
                 instance,
@@ -374,6 +463,273 @@ impl Hilp {
             });
         }
     }
+
+    /// The [`EvaluatePolicy::Exact`] path: replay the grid cascade as a
+    /// pilot, then solve once at the finest tick on the continuous-time
+    /// interval backend with the cascade's result lifted in as a verified
+    /// incumbent.
+    ///
+    /// The pilot cascade solves exactly the levels the grid-refinement
+    /// loop would solve — same ticks, same warm-order chaining, same
+    /// observer hints — so its final schedule *is* the grid policy's
+    /// result for this point. That schedule is then mapped onto the
+    /// finest-tick instance by [`lift_to_finer_tick`] and passed as a
+    /// [`SolveHints::warm_incumbent`], which the solver verifies and
+    /// adopts whenever it beats the finest-tick heuristic. Either way the
+    /// returned makespan is at most the lifted one, so
+    /// `exact.makespan_seconds <= grid.makespan_seconds` holds by
+    /// construction on every point — the finest-tick solve can only
+    /// remove coarse-grid rounding, never add it.
+    ///
+    /// The observer is consulted at every pilot level with its true grid
+    /// level index and at level `max_refinements` for the finest solve, so
+    /// a bound-sharing sweep prunes and publishes across an exact sweep
+    /// exactly as it does across a grid sweep.
+    fn evaluate_exact(&self, observer: &dyn RefinementObserver) -> Result<Evaluation, HilpError> {
+        let exact_step = self.policy.exact_tick_seconds();
+        let final_level = self.policy.max_refinements;
+        let tel = &self.solver.telemetry;
+        let _eval_span = tel.span("core.evaluate");
+        let (instance, maps) = {
+            let _encode_span = tel.span("core.encode");
+            encode(&self.workload, &self.soc, &self.constraints, exact_step)?
+        };
+        // The interval backend is what makes fine-resolution solves
+        // affordable; any other configured representation would pay a
+        // horizon-proportional cost here.
+        let solver = SolverConfig {
+            timetable: TimetableKind::Interval,
+            ..self.solver.clone()
+        };
+
+        // Pilot cascade: the grid trajectory up to (never including) the
+        // finest level. Budget expiry stops the cascade early, exactly
+        // where the grid loop would have returned its coarse result.
+        let mut warm_order: Option<Vec<f64>> = None;
+        let mut pilot: Option<(Schedule, Instance, f64)> = None;
+        let mut pilot_truncated: Option<BudgetKind> = None;
+        if final_level > 0 {
+            let _pilot_span = tel.span("core.pilot");
+            let mut level = 0;
+            let mut time_step = self.policy.initial_seconds;
+            loop {
+                let _level_span = tel.span("core.level");
+                let (pilot_instance, _) = {
+                    let _encode_span = tel.span("core.encode");
+                    encode(&self.workload, &self.soc, &self.constraints, time_step)?
+                };
+                let external = observer.external_lower_bound(level, time_step);
+                let incumbent = observer.warm_incumbent(level, &pilot_instance);
+                let (outcome, telemetry) = solve_with_hints(
+                    &pilot_instance,
+                    &solver,
+                    &SolveHints {
+                        warm_priority: warm_order.as_deref(),
+                        external_lower_bound: external,
+                        warm_incumbent: incumbent.as_ref(),
+                    },
+                )?;
+                tel.incr(Counter::LevelsSolved);
+                if external.is_some() {
+                    tel.incr(Counter::InheritedBoundLevels);
+                }
+                observer.level_solved(&LevelReport {
+                    level,
+                    time_step_seconds: time_step,
+                    makespan_steps: outcome.makespan,
+                    lower_bound_steps: outcome.lower_bound,
+                    external_bound_steps: external,
+                    truncated: outcome.truncated,
+                    telemetry,
+                    schedule: &outcome.schedule,
+                    instance: &pilot_instance,
+                });
+                warm_order = Some(
+                    outcome
+                        .schedule
+                        .starts
+                        .iter()
+                        .map(|&s| -f64::from(s))
+                        .collect(),
+                );
+                let wants_refine = outcome.makespan > 0
+                    && outcome.makespan < self.policy.target_steps
+                    && level < final_level;
+                let truncated = outcome.truncated.or_else(|| {
+                    wants_refine
+                        .then(|| self.solver.budget.check().err())
+                        .flatten()
+                });
+                if wants_refine {
+                    if let Some(kind) = truncated {
+                        tel.budget_expired(
+                            BudgetLayer::Refinement,
+                            kind,
+                            self.solver.budget.nodes_spent(),
+                        );
+                    }
+                }
+                pilot_truncated = truncated;
+                pilot = Some((outcome.schedule, pilot_instance, time_step));
+                if wants_refine && truncated.is_none() && level + 1 < final_level {
+                    level += 1;
+                    time_step /= self.policy.refine_factor;
+                    continue;
+                }
+                break;
+            }
+        }
+
+        let _level_span = tel.span("core.level");
+        let lifted = pilot.as_ref().and_then(|(schedule, from, tick)| {
+            // Lifting is only sound when the pilot tick is an integer
+            // multiple of the exact tick (always, for integral refine
+            // factors); bail out rather than lift approximately.
+            let factor = (tick / exact_step).round();
+            let exact_multiple = factor.is_finite()
+                && (1.0..=f64::from(u32::MAX)).contains(&factor)
+                && (factor * exact_step - tick).abs() <= 1e-9 * tick;
+            if !exact_multiple {
+                return None;
+            }
+            lift_to_finer_tick(schedule, from, &instance, factor as u32)
+        });
+        let external = observer.external_lower_bound(final_level, exact_step);
+        let observer_incumbent = observer.warm_incumbent(final_level, &instance);
+        // Both incumbent sources target the finest instance; hand the
+        // solver the better of the two (it verifies before adopting).
+        let incumbent = match (lifted, observer_incumbent) {
+            (Some(a), Some(b)) => Some(if b.makespan(&instance) < a.makespan(&instance) {
+                b
+            } else {
+                a
+            }),
+            (a, b) => a.or(b),
+        };
+        let (outcome, telemetry) = solve_with_hints(
+            &instance,
+            &solver,
+            &SolveHints {
+                warm_priority: warm_order.as_deref(),
+                external_lower_bound: external,
+                warm_incumbent: incumbent.as_ref(),
+            },
+        )?;
+        tel.incr(Counter::LevelsSolved);
+        if external.is_some() {
+            tel.incr(Counter::InheritedBoundLevels);
+        }
+        observer.level_solved(&LevelReport {
+            level: final_level,
+            time_step_seconds: exact_step,
+            makespan_steps: outcome.makespan,
+            lower_bound_steps: outcome.lower_bound,
+            external_bound_steps: external,
+            truncated: outcome.truncated,
+            telemetry,
+            schedule: &outcome.schedule,
+            instance: &instance,
+        });
+
+        let time_step = exact_step;
+        let makespan_seconds = f64::from(outcome.makespan) * time_step;
+        let sequential = self.workload.sequential_cpu_seconds();
+        let speedup = if makespan_seconds > 0.0 {
+            sequential / makespan_seconds
+        } else {
+            1.0
+        };
+        let avg_wlp = average_wlp(&outcome.schedule, &instance);
+        Ok(Evaluation {
+            makespan_seconds,
+            makespan_steps: outcome.makespan,
+            time_step_seconds: time_step,
+            speedup,
+            avg_wlp,
+            lower_bound_seconds: f64::from(outcome.lower_bound) * time_step,
+            gap: outcome.gap(),
+            proved_optimal: outcome.proved_optimal,
+            near_optimal: outcome.is_near_optimal(),
+            refinements: 0,
+            exact_makespan_seconds: Some(makespan_seconds),
+            truncated: outcome.truncated.or(pilot_truncated),
+            schedule: outcome.schedule,
+            instance,
+            maps,
+        })
+    }
+}
+
+/// Maps a schedule solved at a coarser discretization onto the instance of
+/// a `factor`x finer one: start times scale by `factor`, and each task's
+/// mode moves to the same-named machine, onto a mode no hungrier on any
+/// rate axis and no longer than `factor` times its coarse duration.
+///
+/// Such a mode always exists before cap-filtering: the coarse mode's own
+/// fine-tick counterpart qualifies, since durations round as
+/// `ceil(w / (t / factor)) <= factor * ceil(w / t)` while the rate axes
+/// (power, bandwidth, cores, custom resources) are tick-independent — and
+/// if encoding dropped that counterpart as dominated, its dominator
+/// qualifies instead. Feasibility transfers because every lifted window
+/// `[factor * s, factor * s + d_fine)` sits inside the scaled coarse
+/// window `[factor * s, factor * (s + d_coarse))`: scaling keeps disjoint
+/// machine windows disjoint, lags scale by at most `factor` (same ceiling
+/// argument), and per-step usage is pointwise at most the coarse
+/// schedule's, which met the same caps. The lifted makespan is therefore
+/// at most `factor` times the coarse one in steps — equal or better in
+/// seconds. Returns `None` when the instances do not line up (different
+/// workloads or SoCs); callers still [`Schedule::verify`] before trusting
+/// the result — see [`SolveHints::warm_incumbent`].
+fn lift_to_finer_tick(
+    schedule: &Schedule,
+    from: &Instance,
+    to: &Instance,
+    factor: u32,
+) -> Option<Schedule> {
+    let n = from.num_tasks();
+    if to.num_tasks() != n || schedule.starts.len() != n || schedule.modes.len() != n {
+        return None;
+    }
+    // Pair each source machine with a distinct same-named target machine.
+    let mut machine_map = Vec::with_capacity(from.machines().len());
+    let mut taken = vec![false; to.machines().len()];
+    for name in from.machines() {
+        let target = to
+            .machines()
+            .iter()
+            .enumerate()
+            .position(|(j, m)| !taken[j] && m == name)?;
+        taken[target] = true;
+        machine_map.push(target);
+    }
+    let mut starts = Vec::with_capacity(n);
+    let mut modes = Vec::with_capacity(n);
+    for (t, (&start, &mode)) in schedule.starts.iter().zip(&schedule.modes).enumerate() {
+        let src = from.task(TaskId(t)).modes.get(mode.0)?;
+        let duration_budget = src.duration.checked_mul(factor)?;
+        let machine = machine_map[src.machine.0];
+        let (best, _) = to
+            .task(TaskId(t))
+            .modes
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| {
+                m.machine.0 == machine
+                    && m.duration <= duration_budget
+                    && m.power <= src.power
+                    && m.bandwidth <= src.bandwidth
+                    && m.cores <= src.cores
+                    && m.resource_usage.iter().all(|&(r, u)| u <= src.usage_of(r))
+            })
+            .min_by(|(_, a), (_, b)| {
+                (a.duration, a.power, a.bandwidth)
+                    .partial_cmp(&(b.duration, b.power, b.bandwidth))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })?;
+        modes.push(ModeId(best));
+        starts.push(start.checked_mul(factor)?);
+    }
+    Some(Schedule { starts, modes })
 }
 
 #[cfg(test)]
@@ -429,6 +785,72 @@ mod tests {
             "refinement must stop at the target or the cap"
         );
         assert!(eval.schedule.verify(&eval.instance).is_empty());
+    }
+
+    #[test]
+    fn exact_policy_solves_once_at_the_finest_tick() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(4).with_gpu(64);
+        let policy = TimeStepPolicy::sweep();
+        let eval = Hilp::new(w, soc)
+            .with_solver(fast_solver())
+            .with_policy(policy)
+            .with_evaluate_policy(EvaluatePolicy::exact())
+            .evaluate()
+            .unwrap();
+        assert_eq!(eval.refinements, 0, "exact mode never refines");
+        assert!(
+            (eval.time_step_seconds - policy.exact_tick_seconds()).abs() < 1e-12,
+            "exact mode solves at the finest tick"
+        );
+        assert_eq!(eval.exact_makespan_seconds, Some(eval.makespan_seconds));
+        assert!(eval.schedule.verify(&eval.instance).is_empty());
+    }
+
+    #[test]
+    fn exact_makespan_upper_bounds_the_grid_result() {
+        // The grid loop stops refining once the makespan clears
+        // target_steps, leaving coarse-grid rounding in the result; the
+        // exact solve always reaches the finest tick, so its makespan must
+        // not exceed the grid's on the same point.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        for soc in [SocSpec::new(4), SocSpec::new(4).with_gpu(16)] {
+            let build = || {
+                Hilp::new(w.clone(), soc.clone())
+                    .with_solver(fast_solver())
+                    .with_policy(TimeStepPolicy::sweep())
+            };
+            let grid = build().evaluate().unwrap();
+            let exact = build()
+                .with_evaluate_policy(EvaluatePolicy::exact())
+                .evaluate()
+                .unwrap();
+            assert!(
+                exact.makespan_seconds <= grid.makespan_seconds + 1e-9,
+                "exact {} > grid {}",
+                exact.makespan_seconds,
+                grid.makespan_seconds
+            );
+            assert!(exact.lower_bound_seconds <= exact.makespan_seconds + 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_evaluation_is_deterministic() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let soc = SocSpec::new(2).with_gpu(16);
+        let run = || {
+            Hilp::new(w.clone(), soc.clone())
+                .with_solver(fast_solver())
+                .with_policy(TimeStepPolicy::sweep())
+                .with_evaluate_policy(EvaluatePolicy::exact())
+                .evaluate()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.makespan_steps, b.makespan_steps);
+        assert_eq!(a.schedule, b.schedule);
     }
 
     #[test]

@@ -61,9 +61,13 @@ mod wlp;
 
 pub use encode::{encode, EncodeMaps};
 pub use error::HilpError;
-pub use evaluate::{Evaluation, Hilp, LevelReport, RefinementObserver, TimeStepPolicy};
+pub use evaluate::{
+    EvaluatePolicy, Evaluation, Hilp, LevelReport, RefinementObserver, TimeStepPolicy,
+};
 pub use wlp::average_wlp;
 
-pub use hilp_sched::{Budget, BudgetKind, CancelToken, Schedule, SolveTelemetry, SolverConfig};
+pub use hilp_sched::{
+    Budget, BudgetKind, CancelToken, Schedule, SolveTelemetry, SolverConfig, TimetableKind,
+};
 pub use hilp_soc::{Constraints, DsaSpec, SocSpec};
 pub use hilp_workloads::{Workload, WorkloadVariant};

@@ -17,8 +17,8 @@ use std::time::{Duration, Instant};
 
 use hilp_baselines::{gables_constraints, gables_parallel, multi_amdahl, without_dependencies};
 use hilp_core::{
-    encode, Budget, BudgetKind, CancelToken, Hilp, HilpError, LevelReport, RefinementObserver,
-    SolverConfig, TimeStepPolicy,
+    encode, Budget, BudgetKind, CancelToken, EvaluatePolicy, Hilp, HilpError, LevelReport,
+    RefinementObserver, SolverConfig, TimeStepPolicy,
 };
 use hilp_soc::{Constraints, SocSpec};
 use hilp_telemetry::{BudgetLayer, Counter, Telemetry};
@@ -92,6 +92,14 @@ impl SweepBudgets {
 pub struct SweepConfig {
     /// Time-step policy per evaluation.
     pub policy: TimeStepPolicy,
+    /// How HILP evaluations consume the time-step policy: the paper's
+    /// adaptive grid-refinement loop (the default), or a pilot replay of
+    /// that loop followed by one solve at the policy's finest tick on the
+    /// continuous-time interval backend ([`EvaluatePolicy::Exact`]) — no
+    /// residual coarse-grid rounding, and per-point makespans guaranteed
+    /// at most the grid loop's. The other models have no refinement loop
+    /// and ignore this.
+    pub evaluate: EvaluatePolicy,
     /// Scheduler configuration per evaluation.
     pub solver: SolverConfig,
     /// Number of worker threads (`0` = all available cores; when the core
@@ -146,6 +154,7 @@ impl Default for SweepConfig {
                 refine_factor: 5.0,
                 max_refinements: 4,
             },
+            evaluate: EvaluatePolicy::default(),
             solver: SolverConfig::sweep(),
             threads: 0,
             memoize: true,
@@ -219,6 +228,7 @@ fn evaluate_soc_observed(
             let hilp = Hilp::new(workload.clone(), soc.clone())
                 .with_constraints(*constraints)
                 .with_policy(config.policy)
+                .with_evaluate_policy(config.evaluate)
                 .with_solver(config.solver.clone());
             let eval = match observer {
                 Some(observer) => hilp.evaluate_with_observer(observer)?,
@@ -427,7 +437,10 @@ impl SolveCache {
     /// the whole refinement trajectory, so (the solver being
     /// deterministic) their results are identical. Hashing only the
     /// initial level would be unsound: durations that round together at a
-    /// coarse step can diverge at a finer one.
+    /// coarse step can diverge at a finer one. The same trajectory covers
+    /// [`EvaluatePolicy::Exact`], whose pilot cascade replays the grid
+    /// levels before the finest-tick solve — hashing only the finest
+    /// instance would be unsound there for the converse reason.
     fn key(&self, soc: &SocSpec, config: &SweepConfig) -> Result<u64, HilpError> {
         let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
         let mut step = config.policy.initial_seconds;
@@ -927,6 +940,68 @@ mod tests {
         }
         // Bigger accelerators help.
         assert!(points[2].speedup > points[0].speedup);
+    }
+
+    #[test]
+    fn exact_sweep_upper_bounds_the_grid_sweep_pointwise() {
+        // The exact policy always reaches the finest tick, so every
+        // per-point makespan must be <= the grid-refinement result (which
+        // may stop at a coarser step and keep its rounding inflation).
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2), SocSpec::new(2).with_gpu(16)];
+        let constraints = Constraints::paper_default();
+        let grid_config = SweepConfig {
+            policy: TimeStepPolicy {
+                initial_seconds: 10.0,
+                target_steps: 40,
+                refine_factor: 5.0,
+                max_refinements: 2,
+            },
+            ..tiny_config()
+        };
+        let exact_config = SweepConfig {
+            evaluate: EvaluatePolicy::exact(),
+            ..grid_config.clone()
+        };
+        let grid = evaluate_space(&w, &socs, &constraints, ModelKind::Hilp, &grid_config).unwrap();
+        let exact =
+            evaluate_space(&w, &socs, &constraints, ModelKind::Hilp, &exact_config).unwrap();
+        for (g, e) in grid.iter().zip(&exact) {
+            assert!(
+                e.makespan_seconds <= g.makespan_seconds + 1e-9,
+                "{}: exact {} > grid {}",
+                g.label,
+                e.makespan_seconds,
+                g.makespan_seconds
+            );
+        }
+    }
+
+    #[test]
+    fn exact_sweep_is_deterministic_with_memoization() {
+        // Exercises the memo key under the exact policy: identical design
+        // points share one cache entry, and repeated sweeps agree
+        // bit-for-bit.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2).with_gpu(16), SocSpec::new(2).with_gpu(16)];
+        let config = SweepConfig {
+            evaluate: EvaluatePolicy::exact(),
+            ..tiny_config()
+        };
+        let run = || {
+            evaluate_space(
+                &w,
+                &socs,
+                &Constraints::paper_default(),
+                ModelKind::Hilp,
+                &config,
+            )
+            .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert_eq!(a[0].makespan_seconds, a[1].makespan_seconds);
     }
 
     #[test]

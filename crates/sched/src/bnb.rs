@@ -321,21 +321,29 @@ mod tests {
 
     #[test]
     fn proves_the_figure2_optimum() {
+        // Every timetable representation must reach (and prove) the same
+        // optimum — the exact search is representation-independent.
         let inst = figure2_instance();
-        let result = branch_and_bound(
-            &inst,
-            None,
-            0,
-            10_000_000,
-            &Budget::unlimited(),
+        for kind in [
             TimetableKind::Event,
-            &Telemetry::disabled(),
-        );
-        assert!(result.complete);
-        let best = result.best.unwrap();
-        assert!(best.verify(&inst).is_empty());
-        assert_eq!(best.makespan(&inst), 7);
-        assert_eq!(result.lower_bound, 7);
+            TimetableKind::Dense,
+            TimetableKind::Interval,
+        ] {
+            let result = branch_and_bound(
+                &inst,
+                None,
+                0,
+                10_000_000,
+                &Budget::unlimited(),
+                kind,
+                &Telemetry::disabled(),
+            );
+            assert!(result.complete, "{kind:?} search incomplete");
+            let best = result.best.unwrap();
+            assert!(best.verify(&inst).is_empty());
+            assert_eq!(best.makespan(&inst), 7, "{kind:?} missed the optimum");
+            assert_eq!(result.lower_bound, 7);
+        }
     }
 
     #[test]

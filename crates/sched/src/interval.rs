@@ -1,0 +1,436 @@
+//! Continuous-time interval timetable: canonical sorted sets of half-open
+//! occupancy intervals per resource.
+//!
+//! Where the event backend stores each resource as a breakpoint *profile*
+//! (a value for every segment, including the idle ones), an
+//! [`IntervalSet`] stores only the busy part: a sorted vector of disjoint,
+//! coalesced spans `[start, end)` carrying the usage accumulated on that
+//! interval. Idle time is implicit — a gap between spans has the zero
+//! value. This is the classic interval-scheduling representation (cf. the
+//! `BTreeSet<ScheduledTask>` placement query used by system-level SoC
+//! simulators); a sorted vec is used instead of a `BTreeSet` so that
+//! feasibility probes can walk forward cache-friendly from a
+//! `partition_point` (binary search) locate, which profiling shows beats
+//! pointer-chasing a tree at the span counts real instances produce.
+//!
+//! Canonical-form invariants (checked by `debug_assert_canonical` and the
+//! property tests in `tests/proptests.rs`):
+//!
+//! 1. spans are sorted by `start` and pairwise disjoint;
+//! 2. every span is non-empty (`start < end`);
+//! 3. no stored span carries the zero value (idle time is a gap);
+//! 4. touching spans (`a.end == b.start`) never carry equal values —
+//!    they would have been coalesced into one.
+//!
+//! Under these invariants the segment boundaries of an `IntervalSet`
+//! coincide exactly with the breakpoints of the equivalent coalesced
+//! event profile, so the `(position, resume)` conflict hints produced by
+//! [`IntervalSet::first_violation`] match the event backend's and the two
+//! backends explore identical probe sequences.
+
+use crate::instance::{Instance, Mode};
+use crate::sgs::TimetableOps;
+
+/// One maximal busy interval: `value` holds on `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Span<V> {
+    /// Inclusive start of the interval.
+    pub start: u32,
+    /// Exclusive end of the interval.
+    pub end: u32,
+    /// Accumulated usage on the interval (never the zero value).
+    pub value: V,
+}
+
+/// A canonical set of disjoint, coalesced, non-zero usage intervals —
+/// a piecewise-constant resource-usage function with implicit idle gaps.
+#[derive(Debug, Clone, Default)]
+pub struct IntervalSet<V> {
+    spans: Vec<Span<V>>,
+}
+
+impl<V> IntervalSet<V>
+where
+    V: Copy + Default + PartialEq + std::ops::Add<Output = V> + std::ops::Sub<Output = V>,
+{
+    /// An empty (all-idle) set.
+    #[must_use]
+    pub fn new() -> Self {
+        IntervalSet { spans: Vec::new() }
+    }
+
+    /// Empties the set, keeping its allocation.
+    pub fn clear(&mut self) {
+        self.spans.clear();
+    }
+
+    /// The stored spans, for invariant checks and inspection.
+    #[must_use]
+    pub fn spans(&self) -> &[Span<V>] {
+        &self.spans
+    }
+
+    /// The usage at time `t` (zero inside a gap).
+    #[must_use]
+    pub fn value_at(&self, t: u32) -> V {
+        let i = self.spans.partition_point(|s| s.end <= t);
+        match self.spans.get(i) {
+            Some(s) if s.start <= t => s.value,
+            _ => V::default(),
+        }
+    }
+
+    /// First position in `[start, end)` whose usage violates the
+    /// predicate, together with the end of that constant-usage segment
+    /// (the next time the usage can change; `u32::MAX` for the unbounded
+    /// trailing gap). Gaps are probed with the zero value: a mode whose
+    /// demand alone exceeds a cap conflicts even with an empty timetable.
+    pub fn first_violation(
+        &self,
+        start: u32,
+        end: u32,
+        violates: impl Fn(V) -> bool,
+    ) -> Option<(u32, u32)> {
+        let zero_violates = violates(V::default());
+        let mut i = self.spans.partition_point(|s| s.end <= start);
+        let mut cursor = start;
+        while cursor < end {
+            match self.spans.get(i) {
+                Some(span) if span.start <= cursor => {
+                    if violates(span.value) {
+                        return Some((cursor, span.end));
+                    }
+                    cursor = span.end;
+                    i += 1;
+                }
+                Some(span) => {
+                    // Gap [cursor, span.start).
+                    if zero_violates {
+                        return Some((cursor, span.start));
+                    }
+                    cursor = span.start;
+                }
+                None => {
+                    // Trailing gap to infinity.
+                    return zero_violates.then_some((cursor, u32::MAX));
+                }
+            }
+        }
+        None
+    }
+
+    /// Adds `delta` over `[start, end)`.
+    pub fn add(&mut self, start: u32, end: u32, delta: V) {
+        self.apply(start, end, delta, false);
+    }
+
+    /// Subtracts `delta` over `[start, end)` (reverting a prior
+    /// [`IntervalSet::add`] of the same span).
+    pub fn subtract(&mut self, start: u32, end: u32, delta: V) {
+        self.apply(start, end, delta, true);
+    }
+
+    /// Splices the affected span range with its re-valued replacement.
+    /// O(log n) to locate + O(k) for the k spans overlapping `[start, end)`.
+    fn apply(&mut self, start: u32, end: u32, delta: V, subtract: bool) {
+        if start >= end {
+            return;
+        }
+        let zero = V::default();
+        let combine = |v: V| if subtract { v - delta } else { v + delta };
+        let lo = self.spans.partition_point(|s| s.end <= start);
+        let hi = self.spans.partition_point(|s| s.start < end);
+        let mut replacement: Vec<Span<V>> = Vec::with_capacity(hi - lo + 2);
+        let push = |rep: &mut Vec<Span<V>>, s: u32, e: u32, v: V| {
+            if s >= e || v == zero {
+                return;
+            }
+            if let Some(last) = rep.last_mut() {
+                if last.end == s && last.value == v {
+                    last.end = e;
+                    return;
+                }
+            }
+            rep.push(Span {
+                start: s,
+                end: e,
+                value: v,
+            });
+        };
+        let mut cursor = start;
+        for span in &self.spans[lo..hi] {
+            // Untouched head of a span straddling `start`.
+            push(&mut replacement, span.start, start, span.value);
+            let seg_start = span.start.max(start);
+            if seg_start > cursor {
+                // Gap inside the applied range: its zero value changes too.
+                debug_assert!(!subtract, "subtract over an idle gap reverts nothing");
+                push(&mut replacement, cursor, seg_start, combine(zero));
+            }
+            let seg_end = span.end.min(end);
+            push(&mut replacement, seg_start, seg_end, combine(span.value));
+            cursor = seg_end;
+            // Untouched tail of a span straddling `end`.
+            push(&mut replacement, end.max(span.start), span.end, span.value);
+        }
+        if cursor < end {
+            debug_assert!(!subtract, "subtract over an idle gap reverts nothing");
+            push(&mut replacement, cursor, end, combine(zero));
+        }
+        let inserted = replacement.len();
+        self.spans.splice(lo..hi, replacement);
+        // The replacement is internally coalesced; re-coalesce only its two
+        // boundaries with the untouched neighbours (highest index first so
+        // `lo` stays valid).
+        self.coalesce_boundary(lo + inserted);
+        self.coalesce_boundary(lo);
+        self.debug_assert_canonical();
+    }
+
+    /// Merges `spans[i - 1]` and `spans[i]` when they touch with equal
+    /// values.
+    fn coalesce_boundary(&mut self, i: usize) {
+        if i == 0 || i >= self.spans.len() {
+            return;
+        }
+        if self.spans[i - 1].end == self.spans[i].start
+            && self.spans[i - 1].value == self.spans[i].value
+        {
+            self.spans[i - 1].end = self.spans[i].end;
+            self.spans.remove(i);
+        }
+    }
+
+    fn debug_assert_canonical(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let zero = V::default();
+            for (i, s) in self.spans.iter().enumerate() {
+                debug_assert!(s.start < s.end, "empty span stored");
+                debug_assert!(s.value != zero, "zero-valued span stored");
+                if let Some(prev) = i.checked_sub(1).map(|p| &self.spans[p]) {
+                    debug_assert!(prev.end <= s.start, "overlapping spans");
+                    debug_assert!(
+                        prev.end < s.start || prev.value != s.value,
+                        "uncoalesced touching spans"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Continuous-time interval timetable: one [`IntervalSet`] per machine
+/// plus shared power/bandwidth/core/resource sets. The third
+/// [`crate::sgs::Timetable`] representation, behaviourally identical to
+/// the event and dense backends (the property tests pin this) but with
+/// memory and probe cost proportional to *busy* intervals only — on the
+/// fine discretizations the exact evaluate policy uses, almost all of the
+/// horizon is idle and never materializes.
+pub struct IntervalTimetable<'a> {
+    pub(crate) instance: &'a Instance,
+    machine: Vec<IntervalSet<u32>>,
+    pub(crate) power: IntervalSet<f64>,
+    bandwidth: IntervalSet<f64>,
+    pub(crate) cores: IntervalSet<u32>,
+    /// One set per user-defined resource.
+    extra: Vec<IntervalSet<f64>>,
+}
+
+impl<'a> IntervalTimetable<'a> {
+    pub(crate) fn new(instance: &'a Instance) -> Self {
+        IntervalTimetable {
+            instance,
+            machine: (0..instance.num_machines())
+                .map(|_| IntervalSet::new())
+                .collect(),
+            power: IntervalSet::new(),
+            bandwidth: IntervalSet::new(),
+            cores: IntervalSet::new(),
+            extra: instance
+                .resources()
+                .iter()
+                .map(|_| IntervalSet::new())
+                .collect(),
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        for m in &mut self.machine {
+            m.clear();
+        }
+        self.power.clear();
+        self.bandwidth.clear();
+        self.cores.clear();
+        for r in &mut self.extra {
+            r.clear();
+        }
+    }
+
+    pub(crate) fn place(&mut self, mode: &Mode, start: u32) {
+        let end = start + mode.duration;
+        debug_assert!(
+            self.machine[mode.machine.0]
+                .first_violation(start, end, |v| v > 0)
+                .is_none(),
+            "machine double-booked"
+        );
+        self.machine[mode.machine.0].add(start, end, 1);
+        if mode.power > 0.0 {
+            self.power.add(start, end, mode.power);
+        }
+        if mode.bandwidth > 0.0 {
+            self.bandwidth.add(start, end, mode.bandwidth);
+        }
+        if mode.cores > 0 {
+            self.cores.add(start, end, mode.cores);
+        }
+        for &(r, amount) in &mode.resource_usage {
+            if amount > 0.0 {
+                self.extra[r.0].add(start, end, amount);
+            }
+        }
+    }
+
+    pub(crate) fn unplace(&mut self, mode: &Mode, start: u32) {
+        let end = start + mode.duration;
+        self.machine[mode.machine.0].subtract(start, end, 1);
+        if mode.power > 0.0 {
+            self.power.subtract(start, end, mode.power);
+        }
+        if mode.bandwidth > 0.0 {
+            self.bandwidth.subtract(start, end, mode.bandwidth);
+        }
+        if mode.cores > 0 {
+            self.cores.subtract(start, end, mode.cores);
+        }
+        for &(r, amount) in &mode.resource_usage {
+            if amount > 0.0 {
+                self.extra[r.0].subtract(start, end, amount);
+            }
+        }
+    }
+}
+
+impl TimetableOps for IntervalTimetable<'_> {
+    fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    fn machine_conflict(&self, machine: usize, start: u32, end: u32) -> Option<(u32, u32)> {
+        self.machine[machine].first_violation(start, end, |v| v > 0)
+    }
+
+    fn power_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)> {
+        self.power
+            .first_violation(start, end, |v| v + add > cap + 1e-9)
+    }
+
+    fn bandwidth_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)> {
+        self.bandwidth
+            .first_violation(start, end, |v| v + add > cap + 1e-9)
+    }
+
+    fn cores_conflict(&self, start: u32, end: u32, add: u32, cap: u32) -> Option<(u32, u32)> {
+        self.cores.first_violation(start, end, |v| v + add > cap)
+    }
+
+    fn resource_conflict(
+        &self,
+        resource: usize,
+        start: u32,
+        end: u32,
+        add: f64,
+        cap: f64,
+    ) -> Option<(u32, u32)> {
+        self.extra[resource].first_violation(start, end, |v| v + add > cap + 1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spans_of(set: &IntervalSet<f64>) -> Vec<(u32, u32, f64)> {
+        set.spans()
+            .iter()
+            .map(|s| (s.start, s.end, s.value))
+            .collect()
+    }
+
+    #[test]
+    fn add_creates_and_coalesces_spans() {
+        let mut set = IntervalSet::new();
+        set.add(10, 20, 2.0);
+        set.add(20, 30, 2.0); // touching, equal value: one span
+        assert_eq!(spans_of(&set), vec![(10, 30, 2.0)]);
+        set.add(15, 25, 1.0); // three-way split
+        assert_eq!(
+            spans_of(&set),
+            vec![(10, 15, 2.0), (15, 25, 3.0), (25, 30, 2.0)]
+        );
+    }
+
+    #[test]
+    fn subtract_reverts_add_exactly() {
+        let mut set = IntervalSet::new();
+        set.add(10, 30, 2.0);
+        set.add(15, 25, 1.5);
+        set.subtract(15, 25, 1.5);
+        assert_eq!(spans_of(&set), vec![(10, 30, 2.0)]);
+        set.subtract(10, 30, 2.0);
+        assert!(set.spans().is_empty());
+    }
+
+    #[test]
+    fn adds_bridging_a_gap_keep_the_gap_distinct() {
+        let mut set = IntervalSet::new();
+        set.add(10, 20, 2.0);
+        set.add(30, 40, 2.0);
+        set.add(15, 35, 1.0); // covers the gap [20, 30)
+        assert_eq!(
+            spans_of(&set),
+            vec![
+                (10, 15, 2.0),
+                (15, 20, 3.0),
+                (20, 30, 1.0),
+                (30, 35, 3.0),
+                (35, 40, 2.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn value_at_reads_gaps_as_zero() {
+        let mut set = IntervalSet::new();
+        set.add(10, 20, 2.0);
+        assert_eq!(set.value_at(9), 0.0);
+        assert_eq!(set.value_at(10), 2.0);
+        assert_eq!(set.value_at(19), 2.0);
+        assert_eq!(set.value_at(20), 0.0);
+    }
+
+    #[test]
+    fn first_violation_jumps_to_segment_ends() {
+        let mut set = IntervalSet::new();
+        set.add(10, 20, 2.0);
+        set.add(20, 30, 5.0);
+        // Probe for headroom 3.0: the 5.0 span violates.
+        let violates = |v: f64| v + 3.0 > 6.0;
+        assert_eq!(set.first_violation(0, 40, violates), Some((20, 30)));
+        assert_eq!(set.first_violation(25, 40, violates), Some((25, 30)));
+        assert_eq!(set.first_violation(30, 40, violates), None);
+    }
+
+    #[test]
+    fn first_violation_probes_gaps_with_zero() {
+        let mut set = IntervalSet::new();
+        set.add(10, 20, 1.0);
+        // A demand that violates even an idle timetable: the leading gap
+        // conflicts and resumes at the first span; the trailing gap is
+        // unbounded.
+        let always = |_v: f64| true;
+        assert_eq!(set.first_violation(0, 40, always), Some((0, 10)));
+        assert_eq!(set.first_violation(20, 40, always), Some((20, u32::MAX)));
+    }
+}

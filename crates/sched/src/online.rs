@@ -17,7 +17,7 @@
 
 use crate::instance::{EdgeKind, Instance, ModeId, TaskId};
 use crate::schedule::Schedule;
-use crate::sgs::Timetable;
+use crate::sgs::{Timetable, TimetableKind};
 use hilp_budget::{Budget, BudgetKind};
 
 /// Priority policies for [`online_greedy`].
@@ -101,8 +101,23 @@ pub fn online_greedy_budgeted(
     policy: OnlinePolicy,
     budget: &Budget,
 ) -> OnlineOutcome {
+    online_greedy_budgeted_with(instance, policy, budget, TimetableKind::default())
+}
+
+/// [`online_greedy_budgeted`] with an explicit admission-timetable
+/// representation. The dispatcher's decisions depend only on feasibility
+/// answers, which every [`TimetableKind`] answers identically, so the
+/// outcome is representation-independent — this entry point exists for the
+/// differential test oracle to pin exactly that.
+#[must_use]
+pub fn online_greedy_budgeted_with(
+    instance: &Instance,
+    policy: OnlinePolicy,
+    budget: &Budget,
+    kind: TimetableKind,
+) -> OnlineOutcome {
     let n = instance.num_tasks();
-    let mut timetable = Timetable::new(instance);
+    let mut timetable = Timetable::with_kind(instance, kind);
     let mut starts = vec![0u32; n];
     let mut modes = vec![ModeId(0); n];
     let mut finish: Vec<Option<u32>> = vec![None; n];
@@ -529,6 +544,28 @@ mod tests {
                 kind: BudgetKind::Cancelled
             }
         );
+    }
+
+    #[test]
+    fn admission_outcome_is_representation_independent() {
+        let inst = figure2();
+        for policy in [
+            OnlinePolicy::Fifo,
+            OnlinePolicy::LongestFirst,
+            OnlinePolicy::ShortestFirst,
+            OnlinePolicy::HeterogeneityAware,
+        ] {
+            let event = online_greedy_budgeted_with(
+                &inst,
+                policy,
+                &Budget::unlimited(),
+                TimetableKind::Event,
+            );
+            for kind in [TimetableKind::Dense, TimetableKind::Interval] {
+                let other = online_greedy_budgeted_with(&inst, policy, &Budget::unlimited(), kind);
+                assert_eq!(event, other, "{policy:?} diverged under {kind:?}");
+            }
+        }
     }
 
     #[test]

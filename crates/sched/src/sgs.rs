@@ -7,7 +7,8 @@
 //! to contain an optimum for makespan minimization; this is the foundation
 //! of both the randomized heuristic and the exact branch-and-bound search.
 //!
-//! Two timetable representations back the SGS:
+//! Three timetable representations back the SGS, all behind the shared
+//! [`TimetableOps`] feasibility logic:
 //!
 //! * [`TimetableKind::Event`] (the default) stores each resource as a
 //!   piecewise-constant profile over breakpoints, so a feasibility probe
@@ -17,8 +18,13 @@
 //! * [`TimetableKind::Dense`] is the original per-time-step representation,
 //!   kept as a slow-but-obviously-correct reference for property tests and
 //!   benchmark baselines.
+//! * [`TimetableKind::Interval`] stores only the *busy* intervals as
+//!   canonical sorted sets ([`crate::interval`]): memory and probe cost
+//!   scale with placed tasks, not with the horizon, which is what makes
+//!   single-pass fine-resolution ("exact") evaluation affordable.
 
 use crate::instance::{EdgeKind, Instance, Mode, ModeId, TaskId};
+use crate::interval::IntervalTimetable;
 use crate::schedule::Schedule;
 
 /// Which timetable representation the scheduler uses.
@@ -31,6 +37,112 @@ pub enum TimetableKind {
     /// Dense per-time-step occupancy vectors over the whole horizon: the
     /// original reference implementation, retained for cross-checking.
     Dense,
+    /// Continuous-time interval sets storing only busy intervals: cost
+    /// scales with placed tasks rather than the horizon, making very fine
+    /// discretizations cheap.
+    Interval,
+}
+
+/// Per-dimension conflict probes shared by every timetable backend, plus
+/// the [`TimetableOps::fits_at`] / [`TimetableOps::earliest_start`] logic
+/// written once on top of them.
+///
+/// Each `*_conflict` hook reports the first position in `[start, end)`
+/// where admitting `add` more usage would violate the dimension's cap,
+/// together with a *resume* time: the earliest moment the dimension's
+/// usage can next change (so every start strictly before it would still
+/// conflict, and probing can jump there directly). `u32::MAX` marks a
+/// conflict that persists indefinitely.
+pub(crate) trait TimetableOps {
+    /// The instance whose caps and horizon govern feasibility.
+    fn instance(&self) -> &Instance;
+    /// First `[start, end)` conflict on `machine`'s exclusive occupancy.
+    fn machine_conflict(&self, machine: usize, start: u32, end: u32) -> Option<(u32, u32)>;
+    /// First `[start, end)` conflict admitting `add` watts under `cap`.
+    fn power_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)>;
+    /// First `[start, end)` conflict admitting `add` GB/s under `cap`.
+    fn bandwidth_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)>;
+    /// First `[start, end)` conflict admitting `add` cores under `cap`.
+    fn cores_conflict(&self, start: u32, end: u32, add: u32, cap: u32) -> Option<(u32, u32)>;
+    /// First `[start, end)` conflict admitting `add` units of resource
+    /// `resource` under `cap`.
+    fn resource_conflict(
+        &self,
+        resource: usize,
+        start: u32,
+        end: u32,
+        add: f64,
+        cap: f64,
+    ) -> Option<(u32, u32)>;
+
+    /// Whether `mode` can run during `[start, start + duration)`; on
+    /// conflict returns the next start time at which the blocking
+    /// dimension can change.
+    fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
+        let end = start + mode.duration;
+        let instance = self.instance();
+        let mut conflict: Option<(u32, u32)> = None;
+        merge_conflict(
+            &mut conflict,
+            self.machine_conflict(mode.machine.0, start, end),
+        );
+        if mode.power > 0.0 {
+            if let Some(cap) = instance.power_cap() {
+                merge_conflict(
+                    &mut conflict,
+                    self.power_conflict(start, end, mode.power, cap),
+                );
+            }
+        }
+        if mode.bandwidth > 0.0 {
+            if let Some(cap) = instance.bandwidth_cap() {
+                merge_conflict(
+                    &mut conflict,
+                    self.bandwidth_conflict(start, end, mode.bandwidth, cap),
+                );
+            }
+        }
+        if mode.cores > 0 {
+            if let Some(cap) = instance.core_cap() {
+                merge_conflict(
+                    &mut conflict,
+                    self.cores_conflict(start, end, mode.cores, cap),
+                );
+            }
+        }
+        for &(r, amount) in &mode.resource_usage {
+            if amount > 0.0 {
+                let cap = instance.resources()[r.0].1;
+                merge_conflict(
+                    &mut conflict,
+                    self.resource_conflict(r.0, start, end, amount, cap),
+                );
+            }
+        }
+        match conflict {
+            None => Ok(()),
+            Some((_, resume)) => Err(resume),
+        }
+    }
+
+    /// Earliest start `>= est` at which `mode` fits, or `None` if it does
+    /// not fit anywhere before the horizon. Conflict-jump search: each
+    /// failed probe advances straight to the returned resume time, so the
+    /// number of probes is bounded by the number of usage-change events,
+    /// never by the horizon.
+    fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
+        let horizon = u64::from(self.instance().horizon());
+        let mut t = est;
+        loop {
+            if u64::from(t) + u64::from(mode.duration) > horizon {
+                return None;
+            }
+            match self.fits_at(mode, t) {
+                Ok(()) => return Some(t),
+                Err(next) => t = next,
+            }
+        }
+    }
 }
 
 /// A piecewise-constant profile: `values[i]` holds on
@@ -182,58 +294,6 @@ impl<'a> EventTimetable<'a> {
         }
     }
 
-    /// Whether `mode` can run during `[start, start + duration)`; on
-    /// conflict returns the next start time at which the blocking profile
-    /// can change.
-    fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
-        let end = start + mode.duration;
-        let mut conflict: Option<(u32, u32)> = None;
-        merge_conflict(
-            &mut conflict,
-            self.machine[mode.machine.0].first_violation(start, end, |v| v > 0),
-        );
-        if mode.power > 0.0 {
-            if let Some(cap) = self.instance.power_cap() {
-                merge_conflict(
-                    &mut conflict,
-                    self.power
-                        .first_violation(start, end, |v| v + mode.power > cap + 1e-9),
-                );
-            }
-        }
-        if mode.bandwidth > 0.0 {
-            if let Some(cap) = self.instance.bandwidth_cap() {
-                merge_conflict(
-                    &mut conflict,
-                    self.bandwidth
-                        .first_violation(start, end, |v| v + mode.bandwidth > cap + 1e-9),
-                );
-            }
-        }
-        if mode.cores > 0 {
-            if let Some(cap) = self.instance.core_cap() {
-                merge_conflict(
-                    &mut conflict,
-                    self.cores
-                        .first_violation(start, end, |v| v + mode.cores > cap),
-                );
-            }
-        }
-        for &(r, amount) in &mode.resource_usage {
-            if amount > 0.0 {
-                let cap = self.instance.resources()[r.0].1;
-                merge_conflict(
-                    &mut conflict,
-                    self.extra[r.0].first_violation(start, end, |v| v + amount > cap + 1e-9),
-                );
-            }
-        }
-        match conflict {
-            None => Ok(()),
-            Some((_, resume)) => Err(resume),
-        }
-    }
-
     fn place(&mut self, mode: &Mode, start: u32) {
         let end = start + mode.duration;
         debug_assert!(
@@ -279,6 +339,41 @@ impl<'a> EventTimetable<'a> {
     }
 }
 
+impl TimetableOps for EventTimetable<'_> {
+    fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    fn machine_conflict(&self, machine: usize, start: u32, end: u32) -> Option<(u32, u32)> {
+        self.machine[machine].first_violation(start, end, |v| v > 0)
+    }
+
+    fn power_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)> {
+        self.power
+            .first_violation(start, end, |v| v + add > cap + 1e-9)
+    }
+
+    fn bandwidth_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)> {
+        self.bandwidth
+            .first_violation(start, end, |v| v + add > cap + 1e-9)
+    }
+
+    fn cores_conflict(&self, start: u32, end: u32, add: u32, cap: u32) -> Option<(u32, u32)> {
+        self.cores.first_violation(start, end, |v| v + add > cap)
+    }
+
+    fn resource_conflict(
+        &self,
+        resource: usize,
+        start: u32,
+        end: u32,
+        add: f64,
+        cap: f64,
+    ) -> Option<(u32, u32)> {
+        self.extra[resource].first_violation(start, end, |v| v + add > cap + 1e-9)
+    }
+}
+
 /// Dense per-time-step occupancy and resource usage over the horizon: the
 /// original reference representation.
 pub struct DenseTimetable<'a> {
@@ -316,31 +411,6 @@ impl<'a> DenseTimetable<'a> {
         }
     }
 
-    /// Whether `mode` can run during `[start, start + duration)`; on
-    /// conflict returns the step after the first conflicting one.
-    #[allow(clippy::needless_range_loop)] // the step index probes several profiles
-    fn fits_at(&self, mode: &Mode, start: u32) -> Result<(), u32> {
-        let begin = start as usize;
-        let end = begin + mode.duration as usize;
-        let busy = &self.machine_busy[mode.machine.0];
-        let power_cap = self.instance.power_cap();
-        let bw_cap = self.instance.bandwidth_cap();
-        let core_cap = self.instance.core_cap();
-        for u in begin..end {
-            let conflict = busy[u]
-                || power_cap.is_some_and(|cap| self.power[u] + mode.power > cap + 1e-9)
-                || bw_cap.is_some_and(|cap| self.bandwidth[u] + mode.bandwidth > cap + 1e-9)
-                || core_cap.is_some_and(|cap| self.cores[u] + mode.cores > cap)
-                || mode.resource_usage.iter().any(|&(r, amount)| {
-                    self.extra[r.0][u] + amount > self.instance.resources()[r.0].1 + 1e-9
-                });
-            if conflict {
-                return Err(u as u32 + 1);
-            }
-        }
-        Ok(())
-    }
-
     fn place(&mut self, mode: &Mode, start: u32) {
         let begin = start as usize;
         let end = begin + mode.duration as usize;
@@ -371,32 +441,81 @@ impl<'a> DenseTimetable<'a> {
     }
 }
 
-/// Occupancy and resource usage over the horizon, in either representation.
+/// First step in `[start, end)` that violates, extended to the end of its
+/// maximal violating run (scanning on past `end` up to `horizon`): the run
+/// end is the first step at which the dimension's state differs, so it is
+/// a valid resume hint — this is what lets the dense backend conflict-jump
+/// instead of re-probing every step after a conflict.
+fn dense_conflict_run(
+    start: u32,
+    end: u32,
+    horizon: usize,
+    violates: impl Fn(usize) -> bool,
+) -> Option<(u32, u32)> {
+    let pos = (start as usize..end as usize).find(|&u| violates(u))?;
+    let mut resume = pos + 1;
+    while resume < horizon && violates(resume) {
+        resume += 1;
+    }
+    Some((pos as u32, resume as u32))
+}
+
+impl TimetableOps for DenseTimetable<'_> {
+    fn instance(&self) -> &Instance {
+        self.instance
+    }
+
+    fn machine_conflict(&self, machine: usize, start: u32, end: u32) -> Option<(u32, u32)> {
+        let busy = &self.machine_busy[machine];
+        dense_conflict_run(start, end, busy.len(), |u| busy[u])
+    }
+
+    fn power_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)> {
+        dense_conflict_run(start, end, self.power.len(), |u| {
+            self.power[u] + add > cap + 1e-9
+        })
+    }
+
+    fn bandwidth_conflict(&self, start: u32, end: u32, add: f64, cap: f64) -> Option<(u32, u32)> {
+        dense_conflict_run(start, end, self.bandwidth.len(), |u| {
+            self.bandwidth[u] + add > cap + 1e-9
+        })
+    }
+
+    fn cores_conflict(&self, start: u32, end: u32, add: u32, cap: u32) -> Option<(u32, u32)> {
+        dense_conflict_run(start, end, self.cores.len(), |u| self.cores[u] + add > cap)
+    }
+
+    fn resource_conflict(
+        &self,
+        resource: usize,
+        start: u32,
+        end: u32,
+        add: f64,
+        cap: f64,
+    ) -> Option<(u32, u32)> {
+        let usage = &self.extra[resource];
+        dense_conflict_run(start, end, usage.len(), |u| usage[u] + add > cap + 1e-9)
+    }
+}
+
+/// Occupancy and resource usage over the horizon, in any representation.
 pub enum Timetable<'a> {
     /// Breakpoint profiles (the fast default).
     Event(EventTimetable<'a>),
     /// Per-time-step vectors (the reference).
     Dense(DenseTimetable<'a>),
+    /// Continuous-time busy-interval sets (horizon-independent).
+    Interval(IntervalTimetable<'a>),
 }
 
 impl<'a> Timetable<'a> {
-    /// An empty timetable in the default (event-driven) representation.
-    pub(crate) fn new(instance: &'a Instance) -> Self {
-        Timetable::with_kind(instance, TimetableKind::Event)
-    }
-
     /// An empty timetable in the requested representation.
     pub fn with_kind(instance: &'a Instance, kind: TimetableKind) -> Self {
         match kind {
             TimetableKind::Event => Timetable::Event(EventTimetable::new(instance)),
             TimetableKind::Dense => Timetable::Dense(DenseTimetable::new(instance)),
-        }
-    }
-
-    fn instance(&self) -> &'a Instance {
-        match self {
-            Timetable::Event(t) => t.instance,
-            Timetable::Dense(t) => t.instance,
+            TimetableKind::Interval => Timetable::Interval(IntervalTimetable::new(instance)),
         }
     }
 
@@ -406,6 +525,7 @@ impl<'a> Timetable<'a> {
         match self {
             Timetable::Event(t) => t.clear(),
             Timetable::Dense(t) => t.clear(),
+            Timetable::Interval(t) => t.clear(),
         }
     }
 
@@ -416,22 +536,18 @@ impl<'a> Timetable<'a> {
         match self {
             Timetable::Event(t) => t.fits_at(mode, start),
             Timetable::Dense(t) => t.fits_at(mode, start),
+            Timetable::Interval(t) => t.fits_at(mode, start),
         }
     }
 
     /// Earliest start `>= est` at which `mode` fits, or `None` if it does
-    /// not fit anywhere before the horizon.
+    /// not fit anywhere before the horizon. Dispatches once so the whole
+    /// conflict-jump loop runs monomorphized inside the backend.
     pub fn earliest_start(&self, mode: &Mode, est: u32) -> Option<u32> {
-        let horizon = u64::from(self.instance().horizon());
-        let mut t = est;
-        loop {
-            if u64::from(t) + u64::from(mode.duration) > horizon {
-                return None;
-            }
-            match self.fits_at(mode, t) {
-                Ok(()) => return Some(t),
-                Err(next) => t = next,
-            }
+        match self {
+            Timetable::Event(t) => t.earliest_start(mode, est),
+            Timetable::Dense(t) => t.earliest_start(mode, est),
+            Timetable::Interval(t) => t.earliest_start(mode, est),
         }
     }
 
@@ -440,6 +556,7 @@ impl<'a> Timetable<'a> {
         match self {
             Timetable::Event(t) => t.place(mode, start),
             Timetable::Dense(t) => t.place(mode, start),
+            Timetable::Interval(t) => t.place(mode, start),
         }
     }
 
@@ -448,6 +565,7 @@ impl<'a> Timetable<'a> {
         match self {
             Timetable::Event(t) => t.unplace(mode, start),
             Timetable::Dense(t) => t.unplace(mode, start),
+            Timetable::Interval(t) => t.unplace(mode, start),
         }
     }
 
@@ -456,6 +574,7 @@ impl<'a> Timetable<'a> {
         match self {
             Timetable::Event(tt) => tt.power.values[tt.power.segment(t)],
             Timetable::Dense(tt) => tt.power[t as usize],
+            Timetable::Interval(tt) => tt.power.value_at(t),
         }
     }
 
@@ -464,6 +583,7 @@ impl<'a> Timetable<'a> {
         match self {
             Timetable::Event(tt) => tt.cores.values[tt.cores.segment(t)],
             Timetable::Dense(tt) => tt.cores[t as usize],
+            Timetable::Interval(tt) => tt.cores.value_at(t),
         }
     }
 }
@@ -577,7 +697,7 @@ pub(crate) fn serial_sgs(
     priority: &[f64],
     mode_rule: &ModeRule<'_>,
 ) -> Option<Schedule> {
-    let mut timetable = Timetable::new(instance);
+    let mut timetable = Timetable::with_kind(instance, TimetableKind::Event);
     serial_sgs_into(instance, priority, mode_rule, &mut timetable)
 }
 
@@ -586,7 +706,11 @@ mod tests {
     use super::*;
     use crate::instance::{InstanceBuilder, Mode};
 
-    const BOTH_KINDS: [TimetableKind; 2] = [TimetableKind::Event, TimetableKind::Dense];
+    const ALL_KINDS: [TimetableKind; 3] = [
+        TimetableKind::Event,
+        TimetableKind::Dense,
+        TimetableKind::Interval,
+    ];
 
     #[test]
     fn earliest_start_skips_busy_windows() {
@@ -596,7 +720,7 @@ mod tests {
         b.add_task("b", vec![Mode::on(cpu, 2)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        for kind in BOTH_KINDS {
+        for kind in ALL_KINDS {
             let mut tt = Timetable::with_kind(&inst, kind);
             let mode = Mode::on(cpu, 3);
             tt.place(&mode, 2); // busy [2, 5)
@@ -614,7 +738,7 @@ mod tests {
         b.add_task("a", vec![Mode::on(cpu, 3)]);
         b.set_horizon(5);
         let inst = b.build().unwrap();
-        for kind in BOTH_KINDS {
+        for kind in ALL_KINDS {
             let tt = Timetable::with_kind(&inst, kind);
             let probe = Mode::on(cpu, 3);
             assert_eq!(tt.earliest_start(&probe, 2), Some(2));
@@ -632,7 +756,7 @@ mod tests {
         b.set_power_cap(10.0);
         b.set_horizon(20);
         let inst = b.build().unwrap();
-        for kind in BOTH_KINDS {
+        for kind in ALL_KINDS {
             let mut tt = Timetable::with_kind(&inst, kind);
             tt.place(&Mode::on(cpu, 4).power(6.0), 0);
             let probe = Mode::on(gpu, 2).power(5.0);
@@ -648,7 +772,7 @@ mod tests {
         b.add_task("a", vec![Mode::on(cpu, 2)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        for kind in BOTH_KINDS {
+        for kind in ALL_KINDS {
             let mut tt = Timetable::with_kind(&inst, kind);
             let mode = Mode::on(cpu, 2).power(3.0).bandwidth(1.0).cores(1);
             tt.place(&mode, 0);
@@ -667,7 +791,7 @@ mod tests {
         b.add_task("a", vec![Mode::on(cpu, 3)]);
         b.set_horizon(10);
         let inst = b.build().unwrap();
-        for kind in BOTH_KINDS {
+        for kind in ALL_KINDS {
             let mut tt = Timetable::with_kind(&inst, kind);
             let mode = Mode::on(cpu, 3).power(2.0);
             tt.place(&mode, 1);
@@ -689,10 +813,41 @@ mod tests {
         b.add_task("b", vec![Mode::on(cpu, 5)]);
         b.set_horizon(2000);
         let inst = b.build().unwrap();
-        for kind in BOTH_KINDS {
+        for kind in ALL_KINDS {
             let mut tt = Timetable::with_kind(&inst, kind);
             tt.place(&Mode::on(cpu, 1000), 0);
             assert_eq!(tt.earliest_start(&Mode::on(cpu, 5), 0), Some(1000));
+        }
+    }
+
+    #[test]
+    fn every_backend_conflict_jumps_in_a_bounded_probe_count() {
+        // Regression: the dense backend used to answer `Err(t + 1)` and
+        // linearly rescan all 1000 steps of the busy window; every backend
+        // must now return the end of the blocking run so the conflict-jump
+        // search finishes in two probes.
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 1000)]);
+        b.add_task("b", vec![Mode::on(cpu, 5)]);
+        b.set_horizon(2000);
+        let inst = b.build().unwrap();
+        for kind in ALL_KINDS {
+            let mut tt = Timetable::with_kind(&inst, kind);
+            tt.place(&Mode::on(cpu, 1000), 0);
+            let probe = Mode::on(cpu, 5);
+            assert_eq!(tt.fits_at(&probe, 0), Err(1000), "{kind:?} resume hint");
+            let mut probes = 0u32;
+            let mut t = 0u32;
+            let start = loop {
+                probes += 1;
+                match tt.fits_at(&probe, t) {
+                    Ok(()) => break t,
+                    Err(next) => t = next,
+                }
+            };
+            assert_eq!(start, 1000);
+            assert_eq!(probes, 2, "{kind:?} must need exactly two probes");
         }
     }
 

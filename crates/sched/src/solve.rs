@@ -29,8 +29,11 @@ pub struct SolverConfig {
     /// default) runs inline, `0` uses one thread per available core. The
     /// per-unit seed split makes the result identical for every value.
     pub heuristic_threads: usize,
-    /// Timetable representation backing the SGS and branch-and-bound
-    /// (event-driven by default; dense is the slow reference).
+    /// Timetable representation backing the SGS and branch-and-bound:
+    /// event-driven by default, dense as the slow reference, or the
+    /// continuous-time interval backend whose cost is independent of the
+    /// horizon (what `EvaluatePolicy::exact()` selects for single-pass
+    /// fine-resolution evaluation). All three produce identical schedules.
     pub timetable: TimetableKind,
     /// Stop the heuristic as soon as its incumbent matches a proven lower
     /// bound (the instance's own combinatorial bound, possibly raised by

@@ -16,7 +16,7 @@ use hilp_model::{ModelError, SolveLimits};
 use hilp_sched::online::{online_greedy, OnlinePolicy};
 use hilp_sched::{
     lower_bound, solve, solve_exact, solve_heuristic, Budget, Instance, InstanceBuilder,
-    SolverConfig, TaskId,
+    SolverConfig, TaskId, TimetableKind,
 };
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
@@ -81,6 +81,9 @@ pub struct CheckStats {
     pub time_indexed_skipped: u64,
     /// Metamorphic rounds (scale + relax + permute) completed.
     pub metamorphic_checked: u64,
+    /// Heuristic solves replayed on the continuous-time interval backend
+    /// and compared bit-for-bit against the configured representation.
+    pub interval_checked: u64,
     /// Budgeted anytime solves checked against the brute-force optimum.
     pub budgeted_checked: u64,
     /// Budgeted solves that were actually truncated by their budget.
@@ -105,6 +108,7 @@ impl CheckStats {
         self.time_indexed_checked += other.time_indexed_checked;
         self.time_indexed_skipped += other.time_indexed_skipped;
         self.metamorphic_checked += other.metamorphic_checked;
+        self.interval_checked += other.interval_checked;
         self.budgeted_checked += other.budgeted_checked;
         self.budgeted_truncated += other.budgeted_truncated;
         self.pipeline_encoded += other.pipeline_encoded;
@@ -116,7 +120,7 @@ impl CheckStats {
     pub fn summary(&self) -> String {
         format!(
             "{} cases: {} feasible, {} infeasible-agreed, {} brute-forced ({} proved optimal), \
-             milp {}/{} skipped, time-indexed {}/{} skipped, {} metamorphic, \
+             milp {}/{} skipped, time-indexed {}/{} skipped, {} metamorphic, {} interval-replayed, \
              budgeted {} ({} truncated), pipeline {} encoded / {} skipped",
             self.cases,
             self.feasible,
@@ -128,6 +132,7 @@ impl CheckStats {
             self.time_indexed_checked,
             self.time_indexed_skipped,
             self.metamorphic_checked,
+            self.interval_checked,
             self.budgeted_checked,
             self.budgeted_truncated,
             self.pipeline_encoded,
@@ -299,7 +304,58 @@ pub fn check_instance(
         }
     };
 
-    if let Ok(heuristic) = solve_heuristic(instance, &config.solver) {
+    let heuristic = solve_heuristic(instance, &config.solver);
+
+    // Representation differential: the continuous-time interval backend
+    // must reproduce the configured backend's heuristic outcome
+    // bit-for-bit — same feasibility verdict, makespan, lower bound, and
+    // schedule — on every instance, not just the ones worth brute-forcing.
+    if config.solver.timetable != TimetableKind::Interval {
+        let interval = solve_heuristic(
+            instance,
+            &SolverConfig {
+                timetable: TimetableKind::Interval,
+                ..config.solver.clone()
+            },
+        );
+        stats.interval_checked += 1;
+        match (&heuristic, &interval) {
+            (Ok(a), Ok(b)) => {
+                if (a.makespan, a.lower_bound, &a.schedule)
+                    != (b.makespan, b.lower_bound, &b.schedule)
+                {
+                    return Err(Disagreement::new(
+                        "interval-representation",
+                        instance,
+                        format!(
+                            "interval backend diverged from {:?}: makespan {} vs {}, lower \
+                             bound {} vs {}",
+                            config.solver.timetable,
+                            a.makespan,
+                            b.makespan,
+                            a.lower_bound,
+                            b.lower_bound
+                        ),
+                    ));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(Disagreement::new(
+                    "interval-representation",
+                    instance,
+                    format!(
+                        "feasibility verdicts diverged: {:?} backend ok={}, interval ok={}",
+                        config.solver.timetable,
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                ));
+            }
+        }
+    }
+
+    if let Ok(heuristic) = heuristic {
         let violations = heuristic.schedule.verify(instance);
         if !violations.is_empty() {
             return Err(Disagreement::new(
