@@ -62,7 +62,8 @@ mod wlp;
 pub use encode::{encode, EncodeMaps};
 pub use error::HilpError;
 pub use evaluate::{
-    EvaluatePolicy, Evaluation, Hilp, LevelReport, RefinementObserver, TimeStepPolicy,
+    EvaluatePolicy, Evaluation, Hilp, LevelReport, RecordedEvaluation, RecordedLevel,
+    RefinementObserver, TimeStepPolicy, WhatIfPath,
 };
 pub use wlp::average_wlp;
 

@@ -37,6 +37,6 @@ pub use lattice::{
 pub use pareto::{pareto_front, ParetoPoint};
 pub use space::design_space;
 pub use sweep::{
-    evaluate_space, evaluate_space_with_stats, DesignPoint, ModelKind, SweepBudgets, SweepConfig,
-    SweepStats,
+    evaluate_space, evaluate_space_recorded, evaluate_space_with_stats, DesignPoint, ModelKind,
+    SweepBaseline, SweepBudgets, SweepConfig, SweepStats,
 };

@@ -12,14 +12,15 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use hilp_baselines::{gables_constraints, gables_parallel, multi_amdahl, without_dependencies};
 use hilp_core::{
     encode, Budget, BudgetKind, CancelToken, EvaluatePolicy, Hilp, HilpError, LevelReport,
-    RefinementObserver, SolverConfig, TimeStepPolicy,
+    RefinementObserver, SolverConfig, TimeStepPolicy, TimetableKind,
 };
+use hilp_sched::{Instance, InstanceDelta};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_telemetry::{BudgetLayer, Counter, Telemetry};
 use hilp_workloads::Workload;
@@ -136,6 +137,31 @@ pub struct SweepConfig {
     /// truncated result depends on the budget, not just the instance, so
     /// instance-fingerprint cache keys would no longer be sound.
     pub budgets: SweepBudgets,
+    /// A previously recorded sweep (see [`evaluate_space_recorded`]) of a
+    /// *related* scenario — typically the same design space before a
+    /// what-if edit. Two delta tiers reuse it, both provably
+    /// result-invariant:
+    ///
+    /// * **Identity replay** — a design point whose workload, SoC, and
+    ///   constraints equal the recorded ones (under a matching
+    ///   configuration) returns the recorded result verbatim; the
+    ///   evaluation pipeline is deterministic, so re-running it would
+    ///   reproduce the recording bit for bit. The replayed point still
+    ///   republishes its recorded per-level bounds into the dominance
+    ///   lattice for the points it dominates.
+    /// * **Bound certificates** — for every refinement level, the
+    ///   recorded parent instance is re-derived and fingerprint-checked,
+    ///   then diffed against the level's current instance
+    ///   ([`InstanceDelta`]); when the edit is a pure tightening (caps
+    ///   down, durations/lags up, modes removed — child feasible set ⊆
+    ///   parent's) the parent's proven bound is injected as a
+    ///   *transparent* external bound, cutting heuristic work without
+    ///   changing any reported value.
+    ///
+    /// Both tiers are skipped for budgeted sweeps and non-heuristic-only
+    /// solver configurations, where the invariance argument does not
+    /// hold. `None` (the default) disables them.
+    pub baseline: Option<Arc<SweepBaseline>>,
 }
 
 impl Default for SweepConfig {
@@ -161,6 +187,7 @@ impl Default for SweepConfig {
             share_bounds: true,
             telemetry: Telemetry::disabled(),
             budgets: SweepBudgets::default(),
+            baseline: None,
         }
     }
 }
@@ -325,6 +352,13 @@ pub struct SweepStats {
     /// aligned with the input SoC order. All `None` for unbudgeted
     /// sweeps.
     pub point_truncations: Vec<Option<BudgetKind>>,
+    /// Design points answered verbatim from [`SweepConfig::baseline`]
+    /// because their inputs were unchanged since the recording.
+    pub delta_identity_points: usize,
+    /// Refinement levels that inherited a proven bound from
+    /// [`SweepConfig::baseline`] via a fingerprint-checked tightening
+    /// certificate.
+    pub delta_certified_levels: usize,
 }
 
 impl SweepStats {
@@ -335,6 +369,208 @@ impl SweepStats {
             return 0.0;
         }
         self.bound_inherited_levels as f64 / self.levels_solved as f64
+    }
+}
+
+/// One recorded refinement level of a baseline sweep point: enough to
+/// recognize the same sub-problem later (fingerprint at a tick) and to
+/// certify it (a bound proven for exactly that instance).
+#[derive(Debug, Clone)]
+struct BaselineLevel {
+    level: u32,
+    time_step_seconds: f64,
+    fingerprint: u64,
+    /// The tightest bound proven for the fingerprinted instance (the
+    /// solver's own, raised by any sound external bound it was handed),
+    /// in steps. Zero carries no information.
+    bound: u32,
+}
+
+/// One recorded design point of a baseline sweep: the inputs that
+/// produced it, every solved level, and the scalar results.
+#[derive(Debug, Clone)]
+struct BaselinePoint {
+    soc: SocSpec,
+    levels: Vec<BaselineLevel>,
+    speedup: f64,
+    makespan_seconds: f64,
+    avg_wlp: f64,
+    gap: f64,
+}
+
+/// A recorded design-space sweep, produced by [`evaluate_space_recorded`]
+/// and consumed by [`SweepConfig::baseline`] on a later sweep of an edited
+/// scenario. See [`SweepConfig::baseline`] for the two reuse tiers and
+/// their soundness conditions; everything here is advisory — a baseline
+/// that no longer matches (different SoCs, drifted configuration, edits
+/// that are not tightenings) degrades to a normal from-scratch sweep.
+#[derive(Debug, Clone)]
+pub struct SweepBaseline {
+    workload: Workload,
+    constraints: Constraints,
+    /// Snapshot of every result-relevant policy/solver knob at record
+    /// time. Identity replay requires the consuming sweep's key to match
+    /// (determinism is an argument about *identical runs*); certificates
+    /// do not — a bound proven for a fingerprinted instance is a bound
+    /// under any configuration.
+    config_key: u64,
+    points: Vec<BaselinePoint>,
+}
+
+impl SweepBaseline {
+    /// Number of recorded design points (zero when the recording sweep
+    /// was budgeted, which makes the baseline inert).
+    #[must_use]
+    pub fn points(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Identity tier: when the point's inputs and the sweep configuration
+    /// are exactly what the baseline recorded, the recorded result *is*
+    /// the result (the pipeline is deterministic), rebuilt around the
+    /// caller's SoC value. Returns the recorded point alongside so the
+    /// caller can republish its per-level bounds.
+    fn replay(
+        &self,
+        index: usize,
+        soc: &SocSpec,
+        workload: &Workload,
+        constraints: &Constraints,
+        config_key: u64,
+    ) -> Option<(DesignPoint, &BaselinePoint)> {
+        if config_key != self.config_key {
+            return None;
+        }
+        let rec = self.points.get(index)?;
+        // An empty level list means the recording never observed this
+        // point's solves (non-HILP model); nothing certifies the replay.
+        if rec.levels.is_empty()
+            || rec.soc != *soc
+            || self.workload != *workload
+            || self.constraints != *constraints
+        {
+            return None;
+        }
+        Some((
+            design_point(soc, rec.speedup, rec.makespan_seconds, rec.avg_wlp, rec.gap),
+            rec,
+        ))
+    }
+
+    /// Certificate tier: a proven lower bound for `child` (the consuming
+    /// sweep's instance at this level), or `None`. The recorded parent
+    /// instance is re-derived from the baseline's own inputs and checked
+    /// against the recorded fingerprint — the bound is proven for
+    /// precisely that instance — and transfers iff the delta from parent
+    /// to child is a pure tightening (child feasible set ⊆ parent's, so
+    /// `optimum(child) >= optimum(parent) >= bound`). `index` is only a
+    /// lookup hint; the fingerprint check carries the soundness.
+    fn certificate(
+        &self,
+        index: usize,
+        level: u32,
+        time_step_seconds: f64,
+        child: &Instance,
+    ) -> Option<u32> {
+        let parent = self.points.get(index)?;
+        let rec = parent
+            .levels
+            .iter()
+            .find(|l| l.level == level && same_tick(l.time_step_seconds, time_step_seconds))?;
+        if rec.bound == 0 {
+            return None;
+        }
+        let (parent_instance, _) = encode(
+            &self.workload,
+            &parent.soc,
+            &self.constraints,
+            time_step_seconds,
+        )
+        .ok()?;
+        if parent_instance.fingerprint() != rec.fingerprint {
+            return None;
+        }
+        InstanceDelta::between(&parent_instance, child)
+            .bounds_transfer()
+            .then_some(rec.bound)
+    }
+}
+
+/// Relative tick equality: ticks come from identical policy arithmetic,
+/// so anything beyond float noise is a genuine mismatch.
+fn same_tick(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.abs().max(b.abs())
+}
+
+/// Hash of every sweep knob that can change a design point's result given
+/// the same encoded instances (mirrors the per-evaluator key in
+/// `hilp-core`). Thread counts, memoization, bound sharing, and telemetry
+/// are excluded — all proven result-invariant; budgets are handled
+/// separately (both baseline tiers require them inactive).
+fn sweep_config_key(config: &SweepConfig) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut eat = |v: u64| {
+        for byte in v.to_le_bytes() {
+            h ^= u64::from(byte);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    eat(config.policy.initial_seconds.to_bits());
+    eat(u64::from(config.policy.target_steps));
+    eat(config.policy.refine_factor.to_bits());
+    eat(u64::from(config.policy.max_refinements));
+    eat(match config.evaluate {
+        EvaluatePolicy::GridRefinement => 0,
+        EvaluatePolicy::Exact => 1,
+    });
+    eat(config.solver.heuristic_starts as u64);
+    eat(config.solver.local_search_passes as u64);
+    eat(config.solver.exact_node_budget);
+    eat(config.solver.exact_task_threshold as u64);
+    eat(config.solver.seed);
+    eat(u64::from(config.solver.bound_termination));
+    eat(match config.solver.timetable {
+        TimetableKind::Event => 0,
+        TimetableKind::Dense => 1,
+        TimetableKind::Interval => 2,
+    });
+    h
+}
+
+/// Per-point level accumulator behind [`evaluate_space_recorded`]; indexed
+/// by design-point position, filled lock-free-ish by the point oracles
+/// (each point's levels arrive from exactly one worker).
+struct BaselineRecorder {
+    points: Vec<Mutex<Vec<BaselineLevel>>>,
+}
+
+impl BaselineRecorder {
+    fn new(points: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(points, || Mutex::new(Vec::new()));
+        BaselineRecorder { points: slots }
+    }
+
+    fn record(&self, point: usize, level: BaselineLevel) {
+        if let Ok(mut levels) = self.points[point].lock() {
+            levels.push(level);
+        }
+    }
+
+    fn finish(self, socs: &[SocSpec], points: &[DesignPoint]) -> Vec<BaselinePoint> {
+        self.points
+            .into_iter()
+            .zip(socs)
+            .zip(points)
+            .map(|((levels, soc), p)| BaselinePoint {
+                soc: soc.clone(),
+                levels: levels.into_inner().unwrap_or_default(),
+                speedup: p.speedup,
+                makespan_seconds: p.makespan_seconds,
+                avg_wlp: p.avg_wlp,
+                gap: p.gap,
+            })
+            .collect()
     }
 }
 
@@ -520,26 +756,64 @@ struct SweepCounters {
     early_terminated: AtomicUsize,
     jobs_total: AtomicU64,
     jobs_executed: AtomicU64,
+    delta_identity: AtomicUsize,
+    delta_certified: AtomicUsize,
 }
 
 /// Per-point refinement observer: pulls inherited bounds from dominators
-/// before each level's solve and publishes what the level proved.
+/// (and tightening certificates from a cross-sweep baseline) before each
+/// level's solve, publishes what the level proved, and records levels for
+/// [`evaluate_space_recorded`].
 struct PointOracle<'a> {
     share: Option<&'a ShareState>,
+    baseline: Option<&'a SweepBaseline>,
+    recorder: Option<&'a BaselineRecorder>,
     counters: &'a SweepCounters,
     tel: &'a Telemetry,
     point: usize,
 }
 
 impl RefinementObserver for PointOracle<'_> {
-    fn external_lower_bound(&self, level: u32, _time_step_seconds: f64) -> Option<u32> {
-        let share = self.share?;
-        share
-            .store
-            .best_inherited(share.lattice.dominators(self.point), level as usize)
+    fn external_lower_bound(
+        &self,
+        level: u32,
+        time_step_seconds: f64,
+        instance: &Instance,
+    ) -> Option<u32> {
+        // Both sources are proven lower bounds on this level's optimum;
+        // the tighter one wins, and either alone still helps.
+        let inherited = self.share.and_then(|share| {
+            share
+                .store
+                .best_inherited(share.lattice.dominators(self.point), level as usize)
+        });
+        let certified = self.baseline.and_then(|baseline| {
+            let bound = baseline.certificate(self.point, level, time_step_seconds, instance)?;
+            self.counters
+                .delta_certified
+                .fetch_add(1, Ordering::Relaxed);
+            Some(bound)
+        });
+        match (inherited, certified) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        }
     }
 
     fn level_solved(&self, report: &LevelReport<'_>) {
+        if let Some(recorder) = self.recorder {
+            recorder.record(
+                self.point,
+                BaselineLevel {
+                    level: report.level,
+                    time_step_seconds: report.time_step_seconds,
+                    fingerprint: report.instance.fingerprint(),
+                    bound: report
+                        .lower_bound_steps
+                        .max(report.external_bound_steps.unwrap_or(0)),
+                },
+            );
+        }
         self.tel.level(
             self.point as u64,
             u64::from(report.level),
@@ -739,6 +1013,62 @@ pub fn evaluate_space_with_stats(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
+    sweep_inner(workload, socs, constraints, model, config, None)
+}
+
+/// Like [`evaluate_space_with_stats`], additionally recording every design
+/// point's per-level instance fingerprints and proven bounds into a
+/// [`SweepBaseline`], so a later sweep of an edited scenario can reuse
+/// them through [`SweepConfig::baseline`]. The design points themselves
+/// are identical to [`evaluate_space`]'s (recording is observational); the
+/// memoization cache is bypassed so every point's levels are actually
+/// observed. A budgeted recording sweep yields an inert (empty) baseline —
+/// truncated solves do not certify anything.
+///
+/// # Errors
+///
+/// Returns the first evaluation error encountered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_space_recorded(
+    workload: &Workload,
+    socs: &[SocSpec],
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+) -> Result<(Vec<DesignPoint>, SweepStats, SweepBaseline), HilpError> {
+    let unbudgeted = !config.budgets.is_active() && config.solver.budget.is_unlimited();
+    let recorder = unbudgeted.then(|| BaselineRecorder::new(socs.len()));
+    let (points, stats) = sweep_inner(
+        workload,
+        socs,
+        constraints,
+        model,
+        config,
+        recorder.as_ref(),
+    )?;
+    let baseline = SweepBaseline {
+        workload: workload.clone(),
+        constraints: *constraints,
+        config_key: sweep_config_key(config),
+        points: match recorder {
+            Some(recorder) => recorder.finish(socs, &points),
+            None => Vec::new(),
+        },
+    };
+    Ok((points, stats, baseline))
+}
+
+fn sweep_inner(
+    workload: &Workload,
+    socs: &[SocSpec],
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+    recorder: Option<&BaselineRecorder>,
+) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
     // Propagate sweep-level telemetry into the per-point solver so spans
     // and counters from every layer land in one ring.
     let mut effective = config.clone();
@@ -749,7 +1079,24 @@ pub fn evaluate_space_with_stats(
     let tel = &config.solver.telemetry;
     let _sweep_span = tel.span("dse.sweep");
 
-    let cache = SolveCache::for_model(workload, constraints, model, config);
+    // Recording bypasses the memo cache: a cache hit would skip the
+    // solves whose levels the baseline needs to observe.
+    let cache = if recorder.is_some() {
+        None
+    } else {
+        SolveCache::for_model(workload, constraints, model, config)
+    };
+    // Baseline reuse shares the transparency conditions of bound sharing
+    // (heuristic-only solves consume external bounds invisibly) plus
+    // unbudgeted solves (skipped work shifts where a budget would
+    // expire, and identity replay needs full determinism).
+    let baseline = config.baseline.as_deref().filter(|_| {
+        model == ModelKind::Hilp
+            && config.solver.exact_node_budget == 0
+            && !config.budgets.is_active()
+            && config.solver.budget.is_unlimited()
+    });
+    let baseline_key = sweep_config_key(config);
     let (threads, parallelism_fallback) = if config.threads == 0 {
         match std::thread::available_parallelism() {
             Ok(n) => (n.get(), false),
@@ -799,8 +1146,34 @@ pub fn evaluate_space_with_stats(
                     if stolen {
                         tel.incr(Counter::SweepSteals);
                     }
+                    // Identity tier: unchanged inputs under a matching
+                    // configuration replay the recorded result verbatim.
+                    // The recorded levels are republished for dominated
+                    // points (they were proven for exactly these
+                    // instances) and re-recorded when this sweep is
+                    // itself building a baseline.
+                    if let Some((point, rec)) = baseline
+                        .and_then(|b| b.replay(i, &socs[i], workload, constraints, baseline_key))
+                    {
+                        counters.delta_identity.fetch_add(1, Ordering::Relaxed);
+                        if let Some(share) = share {
+                            for level in &rec.levels {
+                                share.store.publish(i, level.level as usize, level.bound);
+                            }
+                        }
+                        if let Some(recorder) = recorder {
+                            for level in &rec.levels {
+                                recorder.record(i, level.clone());
+                            }
+                        }
+                        results.lock().expect("no poisoned workers")[i] =
+                            Some((Ok(point), 0.0, None));
+                        continue;
+                    }
                     let oracle = PointOracle {
                         share,
+                        baseline,
+                        recorder,
                         counters,
                         tel,
                         point: i,
@@ -876,8 +1249,9 @@ pub fn evaluate_space_with_stats(
         })
         .collect();
     let points = points?;
+    let delta_identity_points = counters.delta_identity.into_inner();
     let stats = SweepStats {
-        solves: points.len() - cache_hits,
+        solves: points.len() - cache_hits - delta_identity_points,
         cache_hits,
         threads_used: threads,
         parallelism_fallback,
@@ -892,6 +1266,8 @@ pub fn evaluate_space_with_stats(
         point_seconds,
         truncated_points: point_truncations.iter().flatten().count(),
         point_truncations,
+        delta_identity_points,
+        delta_certified_levels: counters.delta_certified.into_inner(),
     };
     Ok((points, stats))
 }
@@ -915,6 +1291,132 @@ mod tests {
             share_bounds: true,
             ..SweepConfig::default()
         }
+    }
+
+    fn refine_config() -> SweepConfig {
+        SweepConfig {
+            policy: TimeStepPolicy {
+                initial_seconds: 10.0,
+                target_steps: 40,
+                refine_factor: 5.0,
+                max_refinements: 2,
+            },
+            ..tiny_config()
+        }
+    }
+
+    #[test]
+    fn identity_replay_returns_the_recorded_sweep_verbatim() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![
+            SocSpec::new(2),
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(4).with_gpu(64),
+        ];
+        let constraints = Constraints::paper_default();
+        let config = refine_config();
+        let (recorded, _, baseline) =
+            evaluate_space_recorded(&w, &socs, &constraints, ModelKind::Hilp, &config).unwrap();
+        assert_eq!(baseline.points(), socs.len());
+
+        let replay_config = SweepConfig {
+            baseline: Some(Arc::new(baseline)),
+            ..config
+        };
+        let (replayed, stats) =
+            evaluate_space_with_stats(&w, &socs, &constraints, ModelKind::Hilp, &replay_config)
+                .unwrap();
+        assert_eq!(replayed, recorded);
+        assert_eq!(stats.delta_identity_points, socs.len());
+        assert_eq!(stats.solves, 0);
+    }
+
+    #[test]
+    fn tightening_certificates_keep_the_edited_sweep_bit_identical() {
+        // Record at the paper's power budget, then tighten it: every
+        // level's feasible set shrinks, so the recorded bounds transfer
+        // as certificates — and the certified sweep must report exactly
+        // what a from-scratch sweep of the edited scenario reports.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2).with_gpu(16), SocSpec::new(4).with_gpu(64)];
+        let parent = Constraints::paper_default();
+        let edited = parent.with_power(550.0);
+        let config = refine_config();
+        let (_, _, baseline) =
+            evaluate_space_recorded(&w, &socs, &parent, ModelKind::Hilp, &config).unwrap();
+
+        let scratch = evaluate_space(&w, &socs, &edited, ModelKind::Hilp, &config).unwrap();
+        let delta_config = SweepConfig {
+            baseline: Some(Arc::new(baseline)),
+            ..config
+        };
+        let (delta, stats) =
+            evaluate_space_with_stats(&w, &socs, &edited, ModelKind::Hilp, &delta_config).unwrap();
+        assert_eq!(delta, scratch);
+        // The edit changed the instances, so nothing replays whole...
+        assert_eq!(stats.delta_identity_points, 0);
+        // ...but the tightening delta lets every recorded bound transfer.
+        assert!(
+            stats.delta_certified_levels > 0,
+            "no level accepted a certificate"
+        );
+    }
+
+    #[test]
+    fn loosening_edits_take_no_certificates_and_stay_correct() {
+        // Raising the power budget grows the feasible set: the parent's
+        // bounds are not bounds anymore and must all be rejected by the
+        // delta classification, leaving a plain from-scratch sweep.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2).with_gpu(16)];
+        let parent = Constraints::paper_default().with_power(550.0);
+        let edited = Constraints::paper_default();
+        let config = refine_config();
+        let (_, _, baseline) =
+            evaluate_space_recorded(&w, &socs, &parent, ModelKind::Hilp, &config).unwrap();
+
+        let scratch = evaluate_space(&w, &socs, &edited, ModelKind::Hilp, &config).unwrap();
+        let delta_config = SweepConfig {
+            baseline: Some(Arc::new(baseline)),
+            ..config
+        };
+        let (delta, stats) =
+            evaluate_space_with_stats(&w, &socs, &edited, ModelKind::Hilp, &delta_config).unwrap();
+        assert_eq!(delta, scratch);
+        assert_eq!(stats.delta_identity_points, 0);
+        assert_eq!(stats.delta_certified_levels, 0);
+    }
+
+    #[test]
+    fn drifted_configurations_make_the_baseline_inert() {
+        // A baseline recorded under one solver configuration must not
+        // replay (or certify) under another: the config key gates both
+        // tiers.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2).with_gpu(16)];
+        let constraints = Constraints::paper_default();
+        let config = refine_config();
+        let (_, _, baseline) =
+            evaluate_space_recorded(&w, &socs, &constraints, ModelKind::Hilp, &config).unwrap();
+
+        let drifted = SweepConfig {
+            solver: SolverConfig {
+                heuristic_starts: 31,
+                ..config.solver.clone()
+            },
+            baseline: Some(Arc::new(baseline)),
+            ..config
+        };
+        let scratch_config = SweepConfig {
+            baseline: None,
+            ..drifted.clone()
+        };
+        let scratch =
+            evaluate_space(&w, &socs, &constraints, ModelKind::Hilp, &scratch_config).unwrap();
+        let (delta, stats) =
+            evaluate_space_with_stats(&w, &socs, &constraints, ModelKind::Hilp, &drifted).unwrap();
+        assert_eq!(delta, scratch);
+        assert_eq!(stats.delta_identity_points, 0);
     }
 
     #[test]

@@ -1,0 +1,779 @@
+//! Incremental delta-solving: diff two instances, classify the change, and
+//! re-solve the child reusing as much of the parent's work as is *provably
+//! result-identical* to a from-scratch solve.
+//!
+//! The central design constraint is the differential-oracle contract: for
+//! any `(parent, child)` pair, [`delta_solve`] must report exactly the
+//! makespan and lower bound that [`crate::solve`] would report on `child`
+//! alone. That rules out every shortcut whose answer is merely *better* —
+//! adopting a repaired parent schedule as an incumbent, or short-circuiting
+//! on a certified-optimal repair, would improve results nondeterministically
+//! relative to scratch. What survives the contract is a three-tier ladder:
+//!
+//! 1. **Identity** — the instances have equal [`Instance::fingerprint`]s
+//!    (content-identical up to labels). The solver is deterministic, so the
+//!    parent outcome *is* the child outcome, bit for bit. Returned directly.
+//! 2. **Certificate** — the delta is a pure *tightening*
+//!    ([`DeltaClass::Tightening`]): every feasible child schedule is, with
+//!    the same starts, feasible on the parent at no greater makespan, so
+//!    `optimum(child) >= optimum(parent) >= parent.lower_bound`. The
+//!    parent's proven bound is handed to the solver as
+//!    [`SolveHints::external_lower_bound`], which for heuristic-only
+//!    configurations is *transparent* (identical reported makespan, bound,
+//!    and schedule) and merely lets bound-driven termination skip the
+//!    remaining multi-starts.
+//! 3. **Scratch** — anything else (loosening or mixed deltas, or a
+//!    configuration with an exact phase, where external bounds are
+//!    result-visible) falls back to a plain solve.
+//!
+//! Independently of the tier, [`delta_solve`] produces a *repair preview*
+//! ([`repair_schedule`]): the parent schedule replayed onto the child
+//! timetable, keeping every placement the delta did not invalidate and
+//! re-placing only the invalidated ones at their earliest feasible starts
+//! (an `O(log n)` unplace/place pair per task on the interval backend).
+//! The preview is a verified feasible schedule available immediately — the
+//! interactive "what would this edit roughly do" answer — but it is never
+//! allowed to influence the strict outcome, for the reason above.
+
+use crate::error::SchedError;
+use crate::instance::{Edge, EdgeKind, Instance, Mode, ModeId, TaskId};
+use crate::schedule::Schedule;
+use crate::sgs::Timetable;
+use crate::solve::{solve_with_hints, SolveHints, SolveOutcome, SolverConfig};
+
+/// Direction of a delta in feasible-set terms.
+///
+/// `Tightening` means every child-feasible schedule is parent-feasible at
+/// no greater makespan (so parent lower bounds transfer to the child);
+/// `Loosening` is the mirror image (parent schedules stay child-feasible);
+/// `Mixed` means neither containment could be established.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaClass {
+    /// The instances are content-identical (equal fingerprints).
+    Identity,
+    /// The child's feasible set is contained in the parent's.
+    Tightening,
+    /// The parent's feasible set is contained in the child's.
+    Loosening,
+    /// Changes pull in both directions (or are incomparable).
+    Mixed,
+}
+
+/// Which axes of the instance a delta touches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaAxes {
+    /// Power / bandwidth / core cap changed.
+    pub caps: bool,
+    /// A custom cumulative resource capacity (or the resource list) changed.
+    pub resources: bool,
+    /// The horizon changed.
+    pub horizon: bool,
+    /// Precedence edges changed (added, removed, or lags adjusted).
+    pub edges: bool,
+    /// The machine list changed.
+    pub machines: bool,
+    /// The task count changed.
+    pub tasks: bool,
+    /// At least one task's mode list changed (durations, footprints, or
+    /// modes added/removed).
+    pub modes: bool,
+}
+
+/// The classified difference between a parent and a child [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstanceDelta {
+    /// Overall feasibility direction of the change.
+    pub class: DeltaClass,
+    /// Axes touched by the change.
+    pub axes: DeltaAxes,
+    /// Tasks whose own constraints changed (mode list or incident edges).
+    /// Seed set for repair invalidation; cap/horizon changes are handled
+    /// by feasibility probing instead and do not appear here.
+    pub changed_tasks: Vec<TaskId>,
+}
+
+/// Accumulates per-axis directions into an overall [`DeltaClass`].
+#[derive(Default)]
+struct DirFold {
+    tighten: bool,
+    loosen: bool,
+}
+
+impl DirFold {
+    fn tighten(&mut self) {
+        self.tighten = true;
+    }
+    fn loosen(&mut self) {
+        self.loosen = true;
+    }
+    fn mixed(&mut self) {
+        self.tighten = true;
+        self.loosen = true;
+    }
+    fn class(&self) -> DeltaClass {
+        match (self.tighten, self.loosen) {
+            (false, false) => DeltaClass::Identity,
+            (true, false) => DeltaClass::Tightening,
+            (false, true) => DeltaClass::Loosening,
+            (true, true) => DeltaClass::Mixed,
+        }
+    }
+}
+
+impl InstanceDelta {
+    /// Diffs `child` against `parent` and classifies the change.
+    ///
+    /// The classification is conservative: `Tightening`/`Loosening` are
+    /// only claimed when the containment argument in the module docs holds
+    /// axis by axis; anything unclear degrades to [`DeltaClass::Mixed`],
+    /// which costs performance (no certificate) but never soundness.
+    #[must_use]
+    pub fn between(parent: &Instance, child: &Instance) -> Self {
+        if parent.fingerprint() == child.fingerprint() {
+            return Self {
+                class: DeltaClass::Identity,
+                axes: DeltaAxes::default(),
+                changed_tasks: Vec::new(),
+            };
+        }
+        let mut fold = DirFold::default();
+        let mut axes = DeltaAxes::default();
+        let mut changed = Vec::new();
+
+        if parent.machines != child.machines {
+            axes.machines = true;
+            fold.mixed();
+        }
+        if parent.tasks.len() != child.tasks.len() {
+            axes.tasks = true;
+            fold.mixed();
+        } else {
+            for t in 0..parent.tasks.len() {
+                let p = &parent.tasks[t].modes;
+                let c = &child.tasks[t].modes;
+                if p == c {
+                    continue;
+                }
+                axes.modes = true;
+                changed.push(TaskId(t));
+                mode_list_direction(p, c, &mut fold);
+            }
+        }
+
+        if parent.tasks.len() == child.tasks.len() {
+            edge_direction(parent, child, &mut axes, &mut fold, &mut changed);
+        } else if edge_set(parent) != edge_set(child) {
+            axes.edges = true;
+        }
+
+        cap_direction(parent.power_cap, child.power_cap, &mut axes.caps, &mut fold);
+        cap_direction(
+            parent.bandwidth_cap,
+            child.bandwidth_cap,
+            &mut axes.caps,
+            &mut fold,
+        );
+        cap_direction(
+            parent.core_cap.map(f64::from),
+            child.core_cap.map(f64::from),
+            &mut axes.caps,
+            &mut fold,
+        );
+        if parent.resources.len() != child.resources.len()
+            || parent
+                .resources
+                .iter()
+                .zip(&child.resources)
+                .any(|((pn, _), (cn, _))| pn != cn)
+        {
+            axes.resources = true;
+            fold.mixed();
+        } else {
+            for ((_, p), (_, c)) in parent.resources.iter().zip(&child.resources) {
+                cap_direction(Some(*p), Some(*c), &mut axes.resources, &mut fold);
+            }
+        }
+        match child.horizon.cmp(&parent.horizon) {
+            std::cmp::Ordering::Less => {
+                axes.horizon = true;
+                fold.tighten();
+            }
+            std::cmp::Ordering::Greater => {
+                axes.horizon = true;
+                fold.loosen();
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+
+        let class = match fold.class() {
+            // Fingerprints differ but no axis registered a direction: the
+            // change is something this diff does not model (e.g. labels do
+            // not fingerprint, so this means float bit-pattern edge cases).
+            // Never claim identity on unequal fingerprints.
+            DeltaClass::Identity => DeltaClass::Mixed,
+            c => c,
+        };
+        changed.sort_unstable();
+        changed.dedup();
+        Self {
+            class,
+            axes,
+            changed_tasks: changed,
+        }
+    }
+
+    /// True when the instances are content-identical.
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.class == DeltaClass::Identity
+    }
+
+    /// True when parent lower bounds are valid for the child.
+    #[must_use]
+    pub fn bounds_transfer(&self) -> bool {
+        matches!(self.class, DeltaClass::Identity | DeltaClass::Tightening)
+    }
+}
+
+/// Direction of one task's mode-list change.
+fn mode_list_direction(parent: &[Mode], child: &[Mode], fold: &mut DirFold) {
+    if parent.len() == child.len() {
+        for (p, c) in parent.iter().zip(child) {
+            mode_pair_direction(p, c, fold);
+        }
+        return;
+    }
+    // Different counts: a child whose modes all exist verbatim on the
+    // parent only *removed* options (tightening); the mirror image only
+    // added them (loosening).
+    let child_subset = child.iter().all(|c| parent.contains(c));
+    let parent_subset = parent.iter().all(|p| child.contains(p));
+    match (child_subset, parent_subset) {
+        (true, false) => fold.tighten(),
+        (false, true) => fold.loosen(),
+        _ => fold.mixed(),
+    }
+}
+
+/// Direction of one positional mode change. Tightening requires the child
+/// mode to run on the same machine for at least as long with at least the
+/// parent's footprint on every rate axis (so a child-feasible placement is
+/// parent-feasible in a sub-window).
+fn mode_pair_direction(parent: &Mode, child: &Mode, fold: &mut DirFold) {
+    if parent == child {
+        return;
+    }
+    if parent.machine != child.machine {
+        fold.mixed();
+        return;
+    }
+    let mut local = DirFold::default();
+    scalar_direction(
+        f64::from(parent.duration),
+        f64::from(child.duration),
+        &mut local,
+    );
+    scalar_direction(parent.power, child.power, &mut local);
+    scalar_direction(parent.bandwidth, child.bandwidth, &mut local);
+    scalar_direction(f64::from(parent.cores), f64::from(child.cores), &mut local);
+    let resources: Vec<_> = parent
+        .resource_usage
+        .iter()
+        .chain(&child.resource_usage)
+        .map(|(r, _)| *r)
+        .collect();
+    for r in resources {
+        scalar_direction(parent.usage_of(r), child.usage_of(r), &mut local);
+    }
+    fold.tighten |= local.tighten;
+    fold.loosen |= local.loosen;
+}
+
+/// A larger child value is tightening for usage-like scalars (duration,
+/// power, bandwidth, cores, resource usage): the child demands *more*, so
+/// child-feasible implies parent-feasible.
+fn scalar_direction(parent: f64, child: f64, fold: &mut DirFold) {
+    if child > parent {
+        fold.tighten();
+    } else if child < parent {
+        fold.loosen();
+    }
+}
+
+/// A smaller child capacity is tightening; `None` is an infinite cap.
+fn cap_direction(parent: Option<f64>, child: Option<f64>, axis: &mut bool, fold: &mut DirFold) {
+    let p = parent.unwrap_or(f64::INFINITY);
+    let c = child.unwrap_or(f64::INFINITY);
+    if c < p {
+        *axis = true;
+        fold.tighten();
+    } else if c > p {
+        *axis = true;
+        fold.loosen();
+    }
+}
+
+/// All edges of an instance as one sorted list (each edge is recorded once,
+/// on its successor's incoming list).
+fn edge_set(instance: &Instance) -> Vec<Edge> {
+    let mut edges: Vec<Edge> = instance
+        .in_edges
+        .iter()
+        .flat_map(|es| es.iter().copied())
+        .collect();
+    edges.sort_unstable_by_key(|e| {
+        (
+            e.before.0,
+            e.after.0,
+            e.kind == EdgeKind::StartToStart,
+            e.lag,
+        )
+    });
+    edges
+}
+
+/// Classifies edge-set changes. An edge present only in the child adds a
+/// constraint (tightening); present only in the parent, removes one
+/// (loosening); a lag change on an otherwise-matching edge tightens when it
+/// grows. Groups that differ in shape degrade to mixed.
+fn edge_direction(
+    parent: &Instance,
+    child: &Instance,
+    axes: &mut DeltaAxes,
+    fold: &mut DirFold,
+    changed: &mut Vec<TaskId>,
+) {
+    let p = edge_set(parent);
+    let c = edge_set(child);
+    if p == c {
+        return;
+    }
+    axes.edges = true;
+    // Group by (before, after, kind) and compare lag multisets.
+    let key = |e: &Edge| (e.before.0, e.after.0, e.kind == EdgeKind::StartToStart);
+    let mut i = 0;
+    let mut j = 0;
+    while i < p.len() || j < c.len() {
+        let pk = p.get(i).map(key);
+        let ck = c.get(j).map(key);
+        let group = match (pk, ck) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) => a,
+            (None, Some(b)) => b,
+            (None, None) => break,
+        };
+        let mut plags = Vec::new();
+        while i < p.len() && key(&p[i]) == group {
+            plags.push(p[i].lag);
+            i += 1;
+        }
+        let mut clags = Vec::new();
+        while j < c.len() && key(&c[j]) == group {
+            clags.push(c[j].lag);
+            j += 1;
+        }
+        if plags == clags {
+            continue;
+        }
+        changed.push(TaskId(group.0));
+        changed.push(TaskId(group.1));
+        if plags.is_empty() {
+            fold.tighten(); // new constraint
+        } else if clags.is_empty() {
+            fold.loosen(); // dropped constraint
+        } else if plags.len() == clags.len() {
+            // Lags sorted ascending within the group: pointwise growth is
+            // a pure tightening of each edge's separation requirement.
+            for (pl, cl) in plags.iter().zip(&clags) {
+                match cl.cmp(pl) {
+                    std::cmp::Ordering::Greater => fold.tighten(),
+                    std::cmp::Ordering::Less => fold.loosen(),
+                    std::cmp::Ordering::Equal => {}
+                }
+            }
+        } else if clags.len() > plags.len() && plags.iter().all(|l| clags.contains(l)) {
+            fold.tighten(); // kept all parent edges, added more
+        } else if plags.len() > clags.len() && clags.iter().all(|l| plags.contains(l)) {
+            fold.loosen();
+        } else {
+            fold.mixed();
+        }
+    }
+}
+
+/// A repaired schedule: the parent schedule replayed onto the child, with
+/// only invalidated placements moved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RepairOutcome {
+    /// The repaired (verified-feasible) child schedule.
+    pub schedule: Schedule,
+    /// Its makespan on the child instance.
+    pub makespan: u32,
+    /// Placements kept at their exact parent start and mode.
+    pub kept: usize,
+    /// Placements that had to move (or change mode).
+    pub replaced: usize,
+}
+
+/// Replays `parent_schedule` onto `child`, keeping every placement the
+/// delta did not invalidate and repairing the rest.
+///
+/// All parent placements are first transplanted optimistically (mode
+/// matched by content, same start), then a single topological pass
+/// finalizes each task: its own usage is unplaced (`O(log n)` on the
+/// interval backend), its precedence-earliest start is recomputed from
+/// already-final predecessors, and the placement is either confirmed at
+/// the parent start or re-placed at the earliest feasible start. The pass
+/// is conservative — a pending later placement can block a keep — but
+/// every confirmed placement is checked against the final positions of
+/// everything that constrains it, so the result verifies on the child.
+///
+/// Returns `None` when the schedules cannot be lined up (different task or
+/// machine lists), when the horizon is exhausted mid-repair, or when the
+/// repaired schedule fails verification; callers fall back to a scratch
+/// solve.
+#[must_use]
+pub fn repair_schedule(
+    parent: &Instance,
+    parent_schedule: &Schedule,
+    child: &Instance,
+    delta: &InstanceDelta,
+    timetable: crate::sgs::TimetableKind,
+) -> Option<RepairOutcome> {
+    let n = parent.tasks.len();
+    if child.tasks.len() != n
+        || parent.machines != child.machines
+        || parent_schedule.starts.len() != n
+        || parent_schedule.modes.len() != n
+    {
+        return None;
+    }
+    // Transplant each task's mode by content; a missing exact match picks
+    // the closest same-machine mode (shortest duration) and marks the task
+    // dirty so its placement is re-derived rather than trusted.
+    let mut dirty = vec![false; n];
+    for &t in &delta.changed_tasks {
+        if t.0 < n {
+            dirty[t.0] = true;
+        }
+    }
+    let mut modes: Vec<ModeId> = Vec::with_capacity(n);
+    for (t, dirty_t) in dirty.iter_mut().enumerate() {
+        let pmode = &parent.tasks[t].modes[parent_schedule.modes[t].0];
+        let cmodes = &child.tasks[t].modes;
+        let mapped = cmodes.iter().position(|c| c == pmode).or_else(|| {
+            *dirty_t = true;
+            cmodes
+                .iter()
+                .enumerate()
+                .filter(|(_, c)| c.machine == pmode.machine)
+                .min_by_key(|(_, c)| c.duration)
+                .map(|(i, _)| i)
+                .or_else(|| {
+                    cmodes
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, c)| c.duration)
+                        .map(|(i, _)| i)
+                })
+        })?;
+        modes.push(ModeId(mapped));
+    }
+
+    // Transplant the non-invalidated placements optimistically: their modes
+    // match the parent's by content, so they inherit the parent schedule's
+    // machine-disjointness. Invalidated tasks join the timetable only once
+    // finalized (their durations may have changed arbitrarily).
+    let mut starts = parent_schedule.starts.clone();
+    let mut tt = Timetable::with_kind(child, timetable);
+    for t in 0..n {
+        if !dirty[t] {
+            tt.place(&child.tasks[t].modes[modes[t].0], starts[t]);
+        }
+    }
+    let mut kept = 0;
+    let mut replaced = 0;
+    for &TaskId(t) in child.topological_order() {
+        let mode = &child.tasks[t].modes[modes[t].0];
+        if !dirty[t] {
+            tt.unplace(mode, starts[t]);
+        }
+        let mut es = 0u32;
+        for e in child.incoming(TaskId(t)) {
+            let pred_start = starts[e.before.0];
+            let base = match e.kind {
+                EdgeKind::FinishToStart => pred_start
+                    .saturating_add(child.tasks[e.before.0].modes[modes[e.before.0].0].duration),
+                EdgeKind::StartToStart => pred_start,
+            };
+            es = es.max(base.saturating_add(e.lag));
+        }
+        let keepable = !dirty[t] && starts[t] >= es;
+        let confirmed = keepable && tt.earliest_start(mode, starts[t]) == Some(starts[t]);
+        if confirmed {
+            kept += 1;
+        } else {
+            starts[t] = tt.earliest_start(mode, es)?;
+            replaced += 1;
+        }
+        tt.place(mode, starts[t]);
+    }
+
+    let schedule = Schedule { starts, modes };
+    if !schedule.verify(child).is_empty() {
+        return None;
+    }
+    let makespan = schedule.makespan(child);
+    Some(RepairOutcome {
+        schedule,
+        makespan,
+        kept,
+        replaced,
+    })
+}
+
+/// Which tier of the delta ladder answered a [`delta_solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeltaPath {
+    /// Equal fingerprints: the parent outcome was returned unchanged.
+    Identity,
+    /// Tightening delta under a heuristic-only configuration: the parent
+    /// bound rode along as a transparent termination certificate.
+    Certificate,
+    /// Full re-solve (loosening/mixed delta, or an exact-phase
+    /// configuration where external bounds are result-visible).
+    Scratch,
+}
+
+/// Result of an incremental re-solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaOutcome {
+    /// The strict outcome — identical, makespan and bound, to what
+    /// [`crate::solve`] reports on the child instance with this
+    /// configuration.
+    pub outcome: SolveOutcome,
+    /// Which tier produced it.
+    pub path: DeltaPath,
+    /// The classified difference that drove the decision.
+    pub delta: InstanceDelta,
+    /// The instant repaired-schedule preview (feasible, advisory; never
+    /// influences `outcome`). `None` when the schedules cannot be aligned
+    /// or the repair ran out of horizon.
+    pub preview: Option<RepairOutcome>,
+}
+
+/// Incrementally re-solves `child` given the solved `parent`.
+///
+/// `parent_outcome` must be the result of solving `parent` with this same
+/// `config` (the identity tier returns it verbatim). The returned
+/// [`DeltaOutcome::outcome`] reports exactly the makespan and lower bound
+/// a from-scratch [`crate::solve`] of `child` would report — shortcuts are
+/// taken only where that equality is provable (see the module docs).
+///
+/// # Errors
+///
+/// Propagates solver errors, exactly as a scratch solve of `child` would
+/// (an infeasible child fails identically on both routes).
+pub fn delta_solve(
+    parent: &Instance,
+    parent_outcome: &SolveOutcome,
+    child: &Instance,
+    config: &SolverConfig,
+) -> Result<DeltaOutcome, SchedError> {
+    let delta = InstanceDelta::between(parent, child);
+    if delta.is_identity() {
+        return Ok(DeltaOutcome {
+            outcome: parent_outcome.clone(),
+            path: DeltaPath::Identity,
+            delta,
+            preview: None,
+        });
+    }
+    let preview = repair_schedule(
+        parent,
+        &parent_outcome.schedule,
+        child,
+        &delta,
+        config.timetable,
+    );
+    // External bounds are result-transparent only without an exact phase;
+    // with one configured they can raise the reported bound of a truncated
+    // search, so the certificate is restricted to heuristic-only configs.
+    let transparent = config.exact_node_budget == 0;
+    let external = (transparent && delta.class == DeltaClass::Tightening)
+        .then_some(parent_outcome.lower_bound);
+    let (outcome, _telemetry) = solve_with_hints(
+        child,
+        config,
+        &SolveHints {
+            external_lower_bound: external,
+            ..SolveHints::default()
+        },
+    )?;
+    let path = if external.is_some() {
+        DeltaPath::Certificate
+    } else {
+        DeltaPath::Scratch
+    };
+    Ok(DeltaOutcome {
+        outcome,
+        path,
+        delta,
+        preview,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+    use crate::solve::solve;
+
+    /// Three interchangeable two-step tasks on two machines plus a chain:
+    /// enough structure for every perturbation direction to matter.
+    fn base_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        let a = b.add_task("a", vec![Mode::on(m0, 2).power(2.0), Mode::on(m1, 3)]);
+        let c = b.add_task("c", vec![Mode::on(m0, 2).power(2.0)]);
+        let d = b.add_task("d", vec![Mode::on(m1, 2).power(1.0)]);
+        b.add_precedence_lagged(a, d, 1);
+        b.set_power_cap(6.0);
+        b.set_horizon(40);
+        let _ = c;
+        b.build().expect("valid")
+    }
+
+    /// Rebuilds the base instance with tweaks applied via the builder.
+    fn variant(
+        dur_a0: u32,
+        lag: u32,
+        power_cap: f64,
+        horizon: u32,
+        drop_alt_mode: bool,
+    ) -> Instance {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        let mut a_modes = vec![Mode::on(m0, dur_a0).power(2.0)];
+        if !drop_alt_mode {
+            a_modes.push(Mode::on(m1, 3));
+        }
+        let a = b.add_task("a", a_modes);
+        let _c = b.add_task("c", vec![Mode::on(m0, 2).power(2.0)]);
+        let d = b.add_task("d", vec![Mode::on(m1, 2).power(1.0)]);
+        b.add_precedence_lagged(a, d, lag);
+        b.set_power_cap(power_cap);
+        b.set_horizon(horizon);
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn identity_is_detected_and_returned_verbatim() {
+        let parent = base_instance();
+        let child = variant(2, 1, 6.0, 40, false);
+        let config = SolverConfig::sweep();
+        let outcome = solve(&parent, &config).expect("solvable");
+        let delta = delta_solve(&parent, &outcome, &child, &config).expect("delta");
+        assert_eq!(delta.path, DeltaPath::Identity);
+        assert_eq!(delta.outcome, outcome);
+        assert!(delta.delta.is_identity());
+    }
+
+    #[test]
+    fn single_axis_perturbations_classify_directionally() {
+        let parent = base_instance();
+        let cases: Vec<(Instance, DeltaClass)> = vec![
+            (variant(3, 1, 6.0, 40, false), DeltaClass::Tightening), // duration up
+            (variant(1, 1, 6.0, 40, false), DeltaClass::Loosening),  // duration down
+            (variant(2, 3, 6.0, 40, false), DeltaClass::Tightening), // lag up
+            (variant(2, 0, 6.0, 40, false), DeltaClass::Loosening),  // lag down
+            (variant(2, 1, 4.0, 40, false), DeltaClass::Tightening), // cap down
+            (variant(2, 1, 9.0, 40, false), DeltaClass::Loosening),  // cap up
+            (variant(2, 1, 6.0, 20, false), DeltaClass::Tightening), // horizon down
+            (variant(2, 1, 6.0, 80, false), DeltaClass::Loosening),  // horizon up
+            (variant(2, 1, 6.0, 40, true), DeltaClass::Tightening),  // mode removed
+            (variant(3, 0, 6.0, 40, false), DeltaClass::Mixed),      // both ways
+        ];
+        for (child, expected) in cases {
+            let delta = InstanceDelta::between(&parent, &child);
+            assert_eq!(delta.class, expected, "axes: {:?}", delta.axes);
+        }
+    }
+
+    #[test]
+    fn tightening_certificate_matches_scratch_exactly() {
+        let parent = base_instance();
+        let child = variant(3, 2, 5.0, 40, false);
+        let config = SolverConfig::sweep();
+        assert_eq!(config.exact_node_budget, 0, "certificate tier expects this");
+        let parent_outcome = solve(&parent, &config).expect("solvable");
+        let scratch = solve(&child, &config).expect("solvable");
+        let delta = delta_solve(&parent, &parent_outcome, &child, &config).expect("delta");
+        assert_eq!(delta.path, DeltaPath::Certificate);
+        assert_eq!(delta.outcome, scratch);
+    }
+
+    #[test]
+    fn loosening_falls_back_to_scratch() {
+        let parent = base_instance();
+        let child = variant(1, 0, 9.0, 80, false);
+        let config = SolverConfig::sweep();
+        let parent_outcome = solve(&parent, &config).expect("solvable");
+        let scratch = solve(&child, &config).expect("solvable");
+        let delta = delta_solve(&parent, &parent_outcome, &child, &config).expect("delta");
+        assert_eq!(delta.path, DeltaPath::Scratch);
+        assert_eq!(delta.outcome, scratch);
+    }
+
+    #[test]
+    fn exact_configs_never_use_the_certificate() {
+        let parent = base_instance();
+        let child = variant(3, 1, 6.0, 40, false);
+        let config = SolverConfig::default();
+        assert!(config.exact_node_budget > 0);
+        let parent_outcome = solve(&parent, &config).expect("solvable");
+        let scratch = solve(&child, &config).expect("solvable");
+        let delta = delta_solve(&parent, &parent_outcome, &child, &config).expect("delta");
+        assert_eq!(delta.path, DeltaPath::Scratch);
+        assert_eq!(delta.outcome, scratch);
+    }
+
+    #[test]
+    fn repair_preview_is_feasible_and_keeps_untouched_placements() {
+        let parent = base_instance();
+        // Only the lag changes: tasks not downstream of the edge keep
+        // their placements verbatim.
+        let child = variant(2, 3, 6.0, 40, false);
+        let config = SolverConfig::sweep();
+        let parent_outcome = solve(&parent, &config).expect("solvable");
+        let delta = delta_solve(&parent, &parent_outcome, &child, &config).expect("delta");
+        let preview = delta.preview.expect("repairable");
+        assert!(preview.schedule.verify(&child).is_empty());
+        assert_eq!(preview.kept + preview.replaced, 3);
+        assert!(preview.kept >= 1, "the independent task must be kept");
+        assert!(preview.makespan >= delta.outcome.lower_bound);
+    }
+
+    #[test]
+    fn repair_bails_out_when_instances_do_not_align() {
+        let parent = base_instance();
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("only");
+        b.add_task("a", vec![Mode::on(m0, 1)]);
+        b.set_horizon(10);
+        let child = b.build().expect("valid");
+        let config = SolverConfig::sweep();
+        let parent_outcome = solve(&parent, &config).expect("solvable");
+        let delta = InstanceDelta::between(&parent, &child);
+        assert!(repair_schedule(
+            &parent,
+            &parent_outcome.schedule,
+            &child,
+            &delta,
+            config.timetable
+        )
+        .is_none());
+    }
+}

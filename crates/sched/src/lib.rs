@@ -54,6 +54,7 @@
 
 mod bnb;
 mod bounds;
+mod delta;
 mod error;
 mod heuristic;
 mod instance;
@@ -64,6 +65,10 @@ mod sgs;
 mod solve;
 
 pub use bounds::lower_bound;
+pub use delta::{
+    delta_solve, repair_schedule, DeltaAxes, DeltaClass, DeltaOutcome, DeltaPath, InstanceDelta,
+    RepairOutcome,
+};
 pub use error::SchedError;
 pub use instance::{
     Edge, EdgeKind, Instance, InstanceBuilder, MachineId, Mode, ModeId, ResourceId, Task, TaskId,

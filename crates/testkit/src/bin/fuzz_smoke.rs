@@ -16,7 +16,14 @@
 //! 1 encoding-pipeline case. Every tiny case additionally re-solves under a
 //! sampled node budget and checks the anytime contract: the truncated
 //! incumbent stays feasible and the reported bounds still sandwich the
-//! brute-force optimum.
+//! brute-force optimum. Every instance case (tiny and small) additionally
+//! runs the delta-solving differential: a random single-axis perturbation
+//! answered incrementally must match a from-scratch solve bit for bit.
+//!
+//! `--delta` switches to a delta-only corpus (the gating `delta-oracle` CI
+//! job): every case is an instance + perturbation pair, alternating tiny
+//! instances under the exact solver and small instances under the sweep's
+//! heuristic-only configuration (which exercises the certificate tier).
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -24,7 +31,9 @@ use std::time::{Duration, Instant};
 
 use proptest::{fnv1a, Strategy, TestRng};
 
+use hilp_sched::SolverConfig;
 use hilp_telemetry::{Reporter, Telemetry};
+use hilp_testkit::delta::{arb_perturbation, check_delta};
 use hilp_testkit::harness::{
     check_budgeted, check_instance, check_pipeline, CheckStats, OracleConfig,
 };
@@ -38,6 +47,7 @@ struct Args {
     time_budget: Option<Duration>,
     out_dir: PathBuf,
     quiet: bool,
+    delta_only: bool,
 }
 
 fn parse_args() -> Args {
@@ -47,6 +57,7 @@ fn parse_args() -> Args {
         time_budget: None,
         out_dir: PathBuf::from("fuzz-failures"),
         quiet: false,
+        delta_only: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -66,10 +77,11 @@ fn parse_args() -> Args {
             }
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
             "--quiet" => args.quiet = true,
+            "--delta" => args.delta_only = true,
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: fuzz_smoke [--cases N] [--seed S] \
-                     [--time-budget-secs T] [--out-dir DIR] [--quiet]"
+                     [--time-budget-secs T] [--out-dir DIR] [--quiet] [--delta]"
                 );
                 std::process::exit(2);
             }
@@ -91,6 +103,11 @@ fn main() {
     let workloads = arb_workload();
     let socs = arb_soc();
     let constraints = arb_constraints();
+    let perturbations = arb_perturbation();
+    // Heuristic-only configuration for delta checks on small instances:
+    // the one the DSE sweep uses, and the one where tightening deltas
+    // take the bound-certificate tier.
+    let sweep_solver = SolverConfig::sweep();
     let hash = fnv1a("hilp-testkit::fuzz_smoke") ^ args.seed;
 
     for case in 0..args.cases {
@@ -103,29 +120,57 @@ fn main() {
             }
         }
         let mut rng = TestRng::new(hash, case);
-        let result = match case % 10 {
-            0..=5 => {
+        let result = if args.delta_only {
+            // Delta-only corpus: alternate tiny instances under the exact
+            // solver (identity + scratch tiers, optimality preserved) and
+            // small instances under the heuristic-only sweep configuration
+            // (where tightening deltas take the certificate tier).
+            if case % 2 == 0 {
                 let instance = tiny.generate(&mut rng);
-                // Sampled node budget: usually small enough to truncate real
-                // searches, with every fourth draw generous enough to finish
-                // (covering the untruncated-implies-proved contract). Derived
-                // from the case index (not the RNG) so the instance stream is
-                // unchanged from earlier fuzz corpora.
-                let node_budget = match case % 4 {
-                    3 => 1 << 22,
-                    _ => 1 + (case.wrapping_mul(0x9E37_79B9) >> 7) % 96,
-                };
-                check_instance(&instance, &config, &mut stats).and_then(|()| {
-                    check_budgeted(&instance, node_budget, &config.solver, &mut stats)
-                })
+                let p = perturbations.generate(&mut rng);
+                check_delta(&instance, &p, &config.solver, &mut stats)
+            } else {
+                let instance = small.generate(&mut rng);
+                let p = perturbations.generate(&mut rng);
+                check_delta(&instance, &p, &sweep_solver, &mut stats)
             }
-            6..=8 => check_instance(&small.generate(&mut rng), &config, &mut stats),
-            _ => check_pipeline(
-                &workloads.generate(&mut rng),
-                &socs.generate(&mut rng),
-                &constraints.generate(&mut rng),
-                &mut stats,
-            ),
+        } else {
+            match case % 10 {
+                0..=5 => {
+                    let instance = tiny.generate(&mut rng);
+                    // Sampled node budget: usually small enough to truncate
+                    // real searches, with every fourth draw generous enough
+                    // to finish (covering the untruncated-implies-proved
+                    // contract). Derived from the case index (not the RNG)
+                    // so the instance stream is unchanged from earlier fuzz
+                    // corpora.
+                    let node_budget = match case % 4 {
+                        3 => 1 << 22,
+                        _ => 1 + (case.wrapping_mul(0x9E37_79B9) >> 7) % 96,
+                    };
+                    check_instance(&instance, &config, &mut stats)
+                        .and_then(|()| {
+                            check_budgeted(&instance, node_budget, &config.solver, &mut stats)
+                        })
+                        .and_then(|()| {
+                            let p = perturbations.generate(&mut rng);
+                            check_delta(&instance, &p, &config.solver, &mut stats)
+                        })
+                }
+                6..=8 => {
+                    let instance = small.generate(&mut rng);
+                    check_instance(&instance, &config, &mut stats).and_then(|()| {
+                        let p = perturbations.generate(&mut rng);
+                        check_delta(&instance, &p, &sweep_solver, &mut stats)
+                    })
+                }
+                _ => check_pipeline(
+                    &workloads.generate(&mut rng),
+                    &socs.generate(&mut rng),
+                    &constraints.generate(&mut rng),
+                    &mut stats,
+                ),
+            }
         };
         if let Err(disagreement) = result {
             failures += 1;

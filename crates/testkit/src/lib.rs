@@ -30,10 +30,12 @@
 #![warn(missing_docs)]
 
 pub mod brute_force;
+pub mod delta;
 pub mod harness;
 pub mod strategies;
 
 pub use brute_force::{brute_force_makespan, brute_force_schedule, BruteForceResult};
+pub use delta::{apply_perturbation, arb_perturbation, check_delta, PerturbAxis, Perturbation};
 pub use harness::{
     check_budgeted, check_instance, check_pipeline, CheckStats, Disagreement, OracleConfig,
 };

@@ -10,14 +10,16 @@
 //! thread count, and that lifted schedules are feasible on the dominating
 //! SoC by independent re-verification.
 
+use std::sync::Arc;
+
 use proptest::prelude::*;
 
 use hilp_core::{encode, Hilp, TimeStepPolicy};
 use hilp_dse::{
-    design_space, evaluate_space_with_stats, lift_schedule, soc_dominates, DominanceLattice,
-    ModelKind, SweepConfig,
+    design_space, evaluate_space_recorded, evaluate_space_with_stats, lift_schedule, soc_dominates,
+    DominanceLattice, ModelKind, SweepConfig,
 };
-use hilp_sched::SolverConfig;
+use hilp_sched::{delta_solve, solve, DeltaPath, InstanceDelta, SolverConfig};
 use hilp_soc::{Constraints, DsaSpec, SocSpec};
 use hilp_testkit::{arb_constraints, arb_soc, arb_workload};
 use hilp_workloads::{Workload, WorkloadVariant};
@@ -151,6 +153,116 @@ fn lifted_schedules_verify_on_the_dominating_soc() {
         lifted.starts, eval.schedule.starts,
         "lifting keeps start times"
     );
+}
+
+/// A tightening constraint edit inherits the parent's proven lower bound as
+/// a termination certificate, and the certificate is sound: the child's
+/// reported bound is never looser than the parent's, the child's makespan
+/// never undercuts the inherited bound, and the delta-answered outcome is
+/// bit-identical to a from-scratch solve.
+#[test]
+fn tightening_certificates_are_sound_and_never_loosen() {
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let soc = SocSpec::new(2)
+        .with_gpu(16)
+        .with_dsa(DsaSpec::new(4, "LUD"));
+    let parent_constraints = Constraints::paper_default();
+    let child_constraints = parent_constraints.with_power(520.0);
+    let step = 2.0;
+    let (parent, _) = encode(&workload, &soc, &parent_constraints, step).unwrap();
+    let (child, _) = encode(&workload, &soc, &child_constraints, step).unwrap();
+    let delta = InstanceDelta::between(&parent, &child);
+    assert!(
+        delta.bounds_transfer(),
+        "lowering the power cap must classify as a tightening delta"
+    );
+
+    // Heuristic-only: the configuration class where the certificate tier is
+    // provably transparent.
+    let config = SolverConfig {
+        heuristic_starts: 16,
+        local_search_passes: 1,
+        exact_node_budget: 0,
+        ..SolverConfig::default()
+    };
+    let parent_outcome = solve(&parent, &config).unwrap();
+    let answered = delta_solve(&parent, &parent_outcome, &child, &config).unwrap();
+    let scratch = solve(&child, &config).unwrap();
+    assert_eq!(answered.path, DeltaPath::Certificate);
+    assert_eq!(
+        answered.outcome, scratch,
+        "certificate tier changed the result"
+    );
+    assert!(
+        answered.outcome.lower_bound >= parent_outcome.lower_bound,
+        "tightening reported a looser bound ({} < {})",
+        answered.outcome.lower_bound,
+        parent_outcome.lower_bound
+    );
+    assert!(
+        answered.outcome.makespan >= parent_outcome.lower_bound,
+        "child makespan {} undercuts the inherited certificate {}",
+        answered.outcome.makespan,
+        parent_outcome.lower_bound
+    );
+}
+
+/// Arming an edited sweep with the parent sweep's recorded baseline must be
+/// invisible in the results — with dominance sharing on (certificates merge
+/// with lattice-inherited bounds) and off (certificates stand alone) — while
+/// actually taking the certificate tier on some levels.
+#[test]
+fn baseline_certificates_compose_with_dominance_sharing() {
+    let workload = Workload::rodinia(WorkloadVariant::Default);
+    let parent_constraints = Constraints::paper_default();
+    let edited_constraints = parent_constraints.with_power(550.0);
+    let socs: Vec<_> = design_space(4.0).into_iter().step_by(61).collect();
+    assert!(socs.len() >= 5);
+
+    let (_, _, baseline) = evaluate_space_recorded(
+        &workload,
+        &socs,
+        &parent_constraints,
+        ModelKind::Hilp,
+        &sharing_config(2, true),
+    )
+    .unwrap();
+    let baseline = Arc::new(baseline);
+
+    let scratch = evaluate_space_with_stats(
+        &workload,
+        &socs,
+        &edited_constraints,
+        ModelKind::Hilp,
+        &sharing_config(2, true),
+    )
+    .unwrap();
+    for share in [true, false] {
+        let armed_config = SweepConfig {
+            baseline: Some(Arc::clone(&baseline)),
+            ..sharing_config(2, share)
+        };
+        let (points, stats) = evaluate_space_with_stats(
+            &workload,
+            &socs,
+            &edited_constraints,
+            ModelKind::Hilp,
+            &armed_config,
+        )
+        .unwrap();
+        assert_eq!(
+            points, scratch.0,
+            "baseline certificates changed results (share_bounds = {share})"
+        );
+        assert_eq!(
+            stats.delta_identity_points, 0,
+            "an edited sweep must not replay points verbatim"
+        );
+        assert!(
+            stats.delta_certified_levels > 0,
+            "tightening edit took no certificates (share_bounds = {share})"
+        );
+    }
 }
 
 /// The work queue's loosest-first order is topological for the dominance
