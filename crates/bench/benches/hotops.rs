@@ -11,7 +11,10 @@ use hilp_core::{
     encode, Constraints, EvaluatePolicy, Hilp, SocSpec, TimeStepPolicy, Workload, WorkloadVariant,
 };
 use hilp_dse::{design_space, BoundStore, DominanceLattice};
-use hilp_sched::{solve_heuristic, SolverConfig, TaskId, Timetable, TimetableKind};
+use hilp_sched::{
+    solve_exact, solve_heuristic, Instance, InstanceBuilder, Mode, SolverConfig, TaskId, Timetable,
+    TimetableKind,
+};
 
 fn timetable_bench(c: &mut Criterion) {
     // The paper's flagship-sized instance at a validation-grade step: ~30
@@ -126,6 +129,64 @@ fn bound_store_bench(c: &mut Criterion) {
     });
 }
 
+/// Three pipelined apps on a heterogeneous SoC — small enough to exhaust,
+/// big enough (thousands of frontier expansions) that the exact search
+/// dominates the one-start heuristic in front of it.
+fn bnb_instance() -> Instance {
+    let mut b = InstanceBuilder::new();
+    let cpu = b.add_machine("cpu");
+    let gpu = b.add_machine("gpu");
+    let dsa = b.add_machine("dsa");
+    for (name, cpu_t, gpu_t, dsa_t) in [("m", 8, 6, 5), ("n", 5, 3, 2), ("p", 7, 4, 6)] {
+        let s = b.add_task(format!("{name}0"), vec![Mode::on(cpu, 1)]);
+        let c = b.add_task(
+            format!("{name}1"),
+            vec![
+                Mode::on(cpu, cpu_t),
+                Mode::on(gpu, gpu_t),
+                Mode::on(dsa, dsa_t),
+            ],
+        );
+        let t = b.add_task(format!("{name}2"), vec![Mode::on(cpu, 1)]);
+        b.add_precedence(s, c);
+        b.add_precedence(c, t);
+    }
+    b.set_horizon(40);
+    b.build().unwrap()
+}
+
+fn bnb_bench(c: &mut Criterion) {
+    // Branch-and-bound node throughput and worker scaling. Every worker
+    // count runs the *same* deterministic search (bit-identical results,
+    // checked below), so the group measures pure parallel efficiency of
+    // the round engine: ~1.0x on one core, approaching the worker count on
+    // a multi-core runner.
+    let inst = bnb_instance();
+    let solver = |threads: usize| SolverConfig {
+        heuristic_starts: 1,
+        local_search_passes: 0,
+        bound_termination: false,
+        bnb_threads: threads,
+        ..SolverConfig::default()
+    };
+    let reference = solve_exact(&inst, &solver(1)).unwrap();
+    assert!(reference.proved_optimal);
+    let mut group = c.benchmark_group("hotops/bnb_search");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        let outcome = solve_exact(&inst, &solver(threads)).unwrap();
+        assert_eq!(
+            (outcome.makespan, outcome.stats.bnb_nodes),
+            (reference.makespan, reference.stats.bnb_nodes),
+            "{threads} workers diverged"
+        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(solve_exact(&inst, &solver(t)).unwrap().makespan));
+        });
+    }
+    group.finish();
+}
+
 fn evaluate_policy_bench(c: &mut Criterion) {
     // One full evaluator run on a flagship design point: the paper's grid
     // cascade (a solve per refinement level) against the exact path (the
@@ -164,6 +225,6 @@ fn evaluate_policy_bench(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20);
-    targets = timetable_bench, bound_store_bench, evaluate_policy_bench
+    targets = timetable_bench, bound_store_bench, bnb_bench, evaluate_policy_bench
 }
 criterion_main!(benches);

@@ -30,6 +30,7 @@ pub mod space;
 pub mod specfile;
 pub mod sweep;
 
+pub use hilp_parallel::ThreadBudget;
 pub use lattice::{
     constraints_dominate, lift_schedule, point_dominates, soc_dominates, BoundStore,
     DominanceLattice,

@@ -11,7 +11,7 @@
 //! disabled, for any thread count. `tests/bound_sharing.rs` enforces this.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -20,6 +20,7 @@ use hilp_core::{
     encode, Budget, BudgetKind, CancelToken, EvaluatePolicy, Hilp, HilpError, LevelReport,
     RefinementObserver, SolverConfig, TimeStepPolicy, TimetableKind,
 };
+use hilp_parallel::{ThreadBudget, WorkQueue};
 use hilp_sched::{Instance, InstanceDelta};
 use hilp_soc::{Constraints, SocSpec};
 use hilp_telemetry::{BudgetLayer, Counter, Telemetry};
@@ -150,8 +151,8 @@ pub struct SweepConfig {
     ///   republishes its recorded per-level bounds into the dominance
     ///   lattice for the points it dominates.
     /// * **Bound certificates** — for every refinement level, the
-    ///   recorded parent instance is re-derived and fingerprint-checked,
-    ///   then diffed against the level's current instance
+    ///   recorded parent instance (captured from the recording solve
+    ///   itself) is diffed against the level's current instance
     ///   ([`InstanceDelta`]); when the edit is a pure tightening (caps
     ///   down, durations/lags up, modes removed — child feasible set ⊆
     ///   parent's) the parent's proven bound is injected as a
@@ -356,7 +357,7 @@ pub struct SweepStats {
     /// because their inputs were unchanged since the recording.
     pub delta_identity_points: usize,
     /// Refinement levels that inherited a proven bound from
-    /// [`SweepConfig::baseline`] via a fingerprint-checked tightening
+    /// [`SweepConfig::baseline`] via a delta-checked tightening
     /// certificate.
     pub delta_certified_levels: usize,
 }
@@ -372,17 +373,20 @@ impl SweepStats {
     }
 }
 
-/// One recorded refinement level of a baseline sweep point: enough to
-/// recognize the same sub-problem later (fingerprint at a tick) and to
-/// certify it (a bound proven for exactly that instance).
+/// One recorded refinement level of a baseline sweep point: the instance
+/// the level actually solved (the `Arc` makes re-recording on identity
+/// replay a pointer bump) and the bound proven for exactly that instance.
+/// Storing the instance rather than a fingerprint lets the certificate
+/// tier diff against it directly instead of re-encoding the parent from
+/// the baseline's inputs on every consuming level.
 #[derive(Debug, Clone)]
 struct BaselineLevel {
     level: u32,
     time_step_seconds: f64,
-    fingerprint: u64,
-    /// The tightest bound proven for the fingerprinted instance (the
-    /// solver's own, raised by any sound external bound it was handed),
-    /// in steps. Zero carries no information.
+    instance: Arc<Instance>,
+    /// The tightest bound proven for the recorded instance (the solver's
+    /// own, raised by any sound external bound it was handed), in steps.
+    /// Zero carries no information.
     bound: u32,
 }
 
@@ -411,8 +415,8 @@ pub struct SweepBaseline {
     /// Snapshot of every result-relevant policy/solver knob at record
     /// time. Identity replay requires the consuming sweep's key to match
     /// (determinism is an argument about *identical runs*); certificates
-    /// do not — a bound proven for a fingerprinted instance is a bound
-    /// under any configuration.
+    /// do not — a bound proven for a recorded instance is a bound under
+    /// any configuration.
     config_key: u64,
     points: Vec<BaselinePoint>,
 }
@@ -459,12 +463,14 @@ impl SweepBaseline {
 
     /// Certificate tier: a proven lower bound for `child` (the consuming
     /// sweep's instance at this level), or `None`. The recorded parent
-    /// instance is re-derived from the baseline's own inputs and checked
-    /// against the recorded fingerprint — the bound is proven for
-    /// precisely that instance — and transfers iff the delta from parent
-    /// to child is a pure tightening (child feasible set ⊆ parent's, so
-    /// `optimum(child) >= optimum(parent) >= bound`). `index` is only a
-    /// lookup hint; the fingerprint check carries the soundness.
+    /// instance is exactly the one the bound was proven for (it was
+    /// captured from the solve itself), so the bound transfers iff the
+    /// delta from parent to child is a pure tightening (child feasible
+    /// set ⊆ parent's, so `optimum(child) >= optimum(parent) >= bound`).
+    /// `index` must address the same design point as at record time —
+    /// identity of the inputs is the caller's gate (same SoC list,
+    /// workload, and constraints), and the delta diff itself rejects
+    /// unrelated instances.
     fn certificate(
         &self,
         index: usize,
@@ -480,17 +486,7 @@ impl SweepBaseline {
         if rec.bound == 0 {
             return None;
         }
-        let (parent_instance, _) = encode(
-            &self.workload,
-            &parent.soc,
-            &self.constraints,
-            time_step_seconds,
-        )
-        .ok()?;
-        if parent_instance.fingerprint() != rec.fingerprint {
-            return None;
-        }
-        InstanceDelta::between(&parent_instance, child)
+        InstanceDelta::between(&rec.instance, child)
             .bounds_transfer()
             .then_some(rec.bound)
     }
@@ -807,7 +803,7 @@ impl RefinementObserver for PointOracle<'_> {
                 BaselineLevel {
                     level: report.level,
                     time_step_seconds: report.time_step_seconds,
-                    fingerprint: report.instance.fingerprint(),
+                    instance: Arc::new(report.instance.clone()),
                     bound: report
                         .lower_bound_steps
                         .max(report.external_bound_steps.unwrap_or(0)),
@@ -856,60 +852,6 @@ impl RefinementObserver for PointOracle<'_> {
                 .store
                 .publish(self.point, report.level as usize, bound);
         }
-    }
-}
-
-/// A dominance-ordered work queue with stealing. Positions are striped
-/// across workers (worker `w` owns positions `w, w + T, ...`), so the
-/// loosest points — everyone else's bound producers — are claimed first
-/// across all workers; a worker that drains its stripe steals from the
-/// others'. The per-position CAS guarantees each point is evaluated exactly
-/// once no matter how claims and steals race.
-struct WorkQueue {
-    order: Vec<usize>,
-    claimed: Vec<AtomicBool>,
-    cursors: Vec<AtomicUsize>,
-}
-
-impl WorkQueue {
-    fn new(order: Vec<usize>, stripes: usize) -> Self {
-        let mut claimed = Vec::new();
-        claimed.resize_with(order.len(), || AtomicBool::new(false));
-        let mut cursors = Vec::new();
-        cursors.resize_with(stripes.max(1), || AtomicUsize::new(0));
-        WorkQueue {
-            order,
-            claimed,
-            cursors,
-        }
-    }
-
-    fn take_from(&self, stripe: usize) -> Option<usize> {
-        let stripes = self.cursors.len();
-        loop {
-            let k = self.cursors[stripe].fetch_add(1, Ordering::Relaxed);
-            let pos = stripe + k * stripes;
-            if pos >= self.order.len() {
-                return None;
-            }
-            // Lost races (a steal got here first) just advance the cursor.
-            if self.claimed[pos]
-                .compare_exchange(false, true, Ordering::Relaxed, Ordering::Relaxed)
-                .is_ok()
-            {
-                return Some(self.order[pos]);
-            }
-        }
-    }
-
-    /// Next point for `worker`: its own stripe first, then steal. The flag
-    /// reports whether the point came from another worker's stripe.
-    fn take(&self, worker: usize) -> Option<(usize, bool)> {
-        let stripes = self.cursors.len();
-        (0..stripes).find_map(|offset| {
-            self.take_from((worker + offset) % stripes)
-                .map(|i| (i, offset > 0))
-        })
     }
 }
 
@@ -1075,6 +1017,27 @@ fn sweep_inner(
     if effective.telemetry.is_enabled() {
         effective.solver.telemetry = effective.telemetry.clone();
     }
+    // Resolve the sweep's total thread allowance, then split it between
+    // point-level workers and each point's inner solver threads. With at
+    // least as many points as threads the split is pure point-level
+    // parallelism (inner = 1) and the solver config is left untouched;
+    // with fewer points the spare threads move inside the points. Both
+    // inner solvers are bit-identical for any thread count, so the split
+    // never changes results.
+    let (total_threads, parallelism_fallback) = if effective.threads == 0 {
+        match std::thread::available_parallelism() {
+            Ok(n) => (n.get(), false),
+            Err(_) => (4, true),
+        }
+    } else {
+        (effective.threads, false)
+    };
+    let split = ThreadBudget::split(total_threads, socs.len());
+    if split.inner > 1 {
+        effective.solver.heuristic_threads = split.inner;
+        effective.solver.bnb_threads = split.inner;
+    }
+    let threads = split.outer;
     let config = &effective;
     let tel = &config.solver.telemetry;
     let _sweep_span = tel.span("dse.sweep");
@@ -1097,15 +1060,6 @@ fn sweep_inner(
             && config.solver.budget.is_unlimited()
     });
     let baseline_key = sweep_config_key(config);
-    let (threads, parallelism_fallback) = if config.threads == 0 {
-        match std::thread::available_parallelism() {
-            Ok(n) => (n.get(), false),
-            Err(_) => (4, true),
-        }
-    } else {
-        (config.threads, false)
-    };
-    let threads = threads.min(socs.len().max(1));
 
     // Bound sharing applies to HILP sweeps with heuristic-only solver
     // configurations: with an exact phase the external bounds would change
@@ -1723,32 +1677,6 @@ mod tests {
             .iter()
             .flatten()
             .all(|&k| k == BudgetKind::Deadline));
-    }
-
-    #[test]
-    fn work_queue_hands_out_every_point_exactly_once() {
-        let queue = WorkQueue::new((0..23).rev().collect(), 4);
-        let mut seen = Vec::new();
-        let mut steals = 0usize;
-        for worker in [0, 3, 1, 2] {
-            while let Some((i, _)) = queue.take(worker) {
-                seen.push(i);
-                if seen.len() % 5 == 0 {
-                    break; // interleave workers
-                }
-            }
-        }
-        for worker in 0..4 {
-            while let Some((i, stolen)) = queue.take(worker) {
-                seen.push(i);
-                steals += usize::from(stolen);
-            }
-        }
-        seen.sort_unstable();
-        assert_eq!(seen, (0..23).collect::<Vec<_>>());
-        // The drain pass exhausts every stripe, so workers whose own stripe
-        // is empty must report their claims as steals.
-        assert!(steals > 0, "the drain pass must steal across stripes");
     }
 }
 

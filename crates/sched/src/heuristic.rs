@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use crate::bounds::tails;
 use crate::instance::{Instance, ModeId};
 use crate::schedule::Schedule;
-use crate::sgs::{serial_sgs_into, ModeRule, Timetable, TimetableKind};
+use crate::sgs::{serial_sgs_into, ModeRule, SgsScratch, Timetable, TimetableKind};
 
 /// Tuning inputs for [`multi_start`].
 #[derive(Clone)]
@@ -116,7 +116,7 @@ fn best_candidate<F>(
     eval: F,
 ) -> (Option<(u32, Schedule)>, usize)
 where
-    F: Fn(usize, &mut Timetable<'_>) -> Option<Schedule> + Sync,
+    F: Fn(usize, &mut Timetable<'_>, &mut SgsScratch) -> Option<u32> + Sync,
 {
     let mut locals: Vec<Option<(u32, usize, Schedule)>> = Vec::new();
     let threads = resolve_threads(threads, jobs);
@@ -127,6 +127,7 @@ where
     let stop_at = AtomicUsize::new(usize::MAX);
     let run_worker = |next: &AtomicUsize| {
         let mut timetable = Timetable::with_kind(instance, kind);
+        let mut scratch = SgsScratch::new(instance.num_tasks());
         let mut best: Option<(u32, usize, Schedule)> = None;
         loop {
             let index = next.fetch_add(1, Ordering::Relaxed);
@@ -143,13 +144,15 @@ where
                 return best;
             }
             executed.fetch_add(1, Ordering::Relaxed);
-            if let Some(schedule) = eval(index, &mut timetable) {
-                let makespan = schedule.makespan(instance);
+            if let Some(makespan) = eval(index, &mut timetable, &mut scratch) {
+                // The schedule stays in the worker's scratch; it is cloned
+                // out only when this candidate actually becomes the
+                // worker-local best, so losing candidates cost nothing.
                 if best
                     .as_ref()
                     .is_none_or(|&(m, i, _)| (makespan, index) < (m, i))
                 {
-                    best = Some((makespan, index, schedule));
+                    best = Some((makespan, index, scratch.schedule()));
                 }
                 if target.is_some_and(|t| makespan <= t) {
                     stop_at.fetch_min(index, Ordering::Relaxed);
@@ -261,7 +264,7 @@ pub(crate) fn multi_start_with_telemetry(
         phase_a_jobs,
         target,
         budget,
-        |index, timetable| {
+        |index, timetable, scratch| {
             let priority: Vec<f64> = if index == 0 {
                 base.clone()
             } else if index == 1 && warm_jobs == 1 {
@@ -276,7 +279,13 @@ pub(crate) fn multi_start_with_telemetry(
                     .map(|&p| p * rng.gen_range(0.25..1.75) + rng.gen_range(0.0..1.0))
                     .collect()
             };
-            serial_sgs_into(instance, &priority, &ModeRule::GreedyFinish, timetable)
+            serial_sgs_into(
+                instance,
+                &priority,
+                &ModeRule::GreedyFinish,
+                timetable,
+                scratch,
+            )
         },
     );
     telemetry.jobs_total += phase_a_jobs;
@@ -298,7 +307,7 @@ pub(crate) fn multi_start_with_telemetry(
                 rounds,
                 target,
                 budget,
-                |round, timetable| {
+                |round, timetable, scratch| {
                     let mut rng = SmallRng::seed_from_u64(mix_seed(params.seed, 2, round as u64));
                     let order_priority: Vec<f64> = incumbent
                         .starts
@@ -321,6 +330,7 @@ pub(crate) fn multi_start_with_telemetry(
                         &order_priority,
                         &ModeRule::Forced(&forced),
                         timetable,
+                        scratch,
                     )
                 },
             );
@@ -372,7 +382,7 @@ pub(crate) fn multi_start_with_telemetry(
             allowed_moves,
             target,
             budget,
-            |index, timetable| {
+            |index, timetable, scratch| {
                 let (t, m) = moves[index];
                 let mut forced: Vec<Option<ModeId>> =
                     incumbent.modes.iter().map(|&mid| Some(mid)).collect();
@@ -382,6 +392,7 @@ pub(crate) fn multi_start_with_telemetry(
                     &order_priority,
                     &ModeRule::Forced(&forced),
                     timetable,
+                    scratch,
                 )
             },
         );

@@ -598,24 +598,71 @@ pub(crate) enum ModeRule<'f> {
     Forced(&'f [Option<ModeId>]),
 }
 
+/// Reusable buffers for [`serial_sgs_into`]: one set per worker, cleared
+/// and refilled on every call, so a heuristic evaluating thousands of
+/// candidates allocates nothing per pass. After a successful run the
+/// buffers hold that run's schedule; [`Self::schedule`] clones it out, so
+/// callers racing through candidates only pay for the ones they keep.
+pub(crate) struct SgsScratch {
+    starts: Vec<u32>,
+    modes: Vec<ModeId>,
+    finish: Vec<Option<u32>>,
+    remaining_preds: Vec<usize>,
+    ready: Vec<usize>,
+}
+
+impl SgsScratch {
+    pub(crate) fn new(n: usize) -> Self {
+        SgsScratch {
+            starts: vec![0; n],
+            modes: vec![ModeId(0); n],
+            finish: vec![None; n],
+            remaining_preds: vec![0; n],
+            ready: Vec::with_capacity(n),
+        }
+    }
+
+    /// The schedule left behind by the last successful run.
+    pub(crate) fn schedule(&self) -> Schedule {
+        Schedule {
+            starts: self.starts.clone(),
+            modes: self.modes.clone(),
+        }
+    }
+}
+
 /// Runs the serial SGS over a ready list ordered by `priority` (highest
-/// first), reusing `timetable` as scratch space (it is cleared on entry).
-/// Returns `None` when some task cannot be placed within the horizon.
+/// first), reusing `timetable` and `scratch` as working space (both are
+/// cleared on entry). Returns the schedule's makespan — the schedule
+/// itself stays in `scratch` — or `None` when some task cannot be placed
+/// within the horizon.
 pub(crate) fn serial_sgs_into(
     instance: &Instance,
     priority: &[f64],
     mode_rule: &ModeRule<'_>,
     timetable: &mut Timetable<'_>,
-) -> Option<Schedule> {
+    scratch: &mut SgsScratch,
+) -> Option<u32> {
     timetable.clear();
     let n = instance.num_tasks();
-    let mut starts = vec![0u32; n];
-    let mut modes = vec![ModeId(0); n];
-    let mut finish: Vec<Option<u32>> = vec![None; n];
-    let mut remaining_preds: Vec<usize> = (0..n)
-        .map(|t| instance.predecessors(TaskId(t)).len())
-        .collect();
-    let mut ready: Vec<usize> = (0..n).filter(|&t| remaining_preds[t] == 0).collect();
+    let SgsScratch {
+        starts,
+        modes,
+        finish,
+        remaining_preds,
+        ready,
+    } = scratch;
+    starts.clear();
+    starts.resize(n, 0);
+    modes.clear();
+    modes.resize(n, ModeId(0));
+    finish.clear();
+    finish.resize(n, None);
+    remaining_preds.clear();
+    remaining_preds.extend((0..n).map(|t| instance.predecessors(TaskId(t)).len()));
+    ready.clear();
+    ready.extend((0..n).filter(|&t| remaining_preds[t] == 0));
+    let mut makespan = 0u32;
 
     for _ in 0..n {
         // Highest-priority ready task; ties broken by index for determinism.
@@ -679,6 +726,7 @@ pub(crate) fn serial_sgs_into(
         starts[t] = start;
         modes[t] = mode_id;
         finish[t] = Some(start + mode.duration);
+        makespan = makespan.max(start + mode.duration);
         for &s in instance.successors(task) {
             remaining_preds[s.0] -= 1;
             if remaining_preds[s.0] == 0 {
@@ -687,10 +735,10 @@ pub(crate) fn serial_sgs_into(
         }
     }
 
-    Some(Schedule { starts, modes })
+    Some(makespan)
 }
 
-/// One-shot [`serial_sgs_into`] with a freshly allocated event timetable.
+/// One-shot [`serial_sgs_into`] with freshly allocated working space.
 #[cfg(test)]
 pub(crate) fn serial_sgs(
     instance: &Instance,
@@ -698,7 +746,9 @@ pub(crate) fn serial_sgs(
     mode_rule: &ModeRule<'_>,
 ) -> Option<Schedule> {
     let mut timetable = Timetable::with_kind(instance, TimetableKind::Event);
-    serial_sgs_into(instance, priority, mode_rule, &mut timetable)
+    let mut scratch = SgsScratch::new(instance.num_tasks());
+    serial_sgs_into(instance, priority, mode_rule, &mut timetable, &mut scratch)
+        .map(|_| scratch.schedule())
 }
 
 #[cfg(test)]

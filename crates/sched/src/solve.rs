@@ -29,6 +29,12 @@ pub struct SolverConfig {
     /// default) runs inline, `0` uses one thread per available core. The
     /// per-unit seed split makes the result identical for every value.
     pub heuristic_threads: usize,
+    /// Worker threads for the exact branch-and-bound phase: `1` (the
+    /// default) searches on the calling thread, `0` uses one worker per
+    /// available core. The round-based engine makes the result — schedule,
+    /// bound, node count, truncation — bit-identical for every value, so
+    /// this knob only trades wall-clock time.
+    pub bnb_threads: usize,
     /// Timetable representation backing the SGS and branch-and-bound:
     /// event-driven by default, dense as the slow reference, or the
     /// continuous-time interval backend whose cost is independent of the
@@ -71,6 +77,7 @@ impl Default for SolverConfig {
             exact_task_threshold: 12,
             seed: 0x4a53_5350, // "JSSP"
             heuristic_threads: 1,
+            bnb_threads: 1,
             timetable: TimetableKind::Event,
             bound_termination: true,
             telemetry: Telemetry::disabled(),
@@ -381,6 +388,10 @@ pub fn solve_with_hints(
 
     let mut truncated = heuristic_telemetry.truncated;
     let (schedule, lower_bound, proved) = if run_exact {
+        let bnb_threads = match config.bnb_threads {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
         let result = {
             let _bnb_span = tel.span("sched.bnb");
             bnb::branch_and_bound(
@@ -390,6 +401,7 @@ pub fn solve_with_hints(
                 config.exact_node_budget,
                 &config.budget,
                 config.timetable,
+                bnb_threads,
                 tel,
             )
         };
@@ -770,6 +782,7 @@ mod tests {
                 &inst,
                 &SolverConfig {
                     heuristic_threads: threads,
+                    bnb_threads: threads,
                     budget: Budget::nodes(40),
                     bound_termination: false,
                     ..SolverConfig::default()

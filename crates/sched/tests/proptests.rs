@@ -18,8 +18,8 @@ use proptest::prelude::*;
 use proptest::TestCaseError;
 
 use hilp_sched::{
-    delta_solve, solve, solve_heuristic, DeltaPath, IntervalSet, Mode, SchedError, SolveOutcome,
-    SolverConfig, Timetable, TimetableKind,
+    delta_solve, solve, solve_exact, solve_heuristic, Budget, DeltaPath, IntervalSet, Mode,
+    SchedError, SolveOutcome, SolverConfig, Timetable, TimetableKind,
 };
 use hilp_sched::{MachineId, Schedule};
 use hilp_testkit::delta::{apply_perturbation, arb_perturbation, PerturbAxis, Perturbation};
@@ -159,6 +159,47 @@ proptest! {
                 prop_assert!(resume > pos, "resume must advance past the violation");
                 for t in pos..resume.min(LIMIT as u32) {
                     prop_assert!(violates(reference[t as usize]), "hint skipped feasible time {}", t);
+                }
+            }
+        }
+    }
+
+    /// The exact branch and bound is bit-identical for every worker count —
+    /// schedule, makespan, bound, proof flag, node count, and truncation —
+    /// both when it runs to completion and when a node budget cuts it off
+    /// mid-search. Each run builds a fresh [`Budget`] because cloning one
+    /// shares its meter.
+    #[test]
+    fn exact_search_is_worker_count_independent(
+        instance in arb_instance(InstanceParams::tiny()),
+        budget_nodes in prop::option::of(1..400u64),
+    ) {
+        let run = |threads: usize| {
+            solve_exact(
+                &instance,
+                &SolverConfig {
+                    bnb_threads: threads,
+                    budget: budget_nodes.map_or_else(Budget::unlimited, Budget::nodes),
+                    bound_termination: false,
+                    ..SolverConfig::exact()
+                },
+            )
+        };
+        let reference = run(1);
+        for threads in [2, 4, 8] {
+            let other = run(threads);
+            match (&reference, &other) {
+                (Ok(a), Ok(b)) => prop_assert_eq!(
+                    a, b, "{} workers diverged (budget {:?})", threads, budget_nodes
+                ),
+                (Err(_), Err(_)) => {}
+                (a, b) => {
+                    return Err(TestCaseError::Fail(format!(
+                        "feasibility verdicts diverged: 1 worker ok={}, {threads} \
+                         workers ok={} (budget {budget_nodes:?})",
+                        a.is_ok(),
+                        b.is_ok()
+                    )));
                 }
             }
         }

@@ -211,6 +211,8 @@ counters! {
     BnbPrunesBound => "bnb.prunes_bound",
     BnbPrunesInfeasible => "bnb.prunes_infeasible",
     BnbPrunesBudget => "bnb.prunes_budget",
+    BnbRounds => "bnb.rounds",
+    BnbSteals => "bnb.steals",
     MilpNodes => "milp.nodes",
     MilpIncumbents => "milp.incumbents",
     MilpPrunesBound => "milp.prunes_bound",

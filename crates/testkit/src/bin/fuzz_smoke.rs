@@ -7,7 +7,7 @@
 //! artifacts.
 //!
 //! ```text
-//! fuzz_smoke [--cases N] [--seed S] [--time-budget-secs T] [--out-dir DIR] [--quiet]
+//! fuzz_smoke [--cases N] [--seed S] [--time-budget-secs T] [--out-dir DIR] [--quiet] [--bnb-threads N]
 //! ```
 //!
 //! The case mix per 10 cases: 6 tiny instances (full battery including the
@@ -48,6 +48,7 @@ struct Args {
     out_dir: PathBuf,
     quiet: bool,
     delta_only: bool,
+    bnb_threads: usize,
 }
 
 fn parse_args() -> Args {
@@ -58,6 +59,7 @@ fn parse_args() -> Args {
         out_dir: PathBuf::from("fuzz-failures"),
         quiet: false,
         delta_only: false,
+        bnb_threads: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -78,10 +80,16 @@ fn parse_args() -> Args {
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
             "--quiet" => args.quiet = true,
             "--delta" => args.delta_only = true,
+            "--bnb-threads" => {
+                args.bnb_threads = value("--bnb-threads")
+                    .parse()
+                    .expect("--bnb-threads: integer");
+            }
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: fuzz_smoke [--cases N] [--seed S] \
-                     [--time-budget-secs T] [--out-dir DIR] [--quiet] [--delta]"
+                     [--time-budget-secs T] [--out-dir DIR] [--quiet] [--delta] \
+                     [--bnb-threads N]"
                 );
                 std::process::exit(2);
             }
@@ -94,7 +102,13 @@ fn main() {
     let args = parse_args();
     let reporter = Reporter::new(args.quiet, &Telemetry::disabled());
     let started = Instant::now();
-    let config = OracleConfig::default();
+    // `--bnb-threads` sets the worker count for every exact search the
+    // oracle runs. Results are bit-identical for any value, and the
+    // harness's own parallel differential replays against 4 workers, so a
+    // CI matrix over this flag proves determinism end to end.
+    let mut config = OracleConfig::default();
+    config.solver.bnb_threads = args.bnb_threads;
+    let config = config;
     let mut stats = CheckStats::default();
     let mut failures = 0u64;
 

@@ -84,6 +84,9 @@ pub struct CheckStats {
     /// Heuristic solves replayed on the continuous-time interval backend
     /// and compared bit-for-bit against the configured representation.
     pub interval_checked: u64,
+    /// Exact and budgeted solves replayed with a 4-worker branch and
+    /// bound and compared bit-for-bit against the configured worker count.
+    pub parallel_checked: u64,
     /// Budgeted anytime solves checked against the brute-force optimum.
     pub budgeted_checked: u64,
     /// Budgeted solves that were actually truncated by their budget.
@@ -121,6 +124,7 @@ impl CheckStats {
         self.time_indexed_skipped += other.time_indexed_skipped;
         self.metamorphic_checked += other.metamorphic_checked;
         self.interval_checked += other.interval_checked;
+        self.parallel_checked += other.parallel_checked;
         self.budgeted_checked += other.budgeted_checked;
         self.budgeted_truncated += other.budgeted_truncated;
         self.pipeline_encoded += other.pipeline_encoded;
@@ -138,8 +142,8 @@ impl CheckStats {
         format!(
             "{} cases: {} feasible, {} infeasible-agreed, {} brute-forced ({} proved optimal), \
              milp {}/{} skipped, time-indexed {}/{} skipped, {} metamorphic, {} interval-replayed, \
-             budgeted {} ({} truncated), pipeline {} encoded / {} skipped, delta {} \
-             ({} identity, {} certified, {} infeasible-agreed, {} skipped)",
+             {} parallel-replayed, budgeted {} ({} truncated), pipeline {} encoded / {} skipped, \
+             delta {} ({} identity, {} certified, {} infeasible-agreed, {} skipped)",
             self.cases,
             self.feasible,
             self.infeasible_agreed,
@@ -151,6 +155,7 @@ impl CheckStats {
             self.time_indexed_skipped,
             self.metamorphic_checked,
             self.interval_checked,
+            self.parallel_checked,
             self.budgeted_checked,
             self.budgeted_truncated,
             self.pipeline_encoded,
@@ -326,6 +331,56 @@ pub fn check_instance(
             None
         }
     };
+
+    // Parallel-search differential: the exact solve replayed with a
+    // 4-worker branch and bound must agree bit-for-bit with the configured
+    // worker count — the round-based engine promises thread-independence
+    // of the whole outcome, not just the makespan.
+    if config.solver.bnb_threads != 4 {
+        let parallel = solve_exact(
+            instance,
+            &SolverConfig {
+                bnb_threads: 4,
+                ..config.solver.clone()
+            },
+        );
+        stats.parallel_checked += 1;
+        match (&exact, &parallel) {
+            (Ok(a), Ok(b)) => {
+                if (a.makespan, a.lower_bound, a.proved_optimal, &a.schedule)
+                    != (b.makespan, b.lower_bound, b.proved_optimal, &b.schedule)
+                {
+                    return Err(Disagreement::new(
+                        "parallel-exact",
+                        instance,
+                        format!(
+                            "4-worker search diverged: makespan {} vs {}, lower bound {} vs \
+                             {}, proved {} vs {}",
+                            a.makespan,
+                            b.makespan,
+                            a.lower_bound,
+                            b.lower_bound,
+                            a.proved_optimal,
+                            b.proved_optimal
+                        ),
+                    ));
+                }
+            }
+            (Err(_), Err(_)) => {}
+            (a, b) => {
+                return Err(Disagreement::new(
+                    "parallel-exact",
+                    instance,
+                    format!(
+                        "feasibility verdicts diverged: configured workers ok={}, 4 workers \
+                         ok={}",
+                        a.is_ok(),
+                        b.is_ok()
+                    ),
+                ));
+            }
+        }
+    }
 
     let heuristic = solve_heuristic(instance, &config.solver);
 
@@ -623,6 +678,59 @@ pub fn check_budgeted(
                 outcome.makespan, outcome.lower_bound
             ),
         ));
+    }
+
+    // The budgeted trajectory must be thread-independent too: the
+    // allocation-style round charge pins the truncation point, so a
+    // 4-worker replay (with its own fresh budget meter) agrees bit-for-bit
+    // even on searches cut off mid-tree.
+    if config.bnb_threads != 4 {
+        let parallel = solve(
+            instance,
+            &SolverConfig {
+                budget: Budget::unlimited().with_node_limit(node_budget),
+                bnb_threads: 4,
+                ..base.clone()
+            },
+        );
+        stats.parallel_checked += 1;
+        match &parallel {
+            Ok(p)
+                if (p.makespan, p.lower_bound, p.truncated, &p.schedule)
+                    == (
+                        outcome.makespan,
+                        outcome.lower_bound,
+                        outcome.truncated,
+                        &outcome.schedule,
+                    ) => {}
+            Ok(p) => {
+                return Err(Disagreement::new(
+                    "budgeted-parallel",
+                    instance,
+                    format!(
+                        "4-worker budgeted solve (nodes={node_budget}) diverged: makespan {} \
+                         vs {}, lower bound {} vs {}, truncated {:?} vs {:?}",
+                        outcome.makespan,
+                        p.makespan,
+                        outcome.lower_bound,
+                        p.lower_bound,
+                        outcome.truncated,
+                        p.truncated
+                    ),
+                ));
+            }
+            Err(_) => {
+                return Err(Disagreement::new(
+                    "budgeted-parallel",
+                    instance,
+                    format!(
+                        "4-worker budgeted solve (nodes={node_budget}) claims infeasibility \
+                         but the configured worker count found makespan {}",
+                        outcome.makespan
+                    ),
+                ));
+            }
+        }
     }
 
     if instance.num_tasks() <= MAX_BRUTE_FORCE_TASKS {
