@@ -101,6 +101,19 @@ use hilp_workloads::{Workload, WorkloadVariant};
 
 const MODELS: [ModelKind; 3] = [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp];
 
+/// Warns (unconditionally — this is degraded capacity, not progress
+/// chatter, so `--quiet` does not silence it) when the sweeps are about
+/// to hit the `SweepStats::parallelism_fallback` path: `--threads 0`
+/// with an undeterminable core count runs every sweep on 4 workers.
+fn warn_on_parallelism_fallback(threads: usize) {
+    if threads == 0 && std::thread::available_parallelism().is_err() {
+        eprintln!(
+            "warning: could not determine the available core count; \
+             sweeps fall back to 4 worker threads (pass --threads N to override)"
+        );
+    }
+}
+
 /// The original implementation's configuration: dense per-step timetable,
 /// serial multi-start, every design point solved from scratch to
 /// completion.
@@ -239,6 +252,7 @@ fn main() {
         Telemetry::disabled()
     };
     let reporter = Reporter::new(quiet, &telemetry);
+    warn_on_parallelism_fallback(threads);
     let root_span = telemetry.span("bench.sweep_timing");
 
     let workload = Workload::rodinia(WorkloadVariant::Default);
@@ -691,6 +705,7 @@ fn run_budgeted(
 ) {
     let telemetry = Telemetry::disabled();
     let reporter = Reporter::new(quiet, &telemetry);
+    warn_on_parallelism_fallback(threads);
     let workload = Workload::rodinia(WorkloadVariant::Default);
     let constraints = Constraints::paper_default();
     let socs: Vec<_> = design_space(4.0).into_iter().step_by(step.max(1)).collect();

@@ -270,6 +270,25 @@ impl Budget {
         self.inner.as_ref().is_some_and(|i| i.deadline.is_some())
     }
 
+    /// Whether an external [`CancelToken`] is configured.
+    #[must_use]
+    pub fn has_cancel(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.cancel.is_some())
+    }
+
+    /// Whether the *only* way this budget can expire is through its
+    /// [`CancelToken`] — no node limit, no deadline. Such a budget is
+    /// special for result-reuse machinery (sweep memoization, baseline
+    /// replay): as long as the token never fires, the solve is
+    /// bit-identical to an unlimited one, because cancel checks are
+    /// read-only observations that change nothing until they trip.
+    #[must_use]
+    pub fn cancel_only(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|i| i.cancel.is_some() && i.deadline.is_none() && i.node_limit == u64::MAX)
+    }
+
     /// Work units consumed so far (0 for an unlimited budget).
     #[must_use]
     pub fn nodes_spent(&self) -> u64 {
@@ -517,6 +536,26 @@ mod tests {
         assert!(b.has_deadline());
         assert_eq!(b.charge(7), Ok(()));
         assert_eq!(b.charge(1), Err(BudgetKind::Nodes));
+    }
+
+    #[test]
+    fn cancel_only_classification() {
+        assert!(!Budget::unlimited().cancel_only());
+        assert!(!Budget::unlimited().has_cancel());
+        let token = CancelToken::new();
+        let cancel_only = Budget::unlimited().with_cancel(token.clone());
+        assert!(cancel_only.has_cancel());
+        assert!(cancel_only.cancel_only());
+        // Any other constraint disqualifies the budget.
+        assert!(!Budget::nodes(5).cancel_only());
+        assert!(!Budget::nodes(5).with_cancel(token.clone()).cancel_only());
+        assert!(!Budget::deadline(Duration::from_secs(3600))
+            .with_cancel(token.clone())
+            .cancel_only());
+        // Classification is about configuration, not state: a tripped
+        // token does not change the answer.
+        token.cancel();
+        assert!(cancel_only.cancel_only());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub use lattice::{
 pub use pareto::{pareto_front, ParetoPoint};
 pub use space::design_space;
 pub use sweep::{
-    evaluate_space, evaluate_space_recorded, evaluate_space_with_stats, DesignPoint, ModelKind,
-    SweepBaseline, SweepBudgets, SweepConfig, SweepStats,
+    evaluate_space, evaluate_space_recorded, evaluate_space_recorded_streamed,
+    evaluate_space_streamed, evaluate_space_with_stats, DesignPoint, ModelKind, PointUpdate,
+    SweepBaseline, SweepBudgets, SweepConfig, SweepObserver, SweepStats,
 };

@@ -87,6 +87,29 @@ impl SweepBudgets {
     pub fn is_active(&self) -> bool {
         self.per_point_nodes.is_some() || self.sweep_deadline.is_some() || self.cancel.is_some()
     }
+
+    /// Whether memoization and baseline recording/replay stay sound under
+    /// these budgets: no per-point node meter and no sweep deadline. A
+    /// cancel token *alone* is allowed — until it trips, cancel checks
+    /// are read-only and every solve is bit-identical to an unbudgeted
+    /// one. Consumers that record or cache results remain responsible
+    /// for discarding anything produced after the token actually trips
+    /// (see the sweep memo cache and [`evaluate_space_recorded`]); this
+    /// predicate only says the budget *shape* cannot silently perturb
+    /// untripped runs. Long-running servers rely on this: every job
+    /// carries a disconnect cancel token, and without the carve-out no
+    /// server sweep could ever reuse a baseline or the memo cache.
+    #[must_use]
+    pub fn replay_safe(&self) -> bool {
+        self.per_point_nodes.is_none() && self.sweep_deadline.is_none()
+    }
+}
+
+/// Whether a solver-level [`Budget`] is replay-safe in the same sense as
+/// [`SweepBudgets::replay_safe`]: unlimited, or expirable only through a
+/// cancel token.
+fn solver_budget_replay_safe(budget: &Budget) -> bool {
+    budget.is_unlimited() || budget.cancel_only()
 }
 
 /// Configuration of a design-space sweep.
@@ -133,10 +156,13 @@ pub struct SweepConfig {
     /// value. Disabled by default.
     pub telemetry: Telemetry,
     /// Solve budgets for the sweep (per-point node budgets, a whole-sweep
-    /// deadline, external cancellation). Inactive by default. When any
-    /// constraint is set, memoization is disabled for the sweep: a
-    /// truncated result depends on the budget, not just the instance, so
-    /// instance-fingerprint cache keys would no longer be sound.
+    /// deadline, external cancellation). Inactive by default. When a node
+    /// or deadline constraint is set, memoization is disabled for the
+    /// sweep: a truncated result depends on the budget, not just the
+    /// instance, so instance-fingerprint cache keys would no longer be
+    /// sound. A cancel token alone keeps the cache on (see
+    /// [`SweepBudgets::replay_safe`]); results produced after the token
+    /// trips are simply never inserted.
     pub budgets: SweepBudgets,
     /// A previously recorded sweep (see [`evaluate_space_recorded`]) of a
     /// *related* scenario — typically the same design space before a
@@ -159,9 +185,11 @@ pub struct SweepConfig {
     ///   *transparent* external bound, cutting heuristic work without
     ///   changing any reported value.
     ///
-    /// Both tiers are skipped for budgeted sweeps and non-heuristic-only
-    /// solver configurations, where the invariance argument does not
-    /// hold. `None` (the default) disables them.
+    /// Both tiers are skipped for node- or deadline-budgeted sweeps and
+    /// non-heuristic-only solver configurations, where the invariance
+    /// argument does not hold; a cancel token alone is fine (see
+    /// [`SweepBudgets::replay_safe`]). `None` (the default) disables
+    /// them.
     pub baseline: Option<Arc<SweepBaseline>>,
 }
 
@@ -222,6 +250,37 @@ impl ParetoPoint for DesignPoint {
     fn benefit(&self) -> f64 {
         self.speedup
     }
+}
+
+/// One completed design point, as delivered to a [`SweepObserver`] the
+/// moment its result is known (claim order, not input order).
+#[derive(Debug, Clone)]
+pub struct PointUpdate {
+    /// Index in the input SoC order.
+    pub index: usize,
+    /// The evaluated point.
+    pub point: DesignPoint,
+    /// Wall-clock seconds spent on it (~0 for replays and cache hits).
+    pub seconds: f64,
+    /// Which budget constraint cut the solve short, if any.
+    pub truncated: Option<BudgetKind>,
+    /// Answered verbatim by baseline identity replay.
+    pub replayed: bool,
+    /// Answered from the memoization cache.
+    pub cached: bool,
+}
+
+/// A streaming callback for sweeps: [`evaluate_space_streamed`] invokes
+/// it from worker threads as each design point lands, so a caller (e.g.
+/// a serving frontend) can forward incremental results while the sweep
+/// is still running. Purely observational — implementations cannot
+/// change any reported value — and called concurrently, so they must be
+/// `Sync`.
+pub trait SweepObserver: Sync {
+    /// Called exactly once per design point, as soon as its result is
+    /// known. Points arrive in claim order; `update.index` recovers the
+    /// input position.
+    fn point_done(&self, update: &PointUpdate);
 }
 
 /// Evaluates one SoC under one model.
@@ -610,11 +669,17 @@ impl SolveCache {
         model: ModelKind,
         config: &SweepConfig,
     ) -> Option<SolveCache> {
-        // A budget makes a point's result depend on how much budget was
-        // left, not just on the encoded instance, so instance-fingerprint
-        // keys no longer imply identical results: skip the cache entirely
-        // for budgeted sweeps (per-point or caller-supplied).
-        if !config.memoize || config.budgets.is_active() || !config.solver.budget.is_unlimited() {
+        // A node/deadline budget makes a point's result depend on how
+        // much budget was left, not just on the encoded instance, so
+        // instance-fingerprint keys no longer imply identical results:
+        // skip the cache entirely for such sweeps (per-point or
+        // caller-supplied). Cancel-only budgets are replay-safe —
+        // untripped solves are bit-identical to unbudgeted ones — and
+        // the insert path refuses results produced after a trip.
+        if !config.memoize
+            || !config.budgets.replay_safe()
+            || !solver_budget_replay_safe(&config.solver.budget)
+        {
             return None;
         }
         let (key_workload, key_constraints) = match model {
@@ -863,7 +928,7 @@ fn evaluate_soc_cached(
     config: &SweepConfig,
     cache: Option<&SolveCache>,
     oracle: Option<&PointOracle<'_>>,
-) -> Result<(DesignPoint, Option<BudgetKind>), HilpError> {
+) -> Result<(DesignPoint, Option<BudgetKind>, bool), HilpError> {
     let key = match cache {
         Some(c) => Some(c.key(soc, config)?),
         None => None,
@@ -878,8 +943,8 @@ fn evaluate_soc_cached(
                     &entry.level_bounds,
                 );
             }
-            // The cache is only active for unbudgeted sweeps, so a hit
-            // is never truncated.
+            // Truncated results are never inserted, so a hit is never
+            // truncated.
             return Ok((
                 design_point(
                     soc,
@@ -889,6 +954,7 @@ fn evaluate_soc_cached(
                     entry.gap,
                 ),
                 None,
+                true,
             ));
         }
     }
@@ -900,22 +966,30 @@ fn evaluate_soc_cached(
         config,
         oracle.map(|o| o as &dyn RefinementObserver),
     )?;
-    if let (Some(c), Some(k)) = (cache, key) {
-        let level_bounds = oracle
-            .and_then(|o| o.share.map(|s| s.store.point_levels(o.point)))
-            .unwrap_or_default();
-        c.insert(
-            k,
-            CacheEntry {
-                speedup: point.speedup,
-                makespan_seconds: point.makespan_seconds,
-                avg_wlp: point.avg_wlp,
-                gap: point.gap,
-                level_bounds,
-            },
-        );
+    // A result produced after a cancel trip (the only budget the cache
+    // tolerates) depends on when the trip landed, not just on the
+    // instance: it must not be memoized. The sticky `exhausted` check
+    // also catches a trip that arrived between the solve finishing and
+    // this insert — conservative, but cancellation means the sweep's
+    // remaining results are being discarded anyway.
+    if truncated.is_none() && config.solver.budget.exhausted().is_none() {
+        if let (Some(c), Some(k)) = (cache, key) {
+            let level_bounds = oracle
+                .and_then(|o| o.share.map(|s| s.store.point_levels(o.point)))
+                .unwrap_or_default();
+            c.insert(
+                k,
+                CacheEntry {
+                    speedup: point.speedup,
+                    makespan_seconds: point.makespan_seconds,
+                    avg_wlp: point.avg_wlp,
+                    gap: point.gap,
+                    level_bounds,
+                },
+            );
+        }
     }
-    Ok((point, truncated))
+    Ok((point, truncated, false))
 }
 
 /// Evaluates a whole design space in parallel, preserving input order.
@@ -955,7 +1029,39 @@ pub fn evaluate_space_with_stats(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
-    sweep_inner(workload, socs, constraints, model, config, None)
+    sweep_inner(workload, socs, constraints, model, config, None, None)
+}
+
+/// Like [`evaluate_space_with_stats`], additionally invoking `observer`
+/// from worker threads as each design point lands, so callers can stream
+/// incremental results while the sweep runs. The observer is purely
+/// observational: the returned points and stats are bit-identical to an
+/// unobserved sweep.
+///
+/// # Errors
+///
+/// Returns the first evaluation error encountered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_space_streamed(
+    workload: &Workload,
+    socs: &[SocSpec],
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+    observer: &dyn SweepObserver,
+) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
+    sweep_inner(
+        workload,
+        socs,
+        constraints,
+        model,
+        config,
+        None,
+        Some(observer),
+    )
 }
 
 /// Like [`evaluate_space_with_stats`], additionally recording every design
@@ -981,8 +1087,33 @@ pub fn evaluate_space_recorded(
     model: ModelKind,
     config: &SweepConfig,
 ) -> Result<(Vec<DesignPoint>, SweepStats, SweepBaseline), HilpError> {
-    let unbudgeted = !config.budgets.is_active() && config.solver.budget.is_unlimited();
-    let recorder = unbudgeted.then(|| BaselineRecorder::new(socs.len()));
+    evaluate_space_recorded_streamed(workload, socs, constraints, model, config, None)
+}
+
+/// [`evaluate_space_recorded`] with an optional streaming observer (see
+/// [`evaluate_space_streamed`]); the serving frontend uses this to both
+/// stream results and refresh its persisted baseline in one sweep.
+///
+/// # Errors
+///
+/// Returns the first evaluation error encountered.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn evaluate_space_recorded_streamed(
+    workload: &Workload,
+    socs: &[SocSpec],
+    constraints: &Constraints,
+    model: ModelKind,
+    config: &SweepConfig,
+    observer: Option<&dyn SweepObserver>,
+) -> Result<(Vec<DesignPoint>, SweepStats, SweepBaseline), HilpError> {
+    // A cancel token alone still records (see SweepBudgets::replay_safe);
+    // when it actually tripped, the recording is discarded below.
+    let replay_safe =
+        config.budgets.replay_safe() && solver_budget_replay_safe(&config.solver.budget);
+    let recorder = replay_safe.then(|| BaselineRecorder::new(socs.len()));
     let (points, stats) = sweep_inner(
         workload,
         socs,
@@ -990,7 +1121,12 @@ pub fn evaluate_space_recorded(
         model,
         config,
         recorder.as_ref(),
+        observer,
     )?;
+    // Any truncation means some recorded level (or scalar result) is
+    // budget-dependent rather than instance-determined; an inert baseline
+    // is the only sound outcome.
+    let recorder = recorder.filter(|_| stats.truncated_points == 0);
     let baseline = SweepBaseline {
         workload: workload.clone(),
         constraints: *constraints,
@@ -1010,6 +1146,7 @@ fn sweep_inner(
     model: ModelKind,
     config: &SweepConfig,
     recorder: Option<&BaselineRecorder>,
+    observer: Option<&dyn SweepObserver>,
 ) -> Result<(Vec<DesignPoint>, SweepStats), HilpError> {
     // Propagate sweep-level telemetry into the per-point solver so spans
     // and counters from every layer land in one ring.
@@ -1041,6 +1178,9 @@ fn sweep_inner(
     let config = &effective;
     let tel = &config.solver.telemetry;
     let _sweep_span = tel.span("dse.sweep");
+    if parallelism_fallback {
+        tel.incr(Counter::SweepParallelismFallback);
+    }
 
     // Recording bypasses the memo cache: a cache hit would skip the
     // solves whose levels the baseline needs to observe.
@@ -1051,13 +1191,15 @@ fn sweep_inner(
     };
     // Baseline reuse shares the transparency conditions of bound sharing
     // (heuristic-only solves consume external bounds invisibly) plus
-    // unbudgeted solves (skipped work shifts where a budget would
-    // expire, and identity replay needs full determinism).
+    // replay-safe budgets (a node/deadline budget shifts where skipped
+    // work would expire it, and identity replay needs full determinism;
+    // a cancel token alone perturbs nothing until it trips, and a replay
+    // is the recorded — true — result regardless).
     let baseline = config.baseline.as_deref().filter(|_| {
         model == ModelKind::Hilp
             && config.solver.exact_node_budget == 0
-            && !config.budgets.is_active()
-            && config.solver.budget.is_unlimited()
+            && config.budgets.replay_safe()
+            && solver_budget_replay_safe(&config.solver.budget)
     });
     let baseline_key = sweep_config_key(config);
 
@@ -1120,6 +1262,16 @@ fn sweep_inner(
                                 recorder.record(i, level.clone());
                             }
                         }
+                        if let Some(observer) = observer {
+                            observer.point_done(&PointUpdate {
+                                index: i,
+                                point: point.clone(),
+                                seconds: 0.0,
+                                truncated: None,
+                                replayed: true,
+                                cached: false,
+                            });
+                        }
                         results.lock().expect("no poisoned workers")[i] =
                             Some((Ok(point), 0.0, None));
                         continue;
@@ -1157,9 +1309,9 @@ fn sweep_inner(
                         Some(&oracle),
                     );
                     let seconds = t0.elapsed().as_secs_f64();
-                    let (point, solve_truncated) = match outcome {
-                        Ok((p, t)) => (Ok(p), t),
-                        Err(e) => (Err(e), None),
+                    let (point, solve_truncated, cached) = match outcome {
+                        Ok((p, t, c)) => (Ok(p), t, c),
+                        Err(e) => (Err(e), None, false),
                     };
                     // The solver reports node-budget truncation (the
                     // sticky flag stays clean there by design — phase
@@ -1178,6 +1330,16 @@ fn sweep_inner(
                             .unwrap_or(&config.solver.budget)
                             .nodes_spent();
                         tel.budget_expired(BudgetLayer::Sweep, kind, spent);
+                    }
+                    if let (Some(observer), Ok(p)) = (observer, &point) {
+                        observer.point_done(&PointUpdate {
+                            index: i,
+                            point: p.clone(),
+                            seconds,
+                            truncated,
+                            replayed: false,
+                            cached,
+                        });
                     }
                     results.lock().expect("no poisoned workers")[i] =
                         Some((point, seconds, truncated));
@@ -1371,6 +1533,125 @@ mod tests {
             evaluate_space_with_stats(&w, &socs, &constraints, ModelKind::Hilp, &drifted).unwrap();
         assert_eq!(delta, scratch);
         assert_eq!(stats.delta_identity_points, 0);
+    }
+
+    #[test]
+    fn streamed_sweep_reports_every_point_and_changes_nothing() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![
+            SocSpec::new(1),
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(2).with_gpu(16), // memo twin: must stream as cached
+        ];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.threads = 1; // deterministic cache-hit attribution
+        let (plain, _) = evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+
+        struct Collect(Mutex<Vec<PointUpdate>>);
+        impl SweepObserver for Collect {
+            fn point_done(&self, update: &PointUpdate) {
+                self.0.lock().unwrap().push(update.clone());
+            }
+        }
+        let collect = Collect(Mutex::new(Vec::new()));
+        let (streamed, _) =
+            evaluate_space_streamed(&w, &socs, &c, ModelKind::Hilp, &cfg, &collect).unwrap();
+        assert_eq!(streamed, plain, "observing changed results");
+
+        let mut updates = collect.0.into_inner().unwrap();
+        updates.sort_by_key(|u| u.index);
+        assert_eq!(updates.len(), socs.len(), "one update per point");
+        for (u, p) in updates.iter().zip(&streamed) {
+            assert_eq!(&u.point, p, "update {} disagrees with result", u.index);
+            assert!(u.truncated.is_none());
+            assert!(!u.replayed);
+        }
+        assert!(updates[2].cached, "the twin must stream as a cache hit");
+        assert!(!updates[1].cached);
+    }
+
+    #[test]
+    fn untripped_cancel_token_keeps_memoization_and_replay_alive() {
+        // The serving path: every job carries a disconnect cancel token
+        // that usually never trips. That alone must not disable the memo
+        // cache, baseline recording, or identity replay.
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(2).with_gpu(16),
+            SocSpec::new(1),
+        ];
+        let c = Constraints::unconstrained();
+        let mut cfg = refine_config();
+        cfg.threads = 1;
+        cfg.budgets.cancel = Some(CancelToken::new());
+        let (recorded, stats, baseline) =
+            evaluate_space_recorded(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(stats.truncated_points, 0);
+        assert_eq!(baseline.points(), socs.len(), "cancel-only must record");
+
+        let replay_cfg = SweepConfig {
+            baseline: Some(Arc::new(baseline)),
+            budgets: SweepBudgets {
+                cancel: Some(CancelToken::new()),
+                ..SweepBudgets::default()
+            },
+            ..cfg.clone()
+        };
+        let (replayed, replay_stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &replay_cfg).unwrap();
+        assert_eq!(replayed, recorded);
+        assert_eq!(replay_stats.delta_identity_points, socs.len());
+        assert_eq!(replay_stats.solves, 0);
+
+        // Without a baseline the memo cache still dedupes the twin.
+        let (memo, memo_stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(memo, recorded);
+        assert_eq!(memo_stats.cache_hits, 1, "twin must hit under cancel-only");
+    }
+
+    #[test]
+    fn tripped_cancel_token_discards_the_recording_and_caches_nothing() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2).with_gpu(16), SocSpec::new(2).with_gpu(16)];
+        let c = Constraints::unconstrained();
+        let mut cfg = tiny_config();
+        cfg.threads = 1;
+        let token = CancelToken::new();
+        token.cancel();
+        cfg.budgets.cancel = Some(token);
+        let (points, stats, baseline) =
+            evaluate_space_recorded(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        assert_eq!(points.len(), socs.len());
+        assert_eq!(stats.truncated_points, socs.len());
+        assert_eq!(baseline.points(), 0, "truncated recordings must be inert");
+        // Truncated results must never reach the cache: the twin solves
+        // (degraded) rather than hitting a poisoned entry.
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn node_budgets_still_disable_replay_even_with_a_cancel_token() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let socs = vec![SocSpec::new(2).with_gpu(16)];
+        let c = Constraints::unconstrained();
+        let cfg = refine_config();
+        let (_, _, baseline) =
+            evaluate_space_recorded(&w, &socs, &c, ModelKind::Hilp, &cfg).unwrap();
+        let mut replay_cfg = SweepConfig {
+            baseline: Some(Arc::new(baseline)),
+            ..cfg
+        };
+        replay_cfg.budgets.cancel = Some(CancelToken::new());
+        replay_cfg.budgets.per_point_nodes = Some(1_000_000);
+        let (_, stats) =
+            evaluate_space_with_stats(&w, &socs, &c, ModelKind::Hilp, &replay_cfg).unwrap();
+        assert_eq!(
+            stats.delta_identity_points, 0,
+            "node budgets are not replay-safe"
+        );
     }
 
     #[test]

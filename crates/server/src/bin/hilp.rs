@@ -17,6 +17,19 @@
 //!   consolidation                        WLP vs workload copies (extension)
 //!   ablation                             scheduler-quality ablation
 //!   trace-summary <journal>              per-phase attribution of a --trace journal
+//!   submit <addr>                        submit a job to a running hilpd and
+//!                                        stream human-readable results
+//!   watch <addr>                         like submit, but echo the raw wire
+//!                                        records (JSONL journal) to stdout
+//!   shutdown <addr>                      ask a running hilpd to exit
+//!
+//! Server options (submit/watch):
+//!   --tenant NAME  tenant the job is accounted to (default: cli)
+//!   --model M      sweep model: hilp (default), ma, or gables
+//!   --step N       subsample stride over the 372-SoC space (0 = full)
+//!   --spec FILE    submit the SoC spec file instead of the Fig. 7 sweep
+//!   (--deadline and --per-point-budget become the job's requested
+//!   budgets, clamped to the tenant's quota on the server)
 //!
 //! Options:
 //!   --quick        subsample the design space for a fast smoke run
@@ -51,16 +64,19 @@ use hilp_dse::experiments::{
     fig8b_dsa_advantage, scheduler_quality_ablation, table2_rows, table3_rows,
 };
 use hilp_dse::{design_space, ModelKind, SweepBudgets, SweepConfig};
+use hilp_server::{Client, JobSpec, Request, SubmitRequest};
 use hilp_soc::{Constraints, SocSpec};
-use hilp_telemetry::{Journal, Reporter, Telemetry, TraceSummary};
+use hilp_telemetry::{Journal, Record, Reporter, Telemetry, TraceSummary};
 use hilp_workloads::{Workload, WorkloadVariant};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: hilp <eval c g d p | spec <file> | fig5a | fig5b | fig5c | fig6 <variant> | \
          fig7 | fig8a | fig8b | fig10 | tables | cost | consolidation | ablation | \
-         trace-summary <journal>> [--quick] [--threads N] [--trace FILE] [--quiet] \
-         [--deadline SECS] [--node-budget N] [--per-point-budget N]"
+         trace-summary <journal> | submit <addr> | watch <addr> | shutdown <addr>> \
+         [--quick] [--threads N] [--trace FILE] [--quiet] \
+         [--deadline SECS] [--node-budget N] [--per-point-budget N] \
+         [--tenant NAME] [--model hilp|ma|gables] [--step N] [--spec FILE]"
     );
     ExitCode::from(2)
 }
@@ -89,6 +105,54 @@ fn main() -> ExitCode {
             Some(path) => trace = Some(PathBuf::from(path)),
             None => {
                 eprintln!("--trace needs an output path");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    // Server-client flags (submit/watch), same consume-flag-and-value
+    // discipline as above.
+    let mut tenant = String::from("cli");
+    if let Some(i) = args.iter().position(|a| a == "--tenant") {
+        match args.get(i + 1) {
+            Some(name) if !name.is_empty() => tenant.clone_from(name),
+            _ => {
+                eprintln!("--tenant needs a non-empty name");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let mut submit_model = ModelKind::Hilp;
+    if let Some(i) = args.iter().position(|a| a == "--model") {
+        match args.get(i + 1).map(String::as_str) {
+            Some("hilp") => submit_model = ModelKind::Hilp,
+            Some("ma") => submit_model = ModelKind::MultiAmdahl,
+            Some("gables") => submit_model = ModelKind::Gables,
+            _ => {
+                eprintln!("--model needs hilp, ma, or gables");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let mut step = 0usize;
+    if let Some(i) = args.iter().position(|a| a == "--step") {
+        match args.get(i + 1).and_then(|v| v.parse().ok()) {
+            Some(n) => step = n,
+            None => {
+                eprintln!("--step needs a stride");
+                return usage();
+            }
+        }
+        args.drain(i..=i + 1);
+    }
+    let mut spec_file: Option<PathBuf> = None;
+    if let Some(i) = args.iter().position(|a| a == "--spec") {
+        match args.get(i + 1) {
+            Some(path) => spec_file = Some(PathBuf::from(path)),
+            None => {
+                eprintln!("--spec needs a file path");
                 return usage();
             }
         }
@@ -134,6 +198,15 @@ fn main() -> ExitCode {
         Telemetry::disabled()
     };
     let reporter = Reporter::new(quiet, &telemetry);
+    // Sweeps that cannot determine the core count run degraded (4 fallback
+    // workers — see `SweepStats::parallelism_fallback`); warn up front
+    // instead of silently underusing the machine.
+    if threads == 0 && std::thread::available_parallelism().is_err() {
+        eprintln!(
+            "warning: could not determine the available core count; \
+             sweeps fall back to 4 worker threads (pass --threads N to override)"
+        );
+    }
     let config = SweepConfig {
         threads,
         telemetry: telemetry.clone(),
@@ -352,6 +425,96 @@ fn main() -> ExitCode {
                 for row in table3_rows() {
                     println!("{row}");
                 }
+            }
+            "submit" | "watch" => {
+                let addr = positional
+                    .get(1)
+                    .ok_or("submit/watch need a daemon address (host:port or socket path)")?;
+                let job = match &spec_file {
+                    Some(path) => JobSpec::Spec {
+                        text: std::fs::read_to_string(path)?,
+                    },
+                    None => JobSpec::Sweep {
+                        model: submit_model,
+                        step,
+                    },
+                };
+                let request = SubmitRequest {
+                    tenant: tenant.clone(),
+                    job,
+                    deadline_seconds: deadline,
+                    per_point_nodes: per_point_budget,
+                };
+                let mut client = Client::connect(addr)?;
+                if command == "watch" {
+                    // Raw mode: echo the wire records verbatim — stdout is
+                    // a valid JSONL journal of the job.
+                    client.send(&Request::Submit(request))?;
+                    while let Some(record) = client.read_record()? {
+                        println!("{}", record.to_json());
+                        if matches!(&record, Record::Job { event, .. } if event != "accepted") {
+                            break;
+                        }
+                    }
+                } else {
+                    reporter.say(&format!("submitting to {addr} as tenant {tenant:?}..."));
+                    let outcome = client.run_job(request, |record| match record {
+                        Record::Job {
+                            event, id, points, ..
+                        } if event == "accepted" => {
+                            reporter.say(&format!("job {id} accepted ({points} points)"));
+                        }
+                        Record::Point {
+                            index,
+                            label,
+                            makespan_seconds,
+                            speedup,
+                            gap,
+                            truncated,
+                            replayed,
+                            cached,
+                            ..
+                        } => {
+                            let tag = if *replayed == 1 {
+                                " [replayed]"
+                            } else if *cached == 1 {
+                                " [cached]"
+                            } else if truncated.is_empty() {
+                                ""
+                            } else {
+                                " [truncated]"
+                            };
+                            println!(
+                                "point {index:>4} {label}: makespan {makespan_seconds:.1} s | \
+                                 speedup {speedup:.1}x | gap {:.1}%{tag}",
+                                gap * 100.0
+                            );
+                        }
+                        _ => {}
+                    })?;
+                    println!(
+                        "job {} {}: {} points, {} replayed, {} truncated in {:.2}s{}",
+                        outcome.id,
+                        outcome.event,
+                        outcome.points,
+                        outcome.replayed,
+                        outcome.truncated,
+                        outcome.seconds,
+                        if outcome.degraded {
+                            " (degraded capacity)"
+                        } else {
+                            ""
+                        }
+                    );
+                    if outcome.event == "failed" || outcome.event == "rejected" {
+                        return Err(format!("job {}: {}", outcome.event, outcome.detail).into());
+                    }
+                }
+            }
+            "shutdown" => {
+                let addr = positional.get(1).ok_or("shutdown needs a daemon address")?;
+                Client::connect(addr)?.shutdown()?;
+                reporter.say("daemon acknowledged shutdown");
             }
             "trace-summary" => {
                 let path = positional

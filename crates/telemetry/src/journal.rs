@@ -108,6 +108,66 @@ pub enum Record {
         /// Emitting thread id.
         thread: u32,
     },
+    /// A server job lifecycle event (the journal schema doubles as the
+    /// `hilpd` wire format — see `hilp-server`):
+    /// `{"type":"job","t_us":10,"event":"accepted","id":3,"tenant":"alice","points":372,"replayed":0,"truncated":0,"degraded":0,"seconds":0,"detail":""}`
+    Job {
+        /// Event time in µs on the emitting handle's clock.
+        t_us: u64,
+        /// Lifecycle event tag: `accepted`, `finished`, `rejected`,
+        /// `cancelled`, `failed`, `stats`, `pong`, or `shutdown`.
+        /// Terminal tags (everything except `accepted`) end a server
+        /// response stream.
+        event: String,
+        /// Server-assigned job id (0 for connection-level responses).
+        id: u64,
+        /// Tenant the job belongs to (empty for connection-level
+        /// responses).
+        tenant: String,
+        /// Design points in the job (0 until known).
+        points: u64,
+        /// Points answered by baseline identity replay.
+        replayed: u64,
+        /// Points whose solve a budget cut short.
+        truncated: u64,
+        /// 1 when the executing sweep ran with degraded capacity (the
+        /// worker-count fallback fired), else 0.
+        degraded: u64,
+        /// Wall-clock seconds the job took (0 until finished).
+        seconds: f64,
+        /// Free-form detail: rejection reason, error text, or empty.
+        detail: String,
+    },
+    /// One completed design point of a server job, streamed as it lands
+    /// (same wire role as [`Record::Job`]):
+    /// `{"type":"point","t_us":52,"job":3,"index":12,"label":"(c4,g16,d2^16)","makespan_seconds":1213.5,"speedup":3.2,"avg_wlp":1.41,"gap":0.01,"seconds":0.02,"truncated":"","replayed":0,"cached":1}`
+    Point {
+        /// Event time in µs on the emitting handle's clock.
+        t_us: u64,
+        /// Server job id the point belongs to.
+        job: u64,
+        /// Design-point index within the job's input order.
+        index: u64,
+        /// The SoC's `(c,g,d)` label.
+        label: String,
+        /// Predicted workload execution time (s).
+        makespan_seconds: f64,
+        /// Predicted speedup over sequential single-core execution.
+        speedup: f64,
+        /// Average WLP of the predicted schedule.
+        avg_wlp: f64,
+        /// Optimality gap of the underlying solve.
+        gap: f64,
+        /// Wall-clock seconds spent solving this point.
+        seconds: f64,
+        /// Budget-kind tag (`nodes`/`deadline`/`cancelled`) when the
+        /// point's solve was cut short, else empty.
+        truncated: String,
+        /// 1 when the point was answered by baseline identity replay.
+        replayed: u64,
+        /// 1 when the point was answered from the memoization cache.
+        cached: u64,
+    },
     /// Final counter value: `{"type":"counter","name":"bnb.nodes","value":123}`
     Counter {
         /// Counter name (see [`crate::Counter::name`]).
@@ -181,6 +241,17 @@ impl Record {
                 spent: ev.c,
             },
         })
+    }
+
+    /// Parses one JSON journal line — the inverse of
+    /// [`Record::to_json`]. This is the wire-record parser `hilp-server`
+    /// clients use on streamed responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or schema problem.
+    pub fn parse(line: &str) -> Result<Record, String> {
+        parse_record(line)
     }
 
     /// Serializes the record as one JSON object (no trailing newline).
@@ -276,6 +347,61 @@ impl Record {
                     "{{\"type\":\"progress\",\"t_us\":{t_us},\"thread\":{thread}}}"
                 );
             }
+            Record::Job {
+                t_us,
+                event,
+                id,
+                tenant,
+                points,
+                replayed,
+                truncated,
+                degraded,
+                seconds,
+                detail,
+            } => {
+                let _ = write!(s, "{{\"type\":\"job\",\"t_us\":{t_us},\"event\":");
+                push_json_string(&mut s, event);
+                let _ = write!(s, ",\"id\":{id},\"tenant\":");
+                push_json_string(&mut s, tenant);
+                let _ = write!(
+                    s,
+                    ",\"points\":{points},\"replayed\":{replayed},\"truncated\":{truncated},\"degraded\":{degraded},\"seconds\":{},\"detail\":",
+                    fmt_f64(*seconds)
+                );
+                push_json_string(&mut s, detail);
+                s.push('}');
+            }
+            Record::Point {
+                t_us,
+                job,
+                index,
+                label,
+                makespan_seconds,
+                speedup,
+                avg_wlp,
+                gap,
+                seconds,
+                truncated,
+                replayed,
+                cached,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"type\":\"point\",\"t_us\":{t_us},\"job\":{job},\"index\":{index},\"label\":"
+                );
+                push_json_string(&mut s, label);
+                let _ = write!(
+                    s,
+                    ",\"makespan_seconds\":{},\"speedup\":{},\"avg_wlp\":{},\"gap\":{},\"seconds\":{},\"truncated\":",
+                    fmt_f64(*makespan_seconds),
+                    fmt_f64(*speedup),
+                    fmt_f64(*avg_wlp),
+                    fmt_f64(*gap),
+                    fmt_f64(*seconds)
+                );
+                push_json_string(&mut s, truncated);
+                let _ = write!(s, ",\"replayed\":{replayed},\"cached\":{cached}}}");
+            }
             Record::Counter { name, value } => {
                 s.push_str("{\"type\":\"counter\",\"name\":");
                 push_json_string(&mut s, name);
@@ -300,7 +426,9 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+/// Appends `s` to `out` as a quoted, escaped JSON string (the writer
+/// half of the flat-object wire helpers).
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for ch in s.chars() {
         match ch {
@@ -381,10 +509,19 @@ impl Journal {
 
 // ---------------------------------------------------------------------
 // Minimal flat-object JSON parsing (string and number values only).
+// Public, because the journal schema doubles as the `hilpd` wire format
+// and the server/client need to parse request lines with the same
+// zero-dependency machinery.
 // ---------------------------------------------------------------------
 
-enum JsonValue {
+/// A value in a flat JSON object: the journal (and the `hilpd` wire
+/// protocol built on it) restricts itself to string and number fields so
+/// this is the entire value universe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (unescaped).
     Str(String),
+    /// A JSON number.
     Num(f64),
 }
 
@@ -477,10 +614,46 @@ fn parse_number(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Result<
         .map_err(|e| format!("bad number {text:?}: {e}"))
 }
 
-struct Fields(Vec<(String, JsonValue)>);
+/// A parsed flat JSON object: ordered `(key, value)` pairs with typed
+/// accessors. This is the parser half of the wire helpers shared by the
+/// journal reader and the `hilpd` request protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fields(Vec<(String, JsonValue)>);
 
 impl Fields {
-    fn str(&self, key: &str) -> Result<&str, String> {
+    /// Parses one flat JSON object (string/number values only).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax problem.
+    pub fn parse(line: &str) -> Result<Fields, String> {
+        parse_flat_object(line).map(Fields)
+    }
+
+    /// The string value of `key`, if present and a string.
+    #[must_use]
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, JsonValue::Str(s))) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric value of `key`, if present and a number.
+    #[must_use]
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        match self.0.iter().find(|(k, _)| k == key) {
+            Some((_, JsonValue::Num(n))) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or not a string.
+    pub fn str(&self, key: &str) -> Result<&str, String> {
         match self.0.iter().find(|(k, _)| k == key) {
             Some((_, JsonValue::Str(s))) => Ok(s),
             Some(_) => Err(format!("field {key:?} is not a string")),
@@ -488,7 +661,12 @@ impl Fields {
         }
     }
 
-    fn num(&self, key: &str) -> Result<f64, String> {
+    /// The numeric value of `key`.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing or not a number.
+    pub fn num(&self, key: &str) -> Result<f64, String> {
         match self.0.iter().find(|(k, _)| k == key) {
             Some((_, JsonValue::Num(n))) => Ok(*n),
             Some(_) => Err(format!("field {key:?} is not a number")),
@@ -496,7 +674,12 @@ impl Fields {
         }
     }
 
-    fn u64(&self, key: &str) -> Result<u64, String> {
+    /// The value of `key` as a non-negative integer.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing, not a number, negative, or fractional.
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
         let n = self.num(key)?;
         if n < 0.0 || n.fract() != 0.0 {
             return Err(format!("field {key:?} is not a non-negative integer"));
@@ -505,7 +688,12 @@ impl Fields {
         Ok(n as u64)
     }
 
-    fn u32(&self, key: &str) -> Result<u32, String> {
+    /// The value of `key` as a `u32`.
+    ///
+    /// # Errors
+    ///
+    /// When the field is missing, not an integer, or overflows.
+    pub fn u32(&self, key: &str) -> Result<u32, String> {
         u32::try_from(self.u64(key)?).map_err(|_| format!("field {key:?} overflows u32"))
     }
 }
@@ -564,6 +752,32 @@ fn parse_record(line: &str) -> Result<Record, String> {
         "progress" => Ok(Record::Progress {
             t_us: fields.u64("t_us")?,
             thread: fields.u32("thread")?,
+        }),
+        "job" => Ok(Record::Job {
+            t_us: fields.u64("t_us")?,
+            event: fields.str("event")?.to_string(),
+            id: fields.u64("id")?,
+            tenant: fields.str("tenant")?.to_string(),
+            points: fields.u64("points")?,
+            replayed: fields.u64("replayed")?,
+            truncated: fields.u64("truncated")?,
+            degraded: fields.u64("degraded")?,
+            seconds: fields.num("seconds")?,
+            detail: fields.str("detail")?.to_string(),
+        }),
+        "point" => Ok(Record::Point {
+            t_us: fields.u64("t_us")?,
+            job: fields.u64("job")?,
+            index: fields.u64("index")?,
+            label: fields.str("label")?.to_string(),
+            makespan_seconds: fields.num("makespan_seconds")?,
+            speedup: fields.num("speedup")?,
+            avg_wlp: fields.num("avg_wlp")?,
+            gap: fields.num("gap")?,
+            seconds: fields.num("seconds")?,
+            truncated: fields.str("truncated")?.to_string(),
+            replayed: fields.u64("replayed")?,
+            cached: fields.u64("cached")?,
         }),
         "counter" => Ok(Record::Counter {
             name: fields.str("name")?.to_string(),
@@ -694,6 +908,32 @@ mod tests {
                     kind: BudgetKind::Nodes,
                     spent: 12,
                 },
+                Record::Job {
+                    t_us: 9,
+                    event: "finished".to_string(),
+                    id: 3,
+                    tenant: "alice".to_string(),
+                    points: 372,
+                    replayed: 370,
+                    truncated: 0,
+                    degraded: 0,
+                    seconds: 0.25,
+                    detail: String::new(),
+                },
+                Record::Point {
+                    t_us: 10,
+                    job: 3,
+                    index: 12,
+                    label: "(c4,g16,d2^16)".to_string(),
+                    makespan_seconds: 1213.5,
+                    speedup: 3.25,
+                    avg_wlp: 1.5,
+                    gap: 0.0,
+                    seconds: 0.02,
+                    truncated: String::new(),
+                    replayed: 0,
+                    cached: 1,
+                },
                 Record::Counter {
                     name: "bnb.nodes".to_string(),
                     value: 12,
@@ -740,6 +980,19 @@ mod tests {
         assert!(err.starts_with("line 2:"), "{err}");
         let err = Journal::from_jsonl("{\"type\":\"mystery\"}\n").unwrap_err();
         assert!(err.contains("unknown record type"), "{err}");
+    }
+
+    #[test]
+    fn fields_parse_supports_optional_request_fields() {
+        let fields =
+            Fields::parse("{\"type\":\"submit\",\"tenant\":\"alice\",\"threads\":4}").unwrap();
+        assert_eq!(fields.str("type").unwrap(), "submit");
+        assert_eq!(fields.get_str("tenant"), Some("alice"));
+        assert_eq!(fields.get_num("threads"), Some(4.0));
+        assert_eq!(fields.get_str("spec"), None);
+        assert_eq!(fields.get_num("tenant"), None);
+        assert!(fields.u64("missing").is_err());
+        assert!(Fields::parse("not json").is_err());
     }
 
     #[test]

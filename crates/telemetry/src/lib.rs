@@ -44,7 +44,9 @@ mod ring;
 mod summary;
 
 pub use hilp_budget::BudgetKind;
-pub use journal::{check_single_solve_replay, Journal, Record};
+pub use journal::{
+    check_single_solve_replay, push_json_string, Fields, Journal, JsonValue, Record,
+};
 pub use ring::{Event, EventKind};
 pub use summary::{SpanRow, TraceSummary};
 
@@ -226,6 +228,7 @@ counters! {
     SweepCacheHits => "dse.cache_hits",
     SweepSteals => "dse.steals",
     SweepTruncatedPoints => "dse.truncated_points",
+    SweepParallelismFallback => "dse.parallelism_fallback",
     BudgetExpiries => "budget.expiries",
     BudgetCancellations => "budget.cancellations",
     ProgressMessages => "progress.messages",

@@ -112,6 +112,9 @@ impl TraceSummary {
                 }
                 Record::Counter { name, value } => counters.push((name.clone(), *value)),
                 Record::Dropped { count } => dropped += count,
+                // Server wire records carry no thread attribution; they
+                // don't contribute to the per-thread breakdown.
+                Record::Job { .. } | Record::Point { .. } => {}
             }
         }
         let wall_us = if t_min == u64::MAX { 0 } else { t_max - t_min };
