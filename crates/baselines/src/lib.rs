@@ -61,6 +61,9 @@ use hilp_workloads::{Application, Workload};
 pub struct BaselineResult {
     /// Predicted overall workload execution time (s).
     pub makespan_seconds: f64,
+    /// Energy of the model's (implied) schedule (J): the sum of each
+    /// phase's `power x duration` under the mode the model selects.
+    pub energy_joules: f64,
     /// Predicted speedup over fully sequential single-core execution.
     pub speedup: f64,
     /// Average WLP of the model's (implied) schedule.
@@ -99,7 +102,7 @@ pub fn multi_amdahl(
     // discretized HILP would bias the comparison).
     let mut time_step = policy.initial_seconds;
     let mut refinements = 0;
-    let makespan_seconds = loop {
+    let (makespan_seconds, energy_joules) = loop {
         let (instance, _) = encode(workload, soc, constraints, time_step)?;
         let total_steps: u64 = (0..instance.num_tasks())
             .map(|t| u64::from(instance.min_duration(TaskId(t))))
@@ -112,7 +115,22 @@ pub fn multi_amdahl(
             time_step /= policy.refine_factor;
             continue;
         }
-        break total_steps as f64 * time_step;
+        // Energy of the implied schedule: each phase runs its fastest
+        // mode, ties broken toward the frugal one (watt-steps x tick).
+        let energy_steps: f64 = (0..instance.num_tasks())
+            .map(|t| {
+                let task = TaskId(t);
+                let min = instance.min_duration(task);
+                instance
+                    .task(task)
+                    .modes
+                    .iter()
+                    .filter(|m| m.duration == min)
+                    .map(hilp_sched::Mode::energy)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum();
+        break (total_steps as f64 * time_step, energy_steps * time_step);
     };
     let sequential = workload.sequential_cpu_seconds();
     let speedup = if makespan_seconds > 0.0 {
@@ -122,6 +140,7 @@ pub fn multi_amdahl(
     };
     Ok(BaselineResult {
         makespan_seconds,
+        energy_joules,
         speedup,
         avg_wlp: 1.0,
         gap: 0.0,
@@ -178,6 +197,7 @@ pub fn gables_parallel(
     };
     Ok(BaselineResult {
         makespan_seconds: eval.makespan_seconds,
+        energy_joules: eval.energy_joules,
         speedup,
         avg_wlp: average_wlp(&eval.schedule, &eval.instance),
         gap: eval.gap,

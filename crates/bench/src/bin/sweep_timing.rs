@@ -40,6 +40,18 @@
 //! queries. Everything lands in the `"delta"` object of
 //! `BENCH_sweep.json`.
 //!
+//! A seventh block sweeps the energy-Pareto frontier: every 37th SoC of
+//! the space (the Fig. 7 regression subsample's coprime stride) runs
+//! [`evaluate_space_pareto`]'s descending energy-cap ladder. The scalar
+//! evaluation of each Pareto point must be bit-identical to the plain
+//! optimized HILP run on the same SoC (the ladder rides on, never
+//! replaces, the committed evaluation), every front must be well-shaped
+//! (makespan strictly ascending, energy strictly descending), and a
+//! two-worker re-run must be bit-identical to the first. The fronts land
+//! in the `"pareto"` object of `BENCH_sweep.json`, one trade-off per
+//! line, and are pinned by `tests/pareto_regression.rs` — as are the
+//! per-point `energy_joules` values now committed with every sweep point.
+//!
 //! The correctness gates run every time: per-point makespans must agree
 //! across reference and optimized within the reported optimality gaps;
 //! the optimized run must be *bit-identical* to the baseline run — bound
@@ -91,8 +103,8 @@ use std::time::{Duration, Instant};
 
 use hilp_core::{EvaluatePolicy, Hilp, SolverConfig, TimeStepPolicy, WhatIfPath};
 use hilp_dse::{
-    design_space, evaluate_space_recorded, evaluate_space_with_stats, DesignPoint, ModelKind,
-    SweepBudgets, SweepConfig, SweepStats, ThreadBudget,
+    design_space, evaluate_space_pareto, evaluate_space_recorded, evaluate_space_with_stats,
+    DesignPoint, ModelKind, ParetoDesignPoint, SweepBudgets, SweepConfig, SweepStats, ThreadBudget,
 };
 use hilp_sched::TimetableKind;
 use hilp_soc::Constraints;
@@ -100,6 +112,12 @@ use hilp_telemetry::{Counter, Reporter, Telemetry, TraceSummary};
 use hilp_workloads::{Workload, WorkloadVariant};
 
 const MODELS: [ModelKind; 3] = [ModelKind::MultiAmdahl, ModelKind::Gables, ModelKind::Hilp];
+
+/// Stride of the energy-Pareto subsample, matching the Fig. 7 regression
+/// test's `SUBSAMPLE_STEP` (37 is coprime to the design-space generator
+/// strides) so `tests/pareto_regression.rs` can recompute exactly the
+/// committed fronts.
+const PARETO_STEP: usize = 37;
 
 /// Warns (unconditionally — this is degraded capacity, not progress
 /// chatter, so `--quiet` does not silence it) when the sweeps are about
@@ -551,6 +569,71 @@ fn main() {
         }
     };
 
+    // Seventh block: the energy-Pareto frontier on the Fig. 7 regression
+    // subsample (every 37th SoC — the stride is coprime to the space's
+    // generator strides, so the subsample crosses CPU counts, GPU sizes,
+    // and DSA allocations). Correctness gate 6: the ladder's scalar
+    // evaluation must reproduce the plain optimized HILP run bit for bit
+    // (the Pareto sweep adds trade-offs, it never moves the committed
+    // point), every front must be well-shaped, and a two-worker re-run
+    // must be bit-identical (worker count is a pure wall-clock knob).
+    let pareto = {
+        let hilp_run = runs
+            .iter()
+            .find(|r| r.model == ModelKind::Hilp)
+            .expect("HILP is in MODELS");
+        let pareto_socs: Vec<_> = socs.iter().cloned().step_by(PARETO_STEP).collect();
+        let cfg = optimized_config(threads);
+        let t = Instant::now();
+        let points = evaluate_space_pareto(&workload, &pareto_socs, &constraints, &cfg)
+            .expect("pareto sweep succeeds");
+        let pareto_seconds = t.elapsed().as_secs_f64();
+        for (pp, gp) in points
+            .iter()
+            .zip(hilp_run.points.iter().step_by(PARETO_STEP))
+        {
+            assert!(
+                pp.point == *gp,
+                "{}: the Pareto sweep's scalar evaluation diverged from the plain sweep",
+                gp.label
+            );
+            assert!(
+                !pp.front.is_empty(),
+                "{}: empty Pareto front on a feasible point",
+                gp.label
+            );
+            for w in pp.front.windows(2) {
+                assert!(
+                    w[0].makespan_seconds < w[1].makespan_seconds
+                        && w[0].energy_joules > w[1].energy_joules,
+                    "{}: front is not strictly makespan-ascending / energy-descending",
+                    gp.label
+                );
+            }
+        }
+        let mut two_workers = cfg.clone();
+        two_workers.threads = 2;
+        let rerun = evaluate_space_pareto(&workload, &pareto_socs, &constraints, &two_workers)
+            .expect("two-worker pareto sweep succeeds");
+        assert!(
+            rerun == points,
+            "2 sweep workers changed the Pareto fronts; worker count must be a wall-clock knob"
+        );
+        let complete_fronts = points.iter().filter(|p| p.complete).count();
+        let front_points: usize = points.iter().map(|p| p.front.len()).sum();
+        reporter.say(&format!(
+            "  HILP    pareto {pareto_seconds:7.2}s  ({} SoCs, {front_points} trade-offs, \
+             {complete_fronts} complete fronts, bit-identical across worker counts)",
+            points.len(),
+        ));
+        ParetoRun {
+            seconds: pareto_seconds,
+            complete_fronts,
+            front_points,
+            points,
+        }
+    };
+
     // Fourth sweep (with --trace): the optimized HILP configuration with
     // telemetry enabled. Telemetry is observational, so the traced sweep
     // must reproduce the optimized run bit for bit; the wall-clock
@@ -599,6 +682,7 @@ fn main() {
         &exact,
         &parallel_exact,
         &delta,
+        &pareto,
         telemetry_json.as_deref(),
     );
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
@@ -624,6 +708,7 @@ fn main() {
             &exact,
             &parallel_exact,
             &delta,
+            &pareto,
             traced.as_ref(),
             journal.as_ref(),
             &telemetry,
@@ -860,6 +945,17 @@ struct DeltaRun {
     repeat_median_ms: f64,
 }
 
+/// The energy-Pareto block: the subsampled cap-ladder sweep, its
+/// shape/bit-identity gates already enforced, ready for serialization.
+struct ParetoRun {
+    seconds: f64,
+    /// Fronts where every ladder rung closed its gap (provably exact).
+    complete_fronts: usize,
+    /// Total trade-offs across all fronts.
+    front_points: usize,
+    points: Vec<ParetoDesignPoint>,
+}
+
 /// Timing of the telemetry-enabled fourth sweep relative to the optimized
 /// (telemetry-disabled) HILP run it must reproduce.
 struct TracedRun {
@@ -910,6 +1006,7 @@ fn render_markdown_summary(
     exact: &ExactRun,
     parallel_exact: &ParallelExactRun,
     delta: &DeltaRun,
+    pareto: &ParetoRun,
     traced: Option<&TracedRun>,
     journal: Option<&hilp_telemetry::Journal>,
     tel: &Telemetry,
@@ -987,6 +1084,18 @@ fn render_markdown_summary(
         delta.certified_levels,
         delta.repeat_median_ms,
     ));
+    md.push_str(&format!(
+        "\n### Energy Pareto sweep\n\n\
+         Descending energy-cap ladder on {} subsampled SoCs: **{:.2}s**, \
+         {} trade-offs, {} / {} fronts provably complete, scalar points \
+         bit-identical to the plain sweep and fronts bit-identical across \
+         worker counts ✅\n",
+        pareto.points.len(),
+        pareto.seconds,
+        pareto.front_points,
+        pareto.complete_fronts,
+        pareto.points.len(),
+    ));
     if let Some(t) = traced {
         md.push_str(&format!(
             "\n### Telemetry overhead\n\n\
@@ -1060,6 +1169,7 @@ fn render_json(
     exact: &ExactRun,
     parallel_exact: &ParallelExactRun,
     delta: &DeltaRun,
+    pareto: &ParetoRun,
     telemetry_json: Option<&str>,
 ) -> String {
     // Optional: only present when --trace ran the extra traced sweep, so
@@ -1119,6 +1229,36 @@ fn render_json(
         delta.certified_levels,
         delta.repeat_median_ms,
     );
+    // One trade-off per line, keyed `"soc"` (never `"label"`/`"model"`,
+    // which the Fig. 7 regression test's line parser claims), so
+    // `tests/pareto_regression.rs` can pin every front with the same
+    // line-based parse. Consecutive lines with the same `"soc"` are one
+    // front, makespan ascending.
+    let mut pareto_points = String::new();
+    for (i, p) in pareto.points.iter().enumerate() {
+        for (j, t) in p.front.iter().enumerate() {
+            let last = i + 1 == pareto.points.len() && j + 1 == p.front.len();
+            pareto_points.push_str(&format!(
+                "      {{\"soc\": \"{}\", \"makespan_seconds\": {}, \"energy_joules\": {}, \
+                 \"proved\": {}, \"complete\": {}}}{}\n",
+                p.point.label,
+                clean(t.makespan_seconds),
+                clean(t.energy_joules),
+                t.proved_optimal,
+                p.complete,
+                if last { "" } else { "," },
+            ));
+        }
+    }
+    let pareto_field = format!(
+        "  \"pareto\": {{\"step\": {PARETO_STEP}, \"front_socs\": {}, \"seconds\": {:.4}, \
+         \"front_points\": {}, \"complete_fronts\": {}, \"scalar_points_bit_identical\": true, \
+         \"results_bit_identical\": true, \"fronts\": [\n{pareto_points}    ]}},\n",
+        pareto.points.len(),
+        pareto.seconds,
+        pareto.front_points,
+        pareto.complete_fronts,
+    );
     let mut per_model = String::new();
     for (i, r) in runs.iter().enumerate() {
         if i > 0 {
@@ -1163,13 +1303,16 @@ fn render_json(
             slowest(r),
         ));
         // One point per line, noise-rounded `{}`-formatted floats
-        // (shortest exact round-trip), so the Fig. 7 regression test can
-        // pin every per-point makespan with a line-based parse.
+        // (shortest exact round-trip), so the Fig. 7 and Pareto
+        // regression tests can pin every per-point makespan and energy
+        // with a line-based parse.
         for (j, p) in r.points.iter().enumerate() {
             per_model.push_str(&format!(
-                "      {{\"label\": \"{}\", \"makespan_seconds\": {}, \"gap\": {}}}{}\n",
+                "      {{\"label\": \"{}\", \"makespan_seconds\": {}, \"energy_joules\": {}, \
+                 \"gap\": {}}}{}\n",
                 p.label,
                 clean(p.makespan_seconds),
+                clean(p.energy_joules),
                 clean(p.gap),
                 if j + 1 < r.points.len() { "," } else { "" },
             ));
@@ -1187,7 +1330,7 @@ fn render_json(
          \"speedup\": {speedup:.3},\n  \"speedup_vs_baseline\": {speedup_vs_baseline:.3},\n  \
          \"points_match_within_gap\": {points_match},\n  \
          \"results_bit_identical\": {bit_identical},\n\
-         {exact_field}{parallel_exact_field}{delta_field}{telemetry_field}  \
+         {exact_field}{parallel_exact_field}{delta_field}{pareto_field}{telemetry_field}  \
          \"per_model\": [\n{per_model}\n  ]\n}}\n"
     )
 }

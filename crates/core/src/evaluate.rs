@@ -4,8 +4,8 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 
 use hilp_sched::{
-    solve_with_hints, BudgetKind, Instance, InstanceDelta, ModeId, Schedule, SolveHints,
-    SolveTelemetry, SolverConfig, TaskId, TimetableKind,
+    solve_pareto, solve_with_hints, BudgetKind, Instance, InstanceDelta, ModeId, Objective,
+    Schedule, SolveHints, SolveTelemetry, SolverConfig, TaskId, TimetableKind,
 };
 use hilp_soc::{Constraints, SocSpec};
 use hilp_telemetry::{BudgetLayer, Counter};
@@ -146,6 +146,9 @@ pub struct Evaluation {
     pub makespan_steps: u32,
     /// The final time-step resolution (seconds).
     pub time_step_seconds: f64,
+    /// Total energy of the schedule in joules: the solver's watt-step
+    /// energy scaled by the final time step.
+    pub energy_joules: f64,
     /// Speedup over fully sequential execution on a single CPU core.
     pub speedup: f64,
     /// Average Workload-Level Parallelism of the schedule.
@@ -425,6 +428,7 @@ pub struct Hilp {
     solver: SolverConfig,
     policy: TimeStepPolicy,
     evaluate_policy: EvaluatePolicy,
+    energy_cap_joules: Option<f64>,
 }
 
 impl Hilp {
@@ -439,6 +443,7 @@ impl Hilp {
             solver: SolverConfig::default(),
             policy: TimeStepPolicy::validation(),
             evaluate_policy: EvaluatePolicy::default(),
+            energy_cap_joules: None,
         }
     }
 
@@ -469,6 +474,46 @@ impl Hilp {
     pub fn with_evaluate_policy(mut self, evaluate_policy: EvaluatePolicy) -> Self {
         self.evaluate_policy = evaluate_policy;
         self
+    }
+
+    /// Sets the solver objective (makespan, energy, EDP, or makespan under
+    /// an energy budget in *watt-steps*), builder style. For budgets in
+    /// physical units prefer [`Hilp::with_energy_cap_joules`], which
+    /// converts per refinement level.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.solver.objective = objective;
+        self
+    }
+
+    /// Caps the workload's total energy in joules, builder style. The cap
+    /// is converted to the solver's watt-step unit at every refinement
+    /// level (`cap / tick_seconds`), so one physical budget constrains all
+    /// discretizations consistently. Composes with a
+    /// [`Objective::MakespanUnderEnergyCap`] objective by taking the
+    /// tighter of the two budgets; the energy and EDP objectives already
+    /// sweep energy and ignore it.
+    #[must_use]
+    pub fn with_energy_cap_joules(mut self, joules: f64) -> Self {
+        self.energy_cap_joules = Some(joules);
+        self
+    }
+
+    /// The solver configuration in force at one refinement level: the
+    /// joule budget, if any, lands here as a per-tick watt-step cap.
+    fn level_solver(&self, time_step_seconds: f64) -> SolverConfig {
+        let mut solver = self.solver.clone();
+        if let Some(joules) = self.energy_cap_joules {
+            let cap = joules / time_step_seconds;
+            solver.objective = match solver.objective {
+                Objective::Makespan => Objective::MakespanUnderEnergyCap(cap),
+                Objective::MakespanUnderEnergyCap(existing) => {
+                    Objective::MakespanUnderEnergyCap(existing.min(cap))
+                }
+                other => other,
+            };
+        }
+        solver
     }
 
     /// The workload under evaluation.
@@ -529,9 +574,10 @@ impl Hilp {
             };
             let external = observer.external_lower_bound(refinements, time_step, &instance);
             let incumbent = observer.warm_incumbent(refinements, &instance);
+            let level_solver = self.level_solver(time_step);
             let (outcome, telemetry) = solve_with_hints(
                 &instance,
-                &self.solver,
+                &level_solver,
                 &SolveHints {
                     warm_priority: warm_order.as_deref(),
                     external_lower_bound: external,
@@ -605,6 +651,7 @@ impl Hilp {
                 makespan_seconds,
                 makespan_steps: outcome.makespan,
                 time_step_seconds: time_step,
+                energy_joules: outcome.energy * time_step,
                 speedup,
                 avg_wlp,
                 lower_bound_seconds: f64::from(outcome.lower_bound) * time_step,
@@ -754,7 +801,54 @@ impl Hilp {
             TimetableKind::Dense => 1,
             TimetableKind::Interval => 2,
         });
+        let (objective_tag, objective_cap) = match self.solver.objective {
+            Objective::Makespan => (0, 0),
+            Objective::Energy => (1, 0),
+            Objective::Edp => (2, 0),
+            Objective::MakespanUnderEnergyCap(cap) => (3, cap.to_bits()),
+        };
+        eat(objective_tag);
+        eat(objective_cap);
+        eat(self.energy_cap_joules.map_or(0, f64::to_bits));
         h
+    }
+
+    /// Sweeps the full energy/makespan Pareto front of this point: a
+    /// normal [`Hilp::evaluate`] fixes the final discretization, then
+    /// [`solve_pareto`] runs a descending energy-budget ladder on that
+    /// instance and the step-unit front is converted to seconds and
+    /// joules. The front is deterministic for any thread count (the
+    /// ladder is sequential and each rung is a deterministic solve), and
+    /// its fastest point coincides with the plain evaluation's schedule
+    /// quality. A joule budget set via [`Hilp::with_energy_cap_joules`]
+    /// truncates the front's energy-hungry end.
+    ///
+    /// # Errors
+    ///
+    /// Propagates encoding errors and scheduling failures, exactly like
+    /// [`Hilp::evaluate`].
+    pub fn evaluate_pareto(&self) -> Result<ParetoEvaluation, HilpError> {
+        let evaluation = self.evaluate()?;
+        let tick = evaluation.time_step_seconds;
+        let front = solve_pareto(&evaluation.instance, &self.level_solver(tick))?;
+        Ok(ParetoEvaluation {
+            points: front
+                .points
+                .into_iter()
+                .map(|p| ParetoEvalPoint {
+                    makespan_seconds: f64::from(p.makespan) * tick,
+                    energy_joules: p.energy * tick,
+                    makespan_steps: p.makespan,
+                    energy_watt_steps: p.energy,
+                    proved_optimal: p.proved_optimal,
+                    schedule: p.schedule,
+                })
+                .collect(),
+            time_step_seconds: tick,
+            complete: front.complete,
+            truncated: front.truncated,
+            evaluation,
+        })
     }
 
     /// The [`EvaluatePolicy::Exact`] path: replay the grid cascade as a
@@ -789,10 +883,11 @@ impl Hilp {
         };
         // The interval backend is what makes fine-resolution solves
         // affordable; any other configured representation would pay a
-        // horizon-proportional cost here.
-        let solver = SolverConfig {
+        // horizon-proportional cost here. The joule budget, if any, is
+        // re-derived per tick below.
+        let exact_solver = |tick: f64| SolverConfig {
             timetable: TimetableKind::Interval,
-            ..self.solver.clone()
+            ..self.level_solver(tick)
         };
 
         // Pilot cascade: the grid trajectory up to (never including) the
@@ -815,7 +910,7 @@ impl Hilp {
                 let incumbent = observer.warm_incumbent(level, &pilot_instance);
                 let (outcome, telemetry) = solve_with_hints(
                     &pilot_instance,
-                    &solver,
+                    &exact_solver(time_step),
                     &SolveHints {
                         warm_priority: warm_order.as_deref(),
                         external_lower_bound: external,
@@ -901,7 +996,7 @@ impl Hilp {
         };
         let (outcome, telemetry) = solve_with_hints(
             &instance,
-            &solver,
+            &exact_solver(exact_step),
             &SolveHints {
                 warm_priority: warm_order.as_deref(),
                 external_lower_bound: external,
@@ -937,6 +1032,7 @@ impl Hilp {
             makespan_seconds,
             makespan_steps: outcome.makespan,
             time_step_seconds: time_step,
+            energy_joules: outcome.energy * time_step,
             speedup,
             avg_wlp,
             lower_bound_seconds: f64::from(outcome.lower_bound) * time_step,
@@ -949,6 +1045,61 @@ impl Hilp {
             schedule: outcome.schedule,
             instance,
             maps,
+        })
+    }
+}
+
+/// One point of a [`ParetoEvaluation`]: a makespan/energy trade-off in
+/// both physical and solver units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEvalPoint {
+    /// Workload execution time in seconds.
+    pub makespan_seconds: f64,
+    /// Total energy in joules.
+    pub energy_joules: f64,
+    /// Makespan in time steps at the evaluation's final resolution.
+    pub makespan_steps: u32,
+    /// Total energy in the solver's watt-step unit.
+    pub energy_watt_steps: f64,
+    /// Whether this point's makespan is proven optimal under its budget.
+    pub proved_optimal: bool,
+    /// The schedule realizing the trade-off (on the evaluation instance).
+    pub schedule: Schedule,
+}
+
+impl ParetoEvalPoint {
+    /// Energy-delay product in joule-seconds.
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy_joules * self.makespan_seconds
+    }
+}
+
+/// The energy/makespan Pareto front of one design point, produced by
+/// [`Hilp::evaluate_pareto`]: non-dominated points sorted by increasing
+/// makespan, plus the plain evaluation that fixed the discretization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoEvaluation {
+    /// Non-dominated trade-off points, makespan ascending.
+    pub points: Vec<ParetoEvalPoint>,
+    /// The time step all points were solved at, in seconds.
+    pub time_step_seconds: f64,
+    /// Whether every ladder rung was solved to proven optimality.
+    pub complete: bool,
+    /// Which budget constraint cut the ladder short, if any.
+    pub truncated: Option<BudgetKind>,
+    /// The plain evaluation whose final discretization the front reuses.
+    pub evaluation: Evaluation,
+}
+
+impl ParetoEvaluation {
+    /// The front's minimum-EDP point (ties toward the smaller makespan).
+    #[must_use]
+    pub fn min_edp(&self) -> Option<&ParetoEvalPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.edp()
+                .total_cmp(&b.edp())
+                .then(a.makespan_steps.cmp(&b.makespan_steps))
         })
     }
 }
@@ -1304,6 +1455,70 @@ mod tests {
         assert_eq!(a.schedule, b.schedule);
         assert_eq!(a.truncated, b.truncated);
         assert_eq!(a.refinements, b.refinements);
+    }
+
+    #[test]
+    fn energy_is_reported_and_positive() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let eval = Hilp::new(w, SocSpec::new(2).with_gpu(16))
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::fixed(5.0))
+            .evaluate()
+            .unwrap();
+        assert!(eval.energy_joules > 0.0, "a real workload consumes energy");
+        let step_energy: f64 = eval.schedule.total_energy(&eval.instance);
+        assert!((eval.energy_joules - step_energy * eval.time_step_seconds).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_front_is_nonempty_and_monotone() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let front = Hilp::new(w, SocSpec::new(2).with_gpu(16))
+            .with_solver(fast_solver())
+            .with_policy(TimeStepPolicy::fixed(5.0))
+            .evaluate_pareto()
+            .unwrap();
+        assert!(!front.points.is_empty());
+        // Non-dominated and sorted: makespan strictly increases while
+        // energy strictly decreases.
+        for pair in front.points.windows(2) {
+            assert!(pair[0].makespan_steps < pair[1].makespan_steps);
+            assert!(pair[0].energy_watt_steps > pair[1].energy_watt_steps);
+        }
+        // The fastest point matches the plain evaluation's makespan.
+        assert_eq!(
+            front.points[0].makespan_steps,
+            front.evaluation.makespan_steps
+        );
+        assert!(front.min_edp().is_some());
+        for p in &front.points {
+            assert!(p.schedule.verify(&front.evaluation.instance).is_empty());
+        }
+    }
+
+    #[test]
+    fn joule_cap_trades_speed_for_energy() {
+        let w = Workload::rodinia(WorkloadVariant::Default);
+        let build = || {
+            Hilp::new(w.clone(), SocSpec::new(2).with_gpu(16))
+                .with_solver(fast_solver())
+                .with_policy(TimeStepPolicy::fixed(5.0))
+        };
+        let front = build().evaluate_pareto().unwrap();
+        let plain = front.evaluation.clone();
+        // Cap halfway between the energy floor (the front's frugal end)
+        // and the unconstrained energy: the capped solve must spend less
+        // energy, at an equal-or-worse makespan.
+        let floor = front.points.last().unwrap().energy_joules;
+        assert!(
+            floor < plain.energy_joules,
+            "this point must have an energy spread to trade against"
+        );
+        let cap = 0.5 * (floor + plain.energy_joules);
+        let capped = build().with_energy_cap_joules(cap).evaluate().unwrap();
+        assert!(capped.energy_joules <= cap + 1e-6);
+        assert!(capped.makespan_seconds >= plain.makespan_seconds - 1e-9);
+        assert!(capped.schedule.verify(&capped.instance).is_empty());
     }
 
     #[test]

@@ -62,13 +62,14 @@ mod wlp;
 pub use encode::{encode, EncodeMaps};
 pub use error::HilpError;
 pub use evaluate::{
-    EvaluatePolicy, Evaluation, Hilp, LevelReport, RecordedEvaluation, RecordedLevel,
-    RefinementObserver, TimeStepPolicy, WhatIfPath,
+    EvaluatePolicy, Evaluation, Hilp, LevelReport, ParetoEvalPoint, ParetoEvaluation,
+    RecordedEvaluation, RecordedLevel, RefinementObserver, TimeStepPolicy, WhatIfPath,
 };
 pub use wlp::average_wlp;
 
 pub use hilp_sched::{
-    Budget, BudgetKind, CancelToken, Schedule, SolveTelemetry, SolverConfig, TimetableKind,
+    Budget, BudgetKind, CancelToken, Objective, Schedule, SolveTelemetry, SolverConfig,
+    TimetableKind,
 };
 pub use hilp_soc::{Constraints, DsaSpec, SocSpec};
 pub use hilp_workloads::{Workload, WorkloadVariant};

@@ -47,7 +47,7 @@ use std::sync::{Arc, Barrier, Mutex};
 use crate::bounds::tails;
 use crate::instance::{EdgeKind, Instance, ModeId, TaskId};
 use crate::schedule::Schedule;
-use crate::sgs::{Timetable, TimetableKind};
+use crate::sgs::{EnergyFilter, Timetable, TimetableKind};
 use hilp_budget::{Budget, BudgetKind};
 use hilp_parallel::WorkQueue;
 use hilp_telemetry::{Counter, IncumbentSource, PruneReason, Telemetry};
@@ -107,6 +107,10 @@ enum ItemOutcome {
 struct Scratch<'a> {
     instance: &'a Instance,
     tails: &'a [u32],
+    /// Optional whole-schedule energy budget: mode choices are filtered by
+    /// the reservation test, so the enumerated tree contains exactly the
+    /// budget-feasible mode assignments.
+    energy: Option<&'a EnergyFilter>,
     timetable: Timetable<'a>,
     starts: Vec<u32>,
     modes: Vec<ModeId>,
@@ -119,11 +123,17 @@ struct Scratch<'a> {
 }
 
 impl<'a> Scratch<'a> {
-    fn new(instance: &'a Instance, tails: &'a [u32], timetable: TimetableKind) -> Self {
+    fn new(
+        instance: &'a Instance,
+        tails: &'a [u32],
+        energy: Option<&'a EnergyFilter>,
+        timetable: TimetableKind,
+    ) -> Self {
         let n = instance.num_tasks();
         Scratch {
             instance,
             tails,
+            energy,
             timetable: Timetable::with_kind(instance, timetable),
             starts: vec![0; n],
             modes: vec![ModeId(0); n],
@@ -135,6 +145,25 @@ impl<'a> Scratch<'a> {
             lb_start: vec![0; n],
             lb_finish: vec![0; n],
         }
+    }
+
+    /// `(spent, reserved)` energy of the current partial schedule:
+    /// recomputed from the scheduled set in task-index order rather than
+    /// maintained incrementally, so the floating-point value is a pure
+    /// function of the set (replay/rewind cycles on different workers
+    /// would otherwise accumulate different rounding histories and make
+    /// admissibility worker-dependent).
+    fn energy_state(&self, filter: &EnergyFilter) -> (f64, f64) {
+        let mut spent = 0.0f64;
+        let mut reserved = 0.0f64;
+        for t in 0..self.instance.num_tasks() {
+            if self.finish[t].is_some() {
+                spent += self.instance.task(TaskId(t)).modes[self.modes[t].0].energy();
+            } else {
+                reserved += filter.min_energy(t);
+            }
+        }
+        (spent, reserved)
     }
 
     /// Earliest precedence-feasible start for a ready task.
@@ -274,6 +303,7 @@ impl<'a> Scratch<'a> {
                 ));
             }
         }
+        let energy_state = self.energy.map(|f| self.energy_state(f));
         for t in 0..n {
             if self.finish[t].is_some() || self.remaining_preds[t] != 0 {
                 continue;
@@ -283,6 +313,14 @@ impl<'a> Scratch<'a> {
             let num_modes = self.instance.task(task).modes.len();
             for m in 0..num_modes {
                 let mode = self.instance.task(task).modes[m].clone();
+                if let (Some(f), Some((spent, reserved))) = (self.energy, energy_state) {
+                    // Reservation test: even with every other unscheduled
+                    // task at its cheapest, this mode must fit the budget.
+                    if !f.admissible(spent, reserved, t, mode.energy()) {
+                        infeasible += 1;
+                        continue;
+                    }
+                }
                 let Some(start) = self.timetable.earliest_start(&mode, est) else {
                     infeasible += 1;
                     continue;
@@ -599,8 +637,10 @@ fn run_rounds(
 ///
 /// `initial_incumbent` seeds pruning (typically the heuristic solution);
 /// `initial_bound` is a pre-computed lower bound used to stop early when an
-/// incumbent matches it. `threads` sets the worker count (clamped to at
-/// least one); the result is bit-identical for every value.
+/// incumbent matches it. `energy_cap` restricts the enumeration to mode
+/// assignments within a whole-schedule energy budget (`None` reproduces the
+/// unconstrained search bit for bit). `threads` sets the worker count
+/// (clamped to at least one); the result is bit-identical for every value.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn branch_and_bound(
     instance: &Instance,
@@ -610,8 +650,11 @@ pub(crate) fn branch_and_bound(
     budget: &Budget,
     timetable: TimetableKind,
     threads: usize,
+    energy_cap: Option<f64>,
     tel: &Telemetry,
 ) -> BnbResult {
+    let filter = energy_cap.map(|cap| EnergyFilter::new(instance, cap));
+    let energy = filter.as_ref();
     let incumbent = initial_incumbent.map(|s| (s.makespan(instance), s));
     // Stop immediately when the incumbent already matches the lower bound.
     if let Some((makespan, schedule)) = &incumbent {
@@ -627,7 +670,7 @@ pub(crate) fn branch_and_bound(
     }
 
     let tails = tails(instance);
-    let mut root_scratch = Scratch::new(instance, &tails, timetable);
+    let mut root_scratch = Scratch::new(instance, &tails, energy, timetable);
     let root_bound = root_scratch.node_bound();
     let threads = threads.max(1);
     if threads == 1 {
@@ -651,7 +694,7 @@ pub(crate) fn branch_and_bound(
             let pool = &pool;
             let tails = &tails;
             scope.spawn(move |_| {
-                let mut scratch = Scratch::new(instance, tails, timetable);
+                let mut scratch = Scratch::new(instance, tails, energy, timetable);
                 loop {
                     pool.barrier.wait();
                     if pool.done.load(Ordering::Acquire) {
@@ -727,6 +770,7 @@ mod tests {
             &Budget::unlimited(),
             TimetableKind::Event,
             threads,
+            None,
             &Telemetry::disabled(),
         )
     }
@@ -749,6 +793,7 @@ mod tests {
                 &Budget::unlimited(),
                 kind,
                 1,
+                None,
                 &Telemetry::disabled(),
             );
             assert!(result.complete, "{kind:?} search incomplete");
@@ -791,6 +836,7 @@ mod tests {
                     &Budget::nodes(budget_nodes),
                     TimetableKind::Event,
                     threads,
+                    None,
                     &Telemetry::disabled(),
                 )
             };
@@ -845,6 +891,7 @@ mod tests {
                 &Budget::unlimited(),
                 TimetableKind::Event,
                 threads,
+                None,
                 &Telemetry::disabled(),
             );
             assert!(result.complete);
@@ -868,6 +915,7 @@ mod tests {
                 warm_priority: None,
                 target_bound: None,
                 budget: Budget::unlimited(),
+                energy_cap: None,
             },
         )
         .unwrap();
@@ -879,6 +927,7 @@ mod tests {
             &Budget::unlimited(),
             TimetableKind::Event,
             1,
+            None,
             &Telemetry::disabled(),
         );
         let unseeded = solve(&inst, 1);
@@ -904,6 +953,7 @@ mod tests {
                 warm_priority: None,
                 target_bound: None,
                 budget: Budget::unlimited(),
+                energy_cap: None,
             },
         )
         .unwrap();
@@ -917,6 +967,7 @@ mod tests {
             &Budget::unlimited(),
             TimetableKind::Event,
             1,
+            None,
             &Telemetry::disabled(),
         );
         assert!(result.complete);
@@ -935,6 +986,7 @@ mod tests {
             &Budget::unlimited(),
             TimetableKind::Event,
             1,
+            None,
             &Telemetry::disabled(),
         );
         assert!(!result.complete);
@@ -957,6 +1009,7 @@ mod tests {
             budget,
             TimetableKind::Event,
             1,
+            None,
             &Telemetry::disabled(),
         )
     }
@@ -1025,6 +1078,7 @@ mod tests {
                 &budget,
                 TimetableKind::Event,
                 threads,
+                None,
                 &Telemetry::disabled(),
             );
             canceller.join().unwrap();
@@ -1087,6 +1141,7 @@ mod tests {
                 &Budget::unlimited(),
                 TimetableKind::Event,
                 threads,
+                None,
                 &Telemetry::disabled(),
             );
             assert!(result.complete);
@@ -1111,6 +1166,7 @@ mod tests {
             &Budget::unlimited(),
             TimetableKind::Event,
             1,
+            None,
             &Telemetry::disabled(),
         );
         assert!(result.complete);

@@ -21,8 +21,15 @@ use crate::instance::{EdgeKind, Instance, ResourceId, TaskId};
 /// longest chain using each task's fastest mode bounds the makespan.
 #[must_use]
 pub(crate) fn critical_path_bound(instance: &Instance) -> u32 {
-    let heads = heads(instance);
-    tails(instance)
+    critical_path_with(instance, &min_durations(instance))
+}
+
+/// Critical-path bound over an explicit per-task min-duration vector (e.g.
+/// durations filtered by an energy budget).
+#[must_use]
+pub(crate) fn critical_path_with(instance: &Instance, min: &[u32]) -> u32 {
+    let heads = heads_with(instance, min);
+    tails_with(instance, min)
         .iter()
         .enumerate()
         .map(|(t, &tail)| heads[t] + tail)
@@ -30,15 +37,29 @@ pub(crate) fn critical_path_bound(instance: &Instance) -> u32 {
         .unwrap_or(0)
 }
 
+/// Each task's shortest mode duration, indexed by task.
+#[must_use]
+pub(crate) fn min_durations(instance: &Instance) -> Vec<u32> {
+    (0..instance.num_tasks())
+        .map(|t| instance.min_duration(TaskId(t)))
+        .collect()
+}
+
 /// For every task: a lower bound on the time from the task's *start* to
 /// workload completion, following min-duration chains and edge lags.
 /// `tails[t] >= min_duration(t)`.
 #[must_use]
 pub(crate) fn tails(instance: &Instance) -> Vec<u32> {
+    tails_with(instance, &min_durations(instance))
+}
+
+/// [`tails`] over an explicit per-task min-duration vector.
+#[must_use]
+pub(crate) fn tails_with(instance: &Instance, min: &[u32]) -> Vec<u32> {
     let n = instance.num_tasks();
     let mut tails = vec![0u32; n];
     for &task in instance.topological_order().iter().rev() {
-        let own = instance.min_duration(task);
+        let own = min[task.0];
         let mut tail = own;
         for e in instance.outgoing(task) {
             let via = match e.kind {
@@ -54,17 +75,22 @@ pub(crate) fn tails(instance: &Instance) -> Vec<u32> {
 
 /// For every task: a lower bound on its earliest possible start, following
 /// min-duration chains and edge lags from the sources.
+#[cfg(test)]
 #[must_use]
 pub(crate) fn heads(instance: &Instance) -> Vec<u32> {
+    heads_with(instance, &min_durations(instance))
+}
+
+/// [`heads`] over an explicit per-task min-duration vector.
+#[must_use]
+pub(crate) fn heads_with(instance: &Instance, min: &[u32]) -> Vec<u32> {
     let n = instance.num_tasks();
     let mut heads = vec![0u32; n];
     for &task in instance.topological_order() {
         let mut head = 0;
         for e in instance.incoming(task) {
             let via = match e.kind {
-                EdgeKind::FinishToStart => {
-                    heads[e.before.0] + instance.min_duration(e.before) + e.lag
-                }
+                EdgeKind::FinishToStart => heads[e.before.0] + min[e.before.0] + e.lag,
                 EdgeKind::StartToStart => heads[e.before.0] + e.lag,
             };
             head = head.max(via);
@@ -78,13 +104,18 @@ pub(crate) fn heads(instance: &Instance) -> Vec<u32> {
 /// must serialize there.
 #[must_use]
 pub(crate) fn machine_load_bound(instance: &Instance) -> u32 {
+    machine_load_with(instance, &min_durations(instance))
+}
+
+/// [`machine_load_bound`] over an explicit per-task min-duration vector.
+#[must_use]
+pub(crate) fn machine_load_with(instance: &Instance, min: &[u32]) -> u32 {
     let mut load = vec![0u64; instance.num_machines()];
-    for t in 0..instance.num_tasks() {
-        let task = TaskId(t);
-        let modes = &instance.task(task).modes;
+    for (t, &min_duration) in min.iter().enumerate().take(instance.num_tasks()) {
+        let modes = &instance.task(TaskId(t)).modes;
         let first_machine = modes[0].machine;
         if modes.iter().all(|m| m.machine == first_machine) {
-            load[first_machine.0] += u64::from(instance.min_duration(task));
+            load[first_machine.0] += u64::from(min_duration);
         }
     }
     load.into_iter()
@@ -218,6 +249,60 @@ pub fn lower_bound(instance: &Instance) -> u32 {
     bound
 }
 
+/// Per-task minimum durations over the modes that remain *globally usable*
+/// under a whole-schedule energy budget: mode `m` of task `t` is unusable
+/// iff `energy(m) + Σ_{u≠t} min_energy(u) > cap` — even the cheapest
+/// completion around it would blow the budget.
+///
+/// Returns `None` when the budget is below the sum of minimum energies
+/// (no mode assignment is feasible at all).
+#[must_use]
+pub(crate) fn energy_capped_min_durations(instance: &Instance, cap: f64) -> Option<Vec<u32>> {
+    let min_e = instance.per_task_min_energy();
+    let total: f64 = min_e.iter().sum();
+    if total > cap + 1e-9 {
+        return None;
+    }
+    let durs = (0..instance.num_tasks())
+        .map(|t| {
+            // Energy head-room for task t with every other task at its
+            // cheapest: at least min_e[t], so the min-energy mode always
+            // remains usable.
+            let slack = cap - (total - min_e[t]);
+            instance
+                .task(TaskId(t))
+                .modes
+                .iter()
+                .filter(|m| m.energy() <= slack + 1e-9)
+                .map(|m| m.duration)
+                .min()
+                .expect("the minimum-energy mode is always usable")
+        })
+        .collect();
+    Some(durs)
+}
+
+/// The strongest lower bound on the optimal makespan under an optional
+/// whole-schedule energy budget: [`lower_bound`] strengthened by re-running
+/// the critical-path and machine-load bounds over energy-filtered minimum
+/// durations. Falls back to [`lower_bound`] when the budget is absent or
+/// infeasible (the caller reports infeasibility separately).
+#[must_use]
+pub fn lower_bound_with_energy_cap(instance: &Instance, cap: Option<f64>) -> u32 {
+    let base = lower_bound(instance);
+    let Some(cap) = cap else {
+        return base;
+    };
+    if !cap.is_finite() {
+        return base;
+    }
+    let Some(durs) = energy_capped_min_durations(instance, cap) else {
+        return base;
+    };
+    base.max(critical_path_with(instance, &durs))
+        .max(machine_load_with(instance, &durs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -320,5 +405,34 @@ mod tests {
         let b = InstanceBuilder::new();
         let inst = b.build().unwrap();
         assert_eq!(lower_bound(&inst), 0);
+    }
+
+    #[test]
+    fn energy_cap_filters_hungry_fast_modes() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        // Task a: fast GPU mode costs 40, slow CPU mode costs 8.
+        // Task b: only mode costs 6.
+        b.add_task(
+            "a",
+            vec![Mode::on(cpu, 8).power(1.0), Mode::on(gpu, 2).power(20.0)],
+        );
+        b.add_task("b", vec![Mode::on(gpu, 3).power(2.0)]);
+        let inst = b.build().unwrap();
+        // Unconstrained: a can use the 2-step GPU mode, so only b's pinned
+        // 3-step load binds.
+        assert_eq!(lower_bound_with_energy_cap(&inst, None), 3);
+        // Cap 20: the GPU mode for a needs 40 + 6 > 20, so a's min duration
+        // becomes 8 and the machine-pinned b adds nothing beyond it.
+        let capped = energy_capped_min_durations(&inst, 20.0).unwrap();
+        assert_eq!(capped, vec![8, 3]);
+        assert_eq!(lower_bound_with_energy_cap(&inst, Some(20.0)), 8);
+        // Below the minimum total (8 + 6 = 14): infeasible.
+        assert!(energy_capped_min_durations(&inst, 13.0).is_none());
+        assert_eq!(
+            lower_bound_with_energy_cap(&inst, Some(13.0)),
+            lower_bound(&inst)
+        );
     }
 }

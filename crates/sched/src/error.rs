@@ -53,6 +53,14 @@ pub enum SchedError {
         /// The horizon that proved too small.
         horizon: u32,
     },
+    /// The energy budget is below the sum of the tasks' minimum mode
+    /// energies, so no mode assignment can satisfy it.
+    EnergyCapInfeasible {
+        /// The infeasible budget (W x steps).
+        cap: f64,
+        /// The minimum achievable total energy (W x steps).
+        min_energy: f64,
+    },
 }
 
 impl fmt::Display for SchedError {
@@ -81,6 +89,12 @@ impl fmt::Display for SchedError {
             }
             SchedError::HorizonExhausted { horizon } => {
                 write!(f, "no feasible schedule within horizon of {horizon} steps")
+            }
+            SchedError::EnergyCapInfeasible { cap, min_energy } => {
+                write!(
+                    f,
+                    "energy cap {cap} is below the minimum achievable total energy {min_energy}"
+                )
             }
         }
     }

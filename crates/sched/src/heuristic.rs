@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use crate::bounds::tails;
 use crate::instance::{Instance, ModeId};
 use crate::schedule::Schedule;
-use crate::sgs::{serial_sgs_into, ModeRule, SgsScratch, Timetable, TimetableKind};
+use crate::sgs::{serial_sgs_into, EnergyFilter, ModeRule, SgsScratch, Timetable, TimetableKind};
 
 /// Tuning inputs for [`multi_start`].
 #[derive(Clone)]
@@ -53,6 +53,12 @@ pub(crate) struct HeuristicParams<'w> {
     /// [`Budget::check_interrupt`]. The base deterministic pass is always
     /// free: even an already-expired budget yields an incumbent.
     pub budget: Budget,
+    /// Optional whole-schedule energy budget (W x steps). Every SGS pass
+    /// filters mode choices through the reservation test of
+    /// [`EnergyFilter`], so all candidates (and hence the returned
+    /// incumbent) respect the budget. `None` reproduces the unconstrained
+    /// search bit for bit.
+    pub energy_cap: Option<f64>,
 }
 
 /// Work counters from one [`multi_start`] run, used by callers to attribute
@@ -246,6 +252,10 @@ pub(crate) fn multi_start_with_telemetry(
             }
         }
     };
+    let filter = params
+        .energy_cap
+        .map(|cap| EnergyFilter::new(instance, cap));
+    let energy = filter.as_ref();
     let base: Vec<f64> = tails(instance).iter().map(|&t| f64::from(t)).collect();
     let starts = params.starts.max(1);
     let warm = params.warm_priority.filter(|w| w.len() == n);
@@ -283,6 +293,7 @@ pub(crate) fn multi_start_with_telemetry(
                 instance,
                 &priority,
                 &ModeRule::GreedyFinish,
+                energy,
                 timetable,
                 scratch,
             )
@@ -329,6 +340,7 @@ pub(crate) fn multi_start_with_telemetry(
                         instance,
                         &order_priority,
                         &ModeRule::Forced(&forced),
+                        energy,
                         timetable,
                         scratch,
                     )
@@ -391,6 +403,7 @@ pub(crate) fn multi_start_with_telemetry(
                     instance,
                     &order_priority,
                     &ModeRule::Forced(&forced),
+                    energy,
                     timetable,
                     scratch,
                 )
@@ -428,6 +441,7 @@ mod tests {
             warm_priority: None,
             target_bound: None,
             budget: Budget::unlimited(),
+            energy_cap: None,
         }
     }
 

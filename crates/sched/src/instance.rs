@@ -156,6 +156,7 @@ pub struct Instance {
     pub(crate) power_cap: Option<f64>,
     pub(crate) bandwidth_cap: Option<f64>,
     pub(crate) core_cap: Option<u32>,
+    pub(crate) energy_cap: Option<f64>,
     pub(crate) resources: Vec<(String, f64)>,
     pub(crate) horizon: u32,
     /// A topological order of the tasks, fixed at build time.
@@ -250,6 +251,14 @@ impl Instance {
         self.core_cap
     }
 
+    /// The total-energy budget (W x steps), if any. Unlike the per-step
+    /// power cap, this bounds the *sum* of mode energies over the whole
+    /// schedule; it constrains mode selection, never timing.
+    #[must_use]
+    pub fn energy_cap(&self) -> Option<f64> {
+        self.energy_cap
+    }
+
     /// User-defined cumulative resources as `(label, capacity)` pairs,
     /// indexed by [`ResourceId`].
     #[must_use]
@@ -285,7 +294,9 @@ impl Instance {
     }
 
     /// Returns whether `mode`'s resource footprint fits within the caps on
-    /// an otherwise idle SoC.
+    /// an otherwise idle SoC (including the whole-schedule energy cap: a
+    /// mode whose own energy exceeds it can never appear in any feasible
+    /// schedule).
     #[must_use]
     pub fn mode_fits_caps(&self, mode: &Mode) -> bool {
         self.power_cap.is_none_or(|cap| mode.power <= cap + 1e-9)
@@ -293,6 +304,9 @@ impl Instance {
                 .bandwidth_cap
                 .is_none_or(|cap| mode.bandwidth <= cap + 1e-9)
             && self.core_cap.is_none_or(|cap| mode.cores <= cap)
+            && self
+                .energy_cap
+                .is_none_or(|cap| mode.energy() <= cap + 1e-9)
             && self
                 .resources
                 .iter()
@@ -390,6 +404,7 @@ impl Instance {
         }
         h.opt_float(self.power_cap);
         h.opt_float(self.bandwidth_cap);
+        h.opt_float(self.energy_cap);
         match self.core_cap {
             None => h.word(0),
             Some(c) => {
@@ -403,6 +418,63 @@ impl Instance {
         }
         h.word(u64::from(self.horizon));
         h.0
+    }
+
+    /// Restricts every task to its minimum-energy modes, returning the
+    /// restricted instance together with, per task, the original [`ModeId`]
+    /// of each surviving mode (so schedules of the restricted instance can
+    /// be mapped back).
+    ///
+    /// Ties are kept: any mode whose energy equals the task's minimum
+    /// (exact `f64` comparison, matching [`Instance::fingerprint`]'s
+    /// bit-exact philosophy) survives, so a makespan solve over the
+    /// restricted instance yields the lexicographic (energy, makespan)
+    /// optimum of the original.
+    #[must_use]
+    pub fn restrict_to_min_energy_modes(&self) -> (Instance, Vec<Vec<ModeId>>) {
+        let mut restricted = self.clone();
+        let mut maps = Vec::with_capacity(self.tasks.len());
+        for task in &mut restricted.tasks {
+            let min = task
+                .modes
+                .iter()
+                .map(Mode::energy)
+                .fold(f64::INFINITY, f64::min);
+            let mut kept = Vec::new();
+            let mut map = Vec::new();
+            for (i, mode) in task.modes.iter().enumerate() {
+                if mode.energy() <= min {
+                    kept.push(mode.clone());
+                    map.push(ModeId(i));
+                }
+            }
+            task.modes = kept;
+            maps.push(map);
+        }
+        (restricted, maps)
+    }
+
+    /// Per-task minimum mode energy (W x steps).
+    #[must_use]
+    pub fn per_task_min_energy(&self) -> Vec<f64> {
+        self.tasks
+            .iter()
+            .map(|t| {
+                t.modes
+                    .iter()
+                    .map(Mode::energy)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect()
+    }
+
+    /// Sum over tasks of the minimum mode energy: a lower bound on the
+    /// total energy of any schedule (energy is a pure function of the mode
+    /// vector, so the bound is tight whenever the all-min-energy mode
+    /// vector is schedulable).
+    #[must_use]
+    pub fn min_total_energy(&self) -> f64 {
+        self.per_task_min_energy().iter().sum()
     }
 }
 
@@ -438,6 +510,7 @@ pub struct InstanceBuilder {
     power_cap: Option<f64>,
     bandwidth_cap: Option<f64>,
     core_cap: Option<u32>,
+    energy_cap: Option<f64>,
     resources: Vec<(String, f64)>,
     horizon: Option<u32>,
 }
@@ -499,6 +572,13 @@ impl InstanceBuilder {
     /// Sets the CPU-core budget `u_max` (Equation 8).
     pub fn set_core_cap(&mut self, cores: u32) {
         self.core_cap = Some(cores);
+    }
+
+    /// Sets a whole-schedule energy budget (W x steps): the sum of the
+    /// selected modes' energies must stay at or below it. Unlike the power
+    /// cap this is cumulative over the schedule, not per time step.
+    pub fn set_energy_cap(&mut self, energy: f64) {
+        self.energy_cap = Some(energy);
     }
 
     /// Declares a user-defined cumulative resource with a per-time-step
@@ -633,12 +713,14 @@ impl InstanceBuilder {
         // only (a mode dominated on every axis by another mode on the same
         // machine can never appear in an optimal schedule).
         let caps = (self.power_cap, self.bandwidth_cap, self.core_cap);
+        let energy_cap = self.energy_cap;
         let resources = &self.resources;
         for task in &mut tasks {
             let fits = |m: &Mode| {
                 caps.0.is_none_or(|c| m.power <= c + 1e-9)
                     && caps.1.is_none_or(|c| m.bandwidth <= c + 1e-9)
                     && caps.2.is_none_or(|c| m.cores <= c)
+                    && energy_cap.is_none_or(|c| m.energy() <= c + 1e-9)
                     && resources
                         .iter()
                         .enumerate()
@@ -689,6 +771,7 @@ impl InstanceBuilder {
             power_cap: self.power_cap,
             bandwidth_cap: self.bandwidth_cap,
             core_cap: self.core_cap,
+            energy_cap: self.energy_cap,
             resources: self.resources,
             horizon,
             topo,
@@ -924,6 +1007,75 @@ mod tests {
         // mode (the solver sees the cap directly).
         let capped = fingerprint_fixture("x", 4, 20.0);
         assert_ne!(base.fingerprint(), capped.fingerprint());
+    }
+
+    #[test]
+    fn energy_cap_drops_unaffordable_modes() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        // Energies: 10 (cpu) and 60 (gpu); cap 20 drops the GPU mode.
+        let t = b.add_task(
+            "a",
+            vec![Mode::on(cpu, 5).power(2.0), Mode::on(gpu, 2).power(30.0)],
+        );
+        b.set_energy_cap(20.0);
+        let inst = b.build().unwrap();
+        assert_eq!(inst.energy_cap(), Some(20.0));
+        assert_eq!(inst.task(t).modes.len(), 1);
+        assert_eq!(inst.task(t).modes[0].machine, cpu);
+    }
+
+    #[test]
+    fn energy_cap_below_every_mode_is_an_error() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        b.add_task("a", vec![Mode::on(cpu, 5).power(2.0)]);
+        b.set_energy_cap(5.0);
+        assert!(matches!(b.build(), Err(SchedError::NoFeasibleMode { .. })));
+    }
+
+    #[test]
+    fn fingerprint_sees_the_energy_cap() {
+        let build = |cap: Option<f64>| {
+            let mut b = InstanceBuilder::new();
+            let m = b.add_machine("m");
+            b.add_task("a", vec![Mode::on(m, 2).power(3.0)]);
+            if let Some(c) = cap {
+                b.set_energy_cap(c);
+            }
+            b.set_horizon(20);
+            b.build().unwrap()
+        };
+        assert_ne!(build(None).fingerprint(), build(Some(50.0)).fingerprint());
+        assert_ne!(
+            build(Some(50.0)).fingerprint(),
+            build(Some(40.0)).fingerprint()
+        );
+    }
+
+    #[test]
+    fn min_energy_restriction_keeps_ties_and_maps_back() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        let dsa = b.add_machine("dsa");
+        // Energies: 12, 6, 6 — the two 6s tie for the minimum.
+        let t = b.add_task(
+            "a",
+            vec![
+                Mode::on(cpu, 4).power(3.0),
+                Mode::on(gpu, 2).power(3.0),
+                Mode::on(dsa, 6).power(1.0),
+            ],
+        );
+        let inst = b.build().unwrap();
+        let (restricted, maps) = inst.restrict_to_min_energy_modes();
+        assert_eq!(restricted.task(t).modes.len(), 2);
+        assert_eq!(maps[t.0], vec![ModeId(1), ModeId(2)]);
+        assert_eq!(restricted.task(t).modes[0].machine, gpu);
+        assert!((inst.min_total_energy() - 6.0).abs() < 1e-12);
+        assert_eq!(inst.per_task_min_energy(), vec![6.0]);
     }
 
     #[test]

@@ -64,7 +64,7 @@ mod schedule;
 mod sgs;
 mod solve;
 
-pub use bounds::lower_bound;
+pub use bounds::{lower_bound, lower_bound_with_energy_cap};
 pub use delta::{
     delta_solve, repair_schedule, DeltaAxes, DeltaClass, DeltaOutcome, DeltaPath, InstanceDelta,
     RepairOutcome,
@@ -83,8 +83,9 @@ pub use sgs::TimetableKind;
 #[doc(hidden)]
 pub use sgs::Timetable;
 pub use solve::{
-    solve, solve_exact, solve_heuristic, solve_with_hints, solve_with_warm_start, SolveHints,
-    SolveOutcome, SolveStats, SolveTelemetry, SolverConfig,
+    solve, solve_exact, solve_heuristic, solve_pareto, solve_with_hints, solve_with_warm_start,
+    Objective, ParetoFront, ParetoPoint, SolveHints, SolveOutcome, SolveStats, SolveTelemetry,
+    SolverConfig,
 };
 // Re-exported so callers can configure `SolverConfig::telemetry` without a
 // direct hilp-telemetry dependency.

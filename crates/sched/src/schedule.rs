@@ -57,6 +57,13 @@ pub enum Violation {
         /// The offending task.
         task: TaskId,
     },
+    /// The whole-schedule energy budget is exceeded.
+    EnergyCap {
+        /// Total energy of the schedule (W x steps).
+        total: f64,
+        /// The violated budget.
+        cap: f64,
+    },
     /// A user-defined cumulative resource cap is exceeded in some time
     /// step.
     ResourceCap {
@@ -237,6 +244,13 @@ impl Schedule {
                         total,
                     });
                 }
+            }
+        }
+
+        if let Some(cap) = instance.energy_cap() {
+            let total = self.total_energy(instance);
+            if total > cap + 1e-6 {
+                violations.push(Violation::EnergyCap { total, cap });
             }
         }
 
@@ -436,6 +450,29 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| matches!(v, Violation::CoreCap { total: 4, .. })));
+    }
+
+    #[test]
+    fn energy_cap_violation_is_detected() {
+        let mut b = InstanceBuilder::new();
+        let cpu = b.add_machine("cpu");
+        let gpu = b.add_machine("gpu");
+        // Energies 6 and 6: each mode alone fits the cap of 10, but the
+        // pair totals 12.
+        b.add_task("a", vec![Mode::on(cpu, 3).power(2.0)]);
+        b.add_task("b", vec![Mode::on(gpu, 2).power(3.0)]);
+        b.set_energy_cap(10.0);
+        b.set_horizon(100);
+        let inst = b.build().unwrap();
+        let sched = Schedule {
+            starts: vec![0, 0],
+            modes: vec![ModeId(0), ModeId(0)],
+        };
+        let violations = sched.verify(&inst);
+        assert!(violations.iter().any(|v| matches!(
+            v,
+            Violation::EnergyCap { total, cap } if (*total - 12.0).abs() < 1e-9 && *cap == 10.0
+        )));
     }
 
     #[test]

@@ -588,6 +588,68 @@ impl<'a> Timetable<'a> {
     }
 }
 
+/// Reservation-based admissibility filter for a whole-schedule energy
+/// budget.
+///
+/// While a schedule is being grown, mode `m` is admissible for the
+/// unplaced task `t` iff
+///
+/// ```text
+/// spent + energy(m) + (reserved - min_energy[t]) <= cap (+eps)
+/// ```
+///
+/// where `spent` is the energy of the modes already placed and `reserved`
+/// is the sum of minimum mode energies over the tasks not yet placed. The
+/// filter is *sound* (every complete schedule within the budget passes it
+/// at every prefix, because the actual remaining energy is at least the
+/// reserved minimum) and *complete* (a leaf reached through admissible
+/// steps has total energy within the budget, because `reserved` is zero at
+/// the end). It also keeps greedy construction extendable: placing an
+/// admissible mode preserves `spent + reserved <= cap`, so every task's
+/// minimum-energy mode stays admissible.
+pub(crate) struct EnergyFilter {
+    cap: f64,
+    min_energy: Vec<f64>,
+    reserved_total: f64,
+}
+
+impl EnergyFilter {
+    /// Tolerance for cap comparisons, matching the instance cap checks.
+    pub(crate) const EPS: f64 = 1e-9;
+
+    pub(crate) fn new(instance: &Instance, cap: f64) -> Self {
+        let min_energy = instance.per_task_min_energy();
+        let reserved_total = min_energy.iter().sum();
+        EnergyFilter {
+            cap,
+            min_energy,
+            reserved_total,
+        }
+    }
+
+    /// Whether any mode assignment at all can fit the budget.
+    pub(crate) fn root_feasible(&self) -> bool {
+        self.reserved_total <= self.cap + Self::EPS
+    }
+
+    /// Sum of minimum mode energies over all tasks (the initial reserve).
+    pub(crate) fn initial_reserved(&self) -> f64 {
+        self.reserved_total
+    }
+
+    /// Minimum mode energy of task `t`.
+    pub(crate) fn min_energy(&self, t: usize) -> f64 {
+        self.min_energy[t]
+    }
+
+    /// Whether a mode of energy `mode_energy` is admissible for the
+    /// unplaced task `t` given the energy already `spent` and the current
+    /// `reserved` minimum for unplaced tasks (including `t`).
+    pub(crate) fn admissible(&self, spent: f64, reserved: f64, t: usize, mode_energy: f64) -> bool {
+        spent + mode_energy + (reserved - self.min_energy[t]) <= self.cap + Self::EPS
+    }
+}
+
 /// How the SGS selects a mode for the task being placed.
 pub(crate) enum ModeRule<'f> {
     /// Try every mode and keep the one with the earliest finish, breaking
@@ -640,11 +702,17 @@ pub(crate) fn serial_sgs_into(
     instance: &Instance,
     priority: &[f64],
     mode_rule: &ModeRule<'_>,
+    energy: Option<&EnergyFilter>,
     timetable: &mut Timetable<'_>,
     scratch: &mut SgsScratch,
 ) -> Option<u32> {
     timetable.clear();
     let n = instance.num_tasks();
+    let mut spent = 0.0f64;
+    let mut reserved = energy.map_or(0.0, EnergyFilter::initial_reserved);
+    if energy.is_some_and(|f| !f.root_feasible()) {
+        return None;
+    }
     let SgsScratch {
         starts,
         modes,
@@ -690,18 +758,28 @@ pub(crate) fn serial_sgs_into(
             ModeRule::Forced(forced) if forced[t].is_some() => {
                 let mode_id = forced[t].expect("checked is_some");
                 let mode = instance.mode(task, mode_id);
-                timetable
-                    .earliest_start(mode, est)
-                    .map(|s| (mode_id, s, mode))
+                if energy.is_some_and(|f| !f.admissible(spent, reserved, t, mode.energy())) {
+                    None
+                } else {
+                    timetable
+                        .earliest_start(mode, est)
+                        .map(|s| (mode_id, s, mode))
+                }
             }
             _ => {
                 let mut best: Option<(ModeId, u32, &Mode)> = None;
                 for (i, mode) in instance.task(task).modes.iter().enumerate() {
                     // Skip modes that cannot beat the current best finish.
+                    // (Safe under the energy filter: the incumbent best is
+                    // admissible, so dropping a no-better candidate never
+                    // loses the last admissible mode.)
                     if let Some((_, s, m)) = best {
                         if est + mode.duration >= s + m.duration && mode.energy() >= m.energy() {
                             continue;
                         }
+                    }
+                    if energy.is_some_and(|f| !f.admissible(spent, reserved, t, mode.energy())) {
+                        continue;
                     }
                     if let Some(s) = timetable.earliest_start(mode, est) {
                         let better = match best {
@@ -722,6 +800,10 @@ pub(crate) fn serial_sgs_into(
         };
 
         let (mode_id, start, mode) = chosen?;
+        if let Some(f) = energy {
+            spent += mode.energy();
+            reserved -= f.min_energy(t);
+        }
         timetable.place(mode, start);
         starts[t] = start;
         modes[t] = mode_id;
@@ -747,8 +829,15 @@ pub(crate) fn serial_sgs(
 ) -> Option<Schedule> {
     let mut timetable = Timetable::with_kind(instance, TimetableKind::Event);
     let mut scratch = SgsScratch::new(instance.num_tasks());
-    serial_sgs_into(instance, priority, mode_rule, &mut timetable, &mut scratch)
-        .map(|_| scratch.schedule())
+    serial_sgs_into(
+        instance,
+        priority,
+        mode_rule,
+        None,
+        &mut timetable,
+        &mut scratch,
+    )
+    .map(|_| scratch.schedule())
 }
 
 #[cfg(test)]

@@ -10,6 +10,52 @@ use crate::sgs::TimetableKind;
 use hilp_budget::{Budget, BudgetKind, Partial};
 use hilp_telemetry::{BoundSource, BudgetLayer, Counter, IncumbentSource, Telemetry};
 
+/// What the solver minimizes. The default, [`Objective::Makespan`], is the
+/// paper's original objective and keeps the solver bit-identical to its
+/// pre-energy behaviour; the other variants thread energy accounting
+/// through the same heuristic + branch-and-bound stack.
+///
+/// Energy here is the schedule's total `power x duration` over chosen
+/// modes, in watt-steps; it depends only on the mode assignment, never on
+/// start times, which is what makes the energy-capped search sound (see
+/// `sgs::EnergyFilter`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Objective {
+    /// Minimize the makespan (the classic objective).
+    #[default]
+    Makespan,
+    /// Minimize total energy, breaking ties by makespan. Solved by
+    /// restricting every task to its minimum-energy modes (keeping ties)
+    /// and minimizing makespan over the restriction — lexicographically
+    /// optimal because energy is a pure function of the mode vector.
+    /// May report [`SchedError::HorizonExhausted`] on instances where
+    /// only energy-hungrier modes fit the horizon.
+    Energy,
+    /// Minimize the energy-delay product `energy x makespan` (watt-steps
+    /// x steps) over the energy/makespan Pareto front computed by
+    /// [`solve_pareto`].
+    Edp,
+    /// Minimize makespan subject to a total-energy budget in watt-steps.
+    /// A non-finite cap behaves exactly like [`Objective::Makespan`].
+    MakespanUnderEnergyCap(f64),
+}
+
+/// The energy budget actually in force for a solve: the tighter of the
+/// instance's own cap (set at build time) and the objective's cap. Non-
+/// finite caps are treated as absent so `MakespanUnderEnergyCap(INFINITY)`
+/// is bit-identical to `Makespan`.
+fn effective_energy_cap(instance: &Instance, objective: Objective) -> Option<f64> {
+    let objective_cap = match objective {
+        Objective::MakespanUnderEnergyCap(cap) => Some(cap),
+        _ => None,
+    };
+    match (instance.energy_cap(), objective_cap) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    }
+    .filter(|cap| cap.is_finite())
+}
+
 /// Tuning knobs for [`solve`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SolverConfig {
@@ -66,6 +112,10 @@ pub struct SolverConfig {
     /// is shared across every phase of the solve — and, when the caller
     /// clones one budget across layers, with those other layers too.
     pub budget: Budget,
+    /// What to minimize. [`Objective::Makespan`] (the default) leaves the
+    /// solver bit-identical to its pre-energy behaviour on instances
+    /// without an energy cap.
+    pub objective: Objective,
 }
 
 impl Default for SolverConfig {
@@ -82,6 +132,7 @@ impl Default for SolverConfig {
             bound_termination: true,
             telemetry: Telemetry::disabled(),
             budget: Budget::unlimited(),
+            objective: Objective::Makespan,
         }
     }
 }
@@ -183,6 +234,9 @@ pub struct SolveOutcome {
     pub schedule: Schedule,
     /// Its makespan in time steps.
     pub makespan: u32,
+    /// Its total energy in watt-steps (`power x duration` summed over the
+    /// chosen modes; start times never affect it).
+    pub energy: f64,
     /// Proven lower bound on the optimal makespan.
     pub lower_bound: u32,
     /// Whether the schedule is proven optimal.
@@ -292,9 +346,93 @@ pub fn solve_with_hints(
     config: &SolverConfig,
     hints: &SolveHints<'_>,
 ) -> Result<(SolveOutcome, SolveTelemetry), SchedError> {
+    let cap = effective_energy_cap(instance, config.objective);
+    if let Some(cap) = cap {
+        let min_energy = instance.min_total_energy();
+        if cap + 1e-9 < min_energy {
+            return Err(SchedError::EnergyCapInfeasible { cap, min_energy });
+        }
+    }
+    match config.objective {
+        Objective::Makespan | Objective::MakespanUnderEnergyCap(_) => {
+            solve_makespan(instance, config, hints, cap)
+        }
+        Objective::Energy => solve_min_energy(instance, config, hints),
+        Objective::Edp => solve_min_edp(instance, config),
+    }
+}
+
+/// Minimize total energy lexicographically: restrict every task to its
+/// minimum-energy modes (keeping ties so no makespan is lost), minimize
+/// makespan over the restriction, and map the chosen mode ids back to the
+/// original instance. Sound because energy depends only on the mode
+/// vector: the restriction's minimum is the instance's minimum, and any
+/// cap that passed the feasibility gate admits it. `warm_incumbent` is
+/// ignored — its mode ids reference the unrestricted instance.
+fn solve_min_energy(
+    instance: &Instance,
+    config: &SolverConfig,
+    hints: &SolveHints<'_>,
+) -> Result<(SolveOutcome, SolveTelemetry), SchedError> {
+    let (restricted, maps) = instance.restrict_to_min_energy_modes();
+    let hints = SolveHints {
+        warm_incumbent: None,
+        ..*hints
+    };
+    let (mut outcome, telemetry) = solve_makespan(&restricted, config, &hints, None)?;
+    for (t, mode) in outcome.schedule.modes.iter_mut().enumerate() {
+        *mode = maps[t][mode.0];
+    }
+    outcome.energy = outcome.schedule.total_energy(instance);
+    Ok((outcome, telemetry))
+}
+
+/// Minimize the energy-delay product by computing the full Pareto front
+/// and picking its minimum-EDP point. Any schedule is coordinate-wise
+/// dominated (or matched) by some front point, and EDP is monotone in
+/// both coordinates, so the front minimum is the global minimum whenever
+/// the front is complete ([`ParetoFront::complete`]). Hints are ignored.
+fn solve_min_edp(
+    instance: &Instance,
+    config: &SolverConfig,
+) -> Result<(SolveOutcome, SolveTelemetry), SchedError> {
+    let front = solve_pareto(instance, config)?;
+    let best = front
+        .points
+        .iter()
+        .min_by(|a, b| {
+            a.edp()
+                .total_cmp(&b.edp())
+                .then(a.makespan.cmp(&b.makespan))
+        })
+        .expect("solve_pareto errors rather than returning an empty front");
+    Ok((
+        SolveOutcome {
+            schedule: best.schedule.clone(),
+            makespan: best.makespan,
+            energy: best.energy,
+            lower_bound: bounds::lower_bound(instance).min(best.makespan),
+            proved_optimal: front.complete,
+            truncated: front.truncated,
+            stats: front.stats,
+        },
+        SolveTelemetry::default(),
+    ))
+}
+
+/// The makespan core shared by every objective: heuristic multi-start,
+/// combinatorial bounds, and exact branch and bound, all restricted to
+/// schedules whose total energy fits `energy_cap` when one is given.
+/// With `energy_cap == None` this is exactly the pre-energy solver.
+fn solve_makespan(
+    instance: &Instance,
+    config: &SolverConfig,
+    hints: &SolveHints<'_>,
+    energy_cap: Option<f64>,
+) -> Result<(SolveOutcome, SolveTelemetry), SchedError> {
     let tel = &config.telemetry;
     let _solve_span = tel.span("sched.solve");
-    let combinatorial_bound = bounds::lower_bound(instance);
+    let combinatorial_bound = bounds::lower_bound_with_energy_cap(instance, energy_cap);
     tel.bound(
         BoundSource::Combinatorial,
         0,
@@ -324,6 +462,7 @@ pub fn solve_with_hints(
                 warm_priority: hints.warm_priority,
                 target_bound: target,
                 budget: config.budget.clone(),
+                energy_cap,
             },
         )
     };
@@ -349,9 +488,12 @@ pub fn solve_with_hints(
     // A lifted incumbent is only trusted after a full feasibility check:
     // callers map schedules across instances and may get it wrong.
     let n = instance.num_tasks();
-    let warm_incumbent = hints
-        .warm_incumbent
-        .filter(|s| s.starts.len() == n && s.modes.len() == n && s.verify(instance).is_empty());
+    let warm_incumbent = hints.warm_incumbent.filter(|s| {
+        s.starts.len() == n
+            && s.modes.len() == n
+            && s.verify(instance).is_empty()
+            && energy_cap.is_none_or(|cap| s.total_energy(instance) <= cap + 1e-9)
+    });
     let mut warm_incumbent_adopted = false;
     let heuristic_best = match (heuristic_best, warm_incumbent) {
         (Some(h), Some(w)) if w.makespan(instance) < h.makespan(instance) => {
@@ -402,6 +544,7 @@ pub fn solve_with_hints(
                 &config.budget,
                 config.timetable,
                 bnb_threads,
+                energy_cap,
                 tel,
             )
         };
@@ -459,10 +602,12 @@ pub fn solve_with_hints(
         };
         tel.budget_expired(layer, kind, config.budget.nodes_spent());
     }
+    let energy = schedule.total_energy(instance);
     Ok((
         SolveOutcome {
             schedule,
             makespan,
+            energy,
             lower_bound: lower_bound.min(makespan),
             proved_optimal: proved || lower_bound >= makespan,
             truncated,
@@ -503,6 +648,185 @@ pub fn solve_exact(instance: &Instance, config: &SolverConfig) -> Result<SolveOu
         ..config.clone()
     };
     solve(instance, &config)
+}
+
+/// One point on the energy/makespan Pareto front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoPoint {
+    /// Makespan in time steps.
+    pub makespan: u32,
+    /// Total energy in watt-steps.
+    pub energy: f64,
+    /// The schedule realizing this trade-off.
+    pub schedule: Schedule,
+    /// Whether this point's makespan is proven optimal under its energy
+    /// budget. When every point is proven, the front is exact.
+    pub proved_optimal: bool,
+}
+
+impl ParetoPoint {
+    /// The energy-delay product `energy x makespan` (watt-steps x steps).
+    #[must_use]
+    pub fn edp(&self) -> f64 {
+        self.energy * f64::from(self.makespan)
+    }
+}
+
+/// The energy/makespan Pareto front of an instance, computed by
+/// [`solve_pareto`]: non-dominated points sorted by increasing makespan
+/// (hence strictly decreasing energy).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoFront {
+    /// Non-dominated points, makespan ascending.
+    pub points: Vec<ParetoPoint>,
+    /// Every ladder rung was solved to proven optimality, so the front is
+    /// the exact set of Pareto-optimal `(makespan, energy)` pairs. A
+    /// heuristic-only or budget-truncated sweep reports `false`: the
+    /// points are feasible and mutually non-dominated but may be beaten.
+    pub complete: bool,
+    /// Which budget constraint cut the ladder short, if any.
+    pub truncated: Option<BudgetKind>,
+    /// Search statistics summed over every ladder rung.
+    pub stats: SolveStats,
+}
+
+impl ParetoFront {
+    /// The front's minimum-EDP point (ties broken toward the smaller
+    /// makespan). `None` only for an empty front, which [`solve_pareto`]
+    /// never returns.
+    #[must_use]
+    pub fn min_edp(&self) -> Option<&ParetoPoint> {
+        self.points.iter().min_by(|a, b| {
+            a.edp()
+                .total_cmp(&b.edp())
+                .then(a.makespan.cmp(&b.makespan))
+        })
+    }
+}
+
+/// The next energy budget strictly below an achieved energy `e`, chosen so
+/// the `EnergyFilter`'s `<= cap + 1e-9` admissibility test excludes every
+/// assignment of energy `e`: the step is at least `1e-6`, three orders of
+/// magnitude above the filter tolerance, and scales with `e` so it stays
+/// macroscopic for large energies.
+fn next_cap_below(e: f64) -> f64 {
+    e - 1e-6f64.max(e * 1e-9)
+}
+
+/// Keep the non-dominated subset (both coordinates minimized), makespan
+/// ascending. Needed when heuristic rungs return non-optimal makespans
+/// that a later, tighter-budget rung happens to beat.
+fn non_dominated(mut points: Vec<ParetoPoint>) -> Vec<ParetoPoint> {
+    points.sort_by(|a, b| {
+        a.makespan
+            .cmp(&b.makespan)
+            .then(a.energy.total_cmp(&b.energy))
+    });
+    let mut front: Vec<ParetoPoint> = Vec::new();
+    for p in points {
+        if front.last().is_none_or(|q| p.energy < q.energy) {
+            front.push(p);
+        }
+    }
+    front
+}
+
+/// Sweeps the energy/makespan Pareto front with a descending budget
+/// ladder: solve for the best makespan under the current energy budget,
+/// record the incumbent's energy `e`, tighten the budget strictly below
+/// `e`, and repeat until the budget drops under the minimum achievable
+/// total energy. Each rung excludes the previous rung's energy, so with
+/// exact sub-solves the ladder visits every Pareto-optimal pair; a final
+/// dominance pass cleans up heuristic rungs.
+///
+/// Determinism: the ladder is sequential and every rung is a
+/// deterministic [`solve`], so the front is bit-identical for any
+/// `heuristic_threads` / `bnb_threads` setting. A proven rung's makespan
+/// is passed to the next rung as an external lower bound — sound because
+/// tightening the budget can only increase the optimal makespan, and
+/// transparent for heuristic-only rungs by the [`SolveHints`] contract.
+/// [`SolverConfig::budget`] is shared across all rungs through the
+/// budget's clone-shares-the-meter semantics.
+///
+/// A [`Objective::MakespanUnderEnergyCap`] budget in `config.objective`
+/// tightens the ladder's first rung (as does the instance's own energy
+/// cap); the other objective variants are ignored.
+///
+/// # Errors
+///
+/// Returns [`SchedError::HorizonExhausted`] when no feasible schedule fits
+/// within the instance horizon, and [`SchedError::EnergyCapInfeasible`]
+/// when the instance's own energy cap is below the minimum achievable.
+pub fn solve_pareto(instance: &Instance, config: &SolverConfig) -> Result<ParetoFront, SchedError> {
+    // Backstop against a pathological ladder; real fronts have at most one
+    // point per distinct mode-assignment energy and stop far earlier.
+    const MAX_RUNGS: usize = 4096;
+    let min_total = instance.min_total_energy();
+    let mut points: Vec<ParetoPoint> = Vec::new();
+    let mut stats = SolveStats::default();
+    let mut complete = true;
+    let mut truncated = None;
+    let mut cap = effective_energy_cap(instance, config.objective);
+    if let Some(cap) = cap {
+        if cap + 1e-9 < min_total {
+            return Err(SchedError::EnergyCapInfeasible {
+                cap,
+                min_energy: min_total,
+            });
+        }
+    }
+    let mut proven_floor: Option<u32> = None;
+    for _ in 0..MAX_RUNGS {
+        if cap.is_some_and(|c| c + 1e-9 < min_total) {
+            break; // the ladder ran below the energy floor
+        }
+        let rung_config = SolverConfig {
+            objective: cap.map_or(Objective::Makespan, Objective::MakespanUnderEnergyCap),
+            ..config.clone()
+        };
+        let hints = SolveHints {
+            external_lower_bound: proven_floor,
+            ..SolveHints::default()
+        };
+        let (outcome, _) = match solve_with_hints(instance, &rung_config, &hints) {
+            Ok(r) => r,
+            // A tighter budget can strand the remaining modes outside the
+            // horizon; the front simply ends there.
+            Err(SchedError::HorizonExhausted { .. }) if !points.is_empty() => break,
+            Err(e) => return Err(e),
+        };
+        stats.heuristic_starts += outcome.stats.heuristic_starts;
+        stats.bnb_nodes += outcome.stats.bnb_nodes;
+        stats.exact_phase_ran |= outcome.stats.exact_phase_ran;
+        complete &= outcome.proved_optimal;
+        if outcome.proved_optimal {
+            proven_floor = Some(proven_floor.map_or(outcome.makespan, |f| f.max(outcome.makespan)));
+        }
+        let energy = outcome.energy;
+        points.push(ParetoPoint {
+            makespan: outcome.makespan,
+            energy,
+            schedule: outcome.schedule,
+            proved_optimal: outcome.proved_optimal,
+        });
+        if let Some(kind) = outcome.truncated {
+            // The shared budget is spent; further rungs would only repeat
+            // the truncation.
+            truncated = Some(kind);
+            complete = false;
+            break;
+        }
+        if energy <= min_total {
+            break; // reached the energy floor: no cheaper schedule exists
+        }
+        cap = Some(next_cap_below(energy));
+    }
+    Ok(ParetoFront {
+        points: non_dominated(points),
+        complete,
+        truncated,
+        stats,
+    })
 }
 
 #[cfg(test)]
@@ -874,12 +1198,203 @@ mod tests {
                 modes: vec![],
             },
             makespan: 0,
+            energy: 0.0,
             lower_bound: 0,
             proved_optimal: true,
             truncated: None,
             stats: SolveStats::default(),
         };
         assert_eq!(outcome.gap(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod energy_tests {
+    use super::*;
+    use crate::instance::{InstanceBuilder, Mode};
+
+    /// Two independent tasks, each choosing between a fast/hungry and a
+    /// slow/frugal mode on its own pair of machines, so the makespan is
+    /// the max of the chosen durations and the full Pareto front is
+    /// (3, 50), (6, 26), (8, 14) — the slow(a)/fast(b) corner (8, 38) is
+    /// dominated.
+    fn tradeoff_instance() -> Instance {
+        let mut b = InstanceBuilder::new();
+        let ga = b.add_machine("gpu-a");
+        let ca = b.add_machine("cpu-a");
+        let gb = b.add_machine("gpu-b");
+        let cb = b.add_machine("cpu-b");
+        b.add_task(
+            "a",
+            vec![Mode::on(ga, 2).power(10.0), Mode::on(ca, 8).power(1.0)],
+        );
+        b.add_task(
+            "b",
+            vec![Mode::on(gb, 3).power(10.0), Mode::on(cb, 6).power(1.0)],
+        );
+        b.set_horizon(30);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn infinite_energy_cap_is_bit_identical_to_makespan() {
+        let inst = tradeoff_instance();
+        let plain = solve(&inst, &SolverConfig::default()).unwrap();
+        let capped = solve(
+            &inst,
+            &SolverConfig {
+                objective: Objective::MakespanUnderEnergyCap(f64::INFINITY),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, capped);
+        assert_eq!(plain.makespan, 3);
+        assert_eq!(plain.energy, 50.0);
+    }
+
+    #[test]
+    fn energy_cap_forces_frugal_modes() {
+        let inst = tradeoff_instance();
+        let out = solve(
+            &inst,
+            &SolverConfig {
+                objective: Objective::MakespanUnderEnergyCap(30.0),
+                ..SolverConfig::exact()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.makespan, 6);
+        assert_eq!(out.energy, 26.0);
+        assert!(out.proved_optimal);
+        assert!(out.schedule.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn energy_objective_minimizes_energy_then_makespan() {
+        let inst = tradeoff_instance();
+        let out = solve(
+            &inst,
+            &SolverConfig {
+                objective: Objective::Energy,
+                ..SolverConfig::exact()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.energy, 14.0);
+        assert_eq!(out.makespan, 8);
+        assert!(out.proved_optimal);
+        assert!(out.schedule.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn infeasible_energy_cap_is_an_error() {
+        let inst = tradeoff_instance();
+        let err = solve(
+            &inst,
+            &SolverConfig {
+                objective: Objective::MakespanUnderEnergyCap(10.0),
+                ..SolverConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            SchedError::EnergyCapInfeasible { cap, min_energy }
+                if cap == 10.0 && min_energy == 14.0
+        ));
+    }
+
+    #[test]
+    fn instance_level_cap_constrains_the_default_objective() {
+        let mut b = InstanceBuilder::new();
+        let ga = b.add_machine("gpu-a");
+        let ca = b.add_machine("cpu-a");
+        let gb = b.add_machine("gpu-b");
+        let cb = b.add_machine("cpu-b");
+        b.add_task(
+            "a",
+            vec![Mode::on(ga, 2).power(10.0), Mode::on(ca, 8).power(1.0)],
+        );
+        b.add_task(
+            "b",
+            vec![Mode::on(gb, 3).power(10.0), Mode::on(cb, 6).power(1.0)],
+        );
+        b.set_horizon(30);
+        b.set_energy_cap(30.0);
+        let inst = b.build().unwrap();
+        // No single mode exceeds the cap, so nothing is dropped at build
+        // time — the schedule-level budget must do the work.
+        assert_eq!(inst.task(crate::instance::TaskId(0)).modes.len(), 2);
+        let out = solve(&inst, &SolverConfig::exact()).unwrap();
+        assert_eq!(out.makespan, 6);
+        assert_eq!(out.energy, 26.0);
+        assert!(out.schedule.verify(&inst).is_empty());
+    }
+
+    #[test]
+    fn pareto_front_enumerates_every_tradeoff() {
+        let inst = tradeoff_instance();
+        let front = solve_pareto(&inst, &SolverConfig::exact()).unwrap();
+        assert!(front.complete);
+        assert_eq!(front.truncated, None);
+        let coords: Vec<(u32, f64)> = front
+            .points
+            .iter()
+            .map(|p| (p.makespan, p.energy))
+            .collect();
+        assert_eq!(coords, vec![(3, 50.0), (6, 26.0), (8, 14.0)]);
+        for p in &front.points {
+            assert!(p.proved_optimal);
+            assert!(p.schedule.verify(&inst).is_empty());
+        }
+    }
+
+    #[test]
+    fn edp_objective_picks_the_minimum_product() {
+        let inst = tradeoff_instance();
+        // EDPs over the front: 3*50=150, 6*26=156, 8*14=112.
+        let out = solve(
+            &inst,
+            &SolverConfig {
+                objective: Objective::Edp,
+                ..SolverConfig::exact()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.makespan, 8);
+        assert_eq!(out.energy, 14.0);
+        assert!(out.proved_optimal);
+    }
+
+    #[test]
+    fn pareto_front_is_bit_identical_across_thread_counts() {
+        let inst = tradeoff_instance();
+        let run = |threads| {
+            solve_pareto(
+                &inst,
+                &SolverConfig {
+                    heuristic_threads: threads,
+                    bnb_threads: threads,
+                    ..SolverConfig::default()
+                },
+            )
+            .unwrap()
+        };
+        let serial = run(1);
+        for threads in [2, 8] {
+            assert_eq!(serial, run(threads), "threads {threads} changed the front");
+        }
+    }
+
+    #[test]
+    fn empty_instance_has_a_single_zero_point() {
+        let inst = InstanceBuilder::new().build().unwrap();
+        let front = solve_pareto(&inst, &SolverConfig::default()).unwrap();
+        assert_eq!(front.points.len(), 1);
+        assert_eq!(front.points[0].makespan, 0);
+        assert_eq!(front.points[0].energy, 0.0);
+        assert!(front.complete);
     }
 }
 

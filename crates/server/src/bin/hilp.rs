@@ -468,6 +468,7 @@ fn main() -> ExitCode {
                             index,
                             label,
                             makespan_seconds,
+                            energy_joules,
                             speedup,
                             gap,
                             truncated,
@@ -486,7 +487,8 @@ fn main() -> ExitCode {
                             };
                             println!(
                                 "point {index:>4} {label}: makespan {makespan_seconds:.1} s | \
-                                 speedup {speedup:.1}x | gap {:.1}%{tag}",
+                                 energy {energy_joules:.1} J | speedup {speedup:.1}x | \
+                                 gap {:.1}%{tag}",
                                 gap * 100.0
                             );
                         }

@@ -7,8 +7,8 @@
 //! Options:
 //!   --connect ADDR  target an externally started hilpd instead of an
 //!                   in-process daemon on an ephemeral port
-//!   --bench FILE    diff the streamed HILP makespans/gaps against the
-//!                   committed BENCH_sweep.json baseline
+//!   --bench FILE    diff the streamed HILP makespans, energies, and gaps
+//!                   against the committed BENCH_sweep.json baseline
 //!   --step N        subsample stride over the 372-SoC space (default 37,
 //!                   the fig7_regression stride)
 //! ```
@@ -17,7 +17,7 @@
 //!
 //! 1. `ping` answers.
 //! 2. A warm sweep job finishes untruncated and (with `--bench`) every
-//!    streamed makespan matches the committed baseline.
+//!    streamed makespan and energy matches the committed baseline.
 //! 3. Three concurrent tenants: a repeat of the warm job (must hit >=99%
 //!    identity replay off the persisted baseline and reproduce the warm
 //!    run bit-for-bit), a node-budgeted job (must finish gracefully with
@@ -39,6 +39,7 @@ use hilp_telemetry::Record;
 struct StreamedPoint {
     label: String,
     makespan_seconds: f64,
+    energy_joules: f64,
     gap: f64,
 }
 
@@ -68,6 +69,7 @@ fn run_streaming(
                 index,
                 label,
                 makespan_seconds,
+                energy_joules,
                 gap,
                 ..
             } = record
@@ -77,6 +79,7 @@ fn run_streaming(
                     StreamedPoint {
                         label: label.clone(),
                         makespan_seconds: *makespan_seconds,
+                        energy_joules: *energy_joules,
                         gap: *gap,
                     },
                 );
@@ -105,8 +108,9 @@ fn num_field(line: &str, key: &str) -> Option<f64> {
     line[start..end].trim().parse().ok()
 }
 
-/// `(label -> (makespan, gap))` for the HILP model of `BENCH_sweep.json`.
-fn load_bench(path: &str) -> Result<HashMap<String, (f64, f64)>, String> {
+/// `(label -> (makespan, energy, gap))` for the HILP model of
+/// `BENCH_sweep.json`.
+fn load_bench(path: &str) -> Result<HashMap<String, (f64, f64, f64)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
     let mut points = HashMap::new();
     let mut model = String::new();
@@ -118,9 +122,11 @@ fn load_bench(path: &str) -> Result<HashMap<String, (f64, f64)>, String> {
             if let Some(label) = str_field(line, "label") {
                 let makespan = num_field(line, "makespan_seconds")
                     .ok_or_else(|| format!("makespan missing on: {line}"))?;
+                let energy = num_field(line, "energy_joules")
+                    .ok_or_else(|| format!("energy missing on: {line}"))?;
                 let gap =
                     num_field(line, "gap").ok_or_else(|| format!("gap missing on: {line}"))?;
-                points.insert(label, (makespan, gap));
+                points.insert(label, (makespan, energy, gap));
             }
         }
     }
@@ -208,19 +214,21 @@ fn run() -> Result<(), String> {
     if let Some(bench) = &bench {
         let committed = load_bench(bench)?;
         for point in warm_points.values() {
-            let &(makespan, gap) = committed
+            let &(makespan, energy, gap) = committed
                 .get(&point.label)
                 .ok_or_else(|| format!("no committed baseline for {:?}", point.label))?;
             let rel = (point.makespan_seconds - makespan).abs() / makespan.max(1e-12);
-            if rel > 1e-9 || (point.gap - gap).abs() > 1e-9 {
+            let rel_e = (point.energy_joules - energy).abs() / energy.max(1e-12);
+            if rel > 1e-9 || rel_e > 1e-9 || (point.gap - gap).abs() > 1e-9 {
                 return Err(format!(
-                    "{}: streamed makespan {} / gap {} vs committed {makespan} / {gap}",
-                    point.label, point.makespan_seconds, point.gap
+                    "{}: streamed makespan {} / energy {} / gap {} vs committed \
+                     {makespan} / {energy} / {gap}",
+                    point.label, point.makespan_seconds, point.energy_joules, point.gap
                 ));
             }
         }
         eprintln!(
-            "server_smoke: all {} streamed makespans match {bench}",
+            "server_smoke: all {} streamed makespans and energies match {bench}",
             warm_points.len()
         );
     }

@@ -261,6 +261,7 @@ impl SweepObserver for StreamObserver<'_> {
             index: update.index as u64,
             label: p.label.clone(),
             makespan_seconds: p.makespan_seconds,
+            energy_joules: p.energy_joules,
             speedup: p.speedup,
             avg_wlp: p.avg_wlp,
             gap: p.gap,

@@ -6,6 +6,45 @@
 //! determination R² for every fit (Tables II and III). This module
 //! reimplements that pipeline.
 
+/// Electrical power in watts.
+///
+/// A documented-unit wrapper: the fitting pipeline handles curves over
+/// seconds, gigabytes per second, watts, and joules, all as bare `f64`
+/// pairs, and a watts-vs-joules mix-up (power is a rate, energy its
+/// integral) silently produces laws that are wrong by a factor of the
+/// measurement duration. Sample wrappers make the unit part of the type so
+/// [`fit_power_curve`] can only be fed power and [`fit_energy_curve`] only
+/// energy.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Watts(pub f64);
+
+impl Watts {
+    /// Energy spent sustaining this power for `seconds`.
+    #[must_use]
+    pub fn for_seconds(self, seconds: f64) -> Joules {
+        Joules(self.0 * seconds)
+    }
+}
+
+/// Energy in joules.
+///
+/// See [`Watts`] for why the unit is part of the type.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Joules(pub f64);
+
+impl Joules {
+    /// Average power over the `seconds` this energy was spent in.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `seconds` is not positive.
+    #[must_use]
+    pub fn average_over(self, seconds: f64) -> Watts {
+        debug_assert!(seconds > 0.0, "averaging requires a positive duration");
+        Watts(self.0 / seconds)
+    }
+}
+
 /// A fitted power law `y = a * x^b`.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct PowerLaw {
@@ -110,6 +149,64 @@ pub fn fit_power_law(points: &[(f64, f64)]) -> Option<FitResult> {
     Some(FitResult { law, r_squared })
 }
 
+/// A power law fitted to power samples: evaluates in watts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerCurve {
+    /// The underlying unit-free fit.
+    pub fit: FitResult,
+}
+
+impl PowerCurve {
+    /// Evaluates the fitted law at `x`, in watts.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `x` is not positive.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> Watts {
+        Watts(self.fit.law.eval(x))
+    }
+}
+
+/// A power law fitted to energy samples: evaluates in joules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyCurve {
+    /// The underlying unit-free fit.
+    pub fit: FitResult,
+}
+
+impl EnergyCurve {
+    /// Evaluates the fitted law at `x`, in joules.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `x` is not positive.
+    #[must_use]
+    pub fn eval(&self, x: f64) -> Joules {
+        Joules(self.fit.law.eval(x))
+    }
+}
+
+/// Fits `P(x) = a * x^b` watts to typed power samples.
+///
+/// Same degenerate-input contract as [`fit_power_law`]: `None` for fewer
+/// than two points or any non-positive coordinate (a zero or negative power
+/// reading is a measurement error, not a fittable sample).
+#[must_use]
+pub fn fit_power_curve(points: &[(f64, Watts)]) -> Option<PowerCurve> {
+    let raw: Vec<(f64, f64)> = points.iter().map(|&(x, Watts(y))| (x, y)).collect();
+    fit_power_law(&raw).map(|fit| PowerCurve { fit })
+}
+
+/// Fits `E(x) = a * x^b` joules to typed energy samples.
+///
+/// Same degenerate-input contract as [`fit_power_law`].
+#[must_use]
+pub fn fit_energy_curve(points: &[(f64, Joules)]) -> Option<EnergyCurve> {
+    let raw: Vec<(f64, f64)> = points.iter().map(|&(x, Joules(y))| (x, y)).collect();
+    fit_power_law(&raw).map(|fit| EnergyCurve { fit })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +262,37 @@ mod tests {
         let points = [(2.0, 3.0), (2.0, 5.0)];
         let fit = fit_power_law(&points).unwrap();
         assert_eq!(fit.law.b, 0.0);
+    }
+
+    #[test]
+    fn typed_fits_agree_with_the_raw_fit() {
+        let raw = [(14.0, 80.0), (28.0, 130.0), (56.0, 210.0)];
+        let fit = fit_power_law(&raw).unwrap();
+        let watts: Vec<(f64, Watts)> = raw.iter().map(|&(x, y)| (x, Watts(y))).collect();
+        let power = fit_power_curve(&watts).unwrap();
+        assert_eq!(power.fit, fit);
+        assert_eq!(power.eval(42.0), Watts(fit.law.eval(42.0)));
+        let joules: Vec<(f64, Joules)> = raw.iter().map(|&(x, y)| (x, Joules(y))).collect();
+        let energy = fit_energy_curve(&joules).unwrap();
+        assert_eq!(energy.fit, fit);
+        assert_eq!(energy.eval(42.0), Joules(fit.law.eval(42.0)));
+    }
+
+    #[test]
+    fn typed_fits_share_the_degenerate_contract() {
+        // Single point, zero power, negative power: all rejected.
+        assert!(fit_power_curve(&[(14.0, Watts(80.0))]).is_none());
+        assert!(fit_power_curve(&[(14.0, Watts(0.0)), (28.0, Watts(130.0))]).is_none());
+        assert!(fit_power_curve(&[(14.0, Watts(-5.0)), (28.0, Watts(130.0))]).is_none());
+        assert!(fit_energy_curve(&[(14.0, Joules(80.0))]).is_none());
+        assert!(fit_energy_curve(&[(14.0, Joules(0.0)), (28.0, Joules(130.0))]).is_none());
+        assert!(fit_energy_curve(&[(14.0, Joules(-5.0)), (28.0, Joules(130.0))]).is_none());
+    }
+
+    #[test]
+    fn watts_and_joules_convert_both_ways() {
+        let energy = Watts(3.5).for_seconds(4.0);
+        assert_eq!(energy, Joules(14.0));
+        assert_eq!(energy.average_over(4.0), Watts(3.5));
     }
 }

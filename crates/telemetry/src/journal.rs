@@ -140,7 +140,7 @@ pub enum Record {
     },
     /// One completed design point of a server job, streamed as it lands
     /// (same wire role as [`Record::Job`]):
-    /// `{"type":"point","t_us":52,"job":3,"index":12,"label":"(c4,g16,d2^16)","makespan_seconds":1213.5,"speedup":3.2,"avg_wlp":1.41,"gap":0.01,"seconds":0.02,"truncated":"","replayed":0,"cached":1}`
+    /// `{"type":"point","t_us":52,"job":3,"index":12,"label":"(c4,g16,d2^16)","makespan_seconds":1213.5,"energy_joules":8123.4,"speedup":3.2,"avg_wlp":1.41,"gap":0.01,"seconds":0.02,"truncated":"","replayed":0,"cached":1}`
     Point {
         /// Event time in µs on the emitting handle's clock.
         t_us: u64,
@@ -152,6 +152,9 @@ pub enum Record {
         label: String,
         /// Predicted workload execution time (s).
         makespan_seconds: f64,
+        /// Energy of the predicted schedule (J); 0 when parsed from a
+        /// journal written before the field existed.
+        energy_joules: f64,
         /// Predicted speedup over sequential single-core execution.
         speedup: f64,
         /// Average WLP of the predicted schedule.
@@ -377,6 +380,7 @@ impl Record {
                 index,
                 label,
                 makespan_seconds,
+                energy_joules,
                 speedup,
                 avg_wlp,
                 gap,
@@ -392,8 +396,9 @@ impl Record {
                 push_json_string(&mut s, label);
                 let _ = write!(
                     s,
-                    ",\"makespan_seconds\":{},\"speedup\":{},\"avg_wlp\":{},\"gap\":{},\"seconds\":{},\"truncated\":",
+                    ",\"makespan_seconds\":{},\"energy_joules\":{},\"speedup\":{},\"avg_wlp\":{},\"gap\":{},\"seconds\":{},\"truncated\":",
                     fmt_f64(*makespan_seconds),
+                    fmt_f64(*energy_joules),
                     fmt_f64(*speedup),
                     fmt_f64(*avg_wlp),
                     fmt_f64(*gap),
@@ -771,6 +776,9 @@ fn parse_record(line: &str) -> Result<Record, String> {
             index: fields.u64("index")?,
             label: fields.str("label")?.to_string(),
             makespan_seconds: fields.num("makespan_seconds")?,
+            // Absent in journals written before energy accounting landed;
+            // parse those as 0 rather than rejecting the record.
+            energy_joules: fields.num("energy_joules").unwrap_or(0.0),
             speedup: fields.num("speedup")?,
             avg_wlp: fields.num("avg_wlp")?,
             gap: fields.num("gap")?,
@@ -926,6 +934,7 @@ mod tests {
                     index: 12,
                     label: "(c4,g16,d2^16)".to_string(),
                     makespan_seconds: 1213.5,
+                    energy_joules: 8123.25,
                     speedup: 3.25,
                     avg_wlp: 1.5,
                     gap: 0.0,

@@ -24,6 +24,14 @@
 //! job): every case is an instance + perturbation pair, alternating tiny
 //! instances under the exact solver and small instances under the sweep's
 //! heuristic-only configuration (which exercises the certificate tier).
+//!
+//! `--energy` switches to an energy-only corpus (the gating `energy-oracle`
+//! CI job): every case is a tiny instance run through the full energy
+//! differential battery — energy accounting, the infinite-cap transparency
+//! identity, the `Objective::Energy` lexicographic optimum, the Pareto
+//! ladder against the exhaustive front, capped solves pinned to the front,
+//! and the power-scaling metamorphic round. The default mix also runs the
+//! battery on every tiny case.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -35,7 +43,7 @@ use hilp_sched::SolverConfig;
 use hilp_telemetry::{Reporter, Telemetry};
 use hilp_testkit::delta::{arb_perturbation, check_delta};
 use hilp_testkit::harness::{
-    check_budgeted, check_instance, check_pipeline, CheckStats, OracleConfig,
+    check_budgeted, check_energy, check_instance, check_pipeline, CheckStats, OracleConfig,
 };
 use hilp_testkit::strategies::{
     arb_constraints, arb_instance, arb_soc, arb_workload, InstanceParams,
@@ -48,6 +56,7 @@ struct Args {
     out_dir: PathBuf,
     quiet: bool,
     delta_only: bool,
+    energy_only: bool,
     bnb_threads: usize,
 }
 
@@ -59,6 +68,7 @@ fn parse_args() -> Args {
         out_dir: PathBuf::from("fuzz-failures"),
         quiet: false,
         delta_only: false,
+        energy_only: false,
         bnb_threads: 1,
     };
     let mut it = std::env::args().skip(1);
@@ -80,6 +90,7 @@ fn parse_args() -> Args {
             "--out-dir" => args.out_dir = PathBuf::from(value("--out-dir")),
             "--quiet" => args.quiet = true,
             "--delta" => args.delta_only = true,
+            "--energy" => args.energy_only = true,
             "--bnb-threads" => {
                 args.bnb_threads = value("--bnb-threads")
                     .parse()
@@ -88,7 +99,7 @@ fn parse_args() -> Args {
             other => {
                 eprintln!(
                     "unknown flag {other}; usage: fuzz_smoke [--cases N] [--seed S] \
-                     [--time-budget-secs T] [--out-dir DIR] [--quiet] [--delta] \
+                     [--time-budget-secs T] [--out-dir DIR] [--quiet] [--delta] [--energy] \
                      [--bnb-threads N]"
                 );
                 std::process::exit(2);
@@ -134,7 +145,12 @@ fn main() {
             }
         }
         let mut rng = TestRng::new(hash, case);
-        let result = if args.delta_only {
+        let result = if args.energy_only {
+            // Energy-only corpus: every case is a tiny instance under the
+            // full energy differential battery.
+            let instance = tiny.generate(&mut rng);
+            check_energy(&instance, &config, &mut stats)
+        } else if args.delta_only {
             // Delta-only corpus: alternate tiny instances under the exact
             // solver (identity + scratch tiers, optimality preserved) and
             // small instances under the heuristic-only sweep configuration
@@ -170,6 +186,7 @@ fn main() {
                             let p = perturbations.generate(&mut rng);
                             check_delta(&instance, &p, &config.solver, &mut stats)
                         })
+                        .and_then(|()| check_energy(&instance, &config, &mut stats))
                 }
                 6..=8 => {
                     let instance = small.generate(&mut rng);

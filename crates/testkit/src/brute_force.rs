@@ -14,6 +14,19 @@
 //! (machine exclusivity, power/bandwidth/core caps, custom cumulative
 //! resources), deliberately sharing no code with the solver's timetables so
 //! that a bug in one cannot mask a bug in the other.
+//!
+//! # Energy
+//!
+//! Energy is a pure function of the mode-assignment vector (start times never
+//! affect it), so for every fixed vector the SGS enumeration that contains a
+//! makespan-optimal schedule also witnesses that vector's exact
+//! (makespan, energy) trade-off. [`brute_force_energy`] therefore finds the
+//! lexicographic (energy, makespan) optimum and [`brute_force_pareto`] the
+//! complete makespan x energy Pareto front of a tiny instance. All three
+//! entry points honour `Instance::energy_cap` through a reservation check:
+//! a mode is admissible only if the energy already spent, plus the mode's own
+//! energy, plus the cheapest possible completion of every other unplaced
+//! task, fits under the cap.
 
 use hilp_sched::{EdgeKind, Instance, ModeId, ResourceId, Schedule, TaskId};
 
@@ -33,6 +46,42 @@ pub struct BruteForceResult {
     pub schedule: Schedule,
 }
 
+/// The lexicographic (energy, makespan) optimum found by exhaustive
+/// enumeration: minimum total energy first, and among minimum-energy
+/// schedules the minimum makespan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceEnergyResult {
+    /// The provably minimal total energy in watt-steps.
+    pub energy: f64,
+    /// The minimal makespan among minimum-energy schedules.
+    pub makespan: u32,
+    /// One schedule attaining both.
+    pub schedule: Schedule,
+}
+
+/// One point of the exact makespan x energy Pareto front of a tiny instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BruteForceTradeoff {
+    /// Makespan in time steps.
+    pub makespan: u32,
+    /// Total energy in watt-steps.
+    pub energy: f64,
+    /// One schedule attaining this trade-off.
+    pub schedule: Schedule,
+}
+
+/// Total energy of a schedule recomputed independently of
+/// `Schedule::total_energy`: the sum of `power x duration` over the chosen
+/// modes, accumulated in task order.
+pub fn schedule_energy(instance: &Instance, schedule: &Schedule) -> f64 {
+    (0..instance.num_tasks())
+        .map(|t| {
+            let mode = instance.mode(TaskId(t), schedule.modes[t]);
+            mode.power * f64::from(mode.duration)
+        })
+        .sum()
+}
+
 /// The true optimal makespan of a tiny instance, or `None` if no feasible
 /// schedule fits inside the horizon.
 ///
@@ -45,49 +94,200 @@ pub fn brute_force_makespan(instance: &Instance) -> Option<u32> {
 
 /// Like [`brute_force_makespan`] but also returns an optimal schedule.
 pub fn brute_force_schedule(instance: &Instance) -> Option<BruteForceResult> {
-    let n = instance.num_tasks();
-    assert!(
-        n <= MAX_BRUTE_FORCE_TASKS,
-        "brute force is factorial; got {n} tasks (limit {MAX_BRUTE_FORCE_TASKS})"
-    );
-    if n == 0 {
-        return Some(BruteForceResult {
-            makespan: 0,
-            schedule: Schedule {
-                starts: Vec::new(),
-                modes: Vec::new(),
-            },
-        });
-    }
-    let mut search = Search {
-        instance,
-        placed: vec![false; n],
-        starts: vec![0; n],
-        modes: vec![ModeId(0); n],
-        finishes: vec![0; n],
-        num_placed: 0,
-        best: None,
-    };
+    let mut search = Search::new(instance, Goal::Makespan);
     search.dfs();
     search
         .best
+        .take()
         .map(|(makespan, starts, modes)| BruteForceResult {
             makespan,
             schedule: Schedule { starts, modes },
         })
 }
 
+/// The true minimum total energy of a tiny instance (and the minimum
+/// makespan among minimum-energy schedules), or `None` if no feasible
+/// schedule fits inside the horizon and energy cap.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_BRUTE_FORCE_TASKS`] tasks.
+pub fn brute_force_energy(instance: &Instance) -> Option<BruteForceEnergyResult> {
+    let mut search = Search::new(instance, Goal::Energy);
+    search.dfs();
+    search
+        .best_energy
+        .take()
+        .map(|(energy, makespan, starts, modes)| BruteForceEnergyResult {
+            energy,
+            makespan,
+            schedule: Schedule { starts, modes },
+        })
+}
+
+/// The complete makespan x energy Pareto front of a tiny instance, makespan
+/// ascending (hence energy strictly descending). Empty iff the instance is
+/// infeasible.
+///
+/// Completeness argument: energy is fixed by the mode vector, the SGS
+/// enumeration realizes a makespan-optimal schedule for every feasible mode
+/// vector, and the weak-dominance cut only discards branches whose every
+/// completion is weakly dominated by an already-collected point.
+///
+/// # Panics
+///
+/// Panics if the instance has more than [`MAX_BRUTE_FORCE_TASKS`] tasks.
+pub fn brute_force_pareto(instance: &Instance) -> Vec<BruteForceTradeoff> {
+    let mut search = Search::new(instance, Goal::Pareto);
+    search.dfs();
+    let mut points: Vec<BruteForceTradeoff> = search
+        .front
+        .drain(..)
+        .map(|(makespan, energy, starts, modes)| BruteForceTradeoff {
+            makespan,
+            energy,
+            schedule: Schedule { starts, modes },
+        })
+        .collect();
+    points.sort_by_key(|p| p.makespan);
+    points
+}
+
+/// What the exhaustive search optimizes (and how it prunes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Goal {
+    /// Minimize the latest finish (the original brute force).
+    Makespan,
+    /// Lexicographic (energy, makespan).
+    Energy,
+    /// Collect every non-dominated (makespan, energy) pair.
+    Pareto,
+}
+
 struct Search<'a> {
     instance: &'a Instance,
+    goal: Goal,
+    /// Cheapest single-mode energy per task, the admissible remainder bound.
+    min_energy: Vec<f64>,
+    energy_cap: Option<f64>,
     placed: Vec<bool>,
     starts: Vec<u32>,
     modes: Vec<ModeId>,
     finishes: Vec<u32>,
     num_placed: usize,
     best: Option<(u32, Vec<u32>, Vec<ModeId>)>,
+    best_energy: Option<(f64, u32, Vec<u32>, Vec<ModeId>)>,
+    front: Vec<(u32, f64, Vec<u32>, Vec<ModeId>)>,
 }
 
-impl Search<'_> {
+impl<'a> Search<'a> {
+    fn new(instance: &'a Instance, goal: Goal) -> Search<'a> {
+        let n = instance.num_tasks();
+        assert!(
+            n <= MAX_BRUTE_FORCE_TASKS,
+            "brute force is factorial; got {n} tasks (limit {MAX_BRUTE_FORCE_TASKS})"
+        );
+        let min_energy = (0..n)
+            .map(|t| {
+                instance
+                    .task(TaskId(t))
+                    .modes
+                    .iter()
+                    .map(hilp_sched::Mode::energy)
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let mut search = Search {
+            instance,
+            goal,
+            min_energy,
+            energy_cap: instance.energy_cap(),
+            placed: vec![false; n],
+            starts: vec![0; n],
+            modes: vec![ModeId(0); n],
+            finishes: vec![0; n],
+            num_placed: 0,
+            best: None,
+            best_energy: None,
+            front: Vec::new(),
+        };
+        if n == 0 {
+            // The empty schedule is the (only) optimum for every goal.
+            search.best = Some((0, Vec::new(), Vec::new()));
+            search.best_energy = Some((0.0, 0, Vec::new(), Vec::new()));
+            search.front.push((0, 0.0, Vec::new(), Vec::new()));
+        }
+        search
+    }
+
+    /// Energy already committed by the placed tasks. Recomputed per node
+    /// (n <= 6) rather than maintained incrementally so float state cannot
+    /// drift across backtracks.
+    fn spent_energy(&self) -> f64 {
+        (0..self.instance.num_tasks())
+            .filter(|&t| self.placed[t])
+            .map(|t| self.instance.mode(TaskId(t), self.modes[t]).energy())
+            .sum()
+    }
+
+    /// Lower bound on the energy of any completion: committed energy plus
+    /// each unplaced task's cheapest mode.
+    fn remaining_min_energy(&self) -> f64 {
+        (0..self.instance.num_tasks())
+            .filter(|&t| !self.placed[t])
+            .map(|t| self.min_energy[t])
+            .sum()
+    }
+
+    /// Whether every completion of the current partial is provably no better
+    /// than what is already recorded. `partial` is the latest placed finish
+    /// (a makespan lower bound) and `energy_lb` the energy lower bound; both
+    /// are monotone under further placement, which makes each cut admissible.
+    fn pruned(&self, partial: u32, energy_lb: f64) -> bool {
+        match self.goal {
+            Goal::Makespan => self
+                .best
+                .as_ref()
+                .is_some_and(|(best, _, _)| partial >= *best),
+            Goal::Energy => self.best_energy.as_ref().is_some_and(|(be, bm, _, _)| {
+                energy_lb > *be + CAP_EPS || (energy_lb >= *be - CAP_EPS && partial >= *bm)
+            }),
+            Goal::Pareto => self
+                .front
+                .iter()
+                .any(|(m, e, _, _)| *m <= partial && *e <= energy_lb + CAP_EPS),
+        }
+    }
+
+    /// Record a complete feasible schedule with the given makespan/energy.
+    fn record(&mut self, makespan: u32, energy: f64) {
+        match self.goal {
+            // `pruned` already rejected non-improving leaves for Makespan and
+            // Pareto; Energy rechecks the lexicographic order explicitly.
+            Goal::Makespan => {
+                self.best = Some((makespan, self.starts.clone(), self.modes.clone()));
+            }
+            Goal::Energy => {
+                let better = match &self.best_energy {
+                    None => true,
+                    Some((be, bm, _, _)) => {
+                        energy < *be - CAP_EPS || (energy <= *be + CAP_EPS && makespan < *bm)
+                    }
+                };
+                if better {
+                    self.best_energy =
+                        Some((energy, makespan, self.starts.clone(), self.modes.clone()));
+                }
+            }
+            Goal::Pareto => {
+                self.front
+                    .retain(|(m, e, _, _)| !(makespan <= *m && energy <= *e + CAP_EPS));
+                self.front
+                    .push((makespan, energy, self.starts.clone(), self.modes.clone()));
+            }
+        }
+    }
+
     fn dfs(&mut self) {
         let n = self.instance.num_tasks();
         let partial = (0..n)
@@ -95,15 +295,13 @@ impl Search<'_> {
             .map(|t| self.finishes[t])
             .max()
             .unwrap_or(0);
-        // Admissible cut: completing the partial schedule can only raise the
-        // latest finish, so a partial already at the incumbent cannot improve.
-        if let Some((best, _, _)) = &self.best {
-            if partial >= *best {
-                return;
-            }
+        let spent = self.spent_energy();
+        let energy_lb = spent + self.remaining_min_energy();
+        if self.pruned(partial, energy_lb) {
+            return;
         }
         if self.num_placed == n {
-            self.best = Some((partial, self.starts.clone(), self.modes.clone()));
+            self.record(partial, spent);
             return;
         }
         for t in 0..n {
@@ -121,6 +319,16 @@ impl Search<'_> {
             }
             for m in 0..self.instance.task(task).modes.len() {
                 let mode_id = ModeId(m);
+                let mode_energy = self.instance.mode(task, mode_id).energy();
+                // Reservation check: after paying for this mode, every other
+                // unplaced task must still fit its cheapest mode under the
+                // energy cap, or no completion of this branch is admissible.
+                if let Some(cap) = self.energy_cap {
+                    let others = self.remaining_min_energy() - self.min_energy[t];
+                    if spent + mode_energy + others > cap + CAP_EPS {
+                        continue;
+                    }
+                }
                 if let Some(start) = self.earliest_start(task, mode_id) {
                     let duration = self.instance.mode(task, mode_id).duration;
                     self.placed[t] = true;
@@ -267,6 +475,105 @@ mod tests {
         b.set_horizon(8);
         let instance = b.build().expect("valid");
         assert_eq!(brute_force_makespan(&instance), None);
+    }
+
+    /// Two tasks, each with a fast/high-power mode (duration 2, power 4.0,
+    /// energy 8) and a slow/low-power mode (duration 4, power 1.0, energy 4),
+    /// on separate machines.
+    fn tradeoff_instance(energy_cap: Option<f64>) -> hilp_sched::Instance {
+        let mut b = InstanceBuilder::new();
+        let m0 = b.add_machine("m0");
+        let m1 = b.add_machine("m1");
+        for (t, m) in [m0, m1].into_iter().enumerate() {
+            b.add_task(
+                format!("t{t}"),
+                vec![Mode::on(m, 2).power(4.0), Mode::on(m, 4).power(1.0)],
+            );
+        }
+        b.set_horizon(16);
+        if let Some(cap) = energy_cap {
+            b.set_energy_cap(cap);
+        }
+        b.build().expect("valid")
+    }
+
+    #[test]
+    fn energy_goal_finds_the_lexicographic_optimum() {
+        let instance = tradeoff_instance(None);
+        let result = brute_force_energy(&instance).expect("feasible");
+        // Both tasks in their slow modes: energy 8, makespan 4 (parallel).
+        assert!((result.energy - 8.0).abs() < 1e-9);
+        assert_eq!(result.makespan, 4);
+        assert!(result.schedule.verify(&instance).is_empty());
+        assert!((schedule_energy(&instance, &result.schedule) - result.energy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pareto_goal_enumerates_the_full_front() {
+        let instance = tradeoff_instance(None);
+        let front = brute_force_pareto(&instance);
+        // (2, 16): both fast; (4, 8): both slow. The mixed vector
+        // (makespan 4, energy 12) is dominated by both-slow.
+        let pairs: Vec<(u32, f64)> = front.iter().map(|p| (p.makespan, p.energy)).collect();
+        assert_eq!(pairs, vec![(2, 16.0), (4, 8.0)]);
+        for point in &front {
+            assert!(point.schedule.verify(&instance).is_empty());
+            assert!((schedule_energy(&instance, &point.schedule) - point.energy).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn energy_cap_restricts_every_goal() {
+        // Cap 12 rules out both-fast (energy 16): the best remaining
+        // makespan is 4, and one fast + one slow (4, 12) is dominated by
+        // both-slow (4, 8), leaving a single front point.
+        let instance = tradeoff_instance(Some(12.0));
+        let best = brute_force_schedule(&instance).expect("feasible");
+        assert_eq!(best.makespan, 4);
+        assert!(schedule_energy(&instance, &best.schedule) <= 12.0 + 1e-9);
+        assert!(best.schedule.verify(&instance).is_empty());
+        let pairs: Vec<(u32, f64)> = brute_force_pareto(&instance)
+            .iter()
+            .map(|p| (p.makespan, p.energy))
+            .collect();
+        assert_eq!(pairs, vec![(4, 8.0)]);
+    }
+
+    #[test]
+    fn infeasible_energy_cap_returns_nothing() {
+        // Minimum total energy is 8; a cap of 6 admits no schedule.
+        let instance = tradeoff_instance(Some(6.0));
+        assert_eq!(brute_force_makespan(&instance), None);
+        assert!(brute_force_energy(&instance).is_none());
+        assert!(brute_force_pareto(&instance).is_empty());
+    }
+
+    #[test]
+    fn energy_matches_the_exact_solver_under_the_energy_objective() {
+        let instance = tradeoff_instance(None);
+        let bf = brute_force_energy(&instance).expect("feasible");
+        let config = SolverConfig {
+            objective: hilp_sched::Objective::Energy,
+            ..SolverConfig::exact()
+        };
+        let outcome = solve_exact(&instance, &config).expect("solver feasible");
+        assert!((outcome.energy - bf.energy).abs() < 1e-9);
+        assert_eq!(outcome.makespan, bf.makespan);
+    }
+
+    #[test]
+    fn pareto_matches_the_exact_solver_ladder() {
+        let instance = tradeoff_instance(None);
+        let bf = brute_force_pareto(&instance);
+        let front = hilp_sched::solve_pareto(&instance, &SolverConfig::exact()).expect("feasible");
+        assert!(front.complete);
+        let solver: Vec<(u32, f64)> = front
+            .points
+            .iter()
+            .map(|p| (p.makespan, p.energy))
+            .collect();
+        let brute: Vec<(u32, f64)> = bf.iter().map(|p| (p.makespan, p.energy)).collect();
+        assert_eq!(solver, brute);
     }
 
     #[test]

@@ -15,13 +15,19 @@ use hilp_core::time_indexed::makespan_via_time_indexed;
 use hilp_model::{ModelError, SolveLimits};
 use hilp_sched::online::{online_greedy, OnlinePolicy};
 use hilp_sched::{
-    lower_bound, solve, solve_exact, solve_heuristic, Budget, Instance, InstanceBuilder,
-    SolverConfig, TaskId, TimetableKind,
+    lower_bound, solve, solve_exact, solve_heuristic, solve_pareto, Budget, Instance,
+    InstanceBuilder, Objective, SchedError, SolverConfig, TaskId, TimetableKind,
 };
 use hilp_soc::{Constraints, SocSpec};
 use hilp_workloads::Workload;
 
-use crate::brute_force::{brute_force_schedule, BruteForceResult, MAX_BRUTE_FORCE_TASKS};
+use crate::brute_force::{
+    brute_force_energy, brute_force_pareto, brute_force_schedule, schedule_energy,
+    BruteForceResult, MAX_BRUTE_FORCE_TASKS,
+};
+
+/// Energy comparisons share the solver's floating-point tolerance.
+const ENERGY_EPS: f64 = 1e-9;
 
 /// What the oracle runs per case and how hard it tries.
 #[derive(Debug, Clone)]
@@ -108,6 +114,18 @@ pub struct CheckStats {
     pub delta_infeasible_agreed: u64,
     /// Delta cases skipped because the parent itself was infeasible.
     pub delta_skipped: u64,
+    /// Tiny cases run through the energy differential battery
+    /// ([`check_energy`]).
+    pub energy_checked: u64,
+    /// Pareto ladders compared point-for-point against the exhaustive
+    /// makespan x energy front.
+    pub pareto_checked: u64,
+    /// Energy-capped solves (objective caps and instance caps) reconciled
+    /// against the brute-force front.
+    pub energy_capped_checked: u64,
+    /// Cases where the min-energy restriction legitimately exhausted the
+    /// horizon (brute force confirmed only energy-hungrier modes fit).
+    pub energy_restriction_infeasible: u64,
 }
 
 impl CheckStats {
@@ -134,6 +152,10 @@ impl CheckStats {
         self.delta_certified += other.delta_certified;
         self.delta_infeasible_agreed += other.delta_infeasible_agreed;
         self.delta_skipped += other.delta_skipped;
+        self.energy_checked += other.energy_checked;
+        self.pareto_checked += other.pareto_checked;
+        self.energy_capped_checked += other.energy_capped_checked;
+        self.energy_restriction_infeasible += other.energy_restriction_infeasible;
     }
 
     /// One-line human-readable summary for fuzz logs.
@@ -143,7 +165,8 @@ impl CheckStats {
             "{} cases: {} feasible, {} infeasible-agreed, {} brute-forced ({} proved optimal), \
              milp {}/{} skipped, time-indexed {}/{} skipped, {} metamorphic, {} interval-replayed, \
              {} parallel-replayed, budgeted {} ({} truncated), pipeline {} encoded / {} skipped, \
-             delta {} ({} identity, {} certified, {} infeasible-agreed, {} skipped)",
+             delta {} ({} identity, {} certified, {} infeasible-agreed, {} skipped), \
+             energy {} ({} pareto, {} capped, {} restriction-infeasible)",
             self.cases,
             self.feasible,
             self.infeasible_agreed,
@@ -165,6 +188,10 @@ impl CheckStats {
             self.delta_certified,
             self.delta_infeasible_agreed,
             self.delta_skipped,
+            self.energy_checked,
+            self.pareto_checked,
+            self.energy_capped_checked,
+            self.energy_restriction_infeasible,
         )
     }
 }
@@ -771,6 +798,444 @@ pub fn check_budgeted(
     Ok(())
 }
 
+/// Run the energy differential battery on one tiny instance: energy
+/// accounting, the infinite-cap transparency identity, the lexicographic
+/// `Objective::Energy` against the exhaustive optimum, the Pareto ladder
+/// against the exhaustive makespan x energy front, energy-capped solves
+/// pinned to the front's own trade-offs (through both the objective cap and
+/// an instance-level cap, the latter exercising the brute force's own
+/// reservation admissibility), and a power-scaling metamorphic round.
+///
+/// Instances beyond [`MAX_BRUTE_FORCE_TASKS`] are skipped silently so the
+/// caller can feed every case through unconditionally.
+///
+/// # Errors
+///
+/// Returns the first [`Disagreement`] found, if any.
+#[allow(clippy::too_many_lines)]
+pub fn check_energy(
+    instance: &Instance,
+    config: &OracleConfig,
+    stats: &mut CheckStats,
+) -> Result<(), Disagreement> {
+    if instance.num_tasks() > MAX_BRUTE_FORCE_TASKS {
+        return Ok(());
+    }
+    let bf_energy = brute_force_energy(instance);
+    let bf_front = brute_force_pareto(instance);
+
+    // Energy accounting: the reported energy is the pure mode-vector sum,
+    // recomputed independently of `Schedule::total_energy`.
+    let plain = solve_exact(instance, &config.solver);
+    if let Ok(outcome) = &plain {
+        let recomputed = schedule_energy(instance, &outcome.schedule);
+        if (outcome.energy - recomputed).abs() > ENERGY_EPS
+            || (outcome.schedule.total_energy(instance) - recomputed).abs() > ENERGY_EPS
+        {
+            return Err(Disagreement::new(
+                "energy-accounting",
+                instance,
+                format!(
+                    "solver reports energy {} but the mode vector sums to {recomputed} \
+                     (Schedule::total_energy says {})",
+                    outcome.energy,
+                    outcome.schedule.total_energy(instance)
+                ),
+            ));
+        }
+    }
+
+    // Transparency: an infinite energy cap must not perturb the makespan
+    // solve in any observable way.
+    let transparent = solve_exact(
+        instance,
+        &SolverConfig {
+            objective: Objective::MakespanUnderEnergyCap(f64::INFINITY),
+            ..config.solver.clone()
+        },
+    );
+    match (&plain, &transparent) {
+        (Ok(a), Ok(b)) => {
+            if (a.makespan, a.lower_bound, a.proved_optimal, &a.schedule)
+                != (b.makespan, b.lower_bound, b.proved_optimal, &b.schedule)
+            {
+                return Err(Disagreement::new(
+                    "energy-transparency",
+                    instance,
+                    format!(
+                        "an infinite energy cap changed the solve: makespan {} vs {}, lower \
+                         bound {} vs {}, proved {} vs {}",
+                        a.makespan,
+                        b.makespan,
+                        a.lower_bound,
+                        b.lower_bound,
+                        a.proved_optimal,
+                        b.proved_optimal
+                    ),
+                ));
+            }
+        }
+        (Err(_), Err(_)) => {}
+        (a, b) => {
+            return Err(Disagreement::new(
+                "energy-transparency",
+                instance,
+                format!(
+                    "an infinite energy cap changed the feasibility verdict: plain ok={}, \
+                     capped ok={}",
+                    a.is_ok(),
+                    b.is_ok()
+                ),
+            ));
+        }
+    }
+
+    // The Energy objective against the lexicographic brute force.
+    let energy_outcome = solve_exact(
+        instance,
+        &SolverConfig {
+            objective: Objective::Energy,
+            ..config.solver.clone()
+        },
+    );
+    match (&energy_outcome, &bf_energy) {
+        (Ok(outcome), Some(bf)) => {
+            let violations = outcome.schedule.verify(instance);
+            if !violations.is_empty() {
+                return Err(Disagreement::new(
+                    "energy-objective-feasibility",
+                    instance,
+                    format!("energy-objective schedule violates: {violations:?}"),
+                ));
+            }
+            let recomputed = schedule_energy(instance, &outcome.schedule);
+            if (outcome.energy - recomputed).abs() > ENERGY_EPS {
+                return Err(Disagreement::new(
+                    "energy-accounting",
+                    instance,
+                    format!(
+                        "energy objective reports {} but the mode vector sums to {recomputed}",
+                        outcome.energy
+                    ),
+                ));
+            }
+            if (outcome.energy - bf.energy).abs() > ENERGY_EPS {
+                return Err(Disagreement::new(
+                    "energy-objective",
+                    instance,
+                    format!(
+                        "energy objective found total energy {} but the exhaustive lexicographic \
+                         optimum is {}",
+                        outcome.energy, bf.energy
+                    ),
+                ));
+            }
+            if outcome.makespan < bf.makespan {
+                return Err(Disagreement::new(
+                    "energy-objective-below-optimum",
+                    instance,
+                    format!(
+                        "energy objective makespan {} beats the exhaustive minimum-energy \
+                         makespan {}",
+                        outcome.makespan, bf.makespan
+                    ),
+                ));
+            }
+            if outcome.proved_optimal && outcome.makespan != bf.makespan {
+                return Err(Disagreement::new(
+                    "energy-objective-makespan",
+                    instance,
+                    format!(
+                        "energy objective proved makespan {} optimal but the exhaustive \
+                         lexicographic optimum reaches {}",
+                        outcome.makespan, bf.makespan
+                    ),
+                ));
+            }
+        }
+        (Ok(outcome), None) => {
+            return Err(Disagreement::new(
+                "energy-phantom",
+                instance,
+                format!(
+                    "energy objective found a schedule (energy {}, makespan {}) on an instance \
+                     brute force proves infeasible",
+                    outcome.energy, outcome.makespan
+                ),
+            ));
+        }
+        (Err(SchedError::HorizonExhausted { .. }), Some(bf)) => {
+            // Documented limitation: the min-energy mode restriction may not
+            // fit the horizon even though energy-hungrier vectors do. That
+            // excuse only holds when the true minimum energy really is above
+            // the per-task floor the restriction commits to.
+            if bf.energy <= instance.min_total_energy() + ENERGY_EPS {
+                return Err(Disagreement::new(
+                    "energy-restriction-infeasible",
+                    instance,
+                    format!(
+                        "energy objective claims the horizon is exhausted but brute force \
+                         schedules the minimum-energy floor {} (makespan {})",
+                        bf.energy, bf.makespan
+                    ),
+                ));
+            }
+            stats.energy_restriction_infeasible += 1;
+        }
+        (Err(err), Some(bf)) => {
+            return Err(Disagreement::new(
+                "energy-objective-error",
+                instance,
+                format!(
+                    "energy objective failed with `{err}` but brute force found a feasible \
+                     minimum-energy schedule (energy {}, makespan {})",
+                    bf.energy, bf.makespan
+                ),
+            ));
+        }
+        (Err(_), None) => {}
+    }
+
+    // The Pareto ladder against the exhaustive makespan x energy front.
+    match solve_pareto(instance, &config.solver) {
+        Ok(front) => {
+            if bf_front.is_empty() {
+                return Err(Disagreement::new(
+                    "pareto-phantom",
+                    instance,
+                    format!(
+                        "solve_pareto returned {} points on an instance brute force proves \
+                         infeasible",
+                        front.points.len()
+                    ),
+                ));
+            }
+            for point in &front.points {
+                let violations = point.schedule.verify(instance);
+                if !violations.is_empty() {
+                    return Err(Disagreement::new(
+                        "pareto-feasibility",
+                        instance,
+                        format!(
+                            "Pareto point (makespan {}, energy {}) violates: {violations:?}",
+                            point.makespan, point.energy
+                        ),
+                    ));
+                }
+                let recomputed = schedule_energy(instance, &point.schedule);
+                if (point.energy - recomputed).abs() > ENERGY_EPS {
+                    return Err(Disagreement::new(
+                        "energy-accounting",
+                        instance,
+                        format!(
+                            "Pareto point reports energy {} but the mode vector sums to \
+                             {recomputed}",
+                            point.energy
+                        ),
+                    ));
+                }
+                // Every solver point must be achievable, i.e. weakly
+                // dominated by some point of the exhaustive front.
+                if !bf_front
+                    .iter()
+                    .any(|b| b.makespan <= point.makespan && b.energy <= point.energy + ENERGY_EPS)
+                {
+                    return Err(Disagreement::new(
+                        "pareto-point-impossible",
+                        instance,
+                        format!(
+                            "Pareto point (makespan {}, energy {}) beats the exhaustive front",
+                            point.makespan, point.energy
+                        ),
+                    ));
+                }
+            }
+            if front.complete {
+                stats.pareto_checked += 1;
+                let matches = front.points.len() == bf_front.len()
+                    && front.points.iter().zip(&bf_front).all(|(a, b)| {
+                        a.makespan == b.makespan && (a.energy - b.energy).abs() <= ENERGY_EPS
+                    });
+                if !matches {
+                    let solver: Vec<(u32, f64)> = front
+                        .points
+                        .iter()
+                        .map(|p| (p.makespan, p.energy))
+                        .collect();
+                    let brute: Vec<(u32, f64)> =
+                        bf_front.iter().map(|p| (p.makespan, p.energy)).collect();
+                    return Err(Disagreement::new(
+                        "pareto-front-mismatch",
+                        instance,
+                        format!(
+                            "complete ladder {solver:?} differs from the exhaustive front \
+                             {brute:?}"
+                        ),
+                    ));
+                }
+            }
+        }
+        Err(_) => {
+            if let Some(first) = bf_front.first() {
+                return Err(Disagreement::new(
+                    "pareto-feasibility-mismatch",
+                    instance,
+                    format!(
+                        "solve_pareto claims infeasibility but brute force found a front \
+                         starting at (makespan {}, energy {})",
+                        first.makespan, first.energy
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Energy-capped solves pinned to the exhaustive front: capping at a
+    // front point's energy must recover exactly that point's makespan.
+    for point in bf_front.iter().take(3) {
+        stats.energy_capped_checked += 1;
+        let capped = solve_exact(
+            instance,
+            &SolverConfig {
+                objective: Objective::MakespanUnderEnergyCap(point.energy),
+                ..config.solver.clone()
+            },
+        );
+        match &capped {
+            Ok(outcome) => {
+                if outcome.energy > point.energy + ENERGY_EPS {
+                    return Err(Disagreement::new(
+                        "energy-cap-violated",
+                        instance,
+                        format!(
+                            "cap {} admitted a schedule with energy {}",
+                            point.energy, outcome.energy
+                        ),
+                    ));
+                }
+                if outcome.makespan < point.makespan || outcome.lower_bound > point.makespan {
+                    return Err(Disagreement::new(
+                        "energy-capped-bounds",
+                        instance,
+                        format!(
+                            "under cap {} the true optimum is {}, solver reports makespan {} \
+                             with lower bound {}",
+                            point.energy, point.makespan, outcome.makespan, outcome.lower_bound
+                        ),
+                    ));
+                }
+                if outcome.proved_optimal && outcome.makespan != point.makespan {
+                    return Err(Disagreement::new(
+                        "energy-capped-mismatch",
+                        instance,
+                        format!(
+                            "solver proved makespan {} optimal under cap {} but the exhaustive \
+                             front says {}",
+                            outcome.makespan, point.energy, point.makespan
+                        ),
+                    ));
+                }
+            }
+            Err(err) => {
+                return Err(Disagreement::new(
+                    "energy-capped-feasibility",
+                    instance,
+                    format!(
+                        "solver failed with `{err}` under cap {} though brute force schedules \
+                         exactly that energy at makespan {}",
+                        point.energy, point.makespan
+                    ),
+                ));
+            }
+        }
+
+        // The same cap applied at the instance level: exercises the brute
+        // force's own reservation admissibility against the solver's filter.
+        let capped_instance = with_energy_cap(instance, point.energy);
+        match brute_force_schedule(&capped_instance) {
+            Some(bf) if bf.makespan == point.makespan => {}
+            other => {
+                return Err(Disagreement::new(
+                    "energy-capped-brute-force",
+                    instance,
+                    format!(
+                        "with instance cap {} brute force found {:?} instead of the front's \
+                         makespan {}",
+                        point.energy,
+                        other.map(|bf| bf.makespan),
+                        point.makespan
+                    ),
+                ));
+            }
+        }
+    }
+
+    // Power-scaling metamorphic: tripling every power (and the power and
+    // energy caps with it) scales every energy exactly x3 and leaves every
+    // makespan untouched.
+    const POWER_K: f64 = 3.0;
+    let scaled = scale_power(instance, POWER_K);
+    let scaled_energy = brute_force_energy(&scaled);
+    match (&bf_energy, &scaled_energy) {
+        (Some(a), Some(b)) => {
+            let tolerance = ENERGY_EPS * (1.0 + a.energy.abs());
+            if b.makespan != a.makespan || (b.energy - POWER_K * a.energy).abs() > tolerance {
+                return Err(Disagreement::new(
+                    "energy-metamorphic-scale",
+                    instance,
+                    format!(
+                        "scaling power x{POWER_K} should map (energy {}, makespan {}) to \
+                         (energy {}, makespan {}), brute force found (energy {}, makespan {})",
+                        a.energy,
+                        a.makespan,
+                        POWER_K * a.energy,
+                        a.makespan,
+                        b.energy,
+                        b.makespan
+                    ),
+                ));
+            }
+        }
+        (None, None) => {}
+        (a, b) => {
+            return Err(Disagreement::new(
+                "energy-metamorphic-scale",
+                instance,
+                format!(
+                    "scaling power x{POWER_K} changed feasibility: original ok={}, scaled ok={}",
+                    a.is_some(),
+                    b.is_some()
+                ),
+            ));
+        }
+    }
+    let scaled_front = brute_force_pareto(&scaled);
+    let fronts_match = scaled_front.len() == bf_front.len()
+        && scaled_front.iter().zip(&bf_front).all(|(s, o)| {
+            s.makespan == o.makespan
+                && (s.energy - POWER_K * o.energy).abs() <= ENERGY_EPS * (1.0 + o.energy.abs())
+        });
+    if !fronts_match {
+        let scaled_pairs: Vec<(u32, f64)> = scaled_front
+            .iter()
+            .map(|p| (p.makespan, p.energy))
+            .collect();
+        let original_pairs: Vec<(u32, f64)> =
+            bf_front.iter().map(|p| (p.makespan, p.energy)).collect();
+        return Err(Disagreement::new(
+            "energy-metamorphic-front",
+            instance,
+            format!(
+                "scaling power x{POWER_K} should scale the front's energies in place; original \
+                 {original_pairs:?}, scaled {scaled_pairs:?}"
+            ),
+        ));
+    }
+
+    stats.energy_checked += 1;
+    Ok(())
+}
+
 /// Reconcile a MILP-optimal makespan with the exact solver's outcome: strict
 /// equality when the solver proved optimality, otherwise the MILP optimum
 /// must land inside the solver's `[lower_bound, makespan]` interval (i.e.
@@ -893,7 +1358,7 @@ fn check_metamorphic(
 }
 
 /// Rebuild `instance` with every duration, lag, and the horizon multiplied
-/// by `k`.
+/// by `k`. The energy cap (energy = power x duration) scales with it.
 #[must_use]
 pub fn scale_time(instance: &Instance, k: u32) -> Instance {
     rebuild(
@@ -903,14 +1368,23 @@ pub fn scale_time(instance: &Instance, k: u32) -> Instance {
         |lag| lag * k,
         true,
         instance.horizon().saturating_mul(k),
+        instance.energy_cap().map(|cap| cap * f64::from(k)),
     )
 }
 
-/// Rebuild `instance` with power/bandwidth/core caps dropped and custom
-/// resource capacities quadrupled.
+/// Rebuild `instance` with power/bandwidth/core/energy caps dropped and
+/// custom resource capacities quadrupled.
 #[must_use]
 pub fn relax_caps(instance: &Instance) -> Instance {
-    rebuild(instance, |_| 0, |d| d, |lag| lag, false, instance.horizon())
+    rebuild(
+        instance,
+        |_| 0,
+        |d| d,
+        |lag| lag,
+        false,
+        instance.horizon(),
+        None,
+    )
 }
 
 /// Rebuild `instance` with the task order reversed (a pure relabeling).
@@ -924,13 +1398,86 @@ pub fn permute_tasks(instance: &Instance) -> Instance {
         |lag| lag,
         true,
         instance.horizon(),
+        instance.energy_cap(),
     )
+}
+
+/// Rebuild `instance` with its whole-schedule energy cap replaced by `cap`;
+/// everything else is untouched.
+#[must_use]
+pub fn with_energy_cap(instance: &Instance, cap: f64) -> Instance {
+    rebuild(
+        instance,
+        |t| t,
+        |d| d,
+        |lag| lag,
+        true,
+        instance.horizon(),
+        Some(cap),
+    )
+}
+
+/// Rebuild `instance` with every mode's power — and the power and energy
+/// caps with it — multiplied by `k`. Feasibility and makespans are
+/// untouched; every schedule's energy scales by exactly `k`.
+#[must_use]
+pub fn scale_power(instance: &Instance, k: f64) -> Instance {
+    let mut b = InstanceBuilder::new();
+    for name in instance.machines() {
+        b.add_machine(name.clone());
+    }
+    for (name, cap) in instance.resources() {
+        b.add_resource(name.clone(), *cap);
+    }
+    let mut ids = Vec::with_capacity(instance.num_tasks());
+    for t in 0..instance.num_tasks() {
+        let task = instance.task(TaskId(t));
+        let modes = task
+            .modes
+            .iter()
+            .map(|mode| {
+                let mut scaled = mode.clone();
+                scaled.power = mode.power * k;
+                scaled
+            })
+            .collect();
+        ids.push(b.add_task(task.label.clone(), modes));
+    }
+    for t in 0..instance.num_tasks() {
+        for edge in instance.incoming(TaskId(t)) {
+            let before = ids[edge.before.0];
+            let after = ids[edge.after.0];
+            match edge.kind {
+                hilp_sched::EdgeKind::FinishToStart => {
+                    b.add_precedence_lagged(before, after, edge.lag);
+                }
+                hilp_sched::EdgeKind::StartToStart => {
+                    b.add_initiation_interval(before, after, edge.lag);
+                }
+            }
+        }
+    }
+    if let Some(cap) = instance.power_cap() {
+        b.set_power_cap(cap * k);
+    }
+    if let Some(cap) = instance.bandwidth_cap() {
+        b.set_bandwidth_cap(cap);
+    }
+    if let Some(cap) = instance.core_cap() {
+        b.set_core_cap(cap);
+    }
+    if let Some(cap) = instance.energy_cap() {
+        b.set_energy_cap(cap * k);
+    }
+    b.set_horizon(instance.horizon());
+    b.build().expect("power-scaled instances stay valid")
 }
 
 /// Shared rebuild: `position` places original task `t` at a new index,
 /// `duration`/`lag` transform times, `keep_caps` controls whether the
 /// power/bandwidth/core caps carry over (custom resource capacities are
-/// quadrupled when caps are dropped).
+/// quadrupled when caps are dropped), and `energy_cap` is the transformed
+/// whole-schedule energy budget (or `None` to drop it).
 fn rebuild(
     instance: &Instance,
     position: impl Fn(usize) -> usize,
@@ -938,6 +1485,7 @@ fn rebuild(
     lag: impl Fn(u32) -> u32,
     keep_caps: bool,
     horizon: u32,
+    energy_cap: Option<f64>,
 ) -> Instance {
     let n = instance.num_tasks();
     let mut b = InstanceBuilder::new();
@@ -988,6 +1536,9 @@ fn rebuild(
         if let Some(cap) = instance.core_cap() {
             b.set_core_cap(cap);
         }
+    }
+    if let Some(cap) = energy_cap {
+        b.set_energy_cap(cap);
     }
     b.set_horizon(horizon);
     b.build().expect("transformed instances stay valid")

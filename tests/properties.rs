@@ -10,13 +10,17 @@
 //! 3. Lower bounds never exceed the proven optimum.
 //! 4. Pareto fronts are exactly the non-dominated subsets.
 //! 5. Power-law fitting recovers exact laws and rejects invalid input.
+//! 6. Energy metamorphics: power scaling acts on energies alone, energy-cap
+//!    relaxation is monotone in makespan, and an infinite cap is
+//!    bit-identical to no cap at all.
 
 use proptest::prelude::*;
 
 use hilp_core::milp_encode::makespan_via_milp;
 use hilp_model::SolveLimits;
 use hilp_sched::{
-    lower_bound, solve, solve_exact, Instance, InstanceBuilder, MachineId, Mode, SolverConfig,
+    lower_bound, solve, solve_exact, solve_pareto, Instance, InstanceBuilder, MachineId, Mode,
+    Objective, SolverConfig,
 };
 use hilp_soc::powerlaw::{fit_power_law, PowerLaw};
 
@@ -220,6 +224,29 @@ proptest! {
         prop_assert!(fit_power_law(&[(1.0, x), (2.0, y)]).is_none());
     }
 
+    /// Degenerate typed fits: a single sample never fits, and any zero or
+    /// negative power/energy reading poisons the whole fit regardless of
+    /// how many valid samples surround it.
+    #[test]
+    fn typed_fits_reject_degenerate_samples(
+        x in 0.1f64..100.0,
+        y in 0.1f64..100.0,
+        bad in -10.0f64..=0.0,
+        valid in prop::collection::vec((0.1f64..100.0, 0.1f64..100.0), 1..5)
+    ) {
+        use hilp_soc::powerlaw::{fit_energy_curve, fit_power_curve, Joules, Watts};
+        prop_assert!(fit_power_curve(&[(x, Watts(y))]).is_none());
+        prop_assert!(fit_energy_curve(&[(x, Joules(y))]).is_none());
+        let mut watts: Vec<(f64, Watts)> =
+            valid.iter().map(|&(vx, vy)| (vx, Watts(vy))).collect();
+        watts.push((x, Watts(bad)));
+        prop_assert!(fit_power_curve(&watts).is_none());
+        let mut joules: Vec<(f64, Joules)> =
+            valid.iter().map(|&(vx, vy)| (vx, Joules(vy))).collect();
+        joules.push((x, Joules(bad)));
+        prop_assert!(fit_energy_curve(&joules).is_none());
+    }
+
     // -- LP feasibility ------------------------------------------------------
 
     #[test]
@@ -388,6 +415,91 @@ proptest! {
         let outcome = solve(&inst, &SolverConfig::default()).expect("generous horizon");
         prop_assert!(outcome.schedule.verify(&inst).is_empty());
         prop_assert!(outcome.lower_bound <= outcome.makespan);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Energy metamorphic properties (Property 6).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Multiplying every mode's power — and the power cap with it — by an
+    /// integer `k` changes no feasibility or priority decision (all seeds
+    /// are integers, so the scaled arithmetic stays exact): the solver
+    /// returns the identical schedule with its energy scaled by exactly `k`.
+    #[test]
+    fn power_scaling_scales_energy_in_place(spec in arb_spec(6, true), k in 1u8..=5) {
+        if let Some(instance) = build_instance(&spec) {
+            let k = f64::from(k);
+            let scaled = hilp_testkit::scale_power(&instance, k);
+            let config = SolverConfig::exact();
+            let a = solve_exact(&instance, &config).expect("generous horizon");
+            let b = solve_exact(&scaled, &config).expect("generous horizon");
+            prop_assert_eq!(a.makespan, b.makespan);
+            prop_assert_eq!(&a.schedule, &b.schedule);
+            prop_assert!(
+                (b.energy - k * a.energy).abs() <= 1e-9 * (1.0 + a.energy),
+                "energy {} should scale by {} to {}, got {}",
+                a.energy, k, k * a.energy, b.energy
+            );
+        }
+    }
+
+    /// The Pareto ladder is monotone — makespans strictly ascend while
+    /// energies strictly descend — and re-solving with a rung's energy as
+    /// the cap reproduces that rung's makespan, so relaxing the cap from
+    /// any rung to a cheaper-makespan rung never lengthens the schedule.
+    #[test]
+    fn energy_cap_relaxation_is_monotone(spec in arb_spec(5, true)) {
+        if let Some(instance) = build_instance(&spec) {
+            let front = solve_pareto(&instance, &SolverConfig::exact())
+                .expect("generous horizon");
+            prop_assume!(front.complete);
+            for pair in front.points.windows(2) {
+                prop_assert!(pair[0].makespan < pair[1].makespan);
+                prop_assert!(pair[0].energy > pair[1].energy);
+            }
+            let mut last = 0;
+            for point in &front.points {
+                let capped = solve_exact(&instance, &SolverConfig {
+                    objective: Objective::MakespanUnderEnergyCap(point.energy),
+                    ..SolverConfig::exact()
+                }).expect("front points are feasible under their own energy");
+                prop_assume!(capped.proved_optimal);
+                prop_assert_eq!(capped.makespan, point.makespan);
+                prop_assert!(capped.makespan >= last);
+                last = capped.makespan;
+            }
+        }
+    }
+
+    /// `Objective::Makespan` and `MakespanUnderEnergyCap(INFINITY)` are
+    /// bit-identical: the energy machinery is transparent when unused.
+    #[test]
+    fn infinite_energy_cap_is_transparent(spec in arb_spec(6, true)) {
+        if let Some(instance) = build_instance(&spec) {
+            let plain = solve_exact(&instance, &SolverConfig::exact());
+            let capped = solve_exact(&instance, &SolverConfig {
+                objective: Objective::MakespanUnderEnergyCap(f64::INFINITY),
+                ..SolverConfig::exact()
+            });
+            match (&plain, &capped) {
+                (Ok(a), Ok(b)) => {
+                    prop_assert_eq!(a.makespan, b.makespan);
+                    prop_assert_eq!(a.lower_bound, b.lower_bound);
+                    prop_assert_eq!(a.proved_optimal, b.proved_optimal);
+                    prop_assert_eq!(&a.schedule, &b.schedule);
+                    prop_assert!((a.energy - b.energy).abs() <= 1e-12);
+                }
+                (Err(_), Err(_)) => {}
+                (a, b) => prop_assert!(
+                    false,
+                    "feasibility diverged: plain ok={} capped ok={}", a.is_ok(), b.is_ok()
+                ),
+            }
+        }
     }
 }
 
